@@ -1,0 +1,253 @@
+// Package caba is a cycle-level reproduction of "A Case for Core-Assisted
+// Bottleneck Acceleration in GPUs: Enabling Flexible Data Compression with
+// Assist Warps" (Vijaykumar et al., ISCA 2015).
+//
+// It bundles a SIMT GPU timing model (internal/gpu, internal/mem), the
+// CABA assist-warp framework and its compression subroutine library
+// (internal/core), reference compression algorithms (internal/compress),
+// an energy model (internal/energy), and synthetic stand-ins for the
+// paper's 27 applications (internal/workloads).
+//
+// The quickest path is Run: pick an application and a design, get the
+// paper's metrics back:
+//
+//	res, err := caba.Run(caba.QuickConfig(), caba.CABABDI, "PVC", 1)
+//	fmt.Println(res.IPC, res.BandwidthUtil, res.CompressionRatio)
+//
+// Custom kernels written in the textual ISA go through RunKernel; direct
+// access to the compression algorithms and the assist-warp subroutine
+// library is re-exported below for tooling and experimentation.
+package caba
+
+import (
+	"fmt"
+
+	"github.com/caba-sim/caba/internal/compress"
+	"github.com/caba-sim/caba/internal/config"
+	"github.com/caba-sim/caba/internal/core"
+	"github.com/caba-sim/caba/internal/energy"
+	"github.com/caba-sim/caba/internal/gpu"
+	"github.com/caba-sim/caba/internal/isa"
+	"github.com/caba-sim/caba/internal/stats"
+	"github.com/caba-sim/caba/internal/workloads"
+)
+
+// Config is the simulated-system configuration (the paper's Table 1).
+type Config = config.Config
+
+// Design is one of the evaluated system designs.
+type Design = config.Design
+
+// Metrics is the full set of raw counters and derived metrics of a run.
+type Metrics = stats.Sim
+
+// App describes one benchmark application.
+type App = workloads.App
+
+// Kernel is a launchable grid for custom-kernel runs.
+type Kernel = gpu.Kernel
+
+// Simulator is the underlying GPU instance (exposed for advanced use:
+// custom memory preparation, occupancy queries).
+type Simulator = gpu.Simulator
+
+// Occupancy is the static per-SM resource allocation of a kernel.
+type Occupancy = gpu.Occupancy
+
+// EnergyModel holds the event-energy constants.
+type EnergyModel = energy.Model
+
+// The evaluated designs (Section 6).
+var (
+	Base      = config.DesignBase
+	HWBDIMem  = config.DesignHWBDIMem
+	HWBDI     = config.DesignHWBDI
+	CABABDI   = config.DesignCABABDI
+	IdealBDI  = config.DesignIdealBDI
+	CABAFPC   = config.DesignCABAFPC
+	CABACPack = config.DesignCABACPack
+	CABABest  = config.DesignCABABest
+)
+
+// CacheCompressed returns a Figure 13 design: CABA-BDI plus capacity
+// compression at "L1" or "L2" with 2x or 4x tags.
+func CacheCompressed(level string, tagMult int) Design {
+	return config.CacheCompressed(level, tagMult)
+}
+
+// Baseline returns the paper's Table 1 configuration.
+func Baseline() Config { return config.Baseline() }
+
+// QuickConfig returns the Table 1 configuration scaled down for fast
+// interactive runs (full mechanisms, smaller working sets).
+func QuickConfig() Config {
+	c := config.Baseline()
+	c.Scale = 0.05
+	return c
+}
+
+// Applications returns the full benchmark pool.
+func Applications() []App { return append([]App(nil), workloads.Apps...) }
+
+// AppByName looks up one application descriptor.
+func AppByName(name string) (*App, error) {
+	a := workloads.ByName(name)
+	if a == nil {
+		return nil, fmt.Errorf("caba: unknown application %q", name)
+	}
+	return a, nil
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	App    string
+	Design string
+
+	Cycles           uint64
+	IPC              float64
+	BandwidthUtil    float64 // fraction of DRAM cycles the data bus is busy
+	CompressionRatio float64 // DRAM-burst ratio, uncompressed/compressed
+	EnergyNJ         float64 // total energy (event model)
+	DRAMEnergyNJ     float64
+	AvgPowerW        float64
+	MDHitRate        float64
+	InputRatio       float64 // compression ratio of the precompressed input
+
+	Occupancy Occupancy
+	Stats     *Metrics
+}
+
+// Run simulates one application under one design and returns the paper's
+// metrics. seed controls the synthetic data generator.
+func Run(cfg Config, design Design, appName string, seed int64) (*Result, error) {
+	app, err := AppByName(appName)
+	if err != nil {
+		return nil, err
+	}
+	// Static profiling gate (Section 4.3.1): applications that are not
+	// bandwidth-limited have CABA-based compression disabled — they keep
+	// the design label but run without assist warps, so they see neither
+	// benefit nor degradation.
+	if design.Decomp == config.DecompCABA && !app.MemoryBound {
+		name := design.Name
+		design = config.DesignBase
+		design.Name = name
+	}
+	inst, err := app.Instantiate(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := gpu.New(&cfg, design, inst.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	inputRatio := inst.Prepare(sim, seed)
+	if err := sim.Run(inst.MaxCycles()); err != nil {
+		return nil, fmt.Errorf("caba: %s/%s: %w", appName, design.Name, err)
+	}
+	return finishResult(appName, design, &cfg, sim, inputRatio), nil
+}
+
+// RunKernel simulates a custom kernel. prepare (optional) populates
+// memory and precompresses inputs before the run.
+func RunKernel(cfg Config, design Design, k *Kernel, prepare func(*Simulator)) (*Result, error) {
+	sim, err := gpu.New(&cfg, design, k)
+	if err != nil {
+		return nil, err
+	}
+	if prepare != nil {
+		prepare(sim)
+	}
+	if err := sim.Run(0); err != nil {
+		return nil, err
+	}
+	return finishResult(k.Prog.Name, design, &cfg, sim, 1), nil
+}
+
+func finishResult(app string, design Design, cfg *Config, sim *gpu.Simulator, inputRatio float64) *Result {
+	m := energy.DefaultModel()
+	energy.Apply(&m, cfg, design, sim.S)
+	return &Result{
+		App:              app,
+		Design:           design.Name,
+		Cycles:           sim.Cycles(),
+		IPC:              sim.S.IPC(),
+		BandwidthUtil:    sim.S.BWUtilization(),
+		CompressionRatio: sim.S.Ratio.Value(),
+		EnergyNJ:         sim.S.TotalEnergy(),
+		DRAMEnergyNJ:     sim.S.DRAMEnergy(),
+		AvgPowerW:        sim.S.AvgPowerW(cfg.CoreClockMHz),
+		MDHitRate:        sim.S.MDHitRate(),
+		InputRatio:       inputRatio,
+		Occupancy:        sim.Occupancy(),
+		Stats:            sim.S,
+	}
+}
+
+// Assemble compiles a kernel written in the textual ISA (the same
+// CUDA-extension-style syntax assist-warp subroutines use).
+func Assemble(name, src string) (*isa.Program, error) { return isa.Assemble(name, src) }
+
+// --- Compression toolkit (re-exported for tooling and examples) ---
+
+// AlgID identifies a compression algorithm.
+type AlgID = compress.AlgID
+
+// Compression algorithms.
+const (
+	AlgNone  = compress.AlgNone
+	AlgBDI   = compress.AlgBDI
+	AlgFPC   = compress.AlgFPC
+	AlgCPack = compress.AlgCPack
+	AlgBest  = compress.AlgBest
+)
+
+// LineSize is the cache-line granularity of compression (bytes).
+const LineSize = compress.LineSize
+
+// CompressedLine is one compressed cache line.
+type CompressedLine = compress.Compressed
+
+// CompressLine compresses one LineSize-byte cache line.
+func CompressLine(alg AlgID, line []byte) (CompressedLine, error) {
+	return compress.Compress(alg, line)
+}
+
+// DecompressLine expands c into out (LineSize bytes).
+func DecompressLine(c CompressedLine, out []byte) error {
+	return compress.Decompress(c, out)
+}
+
+// MeasureRatio compresses every line of data and returns the burst-level
+// compression ratio.
+func MeasureRatio(alg AlgID, data []byte) (float64, error) {
+	return compress.MeasureRatio(alg, data)
+}
+
+// --- Assist-warp subroutine library (Section 4) ---
+
+// AssistLibrary returns the preloaded Assist Warp Store: every
+// compression/decompression subroutine plus the Section 7 routines.
+func AssistLibrary() *core.Store { return core.BuildLibrary() }
+
+// DecompressWithAssistWarp runs the matching decompression subroutine
+// functionally over a compressed line, returning the reconstructed bytes
+// and the number of warp instructions it executed — the same code path the
+// simulated GPU charges cycle by cycle.
+func DecompressWithAssistWarp(c CompressedLine) ([]byte, uint64, error) {
+	out, ex, err := core.RunDecompression(core.BuildLibrary(), c)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, ex.Executed, nil
+}
+
+// CompressWithAssistWarp runs the CABA compression pass (the AWC-driven
+// routine chain) over a raw line.
+func CompressWithAssistWarp(alg AlgID, line []byte) (CompressedLine, uint64, error) {
+	res, err := core.RunCompression(core.BuildLibrary(), alg, line)
+	if err != nil {
+		return CompressedLine{}, 0, err
+	}
+	return res.State, res.Instrs, nil
+}

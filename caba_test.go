@@ -1,0 +1,138 @@
+package caba_test
+
+import (
+	"bytes"
+	"testing"
+
+	caba "github.com/caba-sim/caba"
+)
+
+func TestPublicRunAPI(t *testing.T) {
+	cfg := caba.QuickConfig()
+	cfg.Scale = 0.02
+	res, err := caba.Run(cfg, caba.CABABDI, "PVC", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.App != "PVC" || res.Design != "CABA-BDI" {
+		t.Errorf("identity = %s/%s", res.App, res.Design)
+	}
+	if res.IPC <= 0 || res.Cycles == 0 {
+		t.Error("no work simulated")
+	}
+	if res.CompressionRatio <= 1.0 {
+		t.Errorf("PVC should compress (ratio %.2f)", res.CompressionRatio)
+	}
+	if res.Stats.AssistWarps == 0 {
+		t.Error("CABA run must trigger assist warps")
+	}
+}
+
+func TestPublicRunUnknownApp(t *testing.T) {
+	if _, err := caba.Run(caba.QuickConfig(), caba.Base, "nonesuch", 1); err == nil {
+		t.Error("unknown app must error")
+	}
+}
+
+func TestProfilingGateDisablesComputeBoundApps(t *testing.T) {
+	cfg := caba.QuickConfig()
+	cfg.Scale = 0.02
+	// NQU is compute-bound: the Section 4.3.1 gate must disable CABA
+	// compression — same label, no assist warps, no degradation.
+	res, err := caba.Run(cfg, caba.CABABDI, "NQU", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Design != "CABA-BDI" {
+		t.Errorf("design label = %s", res.Design)
+	}
+	if res.Stats.AssistWarps != 0 {
+		t.Errorf("compute-bound app triggered %d assist warps", res.Stats.AssistWarps)
+	}
+}
+
+func TestPublicRunKernel(t *testing.T) {
+	prog, err := caba.Assemble("double", `
+  mov r0, %gtid
+  shl r0, r0, 2
+  add r1, r0, %p0
+  ld.global.u32 r2, [r1]
+  add r2, r2, r2
+  st.global.u32 [r1], r2
+  exit`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := caba.QuickConfig()
+	cfg.NumSMs = 2
+	cfg.MaxThreadsPerSM = 256
+	k := &caba.Kernel{Prog: prog, GridCTAs: 2, CTAThreads: 64, Params: [4]uint64{0x1000}}
+	res, err := caba.RunKernel(cfg, caba.Base, k, func(sim *caba.Simulator) {
+		for i := 0; i < 128; i++ {
+			sim.Mem.WriteU(0x1000+uint64(i*4), uint64(i), 4)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 {
+		t.Error("kernel did not run")
+	}
+}
+
+func TestApplicationsPool(t *testing.T) {
+	apps := caba.Applications()
+	if len(apps) != 30 {
+		t.Errorf("pool = %d apps, want 30", len(apps))
+	}
+	if _, err := caba.AppByName("sssp"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressionToolkit(t *testing.T) {
+	line := make([]byte, caba.LineSize) // zeros
+	c, err := caba.CompressLine(caba.AlgBDI, line)
+	if err != nil || !c.IsCompressed() {
+		t.Fatalf("zero line should compress: %v", err)
+	}
+	out := make([]byte, caba.LineSize)
+	if err := caba.DecompressLine(c, out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, line) {
+		t.Error("round trip failed")
+	}
+	ratio, err := caba.MeasureRatio(caba.AlgBest, make([]byte, 4*caba.LineSize))
+	if err != nil || ratio < 3.9 {
+		t.Errorf("zero-data ratio = %v, %v", ratio, err)
+	}
+}
+
+func TestAssistWarpToolkit(t *testing.T) {
+	lib := caba.AssistLibrary()
+	if lib.Len() < 17 {
+		t.Errorf("library has %d routines", lib.Len())
+	}
+	line := make([]byte, caba.LineSize)
+	for i := range line {
+		line[i] = byte(i % 7) // compressible-ish
+	}
+	c, instrs, err := caba.CompressWithAssistWarp(caba.AlgBDI, line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if instrs == 0 {
+		t.Error("assist compression must execute instructions")
+	}
+	if !c.IsCompressed() {
+		t.Skip("line did not compress under BDI")
+	}
+	out, dinstrs, err := caba.DecompressWithAssistWarp(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dinstrs == 0 || !bytes.Equal(out, line) {
+		t.Error("assist decompression broken")
+	}
+}

@@ -1,0 +1,92 @@
+// Command cabasim runs one benchmark application under one design and
+// prints the paper's metrics.
+//
+//	cabasim -app PVC -design caba-bdi
+//	cabasim -app sssp -design base -scale 0.5 -bw 2.0
+//	cabasim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	caba "github.com/caba-sim/caba"
+)
+
+var designs = map[string]caba.Design{
+	"base":       caba.Base,
+	"hw-bdi-mem": caba.HWBDIMem,
+	"hw-bdi":     caba.HWBDI,
+	"caba-bdi":   caba.CABABDI,
+	"ideal-bdi":  caba.IdealBDI,
+	"caba-fpc":   caba.CABAFPC,
+	"caba-cpack": caba.CABACPack,
+	"caba-best":  caba.CABABest,
+	"caba-l1-2x": caba.CacheCompressed("L1", 2),
+	"caba-l1-4x": caba.CacheCompressed("L1", 4),
+	"caba-l2-2x": caba.CacheCompressed("L2", 2),
+	"caba-l2-4x": caba.CacheCompressed("L2", 4),
+}
+
+func main() {
+	app := flag.String("app", "PVC", "application name (-list to enumerate)")
+	designName := flag.String("design", "caba-bdi", "design: base, hw-bdi-mem, hw-bdi, caba-bdi, ideal-bdi, caba-fpc, caba-cpack, caba-best, caba-l{1,2}-{2,4}x")
+	scale := flag.Float64("scale", 0.2, "working-set scale (1.0 = paper scale)")
+	bw := flag.Float64("bw", 1.0, "peak-bandwidth scale (0.5, 1.0, 2.0)")
+	seed := flag.Int64("seed", 1, "synthetic data seed")
+	list := flag.Bool("list", false, "list applications and exit")
+	verbose := flag.Bool("v", false, "dump raw counters")
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-6s %-8s %-9s %-10s %s\n", "name", "suite", "bound", "kernel", "pattern")
+		for _, a := range caba.Applications() {
+			bound := "compute"
+			if a.MemoryBound {
+				bound = "memory"
+			}
+			fmt.Printf("%-6s %-8s %-9s %-10v %v\n", a.Name, a.Suite, bound, a.Kind, a.Pattern)
+		}
+		return
+	}
+
+	d, ok := designs[strings.ToLower(*designName)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown design %q\n", *designName)
+		os.Exit(2)
+	}
+	cfg := caba.Baseline()
+	cfg.Scale = *scale
+	cfg.BWScale = *bw
+
+	start := time.Now()
+	res, err := caba.Run(cfg, d, *app, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s / %s (scale %.2f, %.1fx bandwidth)\n", res.App, res.Design, *scale, *bw)
+	fmt.Printf("  cycles            %d\n", res.Cycles)
+	fmt.Printf("  IPC               %.1f\n", res.IPC)
+	fmt.Printf("  bandwidth util    %.1f%%\n", 100*res.BandwidthUtil)
+	fmt.Printf("  compression ratio %.2f (input %.2f)\n", res.CompressionRatio, res.InputRatio)
+	fmt.Printf("  energy            %.2f mJ (%.1f W avg, DRAM %.2f mJ)\n",
+		res.EnergyNJ/1e6, res.AvgPowerW, res.DRAMEnergyNJ/1e6)
+	if res.MDHitRate > 0 {
+		fmt.Printf("  MD cache hit rate %.1f%%\n", 100*res.MDHitRate)
+	}
+	fmt.Printf("  occupancy         %d CTAs/SM, %d threads/SM, %.0f%% registers unallocated\n",
+		res.Occupancy.CTAsPerSM, res.Occupancy.ThreadsPerSM, 100*res.Occupancy.UnallocatedRegs)
+	s := res.Stats
+	fmt.Printf("  assist warps      %d activations, %d instructions, %d decompressions, %d compressions\n",
+		s.AssistWarps, s.AssistInstrs, s.LinesDecompressed, s.LinesCompressed)
+	if *verbose {
+		fmt.Printf("  raw: %s\n", s)
+		fmt.Printf("  L1 %.1f%% / L2 %.1f%% hit, %d DRAM bursts, %d activates, load latency %.0f cyc\n",
+			100*s.L1HitRate(), 100*s.L2HitRate(), s.DRAMBursts, s.DRAMActivates, s.AvgLoadLatency())
+	}
+	fmt.Printf("  (simulated in %v)\n", time.Since(start).Round(time.Millisecond))
+}

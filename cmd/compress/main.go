@@ -1,0 +1,64 @@
+// Command compress measures cache-line compressibility of a file (or of
+// the built-in synthetic patterns) under BDI, FPC, C-Pack and BestOfAll —
+// the offline analysis one would run to decide whether to enable
+// CABA-based compression for a data set (Section 4.3.1).
+//
+//	compress -file trace.bin
+//	compress -patterns          # report the synthetic generators
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	caba "github.com/caba-sim/caba"
+	"github.com/caba-sim/caba/internal/workloads"
+)
+
+func measure(label string, data []byte) {
+	// Trim to whole lines.
+	n := len(data) / caba.LineSize * caba.LineSize
+	if n == 0 {
+		fmt.Fprintf(os.Stderr, "%s: needs at least %d bytes\n", label, caba.LineSize)
+		return
+	}
+	fmt.Printf("%-10s (%d lines):", label, n/caba.LineSize)
+	for _, alg := range []caba.AlgID{caba.AlgBDI, caba.AlgFPC, caba.AlgCPack, caba.AlgBest} {
+		r, err := caba.MeasureRatio(alg, data[:n])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  %v %.2fx", alg, r)
+	}
+	fmt.Println()
+}
+
+func main() {
+	file := flag.String("file", "", "file to measure")
+	patterns := flag.Bool("patterns", false, "measure the synthetic workload patterns")
+	seed := flag.Int64("seed", 1, "pattern generator seed")
+	flag.Parse()
+
+	switch {
+	case *file != "":
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		measure(*file, data)
+	case *patterns:
+		rng := rand.New(rand.NewSource(*seed))
+		for p := workloads.PatZero; p <= workloads.PatMixedPtr; p++ {
+			buf := make([]byte, 256*caba.LineSize)
+			p.Fill(buf, rng)
+			measure(fmt.Sprintf("pattern-%d", p), buf)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,98 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+//	experiments -fig 7            # one figure (1,2,7,8,9,10,11,12,13)
+//	experiments -all              # everything
+//	experiments -table 1          # print the live Table 1 configuration
+//	experiments -scale 0.25       # bigger working sets (slower, stabler)
+//	experiments -full             # paper-scale working sets (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/caba-sim/caba/experiments"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to regenerate (1,2,7,8,9,10,11,12,13)")
+	figs := flag.String("figs", "", "comma-separated figure list, e.g. 7,8,9")
+	table := flag.Int("table", 0, "table number to print (1)")
+	all := flag.Bool("all", false, "regenerate every figure")
+	scale := flag.Float64("scale", 0.15, "working-set scale (1.0 = paper scale)")
+	full := flag.Bool("full", false, "shorthand for -scale 1.0")
+	seed := flag.Int64("seed", 1, "synthetic data seed")
+	parallel := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	o := experiments.Defaults(os.Stdout)
+	o.Scale = *scale
+	if *full {
+		o.Scale = 1.0
+	}
+	o.Seed = *seed
+	o.Parallel = *parallel
+
+	run := func(n int) error {
+		start := time.Now()
+		var err error
+		switch n {
+		case 1:
+			_, err = experiments.Fig1(o)
+		case 2:
+			_, err = experiments.Fig2(o)
+		case 7:
+			_, err = experiments.Fig7(o)
+		case 8:
+			_, err = experiments.Fig8(o)
+		case 9:
+			_, err = experiments.Fig9(o)
+		case 10, 11:
+			_, err = experiments.Fig10and11(o)
+		case 12:
+			_, err = experiments.Fig12(o)
+		case 13:
+			_, err = experiments.Fig13(o)
+		default:
+			return fmt.Errorf("unknown figure %d", n)
+		}
+		fmt.Fprintf(os.Stdout, "(figure %d: %v)\n\n", n, time.Since(start).Round(time.Second))
+		return err
+	}
+
+	switch {
+	case *table == 1:
+		experiments.Table1(o)
+	case *figs != "":
+		for _, part := range strings.Split(*figs, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bad figure:", part)
+				os.Exit(2)
+			}
+			if err := run(n); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+		}
+	case *all:
+		for _, n := range []int{1, 2, 7, 8, 9, 10, 12, 13} {
+			if err := run(n); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+		}
+	case *fig != 0:
+		if err := run(*fig); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,129 @@
+// Prefetching with assist warps (Section 7.2): the caba.prefetch
+// subroutine issues strided loads ahead of a streaming warp, warming the
+// caches from otherwise-idle memory-pipeline slots.
+//
+// The example first shows the subroutine itself computing the right
+// prefetch addresses, then quantifies the latency-hiding effect by
+// comparing a plain strided-read kernel against a software-pipelined one
+// on the full GPU model — the same overlap an assist-warp prefetcher
+// provides without recompiling the kernel.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	caba "github.com/caba-sim/caba"
+	"github.com/caba-sim/caba/internal/core"
+	"github.com/caba-sim/caba/internal/isa"
+)
+
+// recordMem captures the addresses the prefetch routine touches.
+type recordMem struct{ addrs []uint64 }
+
+func (m *recordMem) LoadGlobal(a uint64, w uint8) uint64          { m.addrs = append(m.addrs, a); return 0 }
+func (m *recordMem) StoreGlobal(a uint64, v uint64, w uint8)      {}
+func (m *recordMem) AtomicAdd(a uint64, v uint64, w uint8) uint64 { return 0 }
+
+func main() {
+	lib := caba.AssistLibrary()
+	rt, _ := lib.Get(core.RtPrefetch)
+	if rt == nil {
+		log.Fatal("prefetch routine not preloaded")
+	}
+
+	// Trigger the stride prefetcher: live-ins are the next address and the
+	// detected stride (the AWC's per-warp bookkeeping computes these from
+	// spare registers, Section 7.2).
+	ex := core.NewAssistExec(rt)
+	mem := &recordMem{}
+	ex.Mem = mem
+	const base, stride = 0x1000_0000, 512
+	for lane := 0; lane < core.WarpSize; lane++ {
+		ex.Regs[lane][2] = base
+		ex.Regs[lane][3] = stride
+	}
+	if _, err := ex.Run(100); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("prefetch assist warp issued %d requests in %d instructions:\n", len(mem.addrs), ex.Executed)
+	for _, a := range mem.addrs {
+		fmt.Printf("  prefetch 0x%x (+%d)\n", a, a-base)
+	}
+
+	// Latency-hiding effect on the timing model: same traffic, overlapped.
+	// A latency-bound point: few warps, so exposed memory latency is the
+	// bottleneck (prefetching targets memory-latency-bound applications).
+	cfg := caba.QuickConfig()
+	cfg.NumSMs = 2
+	cfg.MaxThreadsPerSM = 128
+	cfg.MaxWarpsPerSM = 4
+	plain := `
+  movi r10, 0x10000000
+  mov r0, %gtid
+  shl r0, r0, 2
+  add r1, r0, r10
+  movi r2, 0
+  movi r3, 0
+loop:
+  ld.global.u32 r4, [r1]
+  add r2, r2, r4        ; consume immediately: full latency exposed
+  add r1, r1, %p2
+  add r3, r3, 1
+  setp.lt p0, r3, %p3
+  @p0 bra loop
+  movi r10, 0x20000000
+  add r5, r0, r10
+  st.global.u32 [r5], r2
+  exit`
+	pipelined := `
+  movi r10, 0x10000000
+  mov r0, %gtid
+  shl r0, r0, 2
+  add r1, r0, r10
+  movi r2, 0
+  movi r3, 0
+loop:
+  ld.global.u32 r4, [r1]  ; four lines in flight at once -- the overlap a
+  add r1, r1, %p2         ; degree-4 assist-warp prefetcher creates
+  ld.global.u32 r5, [r1]
+  add r1, r1, %p2
+  ld.global.u32 r6, [r1]
+  add r1, r1, %p2
+  ld.global.u32 r7, [r1]
+  add r1, r1, %p2
+  add r2, r2, r4
+  add r2, r2, r5
+  add r2, r2, r6
+  add r2, r2, r7
+  add r3, r3, 4
+  setp.lt p0, r3, %p3
+  @p0 bra loop
+  movi r10, 0x20000000
+  add r5, r0, r10
+  st.global.u32 [r5], r2
+  exit`
+
+	run := func(src string) uint64 {
+		prog, err := caba.Assemble("stream", src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		threads := 512
+		k := &caba.Kernel{Prog: prog, GridCTAs: threads / 128, CTAThreads: 128,
+			Params: [4]uint64{0, 0, uint64(threads * 4), 32}}
+		res, err := caba.RunKernel(cfg, caba.Base, k, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.Cycles
+	}
+	exposed := run(plain)
+	hidden := run(pipelined)
+	fmt.Printf("\nstrided sum, latency exposed:  %d cycles\n", exposed)
+	fmt.Printf("strided sum, 4-deep overlap:    %d cycles (%.2fx)\n",
+		hidden, float64(exposed)/float64(hidden))
+	fmt.Println("an assist-warp prefetcher provides this overlap transparently,")
+	fmt.Println("throttled to idle memory-pipeline slots (Section 7.2).")
+	_ = isa.RegZero // keep the isa import for the doc reference
+}

@@ -1,0 +1,39 @@
+// Quickstart: run one benchmark under the baseline and under CABA-BDI,
+// and print the headline comparison the paper makes (Section 6.1).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	caba "github.com/caba-sim/caba"
+)
+
+func main() {
+	cfg := caba.QuickConfig() // Table 1 machine, scaled-down working sets
+
+	// PageViewCount: the paper's running example (its Figure 5 cache line
+	// is a PVC line). Mixed pointers + small integers: BDI-friendly.
+	const app = "PVC"
+
+	base, err := caba.Run(cfg, caba.Base, app, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	withCABA, err := caba.Run(cfg, caba.CABABDI, app, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s on the Table 1 GPU (%d SMs, %.0f GB/s):\n",
+		app, cfg.NumSMs, cfg.PeakBandwidthGBs())
+	fmt.Printf("  Base:     %7d cycles, IPC %6.1f, bandwidth %4.1f%% busy\n",
+		base.Cycles, base.IPC, 100*base.BandwidthUtil)
+	fmt.Printf("  CABA-BDI: %7d cycles, IPC %6.1f, bandwidth %4.1f%% busy, compression %.2fx\n",
+		withCABA.Cycles, withCABA.IPC, 100*withCABA.BandwidthUtil, withCABA.CompressionRatio)
+	fmt.Printf("  speedup:  %.2fx with %d assist-warp activations (%d decompressions, %d compressions)\n",
+		withCABA.IPC/base.IPC, withCABA.Stats.AssistWarps,
+		withCABA.Stats.LinesDecompressed, withCABA.Stats.LinesCompressed)
+	fmt.Printf("  energy:   %.2fx of baseline (DRAM %.2fx)\n",
+		withCABA.EnergyNJ/base.EnergyNJ, withCABA.DRAMEnergyNJ/base.DRAMEnergyNJ)
+}

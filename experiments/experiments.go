@@ -1,0 +1,158 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 2 and Section 6) on the simulator. Each FigN
+// function runs the required (application x design) grid — in parallel —
+// and renders the same rows/series the paper reports, returning the data
+// for programmatic checks (bench_test.go asserts the headline shapes).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sync"
+
+	caba "github.com/caba-sim/caba"
+	"github.com/caba-sim/caba/internal/stats"
+	"github.com/caba-sim/caba/internal/workloads"
+)
+
+// Options configures an experiment sweep.
+type Options struct {
+	// Scale shrinks working sets; 1.0 is paper scale. The default keeps a
+	// laptop run in minutes while preserving shapes.
+	Scale float64
+	// Seed drives the synthetic data generators.
+	Seed int64
+	// Parallel bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallel int
+	// Out receives the rendered tables (nil = discard).
+	Out io.Writer
+}
+
+// Defaults returns the standard quick-run options.
+func Defaults(out io.Writer) Options {
+	return Options{Scale: 0.2, Seed: 1, Parallel: 0, Out: out}
+}
+
+func (o *Options) cfg() caba.Config {
+	c := caba.Baseline()
+	if o.Scale > 0 {
+		c.Scale = o.Scale
+	}
+	return c
+}
+
+func (o *Options) out() io.Writer {
+	if o.Out == nil {
+		return io.Discard
+	}
+	return o.Out
+}
+
+func (o *Options) workers() int {
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runKey identifies one simulation in a sweep.
+type runKey struct {
+	app     string
+	design  string
+	bwScale float64
+}
+
+// sweep runs every (app, design, bw) combination in parallel.
+func (o *Options) sweep(apps []string, designs []caba.Design, bws []float64) (map[runKey]*caba.Result, error) {
+	if len(bws) == 0 {
+		bws = []float64{1.0}
+	}
+	type job struct {
+		key    runKey
+		design caba.Design
+	}
+	var jobs []job
+	for _, a := range apps {
+		for _, d := range designs {
+			for _, bw := range bws {
+				jobs = append(jobs, job{runKey{a, d.Name, bw}, d})
+			}
+		}
+	}
+	results := make(map[runKey]*caba.Result, len(jobs))
+	var mu sync.Mutex
+	var firstErr error
+	sem := make(chan struct{}, o.workers())
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cfg := o.cfg()
+			cfg.BWScale = j.key.bwScale
+			res, err := caba.Run(cfg, j.design, j.key.app, o.Seed)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s/%s@%vx: %w", j.key.app, j.key.design, j.key.bwScale, err)
+				}
+				return
+			}
+			results[j.key] = res
+		}(j)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// appNames extracts names from descriptors.
+func appNames(apps []*workloads.App) []string {
+	out := make([]string, len(apps))
+	for i, a := range apps {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// CompressSuite returns the 20-application compression-study pool.
+func CompressSuite() []string { return appNames(workloads.CompressApps()) }
+
+// Fig1Suite returns the 27-application Figure 1 pool.
+func Fig1Suite() []string { return appNames(workloads.Fig1Apps()) }
+
+// geomean computes the geometric mean of positive values.
+func geomean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vs {
+		s += math.Log(v)
+	}
+	return math.Exp(s / float64(len(vs)))
+}
+
+// mean computes the arithmetic mean.
+func mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vs {
+		s += v
+	}
+	return s / float64(len(vs))
+}
+
+// breakdownOf adapts the stats array for reporting.
+func breakdownOf(r *caba.Result) [stats.NumStallKinds]float64 {
+	return r.Stats.IssueBreakdown()
+}

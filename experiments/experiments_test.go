@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	caba "github.com/caba-sim/caba"
+)
+
+func TestSuites(t *testing.T) {
+	if got := len(Fig1Suite()); got != 27 {
+		t.Errorf("Fig1 suite = %d apps, want 27", got)
+	}
+	if got := len(CompressSuite()); got != 20 {
+		t.Errorf("compression suite = %d apps, want 20", got)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	if g := geomean([]float64{1, 4}); math.Abs(g-2) > 1e-9 {
+		t.Errorf("geomean = %v, want 2", g)
+	}
+	if geomean(nil) != 0 {
+		t.Error("empty geomean must be 0")
+	}
+	if m := mean([]float64{1, 2, 3}); m != 2 {
+		t.Errorf("mean = %v", m)
+	}
+}
+
+func TestFig2NoSimulation(t *testing.T) {
+	var buf bytes.Buffer
+	o := Defaults(&buf)
+	res, err := Fig2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 27 {
+		t.Errorf("rows = %d", len(res.Rows))
+	}
+	if res.Average <= 0 || res.Average >= 1 {
+		t.Errorf("average unallocated = %v", res.Average)
+	}
+	if !strings.Contains(buf.String(), "paper: 24%") {
+		t.Error("rendered output missing the paper reference")
+	}
+}
+
+func TestTable1Rendering(t *testing.T) {
+	var buf bytes.Buffer
+	Table1(Defaults(&buf))
+	for _, want := range []string{"15 SMs", "GDDR5", "tCL=12", "48 warps/SM"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("Table 1 output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestSweepTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	o := Options{Scale: 0.01, Seed: 1, Out: io.Discard}
+	res, err := o.sweep([]string{"SCP"}, []caba.Design{caba.Base, caba.CABABDI}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("results = %d", len(res))
+	}
+	for k, r := range res {
+		if r.Cycles == 0 {
+			t.Errorf("%v: empty result", k)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Defaults(nil)
+	if o.out() == nil {
+		t.Error("nil Out must map to a sink")
+	}
+	if o.workers() < 1 {
+		t.Error("workers must be positive")
+	}
+	cfg := o.cfg()
+	if cfg.Scale != o.Scale {
+		t.Error("cfg must carry the scale")
+	}
+}

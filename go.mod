@@ -1,0 +1,3 @@
+module github.com/caba-sim/caba
+
+go 1.22

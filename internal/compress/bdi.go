@@ -1,0 +1,293 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Base-Delta-Immediate compression (Pekhimenko et al., PACT 2012), the
+// paper's primary algorithm. A line is viewed as fixed-size values (16x8B,
+// 32x4B or 64x2B for a 128B line); each value is stored as a small signed
+// delta from either a single explicit base (the first value that is not
+// zero-compressible) or an implicit zero base. A per-value mask selects the
+// base, which is what lets one line mix pointers with small integers
+// (the "Immediate" part).
+//
+// Compressed layout (what an assist warp walks with ld.stage):
+//
+//	[0]                  encoding byte (BDIEncoding)
+//	[1 : 1+n/8]          base-select bitmask, bit i set => value i uses the
+//	                     explicit base, clear => zero base (n = value count)
+//	[.. +width]          explicit base, little endian
+//	[.. +n*deltaSize]    signed deltas, little endian
+//
+// The all-zero and repeated-value encodings have no mask or deltas.
+
+// BDIEncoding enumerates the supported encodings. The Assist Warp Store is
+// indexed by this value: the paper stores a separate decompression
+// subroutine per encoding (Section 4.1.2).
+type BDIEncoding uint8
+
+// BDI encodings, from cheapest to most expensive.
+const (
+	BDIZeros   BDIEncoding = iota // entire line is zero
+	BDIRepeat                     // line is one 8-byte value repeated
+	BDIBase8D1                    // 8-byte values, 1-byte deltas
+	BDIBase8D2                    // 8-byte values, 2-byte deltas
+	BDIBase8D4                    // 8-byte values, 4-byte deltas
+	BDIBase4D1                    // 4-byte values, 1-byte deltas
+	BDIBase4D2                    // 4-byte values, 2-byte deltas
+	BDIBase2D1                    // 2-byte values, 1-byte deltas
+	BDINumEncodings
+)
+
+var bdiEncNames = [...]string{"zeros", "repeat", "b8d1", "b8d2", "b8d4", "b4d1", "b4d2", "b2d1"}
+
+// String returns the short encoding name.
+func (e BDIEncoding) String() string {
+	if int(e) < len(bdiEncNames) {
+		return bdiEncNames[e]
+	}
+	return fmt.Sprintf("bdienc(%d)", uint8(e))
+}
+
+// Geometry returns the value width and delta size in bytes for a base-delta
+// encoding (zero for BDIZeros/BDIRepeat).
+func (e BDIEncoding) Geometry() (width, delta int) {
+	switch e {
+	case BDIBase8D1:
+		return 8, 1
+	case BDIBase8D2:
+		return 8, 2
+	case BDIBase8D4:
+		return 8, 4
+	case BDIBase4D1:
+		return 4, 1
+	case BDIBase4D2:
+		return 4, 2
+	case BDIBase2D1:
+		return 2, 1
+	}
+	return 0, 0
+}
+
+// CompressedSize returns the compressed byte size of the encoding for a
+// LineSize line (including the encoding byte).
+func (e BDIEncoding) CompressedSize() int {
+	switch e {
+	case BDIZeros:
+		return 1
+	case BDIRepeat:
+		return 1 + 8
+	}
+	w, d := e.Geometry()
+	if w == 0 {
+		return LineSize
+	}
+	n := LineSize / w
+	return 1 + n/8 + w + n*d
+}
+
+func loadLE(b []byte, width int) uint64 {
+	switch width {
+	case 1:
+		return uint64(b[0])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(b))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(b))
+	case 8:
+		return binary.LittleEndian.Uint64(b)
+	}
+	panic("compress: bad width")
+}
+
+func storeLE(b []byte, v uint64, width int) {
+	switch width {
+	case 1:
+		b[0] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(b, uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(b, uint32(v))
+	case 8:
+		binary.LittleEndian.PutUint64(b, v)
+	default:
+		panic("compress: bad width")
+	}
+}
+
+// fitsSigned reports whether signed value v fits in deltaSize bytes.
+func fitsSigned(v int64, deltaSize int) bool {
+	shift := uint(64 - deltaSize*8)
+	return (v<<shift)>>shift == v
+}
+
+// signExtendWidth interprets the low `width` bytes of v as a signed value.
+func signExtendWidth(v uint64, width int) int64 {
+	shift := uint(64 - width*8)
+	return int64(v<<shift) >> shift
+}
+
+func bdiCompress(line []byte) Compressed {
+	// All-zero check.
+	zero := true
+	for _, b := range line {
+		if b != 0 {
+			zero = false
+			break
+		}
+	}
+	if zero {
+		return Compressed{Alg: AlgBDI, Enc: uint8(BDIZeros), Data: []byte{byte(BDIZeros)}}
+	}
+	// Repeated 8-byte value check.
+	first := binary.LittleEndian.Uint64(line)
+	repeat := true
+	for off := 8; off < LineSize; off += 8 {
+		if binary.LittleEndian.Uint64(line[off:]) != first {
+			repeat = false
+			break
+		}
+	}
+	if repeat {
+		data := make([]byte, 9)
+		data[0] = byte(BDIRepeat)
+		binary.LittleEndian.PutUint64(data[1:], first)
+		return Compressed{Alg: AlgBDI, Enc: uint8(BDIRepeat), Data: data}
+	}
+	// Base-delta encodings, in order of increasing compressed size so the
+	// first hit is the best.
+	order := [...]BDIEncoding{BDIBase8D1, BDIBase4D1, BDIBase8D2, BDIBase4D2, BDIBase8D4, BDIBase2D1}
+	bestEnc := BDINumEncodings
+	bestSize := LineSize
+	for _, e := range order {
+		if s := e.CompressedSize(); s < bestSize && bdiFits(line, e) {
+			bestEnc, bestSize = e, s
+		}
+	}
+	if bestEnc == BDINumEncodings {
+		return Compressed{Alg: AlgNone}
+	}
+	return Compressed{Alg: AlgBDI, Enc: uint8(bestEnc), Data: bdiEncode(line, bestEnc)}
+}
+
+// BDICompressAs compresses the line with one specific base-delta encoding,
+// reporting ok=false when the line does not fit it. Used to verify the
+// per-encoding CABA assist-warp subroutines against this oracle.
+func BDICompressAs(line []byte, e BDIEncoding) (Compressed, bool) {
+	if len(line) != LineSize {
+		return Compressed{}, false
+	}
+	if w, _ := e.Geometry(); w == 0 || !bdiFits(line, e) {
+		return Compressed{}, false
+	}
+	return Compressed{Alg: AlgBDI, Enc: uint8(e), Data: bdiEncode(line, e)}, true
+}
+
+// bdiFits reports whether every value in the line compresses under encoding
+// e using either the explicit base (first non-zero-fitting value) or the
+// implicit zero base.
+func bdiFits(line []byte, e BDIEncoding) bool {
+	width, deltaSize := e.Geometry()
+	base, haveBase := uint64(0), false
+	for off := 0; off < LineSize; off += width {
+		v := loadLE(line[off:], width)
+		sv := signExtendWidth(v, width)
+		if fitsSigned(sv, deltaSize) {
+			continue // zero-base immediate
+		}
+		if !haveBase {
+			base, haveBase = v, true
+			continue
+		}
+		d := signExtendWidth(v-base, width)
+		if !fitsSigned(d, deltaSize) {
+			return false
+		}
+	}
+	return true
+}
+
+func bdiEncode(line []byte, e BDIEncoding) []byte {
+	width, deltaSize := e.Geometry()
+	n := LineSize / width
+	data := make([]byte, e.CompressedSize())
+	data[0] = byte(e)
+	mask := data[1 : 1+n/8]
+	basePos := 1 + n/8
+	deltaPos := basePos + width
+
+	base, haveBase := uint64(0), false
+	for i := 0; i < n; i++ {
+		v := loadLE(line[i*width:], width)
+		sv := signExtendWidth(v, width)
+		var d int64
+		if fitsSigned(sv, deltaSize) {
+			d = sv // zero base
+		} else {
+			if !haveBase {
+				base, haveBase = v, true
+			}
+			mask[i/8] |= 1 << (i % 8)
+			d = signExtendWidth(v-base, width)
+		}
+		storeLE(data[deltaPos+i*deltaSize:], uint64(d), deltaSize)
+	}
+	storeLE(data[basePos:], base, width)
+	return data
+}
+
+func bdiDecompress(enc uint8, data []byte, out []byte) error {
+	e := BDIEncoding(enc)
+	if e >= BDINumEncodings {
+		return fmt.Errorf("compress: bad BDI encoding %d", enc)
+	}
+	if len(data) < 1 || data[0] != enc {
+		return fmt.Errorf("compress: BDI data/encoding mismatch")
+	}
+	switch e {
+	case BDIZeros:
+		for i := range out {
+			out[i] = 0
+		}
+		return nil
+	case BDIRepeat:
+		if len(data) != 9 {
+			return fmt.Errorf("compress: bad BDI repeat payload")
+		}
+		v := binary.LittleEndian.Uint64(data[1:])
+		for off := 0; off < LineSize; off += 8 {
+			binary.LittleEndian.PutUint64(out[off:], v)
+		}
+		return nil
+	}
+	width, deltaSize := e.Geometry()
+	n := LineSize / width
+	if len(data) != e.CompressedSize() {
+		return fmt.Errorf("compress: bad BDI payload size %d for %v", len(data), e)
+	}
+	mask := data[1 : 1+n/8]
+	basePos := 1 + n/8
+	deltaPos := basePos + width
+	base := loadLE(data[basePos:], width)
+	for i := 0; i < n; i++ {
+		d := signExtendWidth(loadLE(data[deltaPos+i*deltaSize:], deltaSize), deltaSize)
+		var v uint64
+		if mask[i/8]&(1<<(i%8)) != 0 {
+			v = base + uint64(d)
+		} else {
+			v = uint64(d)
+		}
+		storeLE(out[i*width:], ZeroExtendWidth(v, width), width)
+	}
+	return nil
+}
+
+// ZeroExtendWidth masks v to `width` bytes.
+func ZeroExtendWidth(v uint64, width int) uint64 {
+	if width >= 8 {
+		return v
+	}
+	return v & ((uint64(1) << (uint(width) * 8)) - 1)
+}

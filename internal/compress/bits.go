@@ -1,0 +1,50 @@
+package compress
+
+// Bit-level packing helpers shared by FPC and C-Pack, which produce
+// variable-length codes. Bits are written LSB-first within each byte so a
+// stream can be replayed by simple shift/mask logic (matching what the
+// assist-warp subroutines do with ld.stage + shifts).
+
+type bitWriter struct {
+	buf  []byte
+	nbit uint
+}
+
+func (w *bitWriter) write(v uint64, n uint) {
+	for i := uint(0); i < n; i++ {
+		byteIdx := int((w.nbit + i) / 8)
+		for byteIdx >= len(w.buf) {
+			w.buf = append(w.buf, 0)
+		}
+		if v&(1<<i) != 0 {
+			w.buf[byteIdx] |= 1 << ((w.nbit + i) % 8)
+		}
+	}
+	w.nbit += n
+}
+
+func (w *bitWriter) bytes() []byte { return w.buf }
+
+func (w *bitWriter) bitLen() int { return int(w.nbit) }
+
+type bitReader struct {
+	buf  []byte
+	nbit uint
+	err  bool
+}
+
+func (r *bitReader) read(n uint) uint64 {
+	var v uint64
+	for i := uint(0); i < n; i++ {
+		byteIdx := int((r.nbit + i) / 8)
+		if byteIdx >= len(r.buf) {
+			r.err = true
+			return 0
+		}
+		if r.buf[byteIdx]&(1<<((r.nbit+i)%8)) != 0 {
+			v |= 1 << i
+		}
+	}
+	r.nbit += n
+	return v
+}

@@ -1,0 +1,212 @@
+// Package compress implements the three hardware cache-line compression
+// algorithms the paper maps onto CABA assist warps: Base-Delta-Immediate
+// (BDI, Pekhimenko et al., PACT 2012), Frequent Pattern Compression (FPC,
+// Alameldeen & Wood, 2004) and C-Pack (Chen et al., 2010), plus a
+// best-of-all selector.
+//
+// These are the bit-exact reference implementations. They serve three
+// roles: (1) the compression/decompression "logic" of the HW-BDI and
+// Ideal-BDI designs, (2) the oracle against which the CABA assist-warp
+// instruction subroutines are verified, and (3) the source of per-line
+// size/burst metadata that drives the bandwidth model.
+package compress
+
+import (
+	"errors"
+	"fmt"
+)
+
+// LineSize is the cache-line size in bytes (GPGPU-Sim baseline).
+const LineSize = 128
+
+// BurstSize is the DRAM burst granularity in bytes (GDDR5, 32B per burst;
+// an uncompressed line moves in LineSize/BurstSize = 4 bursts).
+const BurstSize = 32
+
+// MaxBursts is the burst count of an uncompressed line.
+const MaxBursts = LineSize / BurstSize
+
+// AlgID identifies a compression algorithm.
+type AlgID uint8
+
+// Algorithm identifiers.
+const (
+	AlgNone AlgID = iota // stored uncompressed
+	AlgBDI
+	AlgFPC
+	AlgCPack
+	AlgBest // per-line best of BDI/FPC/C-Pack
+)
+
+var algNames = [...]string{"none", "bdi", "fpc", "cpack", "best"}
+
+// String returns the lower-case algorithm name.
+func (a AlgID) String() string {
+	if int(a) < len(algNames) {
+		return algNames[a]
+	}
+	return fmt.Sprintf("alg(%d)", uint8(a))
+}
+
+// ParseAlg maps a name to an AlgID.
+func ParseAlg(s string) (AlgID, error) {
+	for i, n := range algNames {
+		if n == s {
+			return AlgID(i), nil
+		}
+	}
+	return AlgNone, fmt.Errorf("compress: unknown algorithm %q", s)
+}
+
+// Compressed is one compressed cache line. Data includes all metadata the
+// decompressor needs except Alg/Enc, which the memory system stores in the
+// per-line metadata (MD) structure per Section 4.3.2 of the paper.
+type Compressed struct {
+	Alg  AlgID
+	Enc  uint8 // algorithm-specific encoding id
+	Data []byte
+}
+
+// Size returns the compressed size in bytes (LineSize when uncompressed).
+func (c Compressed) Size() int {
+	if c.Alg == AlgNone {
+		return LineSize
+	}
+	return len(c.Data)
+}
+
+// Bursts returns the number of 32B DRAM bursts needed to move this line.
+// Bandwidth benefits quantize to burst multiples (Section 4.1.3).
+func (c Compressed) Bursts() int {
+	n := (c.Size() + BurstSize - 1) / BurstSize
+	if n < 1 {
+		n = 1
+	}
+	if n > MaxBursts {
+		n = MaxBursts
+	}
+	return n
+}
+
+// IsCompressed reports whether the line is stored in compressed form.
+func (c Compressed) IsCompressed() bool { return c.Alg != AlgNone }
+
+// ErrBadLine is returned when a line of the wrong size is supplied.
+var ErrBadLine = errors.New("compress: line must be exactly LineSize bytes")
+
+// Compress compresses line with the given algorithm. A result with
+// Alg == AlgNone means the line did not benefit and is stored raw (the
+// returned Data is nil in that case; callers keep the original line).
+// Lines must be exactly LineSize bytes.
+func Compress(alg AlgID, line []byte) (Compressed, error) {
+	if len(line) != LineSize {
+		return Compressed{}, ErrBadLine
+	}
+	switch alg {
+	case AlgNone:
+		return Compressed{Alg: AlgNone}, nil
+	case AlgBDI:
+		return bdiCompress(line), nil
+	case AlgFPC:
+		return fpcCompress(line), nil
+	case AlgCPack:
+		return cpackCompress(line), nil
+	case AlgBest:
+		return bestCompress(line), nil
+	}
+	return Compressed{}, fmt.Errorf("compress: unknown algorithm %d", alg)
+}
+
+// Decompress expands c into out, which must be LineSize bytes.
+// Decompressing an AlgNone line is an error: the caller already has the
+// raw bytes.
+func Decompress(c Compressed, out []byte) error {
+	if len(out) != LineSize {
+		return ErrBadLine
+	}
+	switch c.Alg {
+	case AlgBDI:
+		return bdiDecompress(c.Enc, c.Data, out)
+	case AlgFPC:
+		return fpcDecompress(c.Data, out)
+	case AlgCPack:
+		return cpackDecompress(c.Data, out)
+	}
+	return fmt.Errorf("compress: cannot decompress algorithm %v", c.Alg)
+}
+
+// bestCompress picks the smallest of the three algorithms for the line,
+// modeling the CABA-BestOfAll idealized design (Section 6.3).
+func bestCompress(line []byte) Compressed {
+	best := Compressed{Alg: AlgNone}
+	bestSize := LineSize
+	for _, alg := range [...]AlgID{AlgBDI, AlgFPC, AlgCPack} {
+		c, _ := Compress(alg, line)
+		if c.IsCompressed() && c.Size() < bestSize {
+			best, bestSize = c, c.Size()
+		}
+	}
+	return best
+}
+
+// Ratio accumulates the paper's compression-ratio metric: the ratio of
+// DRAM bursts needed for uncompressed vs compressed transfer.
+type Ratio struct {
+	UncompressedBursts uint64
+	CompressedBursts   uint64
+	Lines              uint64
+	CompressedLines    uint64
+}
+
+// Add records one line's compression outcome.
+func (r *Ratio) Add(c Compressed) {
+	r.Lines++
+	r.UncompressedBursts += MaxBursts
+	r.CompressedBursts += uint64(c.Bursts())
+	if c.IsCompressed() {
+		r.CompressedLines++
+	}
+}
+
+// Value returns the compression ratio (>= 1.0; 1.0 means incompressible).
+func (r *Ratio) Value() float64 {
+	if r.CompressedBursts == 0 {
+		return 1.0
+	}
+	return float64(r.UncompressedBursts) / float64(r.CompressedBursts)
+}
+
+// MeasureRatio compresses every line of data (length must be a multiple of
+// LineSize) and returns the resulting ratio.
+func MeasureRatio(alg AlgID, data []byte) (float64, error) {
+	if len(data) == 0 || len(data)%LineSize != 0 {
+		return 0, ErrBadLine
+	}
+	var r Ratio
+	for off := 0; off < len(data); off += LineSize {
+		c, err := Compress(alg, data[off:off+LineSize])
+		if err != nil {
+			return 0, err
+		}
+		r.Add(c)
+	}
+	return r.Value(), nil
+}
+
+// HWLatency returns the fixed decompression/compression latencies (in core
+// cycles) of a dedicated hardware implementation of each algorithm, as used
+// by the HW-BDI designs. BDI is 1/5 cycles per prior work cited in
+// Section 5; FPC and C-Pack are multi-cycle serial designs.
+func HWLatency(alg AlgID) (decomp, comp int) {
+	switch alg {
+	case AlgBDI:
+		return 1, 5
+	case AlgFPC:
+		return 5, 8
+	case AlgCPack:
+		return 8, 8
+	case AlgBest:
+		return 8, 8
+	}
+	return 0, 0
+}

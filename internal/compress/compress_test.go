@@ -1,0 +1,500 @@
+package compress
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// mkLine builds a LineSize line from 8-byte values, repeating the pattern.
+func mkLine(vals ...uint64) []byte {
+	line := make([]byte, LineSize)
+	for i := 0; i < LineSize/8; i++ {
+		binary.LittleEndian.PutUint64(line[i*8:], vals[i%len(vals)])
+	}
+	return line
+}
+
+func roundTrip(t *testing.T, alg AlgID, line []byte) Compressed {
+	t.Helper()
+	c, err := Compress(alg, line)
+	if err != nil {
+		t.Fatalf("Compress(%v): %v", alg, err)
+	}
+	if !c.IsCompressed() {
+		return c
+	}
+	out := make([]byte, LineSize)
+	if err := Decompress(c, out); err != nil {
+		t.Fatalf("Decompress(%v enc=%d): %v", c.Alg, c.Enc, err)
+	}
+	if !bytes.Equal(out, line) {
+		t.Fatalf("%v enc=%d: round trip mismatch\n in=%x\nout=%x", c.Alg, c.Enc, line, out)
+	}
+	return c
+}
+
+func TestBDIZeros(t *testing.T) {
+	c := roundTrip(t, AlgBDI, make([]byte, LineSize))
+	if BDIEncoding(c.Enc) != BDIZeros {
+		t.Errorf("zero line: got encoding %v, want zeros", BDIEncoding(c.Enc))
+	}
+	if c.Size() != 1 {
+		t.Errorf("zero line size = %d, want 1", c.Size())
+	}
+	if c.Bursts() != 1 {
+		t.Errorf("zero line bursts = %d, want 1", c.Bursts())
+	}
+}
+
+func TestBDIRepeat(t *testing.T) {
+	c := roundTrip(t, AlgBDI, mkLine(0xdeadbeefcafef00d))
+	if BDIEncoding(c.Enc) != BDIRepeat {
+		t.Errorf("repeat line: got encoding %v, want repeat", BDIEncoding(c.Enc))
+	}
+	if c.Size() != 9 {
+		t.Errorf("repeat size = %d, want 9", c.Size())
+	}
+}
+
+func TestBDIBase8D1(t *testing.T) {
+	// Pointers with small offsets: the paper's canonical case.
+	vals := make([]uint64, 16)
+	for i := range vals {
+		vals[i] = 0x80001d000 + uint64(i*8)
+	}
+	c := roundTrip(t, AlgBDI, mkLine(vals...))
+	if BDIEncoding(c.Enc) != BDIBase8D1 {
+		t.Errorf("got encoding %v, want b8d1", BDIEncoding(c.Enc))
+	}
+	if got, want := c.Size(), BDIBase8D1.CompressedSize(); got != want {
+		t.Errorf("size = %d, want %d", got, want)
+	}
+}
+
+// TestBDIPaperExample reproduces Figure 5: a 64-byte region from PVC with
+// one 8-byte pointer base plus an implicit zero base compresses with
+// 1-byte deltas. Our 128-byte line duplicates the figure's 64B twice.
+func TestBDIPaperExample(t *testing.T) {
+	fig5 := []uint64{0x00, 0x80001d000, 0x10, 0x80001d000, 0x10, 0x80001d008, 0x20, 0x80001d010}
+	line := mkLine(fig5...)
+	c := roundTrip(t, AlgBDI, line)
+	if BDIEncoding(c.Enc) != BDIBase8D1 {
+		t.Fatalf("got encoding %v, want b8d1 (two bases: explicit pointer + implicit zero)", BDIEncoding(c.Enc))
+	}
+	// Figure 5: 64B -> 17B with one metadata byte, one 8B base and 8 1B
+	// deltas. Our 128B line has 16 values: 1 enc + 2 mask + 8 base + 16
+	// deltas = 27B, i.e. exactly 2x the figure's deltas for 2x the line.
+	if c.Size() != 27 {
+		t.Errorf("size = %d, want 27", c.Size())
+	}
+	if c.Bursts() != 1 {
+		t.Errorf("bursts = %d, want 1 (4x bandwidth saving)", c.Bursts())
+	}
+}
+
+func TestBDIMixedBases(t *testing.T) {
+	// Alternating small immediates and large pointers exercises the
+	// two-base (explicit + implicit zero) mask path.
+	line := mkLine(0x7f, 0xaaaa00000000, 0x3, 0xaaaa00000010)
+	c := roundTrip(t, AlgBDI, line)
+	if !c.IsCompressed() {
+		t.Fatal("mixed-base line should compress")
+	}
+}
+
+func TestBDIIncompressible(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	line := make([]byte, LineSize)
+	rng.Read(line)
+	c, err := Compress(AlgBDI, line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.IsCompressed() {
+		t.Errorf("random line compressed to %d bytes with %v", c.Size(), BDIEncoding(c.Enc))
+	}
+	if c.Bursts() != MaxBursts {
+		t.Errorf("uncompressed bursts = %d, want %d", c.Bursts(), MaxBursts)
+	}
+}
+
+func TestBDIEncodingSizes(t *testing.T) {
+	want := map[BDIEncoding]int{
+		BDIZeros:   1,
+		BDIRepeat:  9,
+		BDIBase8D1: 1 + 2 + 8 + 16,
+		BDIBase8D2: 1 + 2 + 8 + 32,
+		BDIBase8D4: 1 + 2 + 8 + 64,
+		BDIBase4D1: 1 + 4 + 4 + 32,
+		BDIBase4D2: 1 + 4 + 4 + 64,
+		BDIBase2D1: 1 + 8 + 2 + 64,
+	}
+	for e, w := range want {
+		if got := e.CompressedSize(); got != w {
+			t.Errorf("%v size = %d, want %d", e, got, w)
+		}
+	}
+}
+
+func TestBDIPicksSmallestEncoding(t *testing.T) {
+	// 4-byte values with tiny deltas: b4d1 (41B) beats b8d1's ability
+	// (which fails because adjacent 4B values pack into 8B values with
+	// huge apparent deltas).
+	line := make([]byte, LineSize)
+	for i := 0; i < 32; i++ {
+		binary.LittleEndian.PutUint32(line[i*4:], 0x40000000+uint32(i))
+	}
+	c := roundTrip(t, AlgBDI, line)
+	if BDIEncoding(c.Enc) != BDIBase8D1 && BDIEncoding(c.Enc) != BDIBase4D1 {
+		t.Errorf("got %v; want a 1-byte-delta encoding", BDIEncoding(c.Enc))
+	}
+	best := LineSize
+	for e := BDIZeros; e < BDINumEncodings; e++ {
+		w, _ := e.Geometry()
+		if w == 0 {
+			continue
+		}
+		if bdiFits(line, e) && e.CompressedSize() < best {
+			best = e.CompressedSize()
+		}
+	}
+	if c.Size() != best {
+		t.Errorf("size %d, smallest feasible %d", c.Size(), best)
+	}
+}
+
+func TestFPCZeroLine(t *testing.T) {
+	c := roundTrip(t, AlgFPC, make([]byte, LineSize))
+	if !c.IsCompressed() {
+		t.Fatal("zero line should FPC-compress")
+	}
+	// 1 enc + 12 code bytes + 0 data.
+	if c.Size() != 13 {
+		t.Errorf("size = %d, want 13", c.Size())
+	}
+}
+
+func TestFPCPatterns(t *testing.T) {
+	cases := []struct {
+		name string
+		w    uint32
+		code int
+	}{
+		{"zero", 0, fpcZero},
+		{"sext4 positive", 7, fpcSExt4},
+		{"sext4 negative", 0xFFFFFFF9, fpcSExt4},
+		{"sext8", 0x75, fpcSExt8},
+		{"sext8 negative", 0xFFFFFF80, fpcSExt8},
+		{"sext16", 0x7FFF, fpcSExt16},
+		{"zerolow", 0xABCD0000, fpcZeroLow},
+		{"halfsext", 0x007F0012, fpcHalfSExt},
+		{"repbyte", 0x5A5A5A5A, fpcRepByte},
+		{"raw", 0x12345678, fpcRaw},
+	}
+	for _, tc := range cases {
+		if got := fpcClassify(tc.w); got != tc.code {
+			t.Errorf("%s: classify(%#x) = %d, want %d", tc.name, tc.w, got, tc.code)
+		}
+	}
+}
+
+func TestFPCRoundTripPatternMix(t *testing.T) {
+	line := make([]byte, LineSize)
+	words := []uint32{0, 7, 0xFFFFFFF9, 0x75, 0x7FFF, 0xABCD0000, 0x007F0012, 0x5A5A5A5A, 0x12345678, 0xFFFFFF80}
+	for i := 0; i < fpcWords; i++ {
+		binary.LittleEndian.PutUint32(line[i*4:], words[i%len(words)])
+	}
+	c := roundTrip(t, AlgFPC, line)
+	if !c.IsCompressed() {
+		t.Fatal("pattern mix should compress")
+	}
+}
+
+func TestCPackZeroLine(t *testing.T) {
+	c := roundTrip(t, AlgCPack, make([]byte, LineSize))
+	if !c.IsCompressed() {
+		t.Fatal("zero line should C-Pack-compress")
+	}
+	// 1 len byte + 8 code bytes (32 x 2 bits) + 0 data.
+	if c.Size() != 9 {
+		t.Errorf("size = %d, want 9", c.Size())
+	}
+}
+
+func TestCPackDictionaryHits(t *testing.T) {
+	// A few distinct words repeated: after the first occurrence each repeat
+	// is a 6-bit full match.
+	line := make([]byte, LineSize)
+	words := []uint32{0xdeadbeef, 0xcafef00d, 0x12345678}
+	for i := 0; i < cpackWords; i++ {
+		binary.LittleEndian.PutUint32(line[i*4:], words[i%len(words)])
+	}
+	c := roundTrip(t, AlgCPack, line)
+	if !c.IsCompressed() {
+		t.Fatal("dictionary-friendly line should compress")
+	}
+	if c.Size() > 40 {
+		t.Errorf("size = %d; want strong dictionary compression (<= 40)", c.Size())
+	}
+}
+
+func TestCPackPartialMatches(t *testing.T) {
+	// Words sharing the top 3 bytes: first is raw, rest are mmxx.
+	line := make([]byte, LineSize)
+	for i := 0; i < cpackWords; i++ {
+		binary.LittleEndian.PutUint32(line[i*4:], 0xAABBCC00|uint32(i))
+	}
+	c := roundTrip(t, AlgCPack, line)
+	if !c.IsCompressed() {
+		t.Fatal("partial-match line should compress")
+	}
+}
+
+func TestCPackLowByteWords(t *testing.T) {
+	line := make([]byte, LineSize)
+	for i := 0; i < cpackWords; i++ {
+		binary.LittleEndian.PutUint32(line[i*4:], uint32(i+1))
+	}
+	roundTrip(t, AlgCPack, line)
+}
+
+func TestBestPicksSmallest(t *testing.T) {
+	// Text-like data favours FPC/C-Pack; pointer arrays favour BDI. Best
+	// must never be larger than any individual algorithm.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		line := randomPatternLine(rng)
+		best, _ := Compress(AlgBest, line)
+		for _, alg := range []AlgID{AlgBDI, AlgFPC, AlgCPack} {
+			c, _ := Compress(alg, line)
+			if c.IsCompressed() && (!best.IsCompressed() || best.Size() > c.Size()) {
+				t.Fatalf("trial %d: best (%v, %d) worse than %v (%d)", trial, best.Alg, best.Size(), alg, c.Size())
+			}
+		}
+		if best.IsCompressed() {
+			roundTrip(t, best.Alg, line)
+		}
+	}
+}
+
+// randomPatternLine generates lines that look like real application data:
+// zero runs, small integers, pointer sequences, repeated words, text bytes
+// and noise.
+func randomPatternLine(rng *rand.Rand) []byte {
+	line := make([]byte, LineSize)
+	switch rng.Intn(6) {
+	case 0: // zeros with occasional spikes
+		for i := 0; i < 4; i++ {
+			line[rng.Intn(LineSize)] = byte(rng.Intn(256))
+		}
+	case 1: // small 4-byte counters
+		for i := 0; i < 32; i++ {
+			binary.LittleEndian.PutUint32(line[i*4:], uint32(rng.Intn(1000)))
+		}
+	case 2: // 8-byte pointers with small offsets
+		base := rng.Uint64() &^ 0xFFF
+		for i := 0; i < 16; i++ {
+			binary.LittleEndian.PutUint64(line[i*8:], base+uint64(rng.Intn(256)))
+		}
+	case 3: // few distinct words
+		var ws [3]uint32
+		for i := range ws {
+			ws[i] = rng.Uint32()
+		}
+		for i := 0; i < 32; i++ {
+			binary.LittleEndian.PutUint32(line[i*4:], ws[rng.Intn(3)])
+		}
+	case 4: // ASCII text
+		for i := range line {
+			line[i] = byte(32 + rng.Intn(95))
+		}
+	case 5: // noise
+		rng.Read(line)
+	}
+	return line
+}
+
+// TestQuickRoundTripAll is the core property test: any compressible line
+// decompresses to itself, for every algorithm.
+func TestQuickRoundTripAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	f := func(seed int64) bool {
+		lineRng := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		line := randomPatternLine(lineRng)
+		for _, alg := range []AlgID{AlgBDI, AlgFPC, AlgCPack, AlgBest} {
+			c, err := Compress(alg, line)
+			if err != nil {
+				return false
+			}
+			if !c.IsCompressed() {
+				continue
+			}
+			out := make([]byte, LineSize)
+			if err := Decompress(c, out); err != nil {
+				return false
+			}
+			if !bytes.Equal(out, line) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCompressedNeverLarger checks size sanity for all algorithms.
+func TestQuickCompressedNeverLarger(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	f := func(seed int64) bool {
+		line := randomPatternLine(rand.New(rand.NewSource(seed ^ rng.Int63())))
+		for _, alg := range []AlgID{AlgBDI, AlgFPC, AlgCPack, AlgBest} {
+			c, _ := Compress(alg, line)
+			if c.IsCompressed() && c.Size() >= LineSize {
+				return false
+			}
+			if b := c.Bursts(); b < 1 || b > MaxBursts {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressRejectsBadLine(t *testing.T) {
+	if _, err := Compress(AlgBDI, make([]byte, 64)); err != ErrBadLine {
+		t.Errorf("short line: err = %v, want ErrBadLine", err)
+	}
+	if err := Decompress(Compressed{Alg: AlgBDI, Data: []byte{0}}, make([]byte, 64)); err != ErrBadLine {
+		t.Errorf("short out: err = %v, want ErrBadLine", err)
+	}
+}
+
+func TestDecompressNoneIsError(t *testing.T) {
+	if err := Decompress(Compressed{Alg: AlgNone}, make([]byte, LineSize)); err == nil {
+		t.Error("decompressing an uncompressed line should error")
+	}
+}
+
+func TestDecompressCorruptData(t *testing.T) {
+	cases := []Compressed{
+		{Alg: AlgBDI, Enc: uint8(BDINumEncodings) + 3, Data: []byte{0}},
+		{Alg: AlgBDI, Enc: uint8(BDIRepeat), Data: []byte{byte(BDIRepeat), 1, 2}},
+		{Alg: AlgBDI, Enc: uint8(BDIBase8D1), Data: []byte{byte(BDIBase8D1), 0}},
+		{Alg: AlgBDI, Enc: uint8(BDIBase8D1), Data: []byte{byte(BDIZeros)}},
+		{Alg: AlgFPC, Data: []byte{0, 1, 2}},
+		{Alg: AlgCPack, Data: []byte{200, 1}},
+	}
+	out := make([]byte, LineSize)
+	for i, c := range cases {
+		if err := Decompress(c, out); err == nil {
+			t.Errorf("case %d: corrupt data decompressed without error", i)
+		}
+	}
+}
+
+func TestRatioAccumulation(t *testing.T) {
+	var r Ratio
+	r.Add(Compressed{Alg: AlgBDI, Enc: uint8(BDIZeros), Data: []byte{0}}) // 1 burst
+	r.Add(Compressed{Alg: AlgNone})                                       // 4 bursts
+	if r.Lines != 2 || r.CompressedLines != 1 {
+		t.Errorf("lines = %d/%d, want 2/1", r.CompressedLines, r.Lines)
+	}
+	if got, want := r.Value(), 8.0/5.0; got != want {
+		t.Errorf("ratio = %v, want %v", got, want)
+	}
+}
+
+func TestMeasureRatio(t *testing.T) {
+	data := make([]byte, 4*LineSize) // all zeros: 4 lines x 1 burst vs 16
+	ratio, err := MeasureRatio(AlgBDI, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio != 4.0 {
+		t.Errorf("zero data ratio = %v, want 4.0", ratio)
+	}
+	if _, err := MeasureRatio(AlgBDI, data[:100]); err == nil {
+		t.Error("non-multiple length should error")
+	}
+}
+
+func TestParseAlg(t *testing.T) {
+	for _, alg := range []AlgID{AlgNone, AlgBDI, AlgFPC, AlgCPack, AlgBest} {
+		got, err := ParseAlg(alg.String())
+		if err != nil || got != alg {
+			t.Errorf("ParseAlg(%q) = %v, %v", alg.String(), got, err)
+		}
+	}
+	if _, err := ParseAlg("gzip"); err == nil {
+		t.Error("unknown algorithm should error")
+	}
+}
+
+func TestHWLatency(t *testing.T) {
+	d, c := HWLatency(AlgBDI)
+	if d != 1 || c != 5 {
+		t.Errorf("BDI HW latency = %d/%d, want 1/5 (Section 5)", d, c)
+	}
+	for _, alg := range []AlgID{AlgFPC, AlgCPack} {
+		d, c := HWLatency(alg)
+		if d <= 1 || c <= 0 {
+			t.Errorf("%v HW latency = %d/%d; serial algorithms must be multi-cycle", alg, d, c)
+		}
+	}
+}
+
+func BenchmarkBDICompress(b *testing.B) {
+	line := mkLine(0x80001d000, 0x10, 0x80001d008, 0x20)
+	b.SetBytes(LineSize)
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(AlgBDI, line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBDIDecompress(b *testing.B) {
+	line := mkLine(0x80001d000, 0x10, 0x80001d008, 0x20)
+	c, _ := Compress(AlgBDI, line)
+	out := make([]byte, LineSize)
+	b.SetBytes(LineSize)
+	for i := 0; i < b.N; i++ {
+		if err := Decompress(c, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFPCCompress(b *testing.B) {
+	line := make([]byte, LineSize)
+	for i := 0; i < fpcWords; i++ {
+		binary.LittleEndian.PutUint32(line[i*4:], uint32(i%7))
+	}
+	b.SetBytes(LineSize)
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(AlgFPC, line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCPackCompress(b *testing.B) {
+	line := make([]byte, LineSize)
+	for i := 0; i < cpackWords; i++ {
+		binary.LittleEndian.PutUint32(line[i*4:], 0xAABBCC00|uint32(i%5))
+	}
+	b.SetBytes(LineSize)
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(AlgCPack, line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// C-Pack (Chen et al., IEEE TVLSI 2010), in the CABA-adapted form of
+// Section 4.1.3. The paper reduces the number of supported encodings
+// (losing little compressibility, since bandwidth savings quantize to 32B
+// bursts anyway) and hoists all metadata to the head of the line so a
+// decompressing assist warp can locate every word up front.
+//
+// Our adaptation keeps four patterns with *fixed* 2-bit codes, which makes
+// per-word data offsets a parallel prefix sum over known lengths:
+//
+//	00  zzzz  zero word                                   (0 data bits)
+//	01  xxxx  uncompressed word; pushed into the          (32)
+//	          dictionary while it has free entries
+//	10  mmmm  full match against dictionary entry b       (4: index)
+//	11  mmxx  high-3-byte match + low-byte literal        (4+8)
+//
+// The dictionary is the line's first (up to) 16 raw words in order — no
+// FIFO wraparound — so a decompressor can recover every entry directly
+// from the data stream without decode-order dependencies. This is what
+// lets the CABA decompression subroutine run all 32 words in parallel.
+//
+// Layout: [0] encoding byte (0), [1..9) fixed 64-bit code stream
+// (2 bits/word, LSB-first), [9..) data bitstream.
+
+const cpackWords = LineSize / 4
+const cpackDictSize = 16
+const cpackCodeBytes = cpackWords * 2 / 8
+const cpackDataStart = 1 + cpackCodeBytes
+
+const (
+	cpZero = 0 // 00
+	cpRaw  = 1 // 01
+	cpFull = 2 // 10
+	cpMMXX = 3 // 11
+)
+
+// cpackDataBits[code] is the data-stream payload length.
+var cpackDataBits = [4]uint{0, 32, 4, 12}
+
+type cpackDict struct {
+	entries [cpackDictSize]uint32
+	n       int
+}
+
+func (d *cpackDict) push(w uint32) {
+	if d.n < cpackDictSize {
+		d.entries[d.n] = w
+		d.n++
+	}
+}
+
+// match finds the best dictionary match: exact (cpFull) anywhere beats a
+// partial (cpMMXX) match; among partials the first wins.
+func (d *cpackDict) match(w uint32) (int, int) {
+	bestPat, bestIdx := cpRaw, 0
+	for i := 0; i < d.n; i++ {
+		e := d.entries[i]
+		if e == w {
+			return cpFull, i
+		}
+		if bestPat == cpRaw && e&0xFFFFFF00 == w&0xFFFFFF00 {
+			bestPat, bestIdx = cpMMXX, i
+		}
+	}
+	return bestPat, bestIdx
+}
+
+func cpackCompress(line []byte) Compressed {
+	var dict cpackDict
+	var cw, dw bitWriter
+	for i := 0; i < cpackWords; i++ {
+		w := binary.LittleEndian.Uint32(line[i*4:])
+		pat, idx := cpZero, 0
+		if w != 0 {
+			pat, idx = dict.match(w)
+		}
+		cw.write(uint64(pat), 2)
+		switch pat {
+		case cpRaw:
+			dw.write(uint64(w), 32)
+			dict.push(w)
+		case cpFull:
+			dw.write(uint64(idx), 4)
+		case cpMMXX:
+			dw.write(uint64(idx), 4)
+			dw.write(uint64(w&0xFF), 8)
+		}
+	}
+	size := cpackDataStart + (dw.bitLen()+7)/8
+	if size >= LineSize {
+		return Compressed{Alg: AlgNone}
+	}
+	data := make([]byte, cpackDataStart, size)
+	data[0] = 0
+	copy(data[1:], cw.bytes())
+	data = append(data, dw.bytes()...)
+	if len(data) != size {
+		panic("compress: cpack size accounting bug")
+	}
+	return Compressed{Alg: AlgCPack, Enc: 0, Data: data}
+}
+
+func cpackDecompress(data, out []byte) error {
+	if len(data) < cpackDataStart {
+		return fmt.Errorf("compress: truncated C-Pack line")
+	}
+	cr := bitReader{buf: data[1:cpackDataStart]}
+	dr := bitReader{buf: data[cpackDataStart:]}
+	var dict cpackDict
+	for i := 0; i < cpackWords; i++ {
+		pat := int(cr.read(2))
+		var w uint32
+		switch pat {
+		case cpZero:
+		case cpRaw:
+			w = uint32(dr.read(32))
+			dict.push(w)
+		case cpFull, cpMMXX:
+			idx := int(dr.read(4))
+			if idx >= dict.n {
+				return fmt.Errorf("compress: C-Pack dictionary index %d out of range (%d entries)", idx, dict.n)
+			}
+			if pat == cpFull {
+				w = dict.entries[idx]
+			} else {
+				w = dict.entries[idx]&0xFFFFFF00 | uint32(dr.read(8))
+			}
+		}
+		binary.LittleEndian.PutUint32(out[i*4:], w)
+	}
+	if cr.err || dr.err {
+		return fmt.Errorf("compress: C-Pack bitstream underflow")
+	}
+	return nil
+}

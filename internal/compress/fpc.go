@@ -1,0 +1,154 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Frequent Pattern Compression (Alameldeen & Wood, 2004), adapted for CABA
+// per Section 4.1.3: the per-word pattern metadata is hoisted to the head
+// of the compressed line so a decompressing assist warp can determine every
+// word's length and offset up front and process the words in parallel
+// (variable-length words are placed with the coalescing/address-generation
+// logic).
+//
+// The line is treated as 32 32-bit words. Each word gets a 3-bit pattern
+// code; the data segment follows the 12-byte code table:
+//
+//	0 fpcZero     zero word                     (0 data bits)
+//	1 fpcSExt4    4-bit sign-extended           (4)
+//	2 fpcSExt8    8-bit sign-extended           (8)
+//	3 fpcSExt16   16-bit sign-extended          (16)
+//	4 fpcZeroLow  halfword padded with zeros
+//	              (nonzero half in the top 16)  (16)
+//	5 fpcHalfSExt two halfwords, each a
+//	              sign-extended byte            (16)
+//	6 fpcRepByte  word of one repeated byte     (8)
+//	7 fpcRaw      uncompressed                  (32)
+//
+// Total size = 1 encoding byte + 12 code-table bytes + ceil(databits/8).
+
+const fpcWords = LineSize / 4
+
+const (
+	fpcZero = iota
+	fpcSExt4
+	fpcSExt8
+	fpcSExt16
+	fpcZeroLow
+	fpcHalfSExt
+	fpcRepByte
+	fpcRaw
+)
+
+var fpcDataBits = [8]uint{0, 4, 8, 16, 16, 16, 8, 32}
+
+// fpcClassify picks the densest pattern for word w.
+func fpcClassify(w uint32) int {
+	switch {
+	case w == 0:
+		return fpcZero
+	case int32(w)<<28>>28 == int32(w):
+		return fpcSExt4
+	case int32(w)<<24>>24 == int32(w):
+		return fpcSExt8
+	case int32(w)<<16>>16 == int32(w):
+		return fpcSExt16
+	case w&0xFFFF == 0:
+		return fpcZeroLow
+	}
+	lo, hi := int16(w&0xFFFF), int16(w>>16)
+	if int16(int8(lo)) == lo && int16(int8(hi)) == hi {
+		return fpcHalfSExt
+	}
+	b := w & 0xFF
+	if w == b|b<<8|b<<16|b<<24 {
+		return fpcRepByte
+	}
+	return fpcRaw
+}
+
+func fpcCompress(line []byte) Compressed {
+	codes := make([]int, fpcWords)
+	bits := uint(0)
+	for i := 0; i < fpcWords; i++ {
+		w := binary.LittleEndian.Uint32(line[i*4:])
+		codes[i] = fpcClassify(w)
+		bits += fpcDataBits[codes[i]]
+	}
+	size := 1 + (fpcWords*3+7)/8 + int(bits+7)/8
+	if size >= LineSize {
+		return Compressed{Alg: AlgNone}
+	}
+	var cw, dw bitWriter
+	for i := 0; i < fpcWords; i++ {
+		cw.write(uint64(codes[i]), 3)
+	}
+	for i := 0; i < fpcWords; i++ {
+		w := binary.LittleEndian.Uint32(line[i*4:])
+		switch codes[i] {
+		case fpcZero:
+		case fpcSExt4:
+			dw.write(uint64(w&0xF), 4)
+		case fpcSExt8:
+			dw.write(uint64(w&0xFF), 8)
+		case fpcSExt16:
+			dw.write(uint64(w&0xFFFF), 16)
+		case fpcZeroLow:
+			dw.write(uint64(w>>16), 16)
+		case fpcHalfSExt:
+			dw.write(uint64(w&0xFF), 8)
+			dw.write(uint64((w>>16)&0xFF), 8)
+		case fpcRepByte:
+			dw.write(uint64(w&0xFF), 8)
+		case fpcRaw:
+			dw.write(uint64(w), 32)
+		}
+	}
+	data := make([]byte, 0, size)
+	data = append(data, 0) // encoding byte (single FPC encoding)
+	data = append(data, cw.bytes()...)
+	data = append(data, dw.bytes()...)
+	if len(data) != size {
+		panic("compress: fpc size accounting bug")
+	}
+	return Compressed{Alg: AlgFPC, Enc: 0, Data: data}
+}
+
+func fpcDecompress(data, out []byte) error {
+	codeBytes := (fpcWords*3 + 7) / 8
+	if len(data) < 1+codeBytes {
+		return fmt.Errorf("compress: truncated FPC line")
+	}
+	cr := bitReader{buf: data[1 : 1+codeBytes]}
+	dr := bitReader{buf: data[1+codeBytes:]}
+	for i := 0; i < fpcWords; i++ {
+		code := int(cr.read(3))
+		var w uint32
+		switch code {
+		case fpcZero:
+		case fpcSExt4:
+			w = uint32(int32(dr.read(4)) << 28 >> 28)
+		case fpcSExt8:
+			w = uint32(int32(dr.read(8)) << 24 >> 24)
+		case fpcSExt16:
+			w = uint32(int32(dr.read(16)) << 16 >> 16)
+		case fpcZeroLow:
+			w = uint32(dr.read(16)) << 16
+		case fpcHalfSExt:
+			lo := uint32(int32(dr.read(8)) << 24 >> 24)
+			hi := uint32(int32(dr.read(8)) << 24 >> 24)
+			w = lo&0xFFFF | hi<<16
+		case fpcRepByte:
+			b := uint32(dr.read(8))
+			w = b | b<<8 | b<<16 | b<<24
+		case fpcRaw:
+			w = uint32(dr.read(32))
+		}
+		binary.LittleEndian.PutUint32(out[i*4:], w)
+	}
+	if cr.err || dr.err {
+		return fmt.Errorf("compress: FPC bitstream underflow")
+	}
+	return nil
+}

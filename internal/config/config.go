@@ -1,0 +1,294 @@
+// Package config holds the simulated-system configuration (the paper's
+// Table 1) and the design presets compared in the evaluation (Section 6).
+package config
+
+import (
+	"fmt"
+
+	"github.com/caba-sim/caba/internal/compress"
+)
+
+// SchedPolicy selects the warp scheduling policy.
+type SchedPolicy uint8
+
+// Warp scheduler policies.
+const (
+	SchedGTO SchedPolicy = iota // greedy-then-oldest (baseline, Table 1)
+	SchedLRR                    // loose round-robin
+)
+
+// String returns the policy name.
+func (s SchedPolicy) String() string {
+	if s == SchedLRR {
+		return "lrr"
+	}
+	return "gto"
+}
+
+// DRAMTiming is the GDDR5 timing set (Table 1, in memory-clock cycles).
+type DRAMTiming struct {
+	TCL  int // CAS latency
+	TRP  int // row precharge
+	TRC  int // row cycle
+	TRAS int // row active
+	TRCD int // RAS-to-CAS
+	TRRD int // row-to-row activate
+	TCCD int // column-to-column (tCLDR in the paper's table)
+	TWR  int // write recovery
+}
+
+// Config describes the simulated GPU. The zero value is not meaningful;
+// start from Baseline().
+type Config struct {
+	// Cores.
+	NumSMs          int         // streaming multiprocessors
+	WarpSize        int         // threads per warp
+	MaxWarpsPerSM   int         // hardware warp contexts per SM
+	MaxCTAsPerSM    int         // thread-block limit per SM
+	MaxThreadsPerSM int         // thread limit per SM
+	RegFilePerSM    int         // 32-bit registers per SM
+	SharedMemPerSM  int         // bytes of shared memory per SM
+	NumSchedulers   int         // warp schedulers per SM (issue width)
+	Scheduler       SchedPolicy // scheduling policy
+	CoreClockMHz    int
+
+	// Pipeline latencies (core cycles).
+	ALULatency int
+	SFULatency int
+
+	// Caches. Line size is shared across levels.
+	LineSize  int
+	L1Size    int
+	L1Assoc   int
+	L1MSHRs   int // outstanding misses per SM
+	L2Size    int // total, banked across memory partitions
+	L2Assoc   int
+	L2Latency int // L2 hit latency in core cycles
+	L1Latency int // L1 hit latency in core cycles
+
+	// Interconnect: one crossbar per direction; per-port flit width in
+	// bytes moved per core cycle.
+	FlitSize int
+
+	// Memory system.
+	NumChannels     int // GDDR5 memory controllers
+	BanksPerChannel int
+	MemClockMHz     int // DRAM data-clock; one 32B burst per memory cycle
+	BurstSize       int // bytes per DRAM burst
+	Timing          DRAMTiming
+	MemQueueDepth   int // per-channel request queue
+
+	// BWScale scales peak off-chip bandwidth: 0.5, 1.0 or 2.0 in the
+	// paper's sensitivity studies. Implemented as a memory-clock scale.
+	BWScale float64
+
+	// MD (metadata) cache for compression designs, Section 4.3.2.
+	MDCacheSize  int // bytes
+	MDCacheAssoc int
+	// MDLinesPerEntry is how many data lines one MD-cache line covers:
+	// with 2 bits of burst-count metadata per 128B line, a 32B MD line
+	// covers 128 data lines.
+	MDLinesPerEntry int
+
+	// AWDeployBW overrides the Assist Warp Controller's per-cycle
+	// deployment bandwidth (0 = default). Exposed for the DESIGN.md
+	// ablation: deployment bandwidth is what bounds decompression
+	// throughput (Section 3.3's fetch/decode-bandwidth discussion).
+	AWDeployBW int
+
+	// Scale shrinks workload working sets and grids for tests/quick
+	// benches. 1.0 is paper scale.
+	Scale float64
+}
+
+// Baseline returns the paper's Table 1 configuration.
+func Baseline() Config {
+	return Config{
+		NumSMs:          15,
+		WarpSize:        32,
+		MaxWarpsPerSM:   48,
+		MaxCTAsPerSM:    8,
+		MaxThreadsPerSM: 1536,
+		RegFilePerSM:    32768, // 128KB of 4B registers
+		SharedMemPerSM:  32 << 10,
+		NumSchedulers:   2,
+		Scheduler:       SchedGTO,
+		CoreClockMHz:    1400,
+		ALULatency:      4,
+		SFULatency:      20,
+		LineSize:        compress.LineSize,
+		L1Size:          16 << 10,
+		L1Assoc:         4,
+		L1MSHRs:         64,
+		L2Size:          768 << 10,
+		L2Assoc:         16,
+		L1Latency:       4,
+		L2Latency:       40,
+		FlitSize:        32,
+		NumChannels:     6,
+		BanksPerChannel: 16,
+		MemClockMHz:     924, // 6 x 924MHz x 32B = 177.4 GB/s
+		BurstSize:       compress.BurstSize,
+		Timing: DRAMTiming{
+			TCL: 12, TRP: 12, TRC: 40, TRAS: 28,
+			TRCD: 12, TRRD: 6, TCCD: 5, TWR: 12,
+		},
+		MemQueueDepth:   32,
+		BWScale:         1.0,
+		MDCacheSize:     8 << 10,
+		MDCacheAssoc:    4,
+		MDLinesPerEntry: 128,
+		Scale:           1.0,
+	}
+}
+
+// TestConfig returns a shrunken configuration for fast unit tests: fewer
+// SMs and a small memory system, same mechanisms.
+func TestConfig() Config {
+	c := Baseline()
+	c.NumSMs = 2
+	c.MaxWarpsPerSM = 8
+	c.MaxCTAsPerSM = 4
+	c.MaxThreadsPerSM = 256
+	c.RegFilePerSM = 8192
+	c.L1Size = 4 << 10
+	c.L2Size = 32 << 10
+	c.NumChannels = 2
+	c.Scale = 0.02
+	return c
+}
+
+// Validate reports the first configuration problem found.
+func (c *Config) Validate() error {
+	switch {
+	case c.NumSMs <= 0:
+		return fmt.Errorf("config: NumSMs must be positive")
+	case c.WarpSize <= 0 || c.WarpSize > 64:
+		return fmt.Errorf("config: WarpSize %d out of range", c.WarpSize)
+	case c.MaxWarpsPerSM <= 0:
+		return fmt.Errorf("config: MaxWarpsPerSM must be positive")
+	case c.LineSize != compress.LineSize:
+		return fmt.Errorf("config: LineSize %d must equal compress.LineSize %d", c.LineSize, compress.LineSize)
+	case c.NumChannels <= 0:
+		return fmt.Errorf("config: NumChannels must be positive")
+	case c.L1Assoc <= 0 || c.L1Size%(c.L1Assoc*c.LineSize) != 0:
+		return fmt.Errorf("config: L1 geometry (%d/%d-way) not line-divisible", c.L1Size, c.L1Assoc)
+	case c.L2Assoc <= 0 || c.L2Size%(c.L2Assoc*c.LineSize*c.NumChannels) != 0:
+		return fmt.Errorf("config: L2 geometry (%d/%d-way/%d parts) not line-divisible", c.L2Size, c.L2Assoc, c.NumChannels)
+	case c.BWScale <= 0:
+		return fmt.Errorf("config: BWScale must be positive")
+	case c.Scale <= 0 || c.Scale > 1:
+		return fmt.Errorf("config: Scale %v out of (0,1]", c.Scale)
+	case c.NumSchedulers <= 0:
+		return fmt.Errorf("config: NumSchedulers must be positive")
+	}
+	return nil
+}
+
+// PeakBandwidthGBs returns the peak off-chip bandwidth in GB/s.
+func (c *Config) PeakBandwidthGBs() float64 {
+	return float64(c.NumChannels) * float64(c.MemClockMHz) * 1e6 * c.BWScale * float64(c.BurstSize) / 1e9
+}
+
+// MemCyclesPerCoreCycle returns the DRAM-clock to core-clock ratio,
+// including the bandwidth scale factor.
+func (c *Config) MemCyclesPerCoreCycle() float64 {
+	return float64(c.MemClockMHz) * c.BWScale / float64(c.CoreClockMHz)
+}
+
+// LinesPerL2Partition returns the number of lines in one L2 partition.
+func (c *Config) LinesPerL2Partition() int {
+	return c.L2Size / c.NumChannels / c.LineSize
+}
+
+// DecompressorKind selects who performs decompression in a design.
+type DecompressorKind uint8
+
+// Decompressor kinds.
+const (
+	DecompNone  DecompressorKind = iota // no compression anywhere
+	DecompCABA                          // assist warps on the cores
+	DecompHW                            // dedicated fixed-latency logic
+	DecompIdeal                         // free (zero latency, zero energy)
+)
+
+var decompNames = [...]string{"none", "caba", "hw", "ideal"}
+
+// String returns the decompressor kind name.
+func (d DecompressorKind) String() string {
+	if int(d) < len(decompNames) {
+		return decompNames[d]
+	}
+	return fmt.Sprintf("decomp(%d)", uint8(d))
+}
+
+// CompressScope says where data lives in compressed form.
+type CompressScope uint8
+
+// Compression scopes.
+const (
+	ScopeNone   CompressScope = iota // nowhere
+	ScopeMemory                      // DRAM only (HW-BDI-Mem): interconnect moves raw lines
+	ScopeL2                          // L2 + DRAM + interconnect (lines move compressed to the SM)
+)
+
+var scopeNames = [...]string{"none", "memory", "l2"}
+
+// String returns the scope name.
+func (s CompressScope) String() string {
+	if int(s) < len(scopeNames) {
+		return scopeNames[s]
+	}
+	return fmt.Sprintf("scope(%d)", uint8(s))
+}
+
+// Design is one of the evaluated system designs (Section 6): a compression
+// algorithm, where compressed data lives, and who decompresses it.
+type Design struct {
+	Name      string
+	Scope     CompressScope
+	Alg       compress.AlgID
+	Decomp    DecompressorKind
+	L1TagMult int // >1 enables L1 capacity compression with N x tags (Fig 13)
+	L2TagMult int // >1 enables L2 capacity compression with N x tags (Fig 13)
+}
+
+// The designs evaluated in the paper.
+var (
+	// DesignBase is the no-compression baseline.
+	DesignBase = Design{Name: "Base", Scope: ScopeNone, Alg: compress.AlgNone, Decomp: DecompNone, L1TagMult: 1, L2TagMult: 1}
+	// DesignHWBDIMem compresses DRAM traffic only, with dedicated logic at
+	// the memory controller (prior work, e.g. Sathish et al. [72]).
+	DesignHWBDIMem = Design{Name: "HW-BDI-Mem", Scope: ScopeMemory, Alg: compress.AlgBDI, Decomp: DecompHW, L1TagMult: 1, L2TagMult: 1}
+	// DesignHWBDI compresses interconnect + DRAM traffic with dedicated
+	// per-SM logic.
+	DesignHWBDI = Design{Name: "HW-BDI", Scope: ScopeL2, Alg: compress.AlgBDI, Decomp: DecompHW, L1TagMult: 1, L2TagMult: 1}
+	// DesignCABABDI is the paper's proposal: assist warps do the work.
+	DesignCABABDI = Design{Name: "CABA-BDI", Scope: ScopeL2, Alg: compress.AlgBDI, Decomp: DecompCABA, L1TagMult: 1, L2TagMult: 1}
+	// DesignIdealBDI has all the bandwidth benefits and none of the costs.
+	DesignIdealBDI = Design{Name: "Ideal-BDI", Scope: ScopeL2, Alg: compress.AlgBDI, Decomp: DecompIdeal, L1TagMult: 1, L2TagMult: 1}
+	// CABA with the alternative algorithms (Section 6.3).
+	DesignCABAFPC   = Design{Name: "CABA-FPC", Scope: ScopeL2, Alg: compress.AlgFPC, Decomp: DecompCABA, L1TagMult: 1, L2TagMult: 1}
+	DesignCABACPack = Design{Name: "CABA-CPack", Scope: ScopeL2, Alg: compress.AlgCPack, Decomp: DecompCABA, L1TagMult: 1, L2TagMult: 1}
+	DesignCABABest  = Design{Name: "CABA-BestOfAll", Scope: ScopeL2, Alg: compress.AlgBest, Decomp: DecompCABA, L1TagMult: 1, L2TagMult: 1}
+)
+
+// CacheCompressed returns a Figure 13 design: CABA-BDI plus capacity
+// compression at L1 or L2 with the given tag multiplier (2 or 4).
+func CacheCompressed(level string, tagMult int) Design {
+	d := DesignCABABDI
+	switch level {
+	case "L1":
+		d.Name = fmt.Sprintf("CABA-L1-%dx", tagMult)
+		d.L1TagMult = tagMult
+	case "L2":
+		d.Name = fmt.Sprintf("CABA-L2-%dx", tagMult)
+		d.L2TagMult = tagMult
+	default:
+		panic("config: CacheCompressed level must be L1 or L2")
+	}
+	return d
+}
+
+// Compressing reports whether the design compresses anything.
+func (d Design) Compressing() bool { return d.Scope != ScopeNone }

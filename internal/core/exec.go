@@ -1,0 +1,520 @@
+// Package core implements the paper's contribution: the Core-Assisted
+// Bottleneck Acceleration framework. It provides
+//
+//   - the warp-level functional executor (Exec) that runs both regular
+//     kernels and assist-warp subroutines in lockstep SIMT fashion with
+//     PDOM-based reconvergence;
+//   - the CABA hardware structures of Section 3.3: the Assist Warp Store
+//     (AWS), Assist Warp Table + Controller (AWT/AWC) and Assist Warp
+//     Buffer (AWB), with priorities, round-robin deployment, throttling
+//     and kill/flush;
+//   - the assist-warp subroutine library of Section 4: BDI decompression
+//     (one routine per encoding) and compression (per-encoding tests with
+//     a warp-wide vote), FPC and C-Pack routines, and the memoization and
+//     prefetching routines of Section 7.
+package core
+
+import (
+	"fmt"
+
+	"github.com/caba-sim/caba/internal/isa"
+)
+
+// WarpSize is the number of SIMT lanes per warp.
+const WarpSize = 32
+
+// FullMask activates all lanes.
+const FullMask uint32 = 0xFFFFFFFF
+
+// GlobalMem is the functional global-memory interface the executor uses.
+type GlobalMem interface {
+	LoadGlobal(addr uint64, width uint8) uint64
+	StoreGlobal(addr uint64, v uint64, width uint8)
+	AtomicAdd(addr uint64, v uint64, width uint8) uint64
+}
+
+// NopMem is a GlobalMem that ignores stores and loads zeros, for routines
+// that never touch global memory (all compression subroutines).
+type NopMem struct{}
+
+// LoadGlobal returns 0.
+func (NopMem) LoadGlobal(uint64, uint8) uint64 { return 0 }
+
+// StoreGlobal discards the store.
+func (NopMem) StoreGlobal(uint64, uint64, uint8) {}
+
+// AtomicAdd returns 0 and discards the update.
+func (NopMem) AtomicAdd(uint64, uint64, uint8) uint64 { return 0 }
+
+// pathFrame is one SIMT-stack entry: resume execution at pc with mask,
+// reconverging at rpc.
+type pathFrame struct {
+	pc   int
+	rpc  int
+	mask uint32
+}
+
+// StepInfo reports what one executed instruction did, for the timing
+// model: its op, the lanes that ran it, and — for global memory ops — the
+// per-lane addresses to coalesce.
+type StepInfo struct {
+	Instr    *isa.Instr
+	ExecMask uint32 // lanes that actually executed (active & guard)
+	Width    uint8
+	Addrs    [WarpSize]uint64 // valid where ExecMask bit set, global ops only
+	IsGlobal bool
+}
+
+// Exec is one warp's execution context: per-lane registers and predicates,
+// the SIMT divergence stack, shared-memory and staging-buffer views, and
+// special-register values. Both regular warps and assist warps use it;
+// assist warps get a fresh small Exec whose registers model the reserved
+// slice of the parent's register file.
+type Exec struct {
+	Prog  *isa.Program
+	ipdom []int
+
+	PC     int
+	rpc    int // reconvergence point of the current path (len(code) = none)
+	Active uint32
+	launch uint32 // lanes that ever existed (initial mask)
+	exited uint32
+	stack  []pathFrame
+
+	Regs    [][]uint64 // [lane][reg]
+	Preds   [][isa.NumPredRegs]bool
+	Special [][isa.NumSpecial]uint64
+
+	Shared   []byte // CTA shared memory view (may be nil)
+	StageIn  []byte // assist staging input (ld.stage)
+	StageOut []byte // assist staging output (st.stage)
+
+	Mem GlobalMem
+
+	Done      bool
+	AtBarrier bool
+	Err       error
+
+	// Instructions executed (warp-level), for tests and cost accounting.
+	Executed uint64
+
+	shflBuf [WarpSize]uint64
+}
+
+// NewExec builds an execution context for prog with the given initial
+// active mask. Register files are sized from prog.NumReg.
+func NewExec(prog *isa.Program, active uint32) *Exec {
+	e := &Exec{
+		Prog:    prog,
+		ipdom:   isa.PostDominators(prog),
+		Active:  active,
+		launch:  active,
+		rpc:     len(prog.Code),
+		Regs:    make([][]uint64, WarpSize),
+		Preds:   make([][isa.NumPredRegs]bool, WarpSize),
+		Special: make([][isa.NumSpecial]uint64, WarpSize),
+		Mem:     NopMem{},
+	}
+	for i := range e.Regs {
+		e.Regs[i] = make([]uint64, prog.NumReg)
+	}
+	for lane := 0; lane < WarpSize; lane++ {
+		e.Special[lane][isa.RegLane.SpecialIndex()] = uint64(lane)
+	}
+	if active == 0 {
+		e.Done = true
+	}
+	return e
+}
+
+// SetSpecial sets a special register to the same value in every lane
+// (thread-varying specials like %tid are set per lane by the launcher).
+func (e *Exec) SetSpecial(r isa.Reg, v uint64) {
+	for lane := range e.Special {
+		e.Special[lane][r.SpecialIndex()] = v
+	}
+}
+
+// SetLaneSpecial sets a special register in one lane.
+func (e *Exec) SetLaneSpecial(lane int, r isa.Reg, v uint64) {
+	e.Special[lane][r.SpecialIndex()] = v
+}
+
+// Current returns the instruction the warp will execute next, or nil when
+// the warp is done or stopped at a barrier.
+func (e *Exec) Current() *isa.Instr {
+	if e.Done || e.AtBarrier || e.Err != nil {
+		return nil
+	}
+	return &e.Prog.Code[e.PC]
+}
+
+func (e *Exec) readReg(lane int, r isa.Reg) uint64 {
+	if r == isa.RegNone {
+		return 0
+	}
+	if r.IsGeneral() {
+		return e.Regs[lane][r.GeneralIndex()]
+	}
+	return e.Special[lane][r.SpecialIndex()]
+}
+
+func (e *Exec) writeReg(lane int, r isa.Reg, v uint64) {
+	if r != isa.RegNone && r.IsGeneral() {
+		e.Regs[lane][r.GeneralIndex()] = v
+	}
+}
+
+// execMask returns the lanes that execute the current instruction after
+// applying its guard predicate.
+func (e *Exec) execMask(in *isa.Instr) uint32 {
+	if in.Guard == isa.PredNone {
+		return e.Active
+	}
+	var m uint32
+	for lane := 0; lane < WarpSize; lane++ {
+		if e.Active&(1<<lane) == 0 {
+			continue
+		}
+		p := e.Preds[lane][in.Guard]
+		if p != in.GuardNeg {
+			m |= 1 << lane
+		}
+	}
+	return m
+}
+
+func (e *Exec) fail(format string, args ...any) {
+	e.Err = fmt.Errorf("core: %s: pc %d: %s", e.Prog.Name, e.PC, fmt.Sprintf(format, args...))
+	e.Done = true
+}
+
+// stageLoad reads width bytes little-endian from buf at off; bytes outside
+// buf read as zero (staging buffers are logically zero-padded).
+func stageLoad(buf []byte, off int64, width uint8) uint64 {
+	var v uint64
+	for i := 0; i < int(width); i++ {
+		idx := off + int64(i)
+		if idx >= 0 && idx < int64(len(buf)) {
+			v |= uint64(buf[idx]) << (8 * i)
+		}
+	}
+	return v
+}
+
+// stageStore writes width bytes little-endian; out-of-range is an error
+// (a subroutine bug).
+func stageStore(buf []byte, off int64, v uint64, width uint8) bool {
+	if off < 0 || off+int64(width) > int64(len(buf)) {
+		return false
+	}
+	for i := 0; i < int(width); i++ {
+		buf[off+int64(i)] = byte(v >> (8 * i))
+	}
+	return true
+}
+
+// PeekAddrs computes the per-lane effective addresses of the *current*
+// instruction without executing it, so the scheduler can coalesce and
+// check MSHR capacity before committing to issue. Returns the would-be
+// exec mask; only valid for memory ops.
+func (e *Exec) PeekAddrs(addrs *[WarpSize]uint64) uint32 {
+	in := e.Current()
+	if in == nil {
+		return 0
+	}
+	mask := e.execMask(in)
+	for lane := 0; lane < WarpSize; lane++ {
+		if mask&(1<<lane) != 0 {
+			addrs[lane] = e.readReg(lane, in.SrcA) + uint64(in.Imm)
+		}
+	}
+	return mask
+}
+
+// Step executes exactly one warp instruction functionally and returns what
+// it did. Calling Step on a done/barrier/errored warp returns ok=false.
+func (e *Exec) Step() (StepInfo, bool) {
+	in := e.Current()
+	if in == nil {
+		return StepInfo{}, false
+	}
+	e.Executed++
+	info := StepInfo{Instr: in, ExecMask: e.execMask(in), Width: in.Width}
+	adv := true // advance PC by 1 unless a branch redirects
+
+	switch in.Op {
+	case isa.OpBra:
+		// Unconditional (assembler only emits guard-free OpBra).
+		e.PC = int(in.Target)
+		adv = false
+
+	case isa.OpBrab:
+		adv = false
+		taken := info.ExecMask
+		notTaken := e.Active &^ taken
+		switch {
+		case taken == 0:
+			e.PC++
+		case notTaken == 0:
+			e.PC = int(in.Target)
+		default:
+			r := e.ipdom[e.PC]
+			e.stack = append(e.stack,
+				pathFrame{pc: r, rpc: e.rpc, mask: e.Active},
+				pathFrame{pc: e.PC + 1, rpc: r, mask: notTaken},
+			)
+			e.Active = taken
+			e.PC = int(in.Target)
+			e.rpc = r
+		}
+
+	case isa.OpExit:
+		adv = false
+		e.exited |= info.ExecMask
+		if rem := e.Active &^ info.ExecMask; rem != 0 {
+			// Guarded exit: surviving lanes continue.
+			e.Active = rem
+			e.PC++
+		} else {
+			e.popPath()
+		}
+
+	case isa.OpBar:
+		// PC advances in ReleaseBarrier, once all CTA warps arrive.
+		e.AtBarrier = true
+		adv = false
+
+	case isa.OpSetP, isa.OpSetPI:
+		for lane := 0; lane < WarpSize; lane++ {
+			if info.ExecMask&(1<<lane) == 0 {
+				continue
+			}
+			a := e.readReg(lane, in.SrcA)
+			b := uint64(in.Imm)
+			if in.Op == isa.OpSetP {
+				b = e.readReg(lane, in.SrcB)
+			}
+			e.Preds[lane][in.PDst] = isa.EvalCmp(in.Cmp, a, b)
+		}
+
+	case isa.OpPAnd, isa.OpPOr, isa.OpPNot:
+		for lane := 0; lane < WarpSize; lane++ {
+			if info.ExecMask&(1<<lane) == 0 {
+				continue
+			}
+			pa := e.Preds[lane][in.PA]
+			switch in.Op {
+			case isa.OpPAnd:
+				e.Preds[lane][in.PDst] = pa && e.Preds[lane][in.PB]
+			case isa.OpPOr:
+				e.Preds[lane][in.PDst] = pa || e.Preds[lane][in.PB]
+			case isa.OpPNot:
+				e.Preds[lane][in.PDst] = !pa
+			}
+		}
+
+	case isa.OpVoteAll, isa.OpVoteAny:
+		all, any := true, false
+		for lane := 0; lane < WarpSize; lane++ {
+			if info.ExecMask&(1<<lane) == 0 {
+				continue
+			}
+			if e.Preds[lane][in.PA] {
+				any = true
+			} else {
+				all = false
+			}
+		}
+		v := any
+		if in.Op == isa.OpVoteAll {
+			v = all
+		}
+		for lane := 0; lane < WarpSize; lane++ {
+			if info.ExecMask&(1<<lane) != 0 {
+				e.Preds[lane][in.PDst] = v
+			}
+		}
+
+	case isa.OpBallot:
+		var mask uint64
+		for lane := 0; lane < WarpSize; lane++ {
+			if info.ExecMask&(1<<lane) != 0 && e.Preds[lane][in.PA] {
+				mask |= 1 << lane
+			}
+		}
+		for lane := 0; lane < WarpSize; lane++ {
+			if info.ExecMask&(1<<lane) != 0 {
+				e.writeReg(lane, in.Dst, mask)
+			}
+		}
+
+	case isa.OpShfl:
+		// Snapshot pre-instruction values of SrcA across the warp.
+		for lane := 0; lane < WarpSize; lane++ {
+			e.shflBuf[lane] = e.readReg(lane, in.SrcA)
+		}
+		for lane := 0; lane < WarpSize; lane++ {
+			if info.ExecMask&(1<<lane) == 0 {
+				continue
+			}
+			src := int(e.readReg(lane, in.SrcB) & 31)
+			var v uint64
+			if info.ExecMask&(1<<src) != 0 {
+				v = e.shflBuf[src]
+			}
+			e.writeReg(lane, in.Dst, v)
+		}
+
+	case isa.OpSel:
+		for lane := 0; lane < WarpSize; lane++ {
+			if info.ExecMask&(1<<lane) == 0 {
+				continue
+			}
+			if e.Preds[lane][in.PA] {
+				e.writeReg(lane, in.Dst, e.readReg(lane, in.SrcA))
+			} else {
+				e.writeReg(lane, in.Dst, e.readReg(lane, in.SrcB))
+			}
+		}
+
+	case isa.OpLdGlobal, isa.OpStGlobal, isa.OpAtomAdd:
+		info.IsGlobal = true
+		for lane := 0; lane < WarpSize; lane++ {
+			if info.ExecMask&(1<<lane) == 0 {
+				continue
+			}
+			addr := e.readReg(lane, in.SrcA) + uint64(in.Imm)
+			info.Addrs[lane] = addr
+			switch in.Op {
+			case isa.OpLdGlobal:
+				e.writeReg(lane, in.Dst, e.Mem.LoadGlobal(addr, in.Width))
+			case isa.OpStGlobal:
+				e.Mem.StoreGlobal(addr, e.readReg(lane, in.SrcB), in.Width)
+			case isa.OpAtomAdd:
+				e.writeReg(lane, in.Dst, e.Mem.AtomicAdd(addr, e.readReg(lane, in.SrcB), in.Width))
+			}
+		}
+
+	case isa.OpLdShared, isa.OpStShared:
+		for lane := 0; lane < WarpSize; lane++ {
+			if info.ExecMask&(1<<lane) == 0 {
+				continue
+			}
+			off := int64(e.readReg(lane, in.SrcA)) + in.Imm
+			if in.Op == isa.OpLdShared {
+				e.writeReg(lane, in.Dst, stageLoad(e.Shared, off, in.Width))
+			} else {
+				if !stageStore(e.Shared, off, e.readReg(lane, in.SrcB), in.Width) {
+					e.fail("shared store out of range: off %d", off)
+					return info, true
+				}
+			}
+		}
+
+	case isa.OpLdStage, isa.OpStStage:
+		for lane := 0; lane < WarpSize; lane++ {
+			if info.ExecMask&(1<<lane) == 0 {
+				continue
+			}
+			off := int64(e.readReg(lane, in.SrcA)) + in.Imm
+			if in.Op == isa.OpLdStage {
+				e.writeReg(lane, in.Dst, stageLoad(e.StageIn, off, in.Width))
+			} else {
+				if !stageStore(e.StageOut, off, e.readReg(lane, in.SrcB), in.Width) {
+					e.fail("stage store out of range: off %d", off)
+					return info, true
+				}
+			}
+		}
+
+	default:
+		// Scalar ALU/SFU ops.
+		for lane := 0; lane < WarpSize; lane++ {
+			if info.ExecMask&(1<<lane) == 0 {
+				continue
+			}
+			a := e.readReg(lane, in.SrcA)
+			b := e.readReg(lane, in.SrcB)
+			c := e.readReg(lane, in.SrcC)
+			e.writeReg(lane, in.Dst, isa.EvalALU(in, a, b, c))
+		}
+	}
+
+	if adv && !e.Done {
+		e.PC++
+	}
+	e.checkReconverge()
+	return info, true
+}
+
+// checkReconverge pops SIMT-stack frames when the current path reaches its
+// reconvergence point.
+func (e *Exec) checkReconverge() {
+	for !e.Done && e.PC == e.rpc {
+		e.popPath()
+	}
+	if !e.Done && e.PC >= len(e.Prog.Code) {
+		// Fell off the end: treat as exit.
+		e.exited |= e.Active
+		e.popPath()
+	}
+}
+
+// popPath resumes the next pending SIMT path, skipping frames whose lanes
+// have all exited; the warp is done when the stack empties.
+func (e *Exec) popPath() {
+	for len(e.stack) > 0 {
+		f := e.stack[len(e.stack)-1]
+		e.stack = e.stack[:len(e.stack)-1]
+		if m := f.mask &^ e.exited; m != 0 {
+			e.PC, e.rpc, e.Active = f.pc, f.rpc, m
+			return
+		}
+	}
+	e.Done = true
+	e.Active = 0
+}
+
+// Run executes until completion, barrier, or error, up to maxSteps
+// instructions (a runaway guard). It returns the number executed.
+func (e *Exec) Run(maxSteps int) (int, error) {
+	n := 0
+	for n < maxSteps {
+		if _, ok := e.Step(); !ok {
+			break
+		}
+		n++
+	}
+	if e.Err != nil {
+		return n, e.Err
+	}
+	if n == maxSteps && !e.Done && !e.AtBarrier {
+		return n, fmt.Errorf("core: %s: exceeded %d steps", e.Prog.Name, maxSteps)
+	}
+	return n, nil
+}
+
+// ReleaseBarrier lets a warp stopped at a bar proceed.
+func (e *Exec) ReleaseBarrier() {
+	if e.AtBarrier {
+		e.AtBarrier = false
+		e.PC++
+		e.checkReconverge()
+	}
+}
+
+// Result returns lane 0's value of register r (the subroutine result
+// convention: r0 = status, r1 = size).
+func (e *Exec) Result(r isa.Reg) uint64 {
+	lane := 0
+	for ; lane < WarpSize; lane++ {
+		if e.launch&(1<<lane) != 0 {
+			break
+		}
+	}
+	if lane == WarpSize {
+		return 0
+	}
+	return e.readReg(lane, r)
+}

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/caba-sim/caba/internal/isa"
+)
+
+// Priority is an assist warp's scheduling priority (Section 3.2.3):
+// high-priority warps (decompression) are required for correctness and
+// take precedence over their parent warp; low-priority warps (compression)
+// run only in idle issue slots and carry no completion guarantee.
+type Priority uint8
+
+// Priorities.
+const (
+	PriLow Priority = iota
+	PriHigh
+)
+
+// RoutineID indexes the Assist Warp Store (the paper's SR.ID).
+type RoutineID uint16
+
+// Routine is one assist-warp subroutine: its code, static priority and
+// static lane mask (Section 3.4: the active mask provides flexibility when
+// fewer than 32 lanes are needed).
+type Routine struct {
+	ID         RoutineID
+	Name       string
+	Prog       *isa.Program
+	Priority   Priority
+	ActiveMask uint32
+}
+
+// Store is the Assist Warp Store (AWS): on-chip storage preloaded with
+// subroutine code before the application runs, indexed by SR.ID (and
+// walked by Inst.ID as the AWC deploys instructions).
+type Store struct {
+	routines map[RoutineID]*Routine
+	// TotalInstrs approximates the AWS's storage requirement.
+	TotalInstrs int
+}
+
+// NewStore returns an empty AWS.
+func NewStore() *Store {
+	return &Store{routines: make(map[RoutineID]*Routine)}
+}
+
+// Preload installs a routine; duplicate IDs are an error.
+func (s *Store) Preload(r *Routine) error {
+	if r.Prog == nil || len(r.Prog.Code) == 0 {
+		return fmt.Errorf("core: routine %q has no code", r.Name)
+	}
+	if _, dup := s.routines[r.ID]; dup {
+		return fmt.Errorf("core: duplicate routine id %d (%q)", r.ID, r.Name)
+	}
+	s.routines[r.ID] = r
+	s.TotalInstrs += len(r.Prog.Code)
+	return nil
+}
+
+// Get looks up a routine by ID.
+func (s *Store) Get(id RoutineID) (*Routine, bool) {
+	r, ok := s.routines[id]
+	return r, ok
+}
+
+// MustGet looks up a routine that is known to be preloaded.
+func (s *Store) MustGet(id RoutineID) *Routine {
+	r, ok := s.routines[id]
+	if !ok {
+		panic(fmt.Sprintf("core: routine %d not preloaded", id))
+	}
+	return r
+}
+
+// Len returns the number of preloaded routines.
+func (s *Store) Len() int { return len(s.routines) }
+
+// Entry is one Assist Warp Table (AWT) entry: a triggered assist warp
+// coupled to its parent warp, tracking the next instruction to deploy
+// (Inst.ID) via its execution context, plus live-in/live-out bookkeeping.
+type Entry struct {
+	Routine *Routine
+	Warp    int // parent warp index within the SM
+	Exec    *Exec
+
+	// Staged counts instructions deployed into the AWB but not yet issued.
+	Staged int
+	// Outstanding counts issued instructions not yet written back.
+	Outstanding int
+
+	Killed bool
+	User   any // opaque owner context (e.g. the pending load this unblocks)
+
+	// OnComplete fires when the routine has executed its last instruction
+	// and all writebacks have drained.
+	OnComplete func(*Entry)
+}
+
+// Done reports whether the assist warp has finished executing.
+func (e *Entry) Done() bool {
+	return e.Killed || (e.Exec.Done && e.Staged == 0 && e.Outstanding == 0)
+}
+
+// Controller is the Assist Warp Controller (AWC): it triggers assist warps
+// on events, tracks them in the AWT, deploys their instructions
+// round-robin into the Assist Warp Buffer, and throttles low-priority
+// deployment by monitoring pipeline utilization (Section 3.4, Dynamic
+// Feedback and Throttling).
+type Controller struct {
+	Store *Store
+
+	// MaxEntries bounds the AWT (one slot per hardware warp context, so
+	// every parent warp can host an assist warp).
+	MaxEntries int
+	// DeployBW is the maximum instructions staged per cycle (decode
+	// bandwidth shared with the front-end).
+	DeployBW int
+	// StagedCap is the per-entry AWB staging capacity.
+	StagedCap int
+
+	// Low-priority AWB partition: the dedicated two-entry IB partition.
+	LowCap int
+
+	entries []*Entry
+	rr      int
+
+	// highByWarp gives O(1) lookup of the high-priority assist warp
+	// attached to a parent warp (at most one: only a single instance of
+	// each routine per parent, Section 3.2.2).
+	highByWarp map[int]*Entry
+	lowList    []*Entry
+
+	// Utilization monitor: a sliding window of issue-slot business.
+	window     [64]bool
+	windowPos  int
+	windowBusy int
+
+	// Stats.
+	Triggered   uint64
+	KilledCount uint64
+	DeployedIns uint64
+}
+
+// NewController builds an AWC.
+func NewController(store *Store, maxEntries int) *Controller {
+	return &Controller{
+		Store:      store,
+		MaxEntries: maxEntries,
+		DeployBW:   4,
+		StagedCap:  4,
+		LowCap:     2,
+		highByWarp: make(map[int]*Entry),
+	}
+}
+
+// CanTrigger reports whether a new assist warp of the given priority can
+// be accepted for parent warp `warp`.
+func (c *Controller) CanTrigger(pri Priority, warp int) bool {
+	if len(c.entries) >= c.MaxEntries {
+		return false
+	}
+	if pri == PriHigh {
+		_, busy := c.highByWarp[warp]
+		return !busy
+	}
+	return len(c.lowList) < c.LowCap
+}
+
+// Trigger creates an AWT entry running routine rt on behalf of warp. exec
+// must be freshly built for the routine (registers, staging buffers and
+// live-ins populated by the caller, which models the MOVE instructions
+// that copy live-in data, Section 3.4). Returns nil if the AWT or the
+// relevant AWB partition is full.
+func (c *Controller) Trigger(rt *Routine, warp int, exec *Exec, user any, onComplete func(*Entry)) *Entry {
+	if !c.CanTrigger(rt.Priority, warp) {
+		return nil
+	}
+	e := &Entry{Routine: rt, Warp: warp, Exec: exec, User: user, OnComplete: onComplete}
+	c.entries = append(c.entries, e)
+	if rt.Priority == PriHigh {
+		c.highByWarp[warp] = e
+	} else {
+		c.lowList = append(c.lowList, e)
+	}
+	c.Triggered++
+	return e
+}
+
+// NoteIssueSlot feeds the utilization monitor: busy is true when the slot
+// issued an instruction.
+func (c *Controller) NoteIssueSlot(busy bool) {
+	if c.window[c.windowPos] {
+		c.windowBusy--
+	}
+	c.window[c.windowPos] = busy
+	if busy {
+		c.windowBusy++
+	}
+	c.windowPos = (c.windowPos + 1) % len(c.window)
+}
+
+// Utilization returns the fraction of recent issue slots that were busy.
+func (c *Controller) Utilization() float64 {
+	return float64(c.windowBusy) / float64(len(c.window))
+}
+
+// LowPriorityThrottled reports whether low-priority deployment should be
+// withheld because the pipelines are already saturated.
+func (c *Controller) LowPriorityThrottled() bool {
+	return c.Utilization() > 0.90
+}
+
+// Tick deploys up to DeployBW instructions into the AWB, round-robin over
+// AWT entries, respecting per-entry staging capacity and the low-priority
+// throttle. High-priority (blocking, correctness-critical) assist warps
+// consume deploy bandwidth first; low-priority warps use what is left.
+func (c *Controller) Tick() {
+	if len(c.entries) == 0 {
+		return
+	}
+	credits := c.DeployBW
+	n := len(c.entries)
+	deploy := func(pri Priority) {
+		for scanned := 0; scanned < n && credits > 0; scanned++ {
+			e := c.entries[(c.rr+scanned)%n]
+			if e.Routine.Priority != pri || e.Killed || e.Exec.Done || e.Staged >= c.StagedCap {
+				continue
+			}
+			e.Staged++
+			c.DeployedIns++
+			credits--
+		}
+	}
+	deploy(PriHigh)
+	if !c.LowPriorityThrottled() {
+		deploy(PriLow)
+	}
+	c.rr = (c.rr + 1) % n
+}
+
+// HighFor returns the high-priority assist warp attached to warp, if any.
+func (c *Controller) HighFor(warp int) *Entry { return c.highByWarp[warp] }
+
+// LowEntries returns the low-priority partition contents.
+func (c *Controller) LowEntries() []*Entry { return c.lowList }
+
+// Entries returns all live AWT entries.
+func (c *Controller) Entries() []*Entry { return c.entries }
+
+// Retire removes a finished or killed entry from the AWT and AWB
+// partitions and fires its completion callback (unless killed).
+func (c *Controller) Retire(e *Entry) {
+	for i, x := range c.entries {
+		if x == e {
+			c.entries = append(c.entries[:i], c.entries[i+1:]...)
+			break
+		}
+	}
+	if c.highByWarp[e.Warp] == e {
+		delete(c.highByWarp, e.Warp)
+	}
+	for i, x := range c.lowList {
+		if x == e {
+			c.lowList = append(c.lowList[:i], c.lowList[i+1:]...)
+			break
+		}
+	}
+	if !e.Killed && e.OnComplete != nil {
+		e.OnComplete(e)
+	}
+}
+
+// Kill flushes an assist warp (Section 3.4: entries in the AWT and AWB are
+// simply flushed when the warp is no longer required or beneficial).
+func (c *Controller) Kill(e *Entry) {
+	if e.Killed {
+		return
+	}
+	e.Killed = true
+	e.Staged = 0
+	c.KilledCount++
+	c.Retire(e)
+}

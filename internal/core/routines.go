@@ -1,0 +1,272 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/caba-sim/caba/internal/compress"
+	"github.com/caba-sim/caba/internal/isa"
+)
+
+// Subroutine conventions
+// ----------------------
+//
+// Decompression routines: Exec.StageIn holds the compressed payload
+// (including its leading encoding byte), Exec.StageOut receives the
+// uncompressed 128-byte line. High priority: the parent warp's load is
+// blocked until the routine completes (Section 4.2.1).
+//
+// Compression routines: Exec.StageIn holds the raw 128-byte line,
+// Exec.StageOut receives the compressed payload. Low priority: issued only
+// in idle cycles (Section 4.2.2). On completion, lane 0's registers carry
+// the live-out results:
+//
+//	r0 (ResultReg): status — 0 failure; for RtBDICompSpecial 2 means the
+//	    all-zero encoding and 1 the repeated-value encoding; otherwise 1
+//	    means success
+//	r1 (SizeReg): payload size in bytes (routines with variable size)
+//
+// Some routines need a small shared-memory scratch (Exec.Shared): the
+// C-Pack dictionary (64B). The paper carves this out of the unallocated
+// shared memory the same way registers are reserved (Section 3.2.2).
+
+// ResultReg holds a compression routine's status at completion.
+var ResultReg = isa.R(0)
+
+// SizeReg holds a compression routine's payload byte size at completion.
+var SizeReg = isa.R(1)
+
+// StageBufSize is the staging-buffer allocation per assist warp: a line
+// plus slack for serial bit-packers that may overrun before discovering
+// the line is incompressible.
+const StageBufSize = compress.LineSize + 64
+
+// SharedScratchSize is the per-assist-warp shared-memory scratch (C-Pack
+// dictionary, memoization tags).
+const SharedScratchSize = 1024
+
+// Routine IDs (the SR.ID space of the AWS).
+const (
+	// RtBDIDecomp+enc decompresses one BDI encoding (Section 4.1.2 stores
+	// a separate subroutine per encoding).
+	RtBDIDecomp RoutineID = 0x00
+	// RtBDICompSpecial tests the all-zeros and repeated-value encodings
+	// and emits their payload.
+	RtBDICompSpecial RoutineID = 0x10
+	// RtBDICompTest+enc tests one base-delta encoding and emits its
+	// payload on success.
+	RtBDICompTest RoutineID = 0x20
+	// FPC and C-Pack routines.
+	RtFPCDecomp   RoutineID = 0x30
+	RtFPCComp     RoutineID = 0x31
+	RtCPackDecomp RoutineID = 0x38
+	RtCPackComp   RoutineID = 0x39
+	// Section 7 routines.
+	RtMemoLookup RoutineID = 0x40
+	RtMemoUpdate RoutineID = 0x41
+	RtPrefetch   RoutineID = 0x42
+)
+
+// BDICompTestOrder is the sequence of encodings a CABA compression pass
+// tries, cheapest target size first. BDIBase2D1 is omitted: its 64
+// two-byte values exceed the warp width, and the paper's adaptation drops
+// rarely-winning encodings (Section 4.1.3).
+var BDICompTestOrder = [...]compress.BDIEncoding{
+	compress.BDIBase8D1,
+	compress.BDIBase4D1,
+	compress.BDIBase8D2,
+	compress.BDIBase4D2,
+	compress.BDIBase8D4,
+}
+
+// DecompRoutineID returns the AWS index for decompressing state c.
+func DecompRoutineID(c compress.Compressed) (RoutineID, error) {
+	switch c.Alg {
+	case compress.AlgBDI:
+		return RtBDIDecomp + RoutineID(c.Enc), nil
+	case compress.AlgFPC:
+		return RtFPCDecomp, nil
+	case compress.AlgCPack:
+		return RtCPackDecomp, nil
+	}
+	return 0, fmt.Errorf("core: no decompression routine for %v", c.Alg)
+}
+
+// BuildLibrary constructs the full Assist Warp Store: every compression
+// and decompression subroutine plus the Section 7 routines, preloaded
+// before the application runs (Section 3.3).
+func BuildLibrary() *Store {
+	s := NewStore()
+	mustPreload := func(r *Routine) {
+		if err := s.Preload(r); err != nil {
+			panic(err)
+		}
+	}
+	// BDI decompression: one routine per encoding.
+	for enc := compress.BDIZeros; enc < compress.BDINumEncodings; enc++ {
+		mustPreload(bdiDecompRoutine(enc))
+	}
+	// BDI compression: special checks + per-encoding tests.
+	mustPreload(bdiCompSpecialRoutine())
+	for _, enc := range BDICompTestOrder {
+		mustPreload(bdiCompTestRoutine(enc))
+	}
+	// FPC.
+	mustPreload(fpcDecompRoutine())
+	mustPreload(fpcCompRoutine())
+	// C-Pack.
+	mustPreload(cpackDecompRoutine())
+	mustPreload(cpackCompRoutine())
+	// Section 7.
+	mustPreload(memoLookupRoutine())
+	mustPreload(memoUpdateRoutine())
+	mustPreload(prefetchRoutine())
+	return s
+}
+
+// NewAssistExec builds an execution context for an assist routine with
+// fresh staging buffers and scratch shared memory. Live-in registers
+// (Section 3.4's MOVE-copied values) are populated by the caller.
+func NewAssistExec(rt *Routine) *Exec {
+	e := NewExec(rt.Prog, rt.ActiveMask)
+	e.StageIn = make([]byte, StageBufSize)
+	e.StageOut = make([]byte, StageBufSize)
+	e.Shared = make([]byte, SharedScratchSize)
+	return e
+}
+
+// RunDecompression executes a decompression routine functionally over the
+// payload and returns the reconstructed line. It is the verification path
+// used by tests and the functional path used by the GPU model (which adds
+// per-instruction timing around the same Exec).
+func RunDecompression(store *Store, c compress.Compressed) ([]byte, *Exec, error) {
+	id, err := DecompRoutineID(c)
+	if err != nil {
+		return nil, nil, err
+	}
+	rt, ok := store.Get(id)
+	if !ok {
+		return nil, nil, fmt.Errorf("core: routine %d not preloaded", id)
+	}
+	e := NewAssistExec(rt)
+	copy(e.StageIn, c.Data)
+	if _, err := e.Run(100000); err != nil {
+		return nil, e, err
+	}
+	if !e.Done {
+		return nil, e, fmt.Errorf("core: %s did not complete", rt.Name)
+	}
+	return e.StageOut[:compress.LineSize], e, nil
+}
+
+// CompressionResult is the outcome of running the CABA compression pass.
+type CompressionResult struct {
+	State  compress.Compressed // AlgNone if the line did not compress
+	Execs  []*Exec             // every routine invocation, in order
+	Instrs uint64              // total warp instructions executed
+}
+
+// RunBDICompression executes the BDI compression pass the way the AWC
+// drives it: the special zeros/repeat check first, then per-encoding test
+// routines in BDICompTestOrder, stopping at the first success (the paper
+// notes homogeneous applications usually succeed on the first try). The
+// line is in raw; the returned state carries the assist-warp-produced
+// payload.
+func RunBDICompression(store *Store, raw []byte) (CompressionResult, error) {
+	var res CompressionResult
+	run := func(id RoutineID) (*Exec, error) {
+		rt, ok := store.Get(id)
+		if !ok {
+			return nil, fmt.Errorf("core: routine %d not preloaded", id)
+		}
+		e := NewAssistExec(rt)
+		copy(e.StageIn, raw)
+		if _, err := e.Run(100000); err != nil {
+			return e, err
+		}
+		res.Execs = append(res.Execs, e)
+		res.Instrs += e.Executed
+		return e, nil
+	}
+	// Zeros / repeated-value check.
+	e, err := run(RtBDICompSpecial)
+	if err != nil {
+		return res, err
+	}
+	switch e.Result(ResultReg) {
+	case 2:
+		res.State = compress.Compressed{Alg: compress.AlgBDI, Enc: uint8(compress.BDIZeros),
+			Data: append([]byte(nil), e.StageOut[:compress.BDIZeros.CompressedSize()]...)}
+		return res, nil
+	case 1:
+		res.State = compress.Compressed{Alg: compress.AlgBDI, Enc: uint8(compress.BDIRepeat),
+			Data: append([]byte(nil), e.StageOut[:compress.BDIRepeat.CompressedSize()]...)}
+		return res, nil
+	}
+	// Per-encoding tests, cheapest first.
+	for _, enc := range BDICompTestOrder {
+		e, err := run(RtBDICompTest + RoutineID(enc))
+		if err != nil {
+			return res, err
+		}
+		if e.Result(ResultReg) == 1 {
+			res.State = compress.Compressed{Alg: compress.AlgBDI, Enc: uint8(enc),
+				Data: append([]byte(nil), e.StageOut[:enc.CompressedSize()]...)}
+			return res, nil
+		}
+	}
+	res.State = compress.Compressed{Alg: compress.AlgNone}
+	return res, nil
+}
+
+// RunCompression dispatches the CABA compression pass for any supported
+// algorithm over the raw line.
+func RunCompression(store *Store, alg compress.AlgID, raw []byte) (CompressionResult, error) {
+	switch alg {
+	case compress.AlgBDI:
+		return RunBDICompression(store, raw)
+	case compress.AlgFPC, compress.AlgCPack:
+		var res CompressionResult
+		id, resAlg := RtFPCComp, compress.AlgFPC
+		if alg == compress.AlgCPack {
+			id, resAlg = RtCPackComp, compress.AlgCPack
+		}
+		rt, ok := store.Get(id)
+		if !ok {
+			return res, fmt.Errorf("core: routine %d not preloaded", id)
+		}
+		e := NewAssistExec(rt)
+		copy(e.StageIn, raw)
+		if _, err := e.Run(200000); err != nil {
+			return res, err
+		}
+		res.Execs = append(res.Execs, e)
+		res.Instrs = e.Executed
+		if e.Result(ResultReg) == 1 {
+			size := int(e.Result(SizeReg))
+			res.State = compress.Compressed{Alg: resAlg, Enc: 0,
+				Data: append([]byte(nil), e.StageOut[:size]...)}
+		} else {
+			res.State = compress.Compressed{Alg: compress.AlgNone}
+		}
+		return res, nil
+	case compress.AlgBest:
+		// BestOfAll: run every algorithm's pass, keep the smallest
+		// (Section 6.3's idealized selection, paying every pass's cost).
+		var best CompressionResult
+		best.State = compress.Compressed{Alg: compress.AlgNone}
+		for _, a := range [...]compress.AlgID{compress.AlgBDI, compress.AlgFPC, compress.AlgCPack} {
+			r, err := RunCompression(store, a, raw)
+			if err != nil {
+				return best, err
+			}
+			best.Instrs += r.Instrs
+			best.Execs = append(best.Execs, r.Execs...)
+			if r.State.IsCompressed() &&
+				(!best.State.IsCompressed() || r.State.Size() < best.State.Size()) {
+				best.State = r.State
+			}
+		}
+		return best, nil
+	}
+	return CompressionResult{}, fmt.Errorf("core: no compression routines for %v", alg)
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/caba-sim/caba/internal/compress"
+	"github.com/caba-sim/caba/internal/isa"
+)
+
+// BDI assist-warp subroutines (Section 4.1.2). Lane i handles value i of
+// the line; decompression is "a masked vector addition of the deltas to
+// the appropriate bases", compression tests an encoding with a warp-wide
+// predicate AND (vote.all).
+
+// maskFor activates the low n lanes.
+func maskFor(n int) uint32 {
+	if n >= 32 {
+		return FullMask
+	}
+	return (1 << n) - 1
+}
+
+// widthOp maps a byte width to the store/load Width field.
+func chkWidth(w int) uint8 {
+	switch w {
+	case 1, 2, 4, 8:
+		return uint8(w)
+	}
+	panic(fmt.Sprintf("core: bad width %d", w))
+}
+
+// bdiDecompRoutine builds the decompression subroutine for one encoding.
+func bdiDecompRoutine(enc compress.BDIEncoding) *Routine {
+	name := "bdi.decomp." + enc.String()
+	b := isa.NewBuilder(name)
+	r := isa.R
+	p := isa.P
+
+	switch enc {
+	case compress.BDIZeros:
+		// Every lane zeroes its 4-byte slice of the line.
+		b.Mov(r(2), isa.RegLane).
+			ShlI(r(2), r(2), 2).
+			MovI(r(3), 0).
+			StStage(r(2), 0, r(3), 4).
+			Exit()
+		return &Routine{ID: RtBDIDecomp + RoutineID(enc), Name: name,
+			Prog: b.MustBuild(), Priority: PriHigh, ActiveMask: FullMask}
+
+	case compress.BDIRepeat:
+		// Lanes 0..15 broadcast the 8-byte base across the line.
+		b.MovI(r(2), 0).
+			LdStage(r(3), r(2), 1, 8). // base at payload[1..9]
+			Mov(r(4), isa.RegLane).
+			ShlI(r(4), r(4), 3).
+			StStage(r(4), 0, r(3), 8).
+			Exit()
+		return &Routine{ID: RtBDIDecomp + RoutineID(enc), Name: name,
+			Prog: b.MustBuild(), Priority: PriHigh, ActiveMask: maskFor(16)}
+	}
+
+	w, d := enc.Geometry()
+	n := compress.LineSize / w
+	basePos := int64(1 + n/8)
+	deltaPos := basePos + int64(w)
+
+	// Emit one element's work; for n=64 (b2d1) each lane covers two
+	// elements. The mask fits one 64-bit register, so a single uniform
+	// load replaces per-lane byte extraction — this is the paper's "masked
+	// vector addition" at its minimal instruction count.
+	log2 := func(v int) int64 {
+		s := int64(0)
+		for v > 1 {
+			v >>= 1
+			s++
+		}
+		return s
+	}
+	b.MovI(r(3), basePos).
+		LdStage(r(4), r(3), 0, chkWidth(w)).     // base (uniform)
+		LdStage(r(9), r(3), int64(1)-basePos, 8) // whole mask (uniform, at byte 1)
+	element := func(laneOffset int64) {
+		b.Mov(r(2), isa.RegLane)
+		if laneOffset != 0 {
+			b.AddI(r(2), r(2), laneOffset)
+		}
+		b.Shr(r(5), r(9), r(2)).
+			AndI(r(5), r(5), 1). // use-base bit
+			ShlI(r(6), r(2), log2(d)).
+			LdStage(r(6), r(6), deltaPos, chkWidth(d)).
+			Sext(r(6), r(6), chkWidth(d)). // signed delta
+			Add(r(7), r(4), r(6)).         // base + delta
+			SetPI(isa.CmpNE, p(0), r(5), 0).
+			Sel(r(7), p(0), r(7), r(6)). // zero base keeps the delta
+			ShlI(r(8), r(2), log2(w)).
+			StStage(r(8), 0, r(7), chkWidth(w)) // store truncates to width
+	}
+	element(0)
+	if n > 32 {
+		element(32)
+	}
+	b.Exit()
+	return &Routine{ID: RtBDIDecomp + RoutineID(enc), Name: name,
+		Prog: b.MustBuild(), Priority: PriHigh, ActiveMask: maskFor(n)}
+}
+
+// bdiCompSpecialRoutine tests the all-zero and repeated-value encodings
+// over the raw line and writes the winning payload. Result: 2 = zeros,
+// 1 = repeat, 0 = neither.
+func bdiCompSpecialRoutine() *Routine {
+	b := isa.NewBuilder("bdi.comp.special")
+	r := isa.R
+	p := isa.P
+	b.Mov(r(2), isa.RegLane).
+		ShlI(r(3), r(2), 3).
+		LdStage(r(4), r(3), 0, 8). // v_i (lanes 0..15)
+		SetPI(isa.CmpEQ, p(0), r(4), 0).
+		VoteAll(p(0), p(0)). // all zero?
+		MovI(r(5), 0).
+		Shfl(r(6), r(4), r(5)). // v_0
+		SetP(isa.CmpEQ, p(1), r(4), r(6)).
+		VoteAll(p(1), p(1)). // all equal?
+		// Lane-0 payload writes.
+		SetPI(isa.CmpEQ, p(2), r(2), 0). // lane 0
+		MovI(r(7), 0).                   // address register
+		MovI(r(8), int64(compress.BDIRepeat)).
+		PAnd(p(3), p(2), p(1)).
+		StStage(r(7), 0, r(8), 1).WithGuard(p(3), false). // enc byte = repeat
+		StStage(r(7), 1, r(6), 8).WithGuard(p(3), false). // base = v_0
+		MovI(r(8), int64(compress.BDIZeros)).
+		PAnd(p(3), p(2), p(0)).
+		StStage(r(7), 0, r(8), 1).WithGuard(p(3), false). // enc byte = zeros
+		// Result: 0 / 1 (repeat) / 2 (zeros) — zeros wins when both hold.
+		MovI(r(0), 0).
+		MovI(r(0), 1).WithGuard(p(1), false).
+		MovI(r(0), 2).WithGuard(p(0), false).
+		Exit()
+	return &Routine{ID: RtBDICompSpecial, Name: "bdi.comp.special",
+		Prog: b.MustBuild(), Priority: PriLow, ActiveMask: maskFor(16)}
+}
+
+// bdiCompTestRoutine tests one base-delta encoding: every lane checks its
+// value against the implicit zero base and the explicit base (the first
+// value that does not fit the zero base, found with ballot+ctz+shfl), and
+// a warp-wide vote.all — the paper's global predicate register — decides
+// success. On success the lanes cooperatively emit the exact payload.
+func bdiCompTestRoutine(enc compress.BDIEncoding) *Routine {
+	w, d := enc.Geometry()
+	if w == 0 {
+		panic("core: comp test needs a base-delta encoding")
+	}
+	n := compress.LineSize / w
+	if n > 32 {
+		panic("core: comp test encoding exceeds warp width")
+	}
+	basePos := int64(1 + n/8)
+	deltaPos := basePos + int64(w)
+	maskWidth := chkWidth(n / 8) // 2 bytes for n=16, 4 for n=32
+
+	name := "bdi.comp." + enc.String()
+	b := isa.NewBuilder(name)
+	r := isa.R
+	p := isa.P
+	b.Mov(r(2), isa.RegLane). // i
+					MulI(r(3), r(2), int64(w)).
+					LdStage(r(4), r(3), 0, chkWidth(w)). // v (zero-extended)
+					Sext(r(5), r(4), chkWidth(w)).       // sv
+					Sext(r(6), r(5), chkWidth(d)).
+					SetP(isa.CmpEQ, p(0), r(6), r(5)). // fits zero base
+					PNot(p(1), p(0)).                  // needs explicit base
+					Ballot(r(7), p(1)).
+					Ctz(r(8), r(7)).
+					AndI(r(8), r(8), 31).
+					Shfl(r(9), r(4), r(8)). // base candidate
+					VoteAny(p(2), p(1)).
+					MovI(r(10), 0).
+					Sel(r(9), p(2), r(9), r(10)). // base (0 when unused, as the oracle stores)
+					Sub(r(11), r(4), r(9)).
+					Sext(r(11), r(11), chkWidth(w)). // v - base at width w
+					Sext(r(12), r(11), chkWidth(d)).
+					SetP(isa.CmpEQ, p(3), r(12), r(11)). // fits base delta
+					POr(p(3), p(0), p(3)).
+					VoteAll(p(3), p(3)). // the global predicate AND
+		// Payload (all guarded on success).
+		Ballot(r(7), p(1)).              // base-select mask bits
+		SetPI(isa.CmpEQ, p(2), r(2), 0). // lane 0
+		PAnd(p(2), p(2), p(3)).
+		MovI(r(10), 0).
+		MovI(r(13), int64(enc)).
+		StStage(r(10), 0, r(13), 1).WithGuard(p(2), false).
+		StStage(r(10), 1, r(7), maskWidth).WithGuard(p(2), false).
+		StStage(r(10), basePos, r(9), chkWidth(w)).WithGuard(p(2), false).
+		Sel(r(13), p(0), r(5), r(11)). // delta: sv (zero base) or v-base
+		MulI(r(3), r(2), int64(d)).
+		StStage(r(3), deltaPos, r(13), chkWidth(d)).WithGuard(p(3), false).
+		MovI(r(0), 0).
+		MovI(r(0), 1).WithGuard(p(3), false).
+		Exit()
+	return &Routine{ID: RtBDICompTest + RoutineID(enc), Name: name,
+		Prog: b.MustBuild(), Priority: PriLow, ActiveMask: maskFor(n)}
+}

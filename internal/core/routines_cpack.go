@@ -1,0 +1,204 @@
+package core
+
+import (
+	"github.com/caba-sim/caba/internal/isa"
+)
+
+// C-Pack assist-warp subroutines (Section 4.1.3). The CABA adaptation uses
+// four fixed 2-bit codes and a no-wraparound dictionary of the line's
+// first <=16 raw words, which removes decode-order dependencies:
+// decompression recovers every dictionary entry directly from the data
+// stream, publishes entries through a shared-memory scratch (the dictionary
+// the paper allocates from unused shared memory), and expands all 32 words
+// in parallel. Compression is serialized per word — as in the C-Pack
+// hardware — but matches all 16 dictionary entries at once across lanes.
+
+// cpackLens packs the data-bit lengths of codes {zzzz,xxxx,mmmm,mmxx} =
+// {0,32,4,12}, 8 bits per code.
+const cpackLens = 0x0C042000
+
+const (
+	cpackCodeBase = 1
+	cpackDataBase = 9
+)
+
+// cpackDecompRoutine expands all 32 words in parallel.
+func cpackDecompRoutine() *Routine {
+	b := isa.NewBuilder("cpack.decomp")
+	r := isa.R
+	p := isa.P
+
+	b.Mov(r(2), isa.RegLane).
+		// 2-bit code at bit 2*lane.
+		MulI(r(3), r(2), 2).
+		ShrI(r(4), r(3), 3).
+		LdStage(r(4), r(4), cpackCodeBase, 1).
+		AndI(r(5), r(3), 7).
+		Shr(r(4), r(4), r(5)).
+		AndI(r(3), r(4), 3). // code
+		// len = (cpackLens >> (code*8)) & 0xFF.
+		MovI(r(4), cpackLens).
+		ShlI(r(5), r(3), 3).
+		Shr(r(4), r(4), r(5)).
+		AndI(r(4), r(4), 0xFF). // len
+		// Pack (isRaw << 16) | len so one scan yields both the bit offset
+		// and the dictionary push index.
+		SetPI(isa.CmpEQ, p(0), r(3), 1).
+		MovI(r(5), 0).
+		MovI(r(5), 0x10000).WithGuard(p(0), false).
+		Or(r(5), r(5), r(4))
+	emitExclusiveScan(b, r(2), r(5), r(6), r(7), r(8), p(1))
+	b.AndI(r(6), r(5), 0xFFFF). // bit offset
+					ShrI(r(7), r(5), 16). // push index (raw words before me)
+		// Load the field.
+		ShrI(r(8), r(6), 3).
+		AndI(r(9), r(6), 7).
+		LdStage(r(10), r(8), cpackDataBase, 8).
+		Shr(r(10), r(10), r(9)).
+		MovI(r(11), 1).
+		Shl(r(11), r(11), r(4)).
+		SubI(r(11), r(11), 1).
+		And(r(10), r(10), r(11)). // field
+		// Raw lanes publish their dictionary entry (first 16 pushes).
+		SetPI(isa.CmpLT, p(1), r(7), 16).
+		PAnd(p(1), p(0), p(1)).
+		MulI(r(8), r(7), 4).
+		StShared(r(8), 0, r(10), 4).WithGuard(p(1), false).
+		// Decode into r(12).
+		MovI(r(12), 0).                           // zzzz
+		Mov(r(12), r(10)).WithGuard(p(0), false). // xxxx
+		// Dictionary index for mmmm/mmxx.
+		AndI(r(8), r(10), 0xF).
+		MulI(r(8), r(8), 4).
+		LdShared(r(13), r(8), 0, 4). // dict[b] (don't-care for other codes)
+		SetPI(isa.CmpEQ, p(1), r(3), 2).
+		Mov(r(12), r(13)).WithGuard(p(1), false). // mmmm
+		// mmxx: (dict & ~0xFF) | literal.
+		AndI(r(13), r(13), 0xFFFFFF00).
+		ShrI(r(14), r(10), 4).
+		AndI(r(14), r(14), 0xFF).
+		Or(r(13), r(13), r(14)).
+		SetPI(isa.CmpEQ, p(1), r(3), 3).
+		Mov(r(12), r(13)).WithGuard(p(1), false).
+		// Store the word.
+		MulI(r(8), r(2), 4).
+		StStage(r(8), 0, r(12), 4).
+		Exit()
+	return &Routine{ID: RtCPackDecomp, Name: "cpack.decomp",
+		Prog: b.MustBuild(), Priority: PriHigh, ActiveMask: FullMask}
+}
+
+// cpackCompRoutine compresses the line: one serial pass over the 32 words
+// with warp-parallel dictionary matching (each lane compares one
+// dictionary slot) and the same serial bit-packer as FPC.
+func cpackCompRoutine() *Routine {
+	b := isa.NewBuilder("cpack.comp")
+	r := isa.R
+	p := isa.P
+
+	// Prelude: per-lane word, lane-0 predicate, packer state.
+	// r2=lane, r3=w_i, p3=lane0.
+	// r6=dictN, r8=j, r9=codeacc, r10=codefill, r11=codepos, r12=dataacc,
+	// r13=datafill, r14=datapos, r15=totalbits.
+	b.Mov(r(2), isa.RegLane).
+		MulI(r(4), r(2), 4).
+		LdStage(r(3), r(4), 0, 4).
+		SetPI(isa.CmpEQ, p(3), r(2), 0).
+		MovI(r(6), 0).
+		MovI(r(8), 0).
+		MovI(r(9), 0).
+		MovI(r(10), 0).
+		MovI(r(11), cpackCodeBase).
+		MovI(r(12), 0).
+		MovI(r(13), 0).
+		MovI(r(14), cpackDataBase).
+		MovI(r(15), 0).
+		Label("word")
+	// w_j broadcast; parallel dictionary compare (lane k handles slot k).
+	b.Shfl(r(16), r(3), r(8)).
+		SetP(isa.CmpLT, p(0), r(2), r(6)). // my slot is populated
+		MulI(r(17), r(2), 4).
+		MovI(r(18), 0).
+		LdShared(r(18), r(17), 0, 4).WithGuard(p(0), false).
+		SetP(isa.CmpEQ, p(1), r(18), r(16)).
+		PAnd(p(1), p(1), p(0)).
+		Ballot(r(19), p(1)). // exact-match mask
+		AndI(r(20), r(18), 0xFFFFFF00).
+		AndI(r(21), r(16), 0xFFFFFF00).
+		SetP(isa.CmpEQ, p(2), r(20), r(21)).
+		PAnd(p(2), p(2), p(0)).
+		Ballot(r(20), p(2)). // partial-match mask
+		Ctz(r(21), r(19)).   // first exact slot
+		Ctz(r(22), r(20)).   // first partial slot
+		// Choose pattern. Defaults: raw (code 1, field w, len 32).
+		MovI(r(17), 1).
+		Mov(r(18), r(16)).
+		MovI(r(23), 32).
+		// Partial match: code 3, field idx | literal<<4, len 12.
+		SetPI(isa.CmpNE, p(1), r(20), 0).
+		AndI(r(24), r(16), 0xFF).
+		ShlI(r(24), r(24), 4).
+		Or(r(24), r(24), r(22)).
+		MovI(r(17), 3).WithGuard(p(1), false).
+		Mov(r(18), r(24)).WithGuard(p(1), false).
+		MovI(r(23), 12).WithGuard(p(1), false).
+		// Exact match: code 2, field idx, len 4.
+		SetPI(isa.CmpNE, p(1), r(19), 0).
+		MovI(r(17), 2).WithGuard(p(1), false).
+		Mov(r(18), r(21)).WithGuard(p(1), false).
+		MovI(r(23), 4).WithGuard(p(1), false).
+		// Zero: code 0, len 0.
+		SetPI(isa.CmpEQ, p(1), r(16), 0).
+		MovI(r(17), 0).WithGuard(p(1), false).
+		MovI(r(18), 0).WithGuard(p(1), false).
+		MovI(r(23), 0).WithGuard(p(1), false).
+		// Raw words push into the dictionary while it has room.
+		SetPI(isa.CmpEQ, p(1), r(17), 1).
+		SetPI(isa.CmpLT, p(2), r(6), 16).
+		PAnd(p(1), p(1), p(2)).
+		PAnd(p(2), p(1), p(3)).
+		MulI(r(24), r(6), 4).
+		StShared(r(24), 0, r(16), 4).WithGuard(p(2), false).
+		AddI(r(6), r(6), 1).WithGuard(p(1), false).
+		// Append 2 code bits.
+		Shl(r(24), r(17), r(10)).
+		Or(r(9), r(9), r(24)).
+		AddI(r(10), r(10), 2).
+		SetPI(isa.CmpGE, p(1), r(10), 32).
+		PAnd(p(2), p(1), p(3)).
+		StStage(r(11), 0, r(9), 4).WithGuard(p(2), false).
+		AddI(r(11), r(11), 4).WithGuard(p(1), false).
+		ShrI(r(9), r(9), 32).WithGuard(p(1), false).
+		SubI(r(10), r(10), 32).WithGuard(p(1), false).
+		// Append data bits.
+		Shl(r(24), r(18), r(13)).
+		Or(r(12), r(12), r(24)).
+		Add(r(13), r(13), r(23)).
+		Add(r(15), r(15), r(23)).
+		SetPI(isa.CmpGE, p(1), r(13), 32).
+		PAnd(p(2), p(1), p(3)).
+		StStage(r(14), 0, r(12), 4).WithGuard(p(2), false).
+		AddI(r(14), r(14), 4).WithGuard(p(1), false).
+		ShrI(r(12), r(12), 32).WithGuard(p(1), false).
+		SubI(r(13), r(13), 32).WithGuard(p(1), false).
+		AddI(r(8), r(8), 1).
+		SetPI(isa.CmpLT, p(1), r(8), 32).
+		BraP(p(1), false, "word")
+	// Residual data flush (codes end exactly 32-bit aligned: 64 bits).
+	b.SetPI(isa.CmpGT, p(1), r(13), 0).
+		PAnd(p(2), p(1), p(3)).
+		StStage(r(14), 0, r(12), 4).WithGuard(p(2), false).
+		// size = cpackDataBase + ceil(totalbits/8).
+		AddI(r(1), r(15), 7).
+		ShrI(r(1), r(1), 3).
+		AddI(r(1), r(1), cpackDataBase).
+		SetPI(isa.CmpLT, p(1), r(1), 128).
+		PAnd(p(2), p(1), p(3)).
+		MovI(r(24), 0).
+		StStage(r(24), 0, r(24), 1).WithGuard(p(2), false).
+		MovI(r(0), 0).
+		MovI(r(0), 1).WithGuard(p(1), false).
+		Exit()
+	return &Routine{ID: RtCPackComp, Name: "cpack.comp",
+		Prog: b.MustBuild(), Priority: PriLow, ActiveMask: FullMask}
+}

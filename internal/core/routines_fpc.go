@@ -1,0 +1,261 @@
+package core
+
+import (
+	"github.com/caba-sim/caba/internal/isa"
+)
+
+// FPC assist-warp subroutines (Section 4.1.3). The CABA adaptation places
+// all pattern metadata at the head of the line, so decompression can
+// compute every word's data offset up front: each lane reads its 3-bit
+// code, the per-lane lengths are prefix-summed with a log-step shuffle
+// scan, and all 32 words expand in parallel. Compression classifies in
+// parallel, then a single serialized packing pass emits the exact
+// LSB-first bitstream (C-Pack-style serial packing is what a dedicated FPC
+// circuit does too, which is why the paper charges FPC higher latencies
+// than BDI).
+
+// fpcLens packs the data-bit length of each 3-bit pattern code into one
+// 64-bit constant, 8 bits per code: {0,4,8,16,16,16,8,32}.
+const fpcLens = 0x2008101010080400
+
+// fpcCodeBase/fpcDataBase are the byte offsets of the code table and data
+// stream in the payload.
+const (
+	fpcCodeBase = 1
+	fpcDataBase = 13
+)
+
+// emitExclusiveScan turns acc (per-lane value) into its exclusive prefix
+// sum across the warp using 5 shuffle steps. lane must hold the lane
+// index; tmp/idx are scratch; pred is clobbered.
+func emitExclusiveScan(b *isa.Builder, lane, acc, orig, tmp, idx isa.Reg, pred isa.Pred) {
+	b.Mov(orig, acc)
+	for k := int64(1); k <= 16; k <<= 1 {
+		b.SubI(idx, lane, k).
+			AndI(idx, idx, 31).
+			Shfl(tmp, acc, idx).
+			SetPI(isa.CmpGE, pred, lane, k).
+			Add(acc, acc, tmp).WithGuard(pred, false)
+	}
+	b.Sub(acc, acc, orig)
+}
+
+// fpcDecompRoutine expands all 32 words in parallel.
+func fpcDecompRoutine() *Routine {
+	b := isa.NewBuilder("fpc.decomp")
+	r := isa.R
+	p := isa.P
+
+	b.Mov(r(2), isa.RegLane).
+		// 3-bit code at bit 3*lane of the code table.
+		MulI(r(3), r(2), 3).
+		ShrI(r(4), r(3), 3).
+		LdStage(r(4), r(4), fpcCodeBase, 2).
+		AndI(r(5), r(3), 7).
+		Shr(r(4), r(4), r(5)).
+		AndI(r(3), r(4), 7). // code
+		// len = (fpcLens >> (code*8)) & 0xFF
+		MovI(r(4), fpcLens).
+		ShlI(r(5), r(3), 3).
+		Shr(r(4), r(4), r(5)).
+		AndI(r(4), r(4), 0xFF) // len (bits)
+	// Exclusive scan of lens -> bit offset in r(5).
+	b.Mov(r(5), r(4))
+	emitExclusiveScan(b, r(2), r(5), r(6), r(7), r(8), p(0))
+	b.
+		// Load up to 39 bits covering the field.
+		ShrI(r(6), r(5), 3).
+		AndI(r(7), r(5), 7).
+		LdStage(r(8), r(6), fpcDataBase, 8).
+		Shr(r(8), r(8), r(7)).
+		MovI(r(9), 1).
+		Shl(r(9), r(9), r(4)).
+		SubI(r(9), r(9), 1).
+		And(r(8), r(8), r(9)). // field
+		// Decode into r(10), lowest-priority first.
+		Mov(r(10), r(8)). // code 7: raw
+		// code 0: zero.
+		SetPI(isa.CmpEQ, p(0), r(3), 0).
+		MovI(r(10), 0).WithGuard(p(0), false).
+		// code 1: 4-bit sign extension via (x ^ 8) - 8.
+		XorI(r(6), r(8), 8).
+		SubI(r(6), r(6), 8).
+		SetPI(isa.CmpEQ, p(0), r(3), 1).
+		Mov(r(10), r(6)).WithGuard(p(0), false).
+		// code 2: 8-bit sign extension.
+		Sext(r(6), r(8), 1).
+		SetPI(isa.CmpEQ, p(0), r(3), 2).
+		Mov(r(10), r(6)).WithGuard(p(0), false).
+		// code 3: 16-bit sign extension.
+		Sext(r(6), r(8), 2).
+		SetPI(isa.CmpEQ, p(0), r(3), 3).
+		Mov(r(10), r(6)).WithGuard(p(0), false).
+		// code 4: halfword in the upper half.
+		ShlI(r(6), r(8), 16).
+		SetPI(isa.CmpEQ, p(0), r(3), 4).
+		Mov(r(10), r(6)).WithGuard(p(0), false).
+		// code 5: two sign-extended bytes.
+		AndI(r(6), r(8), 0xFF).
+		Sext(r(6), r(6), 1).
+		AndI(r(6), r(6), 0xFFFF).
+		ShrI(r(7), r(8), 8).
+		AndI(r(7), r(7), 0xFF).
+		Sext(r(7), r(7), 1).
+		ShlI(r(7), r(7), 16).
+		Or(r(6), r(6), r(7)).
+		SetPI(isa.CmpEQ, p(0), r(3), 5).
+		Mov(r(10), r(6)).WithGuard(p(0), false).
+		// code 6: repeated byte.
+		AndI(r(6), r(8), 0xFF).
+		MulI(r(6), r(6), 0x01010101).
+		SetPI(isa.CmpEQ, p(0), r(3), 6).
+		Mov(r(10), r(6)).WithGuard(p(0), false).
+		// Store the word.
+		MulI(r(6), r(2), 4).
+		StStage(r(6), 0, r(10), 4).
+		Exit()
+	return &Routine{ID: RtFPCDecomp, Name: "fpc.decomp",
+		Prog: b.MustBuild(), Priority: PriHigh, ActiveMask: FullMask}
+}
+
+// fpcCompRoutine classifies all words in parallel, then packs the
+// bitstream serially (guarded on lane 0 for the stores, with shuffles
+// feeding each word's code/field/len to the packer).
+func fpcCompRoutine() *Routine {
+	b := isa.NewBuilder("fpc.comp")
+	r := isa.R
+	p := isa.P
+
+	// --- Parallel classification. r2=lane, r3=w, r4=code, r5=field,
+	// r6=len, r7/r8 scratch.
+	b.Mov(r(2), isa.RegLane).
+		MulI(r(3), r(2), 4).
+		LdStage(r(3), r(3), 0, 4). // w
+		// Default: raw.
+		MovI(r(4), 7).
+		Mov(r(5), r(3)).
+		// repbyte (code 6): w == (w&0xFF) * 0x01010101.
+		AndI(r(7), r(3), 0xFF).
+		MulI(r(8), r(7), 0x01010101).
+		SetP(isa.CmpEQ, p(0), r(8), r(3)).
+		MovI(r(4), 6).WithGuard(p(0), false).
+		Mov(r(5), r(7)).WithGuard(p(0), false).
+		// halfsext (code 5): both halfwords are sign-extended bytes.
+		AndI(r(7), r(3), 0xFF).
+		Sext(r(7), r(7), 1).
+		AndI(r(7), r(7), 0xFFFF).
+		ShrI(r(8), r(3), 16).
+		AndI(r(8), r(8), 0xFF).
+		Sext(r(8), r(8), 1).
+		ShlI(r(8), r(8), 16).
+		Or(r(7), r(7), r(8)).
+		AndI(r(7), r(7), 0xFFFFFFFF).
+		SetP(isa.CmpEQ, p(0), r(7), r(3)).
+		// field = (w&0xFF) | ((w>>16)&0xFF)<<8
+		AndI(r(7), r(3), 0xFF).
+		ShrI(r(8), r(3), 16).
+		AndI(r(8), r(8), 0xFF).
+		ShlI(r(8), r(8), 8).
+		Or(r(7), r(7), r(8)).
+		MovI(r(4), 5).WithGuard(p(0), false).
+		Mov(r(5), r(7)).WithGuard(p(0), false).
+		// zerolow (code 4): w & 0xFFFF == 0.
+		AndI(r(7), r(3), 0xFFFF).
+		SetPI(isa.CmpEQ, p(0), r(7), 0).
+		MovI(r(4), 4).WithGuard(p(0), false).
+		ShrI(r(7), r(3), 16).
+		Mov(r(5), r(7)).WithGuard(p(0), false).
+		// sext16 (code 3).
+		Sext(r(7), r(3), 2).
+		AndI(r(7), r(7), 0xFFFFFFFF).
+		SetP(isa.CmpEQ, p(0), r(7), r(3)).
+		MovI(r(4), 3).WithGuard(p(0), false).
+		AndI(r(7), r(3), 0xFFFF).
+		Mov(r(5), r(7)).WithGuard(p(0), false).
+		// sext8 (code 2).
+		Sext(r(7), r(3), 1).
+		AndI(r(7), r(7), 0xFFFFFFFF).
+		SetP(isa.CmpEQ, p(0), r(7), r(3)).
+		MovI(r(4), 2).WithGuard(p(0), false).
+		AndI(r(7), r(3), 0xFF).
+		Mov(r(5), r(7)).WithGuard(p(0), false).
+		// sext4 (code 1): ((w&0xF ^ 8) - 8) & 0xFFFFFFFF == w.
+		AndI(r(7), r(3), 0xF).
+		XorI(r(7), r(7), 8).
+		SubI(r(7), r(7), 8).
+		AndI(r(7), r(7), 0xFFFFFFFF).
+		SetP(isa.CmpEQ, p(0), r(7), r(3)).
+		MovI(r(4), 1).WithGuard(p(0), false).
+		AndI(r(7), r(3), 0xF).
+		Mov(r(5), r(7)).WithGuard(p(0), false).
+		// zero (code 0).
+		SetPI(isa.CmpEQ, p(0), r(3), 0).
+		MovI(r(4), 0).WithGuard(p(0), false).
+		MovI(r(5), 0).WithGuard(p(0), false).
+		// len.
+		MovI(r(6), fpcLens).
+		ShlI(r(7), r(4), 3).
+		Shr(r(6), r(6), r(7)).
+		AndI(r(6), r(6), 0xFF)
+
+	// --- Serial pack. r9=j, r10=codeacc, r11=codefill, r12=codepos,
+	// r13=dataacc, r14=datafill, r15=datapos, r16=totalbits,
+	// r17..r19 = code/field/len of word j, r7/r8 scratch.
+	// p3 = lane 0.
+	b.SetPI(isa.CmpEQ, p(3), r(2), 0).
+		MovI(r(9), 0).
+		MovI(r(10), 0).
+		MovI(r(11), 0).
+		MovI(r(12), fpcCodeBase).
+		MovI(r(13), 0).
+		MovI(r(14), 0).
+		MovI(r(15), fpcDataBase).
+		MovI(r(16), 0).
+		Label("pack")
+	b.Shfl(r(17), r(4), r(9)).
+		Shfl(r(18), r(5), r(9)).
+		Shfl(r(19), r(6), r(9)).
+		// Append 3 code bits.
+		Shl(r(7), r(17), r(11)).
+		Or(r(10), r(10), r(7)).
+		AddI(r(11), r(11), 3).
+		// Flush 32 code bits when full.
+		SetPI(isa.CmpGE, p(0), r(11), 32).
+		PAnd(p(1), p(0), p(3)).
+		StStage(r(12), 0, r(10), 4).WithGuard(p(1), false).
+		AddI(r(12), r(12), 4).WithGuard(p(0), false).
+		ShrI(r(10), r(10), 32).WithGuard(p(0), false).
+		SubI(r(11), r(11), 32).WithGuard(p(0), false).
+		// Append len data bits.
+		Shl(r(7), r(18), r(14)).
+		Or(r(13), r(13), r(7)).
+		Add(r(14), r(14), r(19)).
+		Add(r(16), r(16), r(19)).
+		SetPI(isa.CmpGE, p(0), r(14), 32).
+		PAnd(p(1), p(0), p(3)).
+		StStage(r(15), 0, r(13), 4).WithGuard(p(1), false).
+		AddI(r(15), r(15), 4).WithGuard(p(0), false).
+		ShrI(r(13), r(13), 32).WithGuard(p(0), false).
+		SubI(r(14), r(14), 32).WithGuard(p(0), false).
+		AddI(r(9), r(9), 1).
+		SetPI(isa.CmpLT, p(0), r(9), 32).
+		BraP(p(0), false, "pack")
+	// Residual data flush (codes end 32-bit aligned: 96 bits total).
+	b.SetPI(isa.CmpGT, p(0), r(14), 0).
+		PAnd(p(1), p(0), p(3)).
+		StStage(r(15), 0, r(13), 4).WithGuard(p(1), false).
+		// size = fpcDataBase + ceil(totalbits/8)
+		AddI(r(1), r(16), 7).
+		ShrI(r(1), r(1), 3).
+		AddI(r(1), r(1), fpcDataBase).
+		// success = size < LineSize; write encoding byte 0 on success.
+		SetPI(isa.CmpLT, p(0), r(1), 128).
+		PAnd(p(1), p(0), p(3)).
+		MovI(r(7), 0).
+		StStage(r(7), 0, r(7), 1).WithGuard(p(1), false).
+		MovI(r(0), 0).
+		MovI(r(0), 1).WithGuard(p(0), false).
+		Exit()
+	return &Routine{ID: RtFPCComp, Name: "fpc.comp",
+		Prog: b.MustBuild(), Priority: PriLow, ActiveMask: FullMask}
+}

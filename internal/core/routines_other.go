@@ -1,0 +1,75 @@
+package core
+
+import (
+	"github.com/caba-sim/caba/internal/isa"
+)
+
+// Section 7 routines: memoization (7.1) and prefetching (7.2). These are
+// the paper's "other uses of CABA" — implemented here as working routines
+// and exercised by the examples/ programs.
+
+// Memoization LUT layout in the shared-memory scratch: 64 direct-mapped
+// slots of 16 bytes each — {tag u64, value u64}. Inputs are hashed with
+// the SFU bit-mixer (the paper suggests hashing inputs for
+// approximation-tolerant kernels).
+const (
+	memoSlots    = 64
+	memoSlotSize = 16
+)
+
+// memoLookupRoutine probes the LUT. Live-in: r2 = per-lane input value.
+// Live-out: r0 = ballot mask of lanes that hit, r1 = unused; per-lane r3 =
+// cached result where hit.
+func memoLookupRoutine() *Routine {
+	b := isa.NewBuilder("memo.lookup")
+	r := isa.R
+	p := isa.P
+	b.Sfu(r(4), r(2)). // hash = mix(input)
+				AndI(r(4), r(4), memoSlots-1). // slot
+				MulI(r(4), r(4), memoSlotSize).
+				LdShared(r(5), r(4), 0, 8). // tag
+				SetP(isa.CmpEQ, p(0), r(5), r(2)).
+				LdShared(r(6), r(4), 8, 8). // value
+				MovI(r(3), 0).
+				Mov(r(3), r(6)).WithGuard(p(0), false).
+				Ballot(r(0), p(0)).
+				Exit()
+	return &Routine{ID: RtMemoLookup, Name: "memo.lookup",
+		Prog: b.MustBuild(), Priority: PriHigh, ActiveMask: FullMask}
+}
+
+// memoUpdateRoutine installs computed results. Live-in: r2 = input,
+// r3 = result.
+func memoUpdateRoutine() *Routine {
+	b := isa.NewBuilder("memo.update")
+	r := isa.R
+	b.Sfu(r(4), r(2)).
+		AndI(r(4), r(4), memoSlots-1).
+		MulI(r(4), r(4), memoSlotSize).
+		StShared(r(4), 0, r(2), 8). // tag
+		StShared(r(4), 8, r(3), 8). // value
+		Exit()
+	return &Routine{ID: RtMemoUpdate, Name: "memo.update",
+		Prog: b.MustBuild(), Priority: PriLow, ActiveMask: FullMask}
+}
+
+// PrefetchDegree is how many lines ahead the stride prefetcher fetches.
+const PrefetchDegree = 4
+
+// prefetchRoutine issues strided prefetch loads. Live-in: r2 = base
+// address (the line after the triggering access), r3 = stride in bytes.
+// Lane k fetches base + k*stride; the loaded values are discarded — the
+// useful work is warming the caches. Low priority: prefetches go out only
+// when the memory pipelines are idle, which is exactly the throttling
+// CABA gives for free (Section 7.2).
+func prefetchRoutine() *Routine {
+	b := isa.NewBuilder("caba.prefetch")
+	r := isa.R
+	b.Mov(r(4), isa.RegLane).
+		Mul(r(5), r(4), r(3)).
+		Add(r(5), r(5), r(2)).
+		LdGlobal(r(6), r(5), 0, 4).
+		Exit()
+	return &Routine{ID: RtPrefetch, Name: "caba.prefetch",
+		Prog: b.MustBuild(), Priority: PriLow, ActiveMask: maskFor(PrefetchDegree)}
+}

@@ -1,0 +1,434 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/caba-sim/caba/internal/compress"
+)
+
+var testStore = BuildLibrary()
+
+// lineGen produces application-like cache lines (mirrors the compress
+// package's generator so routines see the same distribution).
+func lineGen(rng *rand.Rand) []byte {
+	line := make([]byte, compress.LineSize)
+	switch rng.Intn(7) {
+	case 0: // all zero
+	case 1: // zeros with spikes
+		for i := 0; i < 4; i++ {
+			line[rng.Intn(compress.LineSize)] = byte(rng.Intn(256))
+		}
+	case 2: // small 4-byte counters
+		for i := 0; i < 32; i++ {
+			binary.LittleEndian.PutUint32(line[i*4:], uint32(rng.Intn(2000)))
+		}
+	case 3: // 8-byte pointers with offsets
+		base := rng.Uint64() &^ 0xFFF
+		for i := 0; i < 16; i++ {
+			binary.LittleEndian.PutUint64(line[i*8:], base+uint64(rng.Intn(200)))
+		}
+	case 4: // few distinct words
+		var ws [3]uint32
+		for i := range ws {
+			ws[i] = rng.Uint32()
+		}
+		for i := 0; i < 32; i++ {
+			binary.LittleEndian.PutUint32(line[i*4:], ws[rng.Intn(3)])
+		}
+	case 5: // repeated 8-byte value
+		v := rng.Uint64()
+		for i := 0; i < 16; i++ {
+			binary.LittleEndian.PutUint64(line[i*8:], v)
+		}
+	case 6: // noise
+		rng.Read(line)
+	}
+	return line
+}
+
+// --- Decompression routines vs oracle ---
+
+func verifyDecomp(t *testing.T, c compress.Compressed, want []byte) {
+	t.Helper()
+	got, e, err := RunDecompression(testStore, c)
+	if err != nil {
+		t.Fatalf("decompress %v enc=%d: %v", c.Alg, c.Enc, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%v enc=%d: assist warp output differs from oracle\nwant %x\n got %x\n(%d instrs)",
+			c.Alg, c.Enc, want, got, e.Executed)
+	}
+}
+
+func TestBDIDecompRoutinesAllEncodings(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	hit := map[compress.BDIEncoding]int{}
+	for trial := 0; trial < 400; trial++ {
+		line := lineGen(rng)
+		c, err := compress.Compress(compress.AlgBDI, line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.IsCompressed() {
+			continue
+		}
+		hit[compress.BDIEncoding(c.Enc)]++
+		verifyDecomp(t, c, line)
+	}
+	for _, enc := range []compress.BDIEncoding{compress.BDIZeros, compress.BDIRepeat, compress.BDIBase8D1} {
+		if hit[enc] == 0 {
+			t.Errorf("generator never produced encoding %v; coverage too weak", enc)
+		}
+	}
+}
+
+func TestBDIDecompEachEncodingDirected(t *testing.T) {
+	// Force every encoding via BDICompressAs and verify its routine.
+	mk := func(width, spread int) []byte {
+		line := make([]byte, compress.LineSize)
+		base := uint64(0x7000_0000_0000)
+		for i := 0; i < compress.LineSize/width; i++ {
+			v := base + uint64(i%spread)
+			if i%3 == 0 {
+				v = uint64(i % spread) // zero-base immediates
+			}
+			switch width {
+			case 2:
+				binary.LittleEndian.PutUint16(line[i*2:], uint16(v))
+			case 4:
+				binary.LittleEndian.PutUint32(line[i*4:], uint32(v|0x40000000))
+			case 8:
+				binary.LittleEndian.PutUint64(line[i*8:], v)
+			}
+		}
+		return line
+	}
+	cases := map[compress.BDIEncoding][]byte{
+		compress.BDIBase8D1: mk(8, 100),
+		compress.BDIBase8D2: mk(8, 30000),
+		compress.BDIBase8D4: mk(8, 1<<30),
+		compress.BDIBase4D1: mk(4, 100),
+		compress.BDIBase4D2: mk(4, 30000),
+		compress.BDIBase2D1: mk(2, 100),
+	}
+	for enc, line := range cases {
+		c, ok := compress.BDICompressAs(line, enc)
+		if !ok {
+			t.Errorf("%v: directed line does not fit its own encoding", enc)
+			continue
+		}
+		verifyDecomp(t, c, line)
+	}
+}
+
+func TestFPCDecompRoutine(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	checked := 0
+	for trial := 0; trial < 300; trial++ {
+		line := lineGen(rng)
+		c, _ := compress.Compress(compress.AlgFPC, line)
+		if !c.IsCompressed() {
+			continue
+		}
+		verifyDecomp(t, c, line)
+		checked++
+	}
+	if checked < 100 {
+		t.Errorf("only %d compressible FPC lines checked", checked)
+	}
+}
+
+func TestCPackDecompRoutine(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	checked := 0
+	for trial := 0; trial < 300; trial++ {
+		line := lineGen(rng)
+		c, _ := compress.Compress(compress.AlgCPack, line)
+		if !c.IsCompressed() {
+			continue
+		}
+		verifyDecomp(t, c, line)
+		checked++
+	}
+	if checked < 100 {
+		t.Errorf("only %d compressible C-Pack lines checked", checked)
+	}
+}
+
+// --- Compression routines vs oracle ---
+
+func TestBDICompSpecialRoutine(t *testing.T) {
+	zeros := make([]byte, compress.LineSize)
+	res, err := RunBDICompression(testStore, zeros)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compress.BDIEncoding(res.State.Enc) != compress.BDIZeros {
+		t.Errorf("zero line got %v", compress.BDIEncoding(res.State.Enc))
+	}
+	oracle, _ := compress.Compress(compress.AlgBDI, zeros)
+	if !bytes.Equal(res.State.Data, oracle.Data) {
+		t.Errorf("zeros payload: got %x, want %x", res.State.Data, oracle.Data)
+	}
+
+	rep := make([]byte, compress.LineSize)
+	for i := 0; i < 16; i++ {
+		binary.LittleEndian.PutUint64(rep[i*8:], 0xdead_beef_cafe_f00d)
+	}
+	res, err = RunBDICompression(testStore, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, _ = compress.Compress(compress.AlgBDI, rep)
+	if !bytes.Equal(res.State.Data, oracle.Data) {
+		t.Errorf("repeat payload: got %x, want %x", res.State.Data, oracle.Data)
+	}
+}
+
+func TestBDICompTestRoutineMatchesOraclePayload(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	matched := 0
+	for trial := 0; trial < 300; trial++ {
+		line := lineGen(rng)
+		res, err := RunBDICompression(testStore, line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.State.IsCompressed() {
+			// The assist warp skips b2d1; anything else compressible by
+			// the oracle must also compress here.
+			oracle, _ := compress.Compress(compress.AlgBDI, line)
+			if oracle.IsCompressed() && compress.BDIEncoding(oracle.Enc) != compress.BDIBase2D1 {
+				t.Fatalf("assist warp failed to compress a %v-compressible line",
+					compress.BDIEncoding(oracle.Enc))
+			}
+			continue
+		}
+		// The chosen encoding's oracle payload must match byte for byte.
+		enc := compress.BDIEncoding(res.State.Enc)
+		if enc != compress.BDIZeros && enc != compress.BDIRepeat {
+			oracle, ok := compress.BDICompressAs(line, enc)
+			if !ok {
+				t.Fatalf("assist warp chose %v but oracle says it does not fit", enc)
+			}
+			if !bytes.Equal(res.State.Data, oracle.Data) {
+				t.Fatalf("%v payload mismatch:\n aw %x\n or %x", enc, res.State.Data, oracle.Data)
+			}
+			matched++
+		}
+		// And it must decompress back to the original line.
+		out := make([]byte, compress.LineSize)
+		if err := compress.Decompress(res.State, out); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, line) {
+			t.Fatal("assist-warp payload does not round-trip")
+		}
+	}
+	if matched < 30 {
+		t.Errorf("only %d base-delta payload comparisons; coverage too weak", matched)
+	}
+}
+
+func TestFPCCompRoutineByteExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	checked := 0
+	for trial := 0; trial < 200; trial++ {
+		line := lineGen(rng)
+		res, err := RunCompression(testStore, compress.AlgFPC, line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle, _ := compress.Compress(compress.AlgFPC, line)
+		if oracle.IsCompressed() != res.State.IsCompressed() {
+			t.Fatalf("compressibility disagreement: oracle %v, aw %v (size %d)",
+				oracle.IsCompressed(), res.State.IsCompressed(), res.State.Size())
+		}
+		if !oracle.IsCompressed() {
+			continue
+		}
+		if !bytes.Equal(res.State.Data, oracle.Data) {
+			t.Fatalf("FPC payload mismatch (trial %d):\n aw %x\n or %x", trial, res.State.Data, oracle.Data)
+		}
+		checked++
+	}
+	if checked < 50 {
+		t.Errorf("only %d FPC payloads compared", checked)
+	}
+}
+
+func TestCPackCompRoutineByteExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	checked := 0
+	for trial := 0; trial < 200; trial++ {
+		line := lineGen(rng)
+		res, err := RunCompression(testStore, compress.AlgCPack, line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle, _ := compress.Compress(compress.AlgCPack, line)
+		if oracle.IsCompressed() != res.State.IsCompressed() {
+			t.Fatalf("compressibility disagreement: oracle %v aw %v",
+				oracle.IsCompressed(), res.State.IsCompressed())
+		}
+		if !oracle.IsCompressed() {
+			continue
+		}
+		if !bytes.Equal(res.State.Data, oracle.Data) {
+			t.Fatalf("C-Pack payload mismatch (trial %d):\n aw %x\n or %x", trial, res.State.Data, oracle.Data)
+		}
+		checked++
+	}
+	if checked < 50 {
+		t.Errorf("only %d C-Pack payloads compared", checked)
+	}
+}
+
+func TestBestOfAllCompression(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 50; trial++ {
+		line := lineGen(rng)
+		res, err := RunCompression(testStore, compress.AlgBest, line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.State.IsCompressed() {
+			continue
+		}
+		out := make([]byte, compress.LineSize)
+		if err := compress.Decompress(res.State, out); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, line) {
+			t.Fatal("BestOfAll payload does not round-trip")
+		}
+	}
+}
+
+// TestQuickRoutineOracleAgreement is the headline property: for any line,
+// running the full CABA compression pass and then the matching
+// decompression routine reproduces the line exactly, and FPC/C-Pack
+// payloads equal the oracle's bit for bit.
+func TestQuickRoutineOracleAgreement(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		line := lineGen(rng)
+		for _, alg := range []compress.AlgID{compress.AlgBDI, compress.AlgFPC, compress.AlgCPack} {
+			res, err := RunCompression(testStore, alg, line)
+			if err != nil {
+				return false
+			}
+			if !res.State.IsCompressed() {
+				continue
+			}
+			got, _, err := RunDecompression(testStore, res.State)
+			if err != nil {
+				return false
+			}
+			if !bytes.Equal(got, line) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Cost accounting sanity: the instruction counts the GPU model charges ---
+
+func TestRoutineCostsOrdered(t *testing.T) {
+	// BDI decompression must be much cheaper than FPC/C-Pack compression,
+	// mirroring the paper's latency hierarchy.
+	line := make([]byte, compress.LineSize)
+	for i := 0; i < 16; i++ {
+		binary.LittleEndian.PutUint64(line[i*8:], 0x70000000+uint64(i))
+	}
+	c, _ := compress.Compress(compress.AlgBDI, line)
+	_, e, err := RunDecompression(testStore, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bdiDecompCost := e.Executed
+
+	res, err := RunCompression(testStore, compress.AlgFPC, line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bdiDecompCost >= res.Instrs {
+		t.Errorf("BDI decomp (%d instrs) should be far cheaper than FPC comp (%d)", bdiDecompCost, res.Instrs)
+	}
+	if bdiDecompCost > 30 {
+		t.Errorf("BDI decompression = %d instrs; expected a short parallel routine", bdiDecompCost)
+	}
+	if res.Instrs < 100 {
+		t.Errorf("FPC compression = %d instrs; the serial packer should dominate", res.Instrs)
+	}
+}
+
+func TestLibraryPreload(t *testing.T) {
+	if testStore.Len() < 17 {
+		t.Errorf("library has %d routines; expected the full set", testStore.Len())
+	}
+	if testStore.TotalInstrs == 0 || testStore.TotalInstrs > 4096 {
+		t.Errorf("AWS footprint = %d instructions; should be small on-chip storage", testStore.TotalInstrs)
+	}
+	// Every routine's register demand must fit the reserved assist slice.
+	for enc := compress.BDIZeros; enc < compress.BDINumEncodings; enc++ {
+		rt := testStore.MustGet(RtBDIDecomp + RoutineID(enc))
+		if rt.Prog.NumReg > 32 {
+			t.Errorf("%s needs %d regs", rt.Name, rt.Prog.NumReg)
+		}
+	}
+	for _, id := range []RoutineID{RtFPCComp, RtCPackComp, RtFPCDecomp, RtCPackDecomp} {
+		rt := testStore.MustGet(id)
+		if rt.Prog.NumReg > 32 {
+			t.Errorf("%s needs %d regs, exceeding the assist register window", rt.Name, rt.Prog.NumReg)
+		}
+	}
+}
+
+func TestDecompRoutineIDs(t *testing.T) {
+	id, err := DecompRoutineID(compress.Compressed{Alg: compress.AlgBDI, Enc: 3})
+	if err != nil || id != RtBDIDecomp+3 {
+		t.Errorf("BDI id = %d, %v", id, err)
+	}
+	if _, err := DecompRoutineID(compress.Compressed{Alg: compress.AlgNone}); err == nil {
+		t.Error("AlgNone has no decompression routine")
+	}
+}
+
+// TestRoutineLengths pins the static instruction counts of the key
+// subroutines: the simulator charges these per line, so silent growth is a
+// performance regression (and shrinkage deserves a look too).
+func TestRoutineLengths(t *testing.T) {
+	want := map[RoutineID][2]int{ // id -> {min, max} instructions
+		RtBDIDecomp + RoutineID(compress.BDIZeros):   {4, 6},
+		RtBDIDecomp + RoutineID(compress.BDIRepeat):  {5, 8},
+		RtBDIDecomp + RoutineID(compress.BDIBase8D1): {12, 18},
+		RtBDIDecomp + RoutineID(compress.BDIBase2D1): {20, 32},
+		RtBDICompSpecial: {15, 24},
+		RtBDICompTest + RoutineID(compress.BDIBase8D1): {24, 34},
+		RtFPCDecomp:   {55, 90},
+		RtCPackDecomp: {50, 85},
+		RtPrefetch:    {4, 8},
+	}
+	for id, bounds := range want {
+		rt := testStore.MustGet(id)
+		n := len(rt.Prog.Code)
+		if n < bounds[0] || n > bounds[1] {
+			t.Errorf("%s: %d instructions, expected %d..%d", rt.Name, n, bounds[0], bounds[1])
+		}
+	}
+	// Decompression must stay much shorter than serial compression.
+	dec := len(testStore.MustGet(RtBDIDecomp + RoutineID(compress.BDIBase8D1)).Prog.Code)
+	fpcComp := len(testStore.MustGet(RtFPCComp).Prog.Code)
+	if fpcComp < 3*dec {
+		t.Errorf("FPC compression (%d) should dwarf BDI decompression (%d)", fpcComp, dec)
+	}
+}

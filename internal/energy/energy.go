@@ -1,0 +1,105 @@
+// Package energy is the event-based power/energy model standing in for
+// GPUWattch + CACTI (Section 5). Every architectural event counted by the
+// simulator carries a fixed energy; static power accrues with runtime.
+// Absolute watts are calibrated to a GTX480-class part, but — as in the
+// paper — only the *relative* energies of the compared designs matter:
+// compression saves energy by moving fewer DRAM bursts and interconnect
+// flits and by finishing sooner (less static energy), while CABA pays for
+// its assist-warp instructions, the MD cache, and the AWS/AWC/AWB; the HW
+// designs instead pay a dedicated-logic cost per (de)compression.
+package energy
+
+import (
+	"github.com/caba-sim/caba/internal/config"
+	"github.com/caba-sim/caba/internal/stats"
+)
+
+// Model holds per-event energies in nanojoules and static power in watts.
+// Defaults come from DefaultModel; all knobs are exported so ablation
+// benches can vary them.
+type Model struct {
+	// Core dynamic energy per warp-instruction (32 lanes), by class.
+	ALUOp  float64
+	SFUOp  float64
+	MemOp  float64 // LSU/coalescer/shared access energy
+	CtrlOp float64
+	// Register file access per issued instruction (operand reads +
+	// writeback across the banked RF).
+	RFAccess float64
+
+	// Memory hierarchy, per access/transfer.
+	L1Access     float64
+	L2Access     float64
+	NoCFlit      float64 // one 32B flit through the crossbar
+	DRAMBurst    float64 // one 32B burst incl. I/O
+	DRAMActivate float64
+
+	// Compression-related overheads.
+	MDCacheAccess float64 // per DRAM access in compressing designs
+	HWCompress    float64 // dedicated-logic energy per line compressed
+	HWDecompress  float64 // dedicated-logic energy per line decompressed
+	// AWStructures is the extra per-assist-instruction energy of the
+	// AWS/AWC/AWB structures (fetch from the assist warp store etc.).
+	AWStructures float64
+
+	// Static (leakage + clock) power in watts, split so DRAM background
+	// power exists even when idle.
+	StaticCoreW float64
+	StaticDRAMW float64
+}
+
+// DefaultModel returns the calibrated constants (nJ / W).
+func DefaultModel() Model {
+	return Model{
+		ALUOp:         0.10,
+		SFUOp:         0.40,
+		MemOp:         0.15,
+		CtrlOp:        0.05,
+		RFAccess:      0.12,
+		L1Access:      0.06,
+		L2Access:      0.30,
+		NoCFlit:       0.40,
+		DRAMBurst:     8.00,
+		DRAMActivate:  4.00,
+		MDCacheAccess: 0.02,
+		HWCompress:    0.40,
+		HWDecompress:  0.10,
+		AWStructures:  0.02,
+		StaticCoreW:   26,
+		StaticDRAMW:   9,
+	}
+}
+
+// Apply fills the Energy* fields of s from its event counters, for the
+// given configuration and design. It returns total energy in nanojoules.
+func Apply(m *Model, cfg *config.Config, design config.Design, s *stats.Sim) float64 {
+	instrs := float64(s.ALUInstrs + s.SFUInstrs + s.MemInstrs + s.CtrlInstrs)
+	s.EnergyCore = m.ALUOp*float64(s.ALUInstrs) +
+		m.SFUOp*float64(s.SFUInstrs) +
+		m.MemOp*float64(s.MemInstrs) +
+		m.CtrlOp*float64(s.CtrlInstrs)
+	s.EnergyRF = m.RFAccess * instrs
+	s.EnergyL1 = m.L1Access * float64(s.L1Hits+s.L1Misses)
+	s.EnergyL2 = m.L2Access * float64(s.L2Hits+s.L2Misses)
+	s.EnergyNoC = m.NoCFlit * float64(s.FlitsToMem+s.FlitsFromMem)
+	s.EnergyDRAM = m.DRAMBurst*float64(s.DRAMBursts) +
+		m.DRAMActivate*float64(s.DRAMActivates)
+
+	seconds := float64(s.Cycles) / (float64(cfg.CoreClockMHz) * 1e6)
+	s.EnergyStatic = (m.StaticCoreW + m.StaticDRAMW) * seconds * 1e9
+
+	// Design-specific overheads.
+	var overhead float64
+	if design.Compressing() {
+		overhead += m.MDCacheAccess * float64(s.MDHits+s.MDMisses)
+	}
+	switch design.Decomp {
+	case config.DecompHW:
+		overhead += m.HWCompress*float64(s.Ratio.Lines) + // each DRAM transfer consulted the logic
+			m.HWDecompress*float64(s.L1Misses)
+	case config.DecompCABA:
+		overhead += m.AWStructures * float64(s.AssistInstrs)
+	}
+	s.EnergyOverhead = overhead
+	return s.TotalEnergy()
+}

@@ -1,0 +1,140 @@
+package energy
+
+import (
+	"testing"
+
+	"github.com/caba-sim/caba/internal/config"
+	"github.com/caba-sim/caba/internal/stats"
+)
+
+func baseStats() *stats.Sim {
+	return &stats.Sim{
+		Cycles:        1_000_000,
+		ALUInstrs:     2_000_000,
+		SFUInstrs:     100_000,
+		MemInstrs:     500_000,
+		CtrlInstrs:    300_000,
+		L1Hits:        400_000,
+		L1Misses:      100_000,
+		L2Hits:        40_000,
+		L2Misses:      60_000,
+		FlitsToMem:    200_000,
+		FlitsFromMem:  500_000,
+		DRAMBursts:    1_500_000, // memory-bound profile: ~1.5 bursts/cycle
+		DRAMActivates: 150_000,
+	}
+}
+
+func TestApplyFillsComponents(t *testing.T) {
+	m := DefaultModel()
+	cfg := config.Baseline()
+	s := baseStats()
+	total := Apply(&m, &cfg, config.DesignBase, s)
+	if total <= 0 {
+		t.Fatal("total energy must be positive")
+	}
+	for name, v := range map[string]float64{
+		"core": s.EnergyCore, "rf": s.EnergyRF, "l1": s.EnergyL1,
+		"l2": s.EnergyL2, "noc": s.EnergyNoC, "dram": s.EnergyDRAM,
+		"static": s.EnergyStatic,
+	} {
+		if v <= 0 {
+			t.Errorf("component %s = %v, want > 0", name, v)
+		}
+	}
+	if s.EnergyOverhead != 0 {
+		t.Error("base design has no compression overhead")
+	}
+	if got := s.TotalEnergy(); got != total {
+		t.Errorf("TotalEnergy %v != Apply result %v", got, total)
+	}
+}
+
+func TestStaticScalesWithRuntime(t *testing.T) {
+	m := DefaultModel()
+	cfg := config.Baseline()
+	s1, s2 := baseStats(), baseStats()
+	s2.Cycles = 2 * s1.Cycles
+	Apply(&m, &cfg, config.DesignBase, s1)
+	Apply(&m, &cfg, config.DesignBase, s2)
+	if s2.EnergyStatic != 2*s1.EnergyStatic {
+		t.Errorf("static energy must scale with cycles: %v vs %v", s1.EnergyStatic, s2.EnergyStatic)
+	}
+}
+
+func TestDRAMDominatesForTrafficHeavyRuns(t *testing.T) {
+	// Sanity: a bandwidth-bound profile should show DRAM as a large
+	// share, which is what makes compression's energy story work.
+	m := DefaultModel()
+	cfg := config.Baseline()
+	s := baseStats()
+	Apply(&m, &cfg, config.DesignBase, s)
+	share := s.EnergyDRAM / s.TotalEnergy()
+	if share < 0.15 || share > 0.70 {
+		t.Errorf("DRAM share = %.2f; calibration off", share)
+	}
+}
+
+func TestDesignOverheads(t *testing.T) {
+	m := DefaultModel()
+	cfg := config.Baseline()
+
+	hw := baseStats()
+	hw.MDHits, hw.MDMisses = 90_000, 10_000
+	hw.Ratio.Lines = 50_000
+	Apply(&m, &cfg, config.DesignHWBDI, hw)
+	if hw.EnergyOverhead <= 0 {
+		t.Error("HW design must pay dedicated-logic + MD energy")
+	}
+
+	caba := baseStats()
+	caba.MDHits, caba.MDMisses = 90_000, 10_000
+	caba.AssistInstrs = 800_000
+	Apply(&m, &cfg, config.DesignCABABDI, caba)
+	if caba.EnergyOverhead <= 0 {
+		t.Error("CABA design must pay AWS/AWC/AWB + MD energy")
+	}
+
+	ideal := baseStats()
+	ideal.MDHits = 100_000
+	Apply(&m, &cfg, config.DesignIdealBDI, ideal)
+	// Ideal pays only the MD cache (it still needs line metadata).
+	if ideal.EnergyOverhead >= caba.EnergyOverhead {
+		t.Error("ideal overhead should be below CABA's")
+	}
+}
+
+func TestCompressionEnergyStory(t *testing.T) {
+	// The paper's qualitative result: halving DRAM traffic and shaving
+	// runtime must reduce total energy even after CABA's overheads.
+	m := DefaultModel()
+	cfg := config.Baseline()
+	base := baseStats()
+	Apply(&m, &cfg, config.DesignBase, base)
+
+	caba := baseStats()
+	caba.Cycles = uint64(float64(base.Cycles) / 1.4)
+	caba.DRAMBursts /= 2
+	caba.FlitsFromMem /= 2
+	caba.AssistInstrs = 400_000
+	caba.ALUInstrs += 350_000
+	caba.MemInstrs += 50_000
+	caba.MDHits = 100_000
+	Apply(&m, &cfg, config.DesignCABABDI, caba)
+
+	saving := 1 - caba.TotalEnergy()/base.TotalEnergy()
+	if saving < 0.05 || saving > 0.50 {
+		t.Errorf("energy saving = %.2f; expected a paper-like reduction (0.05..0.50)", saving)
+	}
+}
+
+func TestAvgPower(t *testing.T) {
+	m := DefaultModel()
+	cfg := config.Baseline()
+	s := baseStats()
+	Apply(&m, &cfg, config.DesignBase, s)
+	w := s.AvgPowerW(cfg.CoreClockMHz)
+	if w < 36 || w > 300 {
+		t.Errorf("average power = %.1f W; expected a GTX480-class range", w)
+	}
+}

@@ -1,0 +1,219 @@
+package gpu
+
+import (
+	"fmt"
+
+	"github.com/caba-sim/caba/internal/compress"
+	"github.com/caba-sim/caba/internal/config"
+	"github.com/caba-sim/caba/internal/core"
+	"github.com/caba-sim/caba/internal/mem"
+	"github.com/caba-sim/caba/internal/stats"
+	"github.com/caba-sim/caba/internal/timing"
+)
+
+// Simulator is one GPU: cores, CABA framework, and the memory system, run
+// against one kernel under one design.
+type Simulator struct {
+	Cfg    *config.Config
+	Design config.Design
+	Kernel *Kernel
+
+	Q   *timing.Queue
+	S   *stats.Sim
+	Mem *mem.Memory
+	Dom *mem.Domain
+	Sys *mem.System
+	AWS *core.Store
+
+	sms        []*SM
+	nextCTA    int
+	cycle      uint64
+	awtEntries int // AWT capacity per SM, register-budget limited
+
+	occ Occupancy
+
+	// Debug instrumentation (enabled by tests).
+	dbgFetch    map[uint64]uint64
+	dbgFetchLat uint64
+	dbgFetchN   uint64
+
+	// decompMismatches counts assist-warp decompressions whose output no
+	// longer matches the backing store (a later write raced the
+	// compressed copy); always zero in quiescent-data tests.
+	decompMismatches uint64
+}
+
+// sharedLibrary is built once: routines are immutable.
+var sharedLibrary = core.BuildLibrary()
+
+// New builds a simulator. The caller populates memory (via Mem) and, for
+// compressing designs, precompresses input buffers (via Dom.Precompress)
+// before Run.
+func New(cfg *config.Config, design config.Design, k *Kernel) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := k.Validate(cfg); err != nil {
+		return nil, err
+	}
+	sim := &Simulator{
+		Cfg:    cfg,
+		Design: design,
+		Kernel: k,
+		Q:      &timing.Queue{},
+		S:      &stats.Sim{},
+		Mem:    mem.NewMemory(),
+		AWS:    sharedLibrary,
+	}
+	sim.Dom = mem.NewDomain(sim.Mem, design.Alg)
+	sim.Sys = mem.NewSystem(cfg, design, sim.Q, sim.S, sim.Dom)
+	sim.Sys.OnFill = func(smID int, lineAddr uint64, user any) {
+		sim.sms[smID].onFill(lineAddr, user)
+	}
+	// Occupancy is computed without the assist-warp reservation: assist
+	// warps live in the statically unallocated register space (Figure 2);
+	// when that space is tight, the number of *concurrent* assist warps
+	// shrinks rather than the parent occupancy (Section 3.2.2 gives the
+	// designer both options; this is the one that avoids occupancy loss).
+	assistRegs := 0
+	if design.Decomp == config.DecompCABA {
+		assistRegs = sim.assistRegDemand()
+	}
+	sim.occ = ComputeOccupancy(cfg, k, 0)
+	awtEntries := cfg.MaxWarpsPerSM
+	if assistRegs > 0 {
+		unallocated := cfg.RegFilePerSM - sim.occ.RegsAllocated
+		byRegs := unallocated / (assistRegs * cfg.WarpSize)
+		// Register-tight kernels still get a minimum assist-warp pool;
+		// the compiler covers the shortfall with spills (Section 3.2.2).
+		// The pool must roughly match the MSHR depth or decompression
+		// queueing dominates fill latency.
+		if byRegs < 16 {
+			byRegs = 16
+		}
+		if byRegs < awtEntries {
+			awtEntries = byRegs
+		}
+	}
+	sim.awtEntries = awtEntries
+	sim.sms = make([]*SM, cfg.NumSMs)
+	for i := range sim.sms {
+		sim.sms[i] = newSM(i, sim)
+	}
+	sim.S.RegsPerThread = k.Prog.NumReg
+	sim.S.ThreadsPerSM = sim.occ.ThreadsPerSM
+	sim.S.CTAsPerSM = sim.occ.CTAsPerSM
+	sim.S.UnallocatedRegs = sim.occ.UnallocatedRegs
+	sim.S.AssistRegsPerWarp = assistRegs
+	return sim, nil
+}
+
+// assistRegDemand is the per-warp register reservation the compiler adds
+// to the block requirement (Section 3.2.2): the largest register footprint
+// over the routines this design's algorithm can trigger.
+func (sim *Simulator) assistRegDemand() int {
+	var ids []core.RoutineID
+	var add func(alg compress.AlgID)
+	add = func(alg compress.AlgID) {
+		switch alg {
+		case compress.AlgBDI:
+			for enc := compress.BDIEncoding(0); enc < compress.BDINumEncodings; enc++ {
+				ids = append(ids, core.RtBDIDecomp+core.RoutineID(enc))
+			}
+			ids = append(ids, core.RtBDICompSpecial)
+			for _, enc := range core.BDICompTestOrder {
+				ids = append(ids, core.RtBDICompTest+core.RoutineID(enc))
+			}
+		case compress.AlgFPC:
+			ids = append(ids, core.RtFPCDecomp, core.RtFPCComp)
+		case compress.AlgCPack:
+			ids = append(ids, core.RtCPackDecomp, core.RtCPackComp)
+		case compress.AlgBest:
+			add(compress.AlgBDI)
+			add(compress.AlgFPC)
+			add(compress.AlgCPack)
+		}
+	}
+	add(sim.Design.Alg)
+	max := 0
+	for _, id := range ids {
+		if rt, ok := sim.AWS.Get(id); ok && rt.Prog.NumReg > max {
+			max = rt.Prog.NumReg
+		}
+	}
+	return max
+}
+
+// Occupancy returns the static occupancy analysis for this run.
+func (sim *Simulator) Occupancy() Occupancy { return sim.occ }
+
+// DecompMismatches returns the racing-write counter (tests assert zero).
+func (sim *Simulator) DecompMismatches() uint64 { return sim.decompMismatches }
+
+// dispatch fills sm with CTAs while resources allow.
+func (sim *Simulator) dispatch(sm *SM) {
+	k := sim.Kernel
+	warpsPer := k.WarpsPerCTA(sim.Cfg)
+	for sim.nextCTA < k.GridCTAs &&
+		len(sm.ctas) < sim.occ.CTAsPerSM &&
+		sm.freeWarps() >= warpsPer {
+		sm.placeCTA(sim.nextCTA)
+		sim.nextCTA++
+	}
+}
+
+// Run executes the kernel to completion (or the cycle cap) and finalizes
+// statistics.
+func (sim *Simulator) Run(maxCycles uint64) error {
+	if maxCycles == 0 {
+		maxCycles = 200_000_000
+	}
+	for _, sm := range sim.sms {
+		sim.dispatch(sm)
+	}
+	idleStreak := 0
+	for sim.cycle = 0; sim.cycle < maxCycles; sim.cycle++ {
+		sim.Q.RunUntil(float64(sim.cycle))
+		busy := false
+		for _, sm := range sim.sms {
+			if sm.hasWork() {
+				busy = true
+				break
+			}
+		}
+		if !busy && sim.nextCTA >= sim.Kernel.GridCTAs {
+			if sim.Q.Len() == 0 && sim.Sys.Drained() {
+				break
+			}
+			idleStreak++
+			if idleStreak > 10_000_000 {
+				return fmt.Errorf("gpu: wedged waiting for memory drain at cycle %d", sim.cycle)
+			}
+		} else {
+			idleStreak = 0
+		}
+		// Tick every SM — including idle ones and through the final
+		// memory drain — so every elapsed cycle contributes its issue
+		// slots to the Figure 1 breakdown (idle slots included).
+		for _, sm := range sim.sms {
+			sm.tick(sim.cycle)
+		}
+	}
+	if sim.cycle >= maxCycles {
+		return fmt.Errorf("gpu: exceeded %d cycles (deadlock or runaway kernel)", maxCycles)
+	}
+	sim.Sys.FinishStats(sim.cycle)
+	sim.S.L1Evictions = sim.l1Evictions()
+	return nil
+}
+
+func (sim *Simulator) l1Evictions() uint64 {
+	var n uint64
+	for _, sm := range sim.sms {
+		n += sm.l1.Evictions
+	}
+	return n
+}
+
+// Cycles returns the completed cycle count.
+func (sim *Simulator) Cycles() uint64 { return sim.cycle }

@@ -1,0 +1,1162 @@
+package gpu
+
+import (
+	"bytes"
+	"fmt"
+
+	"github.com/caba-sim/caba/internal/compress"
+	"github.com/caba-sim/caba/internal/config"
+	"github.com/caba-sim/caba/internal/core"
+	"github.com/caba-sim/caba/internal/isa"
+	"github.com/caba-sim/caba/internal/mem"
+	"github.com/caba-sim/caba/internal/stats"
+)
+
+// Store-buffer tuning: the dedicated L1 sets / shared-memory space used to
+// buffer pending stores awaiting compression (Section 4.2.2).
+const (
+	storeBufCap   = 16
+	storeDrainAge = 200
+)
+
+// storeEntry is one pending store line.
+type storeEntry struct {
+	lineAddr  uint64
+	coverage  uint32 // one bit per 4-byte word of the line
+	warp      int    // last storing warp (assist-warp parent)
+	lastTouch uint64
+	state     storeState
+	// Compression chain position for the CABA path.
+	chain    []core.RoutineID
+	chainPos int
+	alg      compress.AlgID // algorithm the chain is running
+	// released marks an entry already sent to L2 (possibly abandoned
+	// mid-compression by a buffer overflow); stale callbacks ignore it.
+	released bool
+}
+
+type storeState uint8
+
+const (
+	sbPending  storeState = iota
+	sbRMW                 // fetching the line for a partial overwrite
+	sbCompress            // compression in progress (AW or HW latency)
+	sbQueued              // waiting for an AWC low-priority slot
+)
+
+// fill contexts routed through mem.System's opaque user pointer.
+type fillKind uint8
+
+const (
+	fillLoad fillKind = iota
+	fillRMW
+	fillAssist // global load issued by an assist warp (e.g. prefetch)
+)
+
+type fillCtx struct {
+	kind  fillKind
+	load  *loadReq
+	se    *storeEntry
+	aw    *core.Entry
+	instr *isa.Instr
+}
+
+// SM is one streaming multiprocessor.
+type SM struct {
+	id  int
+	sim *Simulator
+
+	warps []*warpCtx
+	ctas  []*ctaCtx
+
+	l1   *mem.Cache
+	mshr *mem.MSHR
+
+	awc  *core.Controller
+	awSB map[*core.Entry]*regMask
+
+	storeBuf   map[uint64]*storeEntry
+	storeOrder []uint64
+
+	// Retry queues for assist-warp triggers that found the AWT/AWB full.
+	decompRetry []func() bool
+	// replayQ holds loads whose coalesced lines overflowed the MSHR.
+	replayQ []*loadReq
+
+	// Pipeline ports, reset each cycle.
+	aluPorts int
+	lsuPorts int
+	sfuFree  uint64 // SFU initiation interval
+	lsuFree  uint64 // LSU busy from multi-line coalesced accesses
+
+	greedy      *warpCtx
+	order       []*warpCtx // scheduling order scratch, rebuilt each tick
+	lineBuf     []uint64
+	lastGoodEnc compress.BDIEncoding
+	hasLastGood bool
+
+	// Adaptive disable (Section 4.3.1 / Section 6: applications whose
+	// data is not compressible have their assist warps disabled so they
+	// see no degradation). A streak of failed compression chains turns
+	// the store-side compression off.
+	compFailStreak int
+	compDisabled   bool
+
+	cycle uint64
+}
+
+func newSM(id int, sim *Simulator) *SM {
+	cfg := sim.Cfg
+	sm := &SM{
+		id:       id,
+		sim:      sim,
+		warps:    make([]*warpCtx, cfg.MaxWarpsPerSM),
+		l1:       mem.NewCache(cfg.L1Size, cfg.L1Assoc, cfg.LineSize, 1, sim.Design.L1TagMult),
+		mshr:     mem.NewMSHR(cfg.L1MSHRs),
+		awSB:     make(map[*core.Entry]*regMask),
+		storeBuf: make(map[uint64]*storeEntry),
+	}
+	for i := range sm.warps {
+		sm.warps[i] = &warpCtx{id: i}
+	}
+	entries := sim.awtEntries
+	if entries <= 0 {
+		entries = cfg.MaxWarpsPerSM
+	}
+	sm.awc = core.NewController(sim.AWS, entries)
+	if cfg.AWDeployBW > 0 {
+		sm.awc.DeployBW = cfg.AWDeployBW
+	}
+	return sm
+}
+
+// hasWork reports whether the SM still has anything in flight.
+func (sm *SM) hasWork() bool {
+	for _, c := range sm.ctas {
+		if c != nil {
+			return true
+		}
+	}
+	return len(sm.storeBuf) > 0 || len(sm.awc.Entries()) > 0 || len(sm.decompRetry) > 0 || len(sm.replayQ) > 0
+}
+
+// --- CTA lifecycle ---
+
+// placeCTA installs thread block cta onto the SM. Caller checked capacity.
+func (sm *SM) placeCTA(ctaID int) {
+	k := sm.sim.Kernel
+	cfg := sm.sim.Cfg
+	warpsNeeded := k.WarpsPerCTA(cfg)
+	cta := &ctaCtx{
+		id:     ctaID,
+		shared: make([]byte, k.SharedMem),
+	}
+	placed := 0
+	for _, w := range sm.warps {
+		if placed == warpsNeeded {
+			break
+		}
+		if w.valid {
+			continue
+		}
+		threadsLeft := k.CTAThreads - placed*cfg.WarpSize
+		mask := core.FullMask
+		if threadsLeft < cfg.WarpSize {
+			mask = (1 << threadsLeft) - 1
+		}
+		ex := core.NewExec(k.Prog, mask)
+		ex.Mem = globalMem{sm.sim.Mem}
+		ex.Shared = cta.shared
+		for lane := 0; lane < cfg.WarpSize; lane++ {
+			tid := placed*cfg.WarpSize + lane
+			ex.SetLaneSpecial(lane, isa.RegTid, uint64(tid))
+			ex.SetLaneSpecial(lane, isa.RegGtid, uint64(ctaID*k.CTAThreads+tid))
+		}
+		ex.SetSpecial(isa.RegNTid, uint64(k.CTAThreads))
+		ex.SetSpecial(isa.RegCtaid, uint64(ctaID))
+		ex.SetSpecial(isa.RegNCta, uint64(k.GridCTAs))
+		ex.SetSpecial(isa.RegWarp, uint64(placed))
+		ex.SetSpecial(isa.RegParam0, k.Params[0])
+		ex.SetSpecial(isa.RegParam1, k.Params[1])
+		ex.SetSpecial(isa.RegParam2, k.Params[2])
+		ex.SetSpecial(isa.RegParam3, k.Params[3])
+		w.cta = cta
+		w.exec = ex
+		w.sb = regMask{}
+		w.valid = true
+		w.inFlight = 0
+		w.pendingLoads = 0
+		cta.warps = append(cta.warps, w)
+		placed++
+	}
+	if placed != warpsNeeded {
+		panic("gpu: placeCTA without capacity")
+	}
+	cta.liveWarps = warpsNeeded
+	sm.ctas = append(sm.ctas, cta)
+}
+
+// freeWarps reports how many warp slots are free.
+func (sm *SM) freeWarps() int {
+	n := 0
+	for _, w := range sm.warps {
+		if !w.valid {
+			n++
+		}
+	}
+	return n
+}
+
+// retireCTAIfDone frees a finished CTA and asks the dispatcher for more
+// work.
+func (sm *SM) retireCTAIfDone(cta *ctaCtx) {
+	if cta.liveWarps > 0 {
+		return
+	}
+	for _, w := range cta.warps {
+		if w.inFlight > 0 || w.pendingLoads > 0 || w.replay != nil {
+			return
+		}
+	}
+	for _, w := range cta.warps {
+		w.valid = false
+		w.exec = nil
+		w.cta = nil
+	}
+	for i, c := range sm.ctas {
+		if c == cta {
+			sm.ctas = append(sm.ctas[:i], sm.ctas[i+1:]...)
+			break
+		}
+	}
+	sm.sim.dispatch(sm)
+}
+
+// --- Per-cycle tick ---
+
+func (sm *SM) tick(cycle uint64) {
+	sm.cycle = cycle
+	sm.aluPorts = sm.sim.Cfg.NumSchedulers
+	sm.lsuPorts = 1
+
+	// Retry assist-warp triggers that previously found structures full.
+	if len(sm.decompRetry) > 0 {
+		kept := sm.decompRetry[:0]
+		for _, try := range sm.decompRetry {
+			if !try() {
+				kept = append(kept, try)
+			}
+		}
+		sm.decompRetry = kept
+	}
+
+	sm.awc.Tick()
+	sm.processReplays()
+	sm.rebuildOrder()
+
+	for s := 0; s < sm.sim.Cfg.NumSchedulers; s++ {
+		kind := sm.issueSlot()
+		sm.awc.NoteIssueSlot(kind == stats.Active)
+		sm.sim.S.IssueSlots[kind]++
+	}
+
+	sm.drainStores()
+
+	// CTA retirement sweep (cheap: few CTAs).
+	for i := len(sm.ctas) - 1; i >= 0; i-- {
+		sm.retireCTAIfDone(sm.ctas[i])
+	}
+}
+
+// slotFlags records why candidates could not issue, for Figure 1's
+// classification.
+type slotFlags struct {
+	dep   bool
+	memS  bool
+	compS bool
+}
+
+// issueSlot tries to issue one instruction and classifies the slot.
+func (sm *SM) issueSlot() stats.StallKind {
+	var f slotFlags
+
+	// High-priority assist warps issue with precedence (Section 3.2.3):
+	// they are the fill critical path that blocked warps are waiting on,
+	// and killing their latency is what keeps CABA competitive with
+	// dedicated logic.
+	for _, e := range sm.awc.Entries() {
+		if e.Routine.Priority == core.PriHigh && e.Staged > 0 {
+			ok, dep, memS, compS := sm.tryIssueAssist(e)
+			if ok {
+				return stats.Active
+			}
+			f.dep = f.dep || dep
+			f.memS = f.memS || memS
+			f.compS = f.compS || compS
+		}
+	}
+
+	// GTO: greedy on the last warp, then oldest (least-recently issued).
+	// LRR skips the greedy step and rotates.
+	if sm.sim.Cfg.Scheduler == config.SchedGTO {
+		if g := sm.greedy; g != nil && g.valid && sm.tryWarp(g, &f) {
+			return stats.Active
+		}
+	}
+	for _, w := range sm.order {
+		if w == sm.greedy {
+			continue
+		}
+		if sm.tryWarp(w, &f) {
+			sm.greedy = w
+			return stats.Active
+		}
+	}
+
+	// Idle slot: low-priority assist warps (Section 3.2.3 — scheduled
+	// only during idle cycles).
+	for _, e := range sm.awc.LowEntries() {
+		if e.Staged == 0 {
+			continue
+		}
+		if ok, _, _, _ := sm.tryIssueAssist(e); ok {
+			return stats.Active
+		}
+	}
+
+	switch {
+	case f.memS:
+		return stats.MemoryStall
+	case f.compS:
+		return stats.ComputeStall
+	case f.dep:
+		return stats.DataDepStall
+	default:
+		return stats.IdleCycle
+	}
+}
+
+// tryWarp attempts to issue for one warp: its high-priority assist warp
+// first (which takes precedence over the parent, Section 3.2.3), then its
+// own next instruction.
+func (sm *SM) tryWarp(w *warpCtx, f *slotFlags) bool {
+	if !w.valid {
+		return false
+	}
+	in := w.exec.Current()
+	if in == nil {
+		return false // done or at barrier: contributes to idle
+	}
+	if w.sb.conflicts(in) {
+		f.dep = true
+		return false
+	}
+	ok, memS, compS := sm.portsAvailable(in)
+	if !ok {
+		f.memS = f.memS || memS
+		f.compS = f.compS || compS
+		return false
+	}
+	// One load at a time may sit in the replay queue per warp: a second
+	// global access waits for the first's MSHR-overflow lines to drain.
+	if in.Op.IsGlobalMem() && w.replay != nil {
+		f.memS = true
+		return false
+	}
+	sm.issueRegular(w, in)
+	return true
+}
+
+// rebuildOrder sorts live warps by last issue cycle (oldest first) for
+// GTO; for LRR it rotates round-robin from the slot after the last issuer.
+// The GTO list is nearly sorted between ticks, so insertion sort is cheap.
+func (sm *SM) rebuildOrder() {
+	sm.order = sm.order[:0]
+	if sm.sim.Cfg.Scheduler == config.SchedLRR {
+		start := 0
+		if sm.greedy != nil {
+			start = sm.greedy.id + 1
+		}
+		n := len(sm.warps)
+		for i := 0; i < n; i++ {
+			w := sm.warps[(start+i)%n]
+			if w.valid {
+				sm.order = append(sm.order, w)
+			}
+		}
+		return
+	}
+	for _, w := range sm.warps {
+		if w.valid {
+			sm.order = append(sm.order, w)
+		}
+	}
+	for i := 1; i < len(sm.order); i++ {
+		for j := i; j > 0 && sm.order[j].lastIssueCycle < sm.order[j-1].lastIssueCycle; j-- {
+			sm.order[j], sm.order[j-1] = sm.order[j-1], sm.order[j]
+		}
+	}
+}
+
+// portsAvailable checks structural hazards for an op class; (ok, memStall,
+// compStall).
+func (sm *SM) portsAvailable(in *isa.Instr) (bool, bool, bool) {
+	switch in.Op.Class() {
+	case isa.ClassMem:
+		if sm.lsuPorts == 0 || sm.cycle < sm.lsuFree {
+			return false, true, false
+		}
+		if in.Op.IsGlobalMem() && in.Op.IsStore() &&
+			len(sm.storeBuf) >= storeBufCap && !sm.canEvictStore() {
+			return false, true, false
+		}
+	case isa.ClassSFU:
+		if sm.cycle < sm.sfuFree {
+			return false, false, true
+		}
+	case isa.ClassALU:
+		if sm.aluPorts == 0 {
+			return false, false, true
+		}
+	}
+	return true, false, false
+}
+
+// canEvictStore reports whether the store buffer has a releasable entry.
+func (sm *SM) canEvictStore() bool {
+	for _, la := range sm.storeOrder {
+		if se := sm.storeBuf[la]; se != nil && (se.state == sbPending || se.state == sbQueued) {
+			return true
+		}
+	}
+	return false
+}
+
+// --- Regular instruction issue ---
+
+func (sm *SM) issueRegular(w *warpCtx, in *isa.Instr) {
+	info, ok := w.exec.Step()
+	if !ok {
+		return
+	}
+	if w.exec.Err != nil {
+		panic(fmt.Sprintf("gpu: sm%d warp %d: %v", sm.id, w.id, w.exec.Err))
+	}
+	w.lastIssueCycle = sm.cycle
+	sm.sim.S.WarpInstrs++
+	sm.sim.S.ThreadInstrs += uint64(popcount32(info.ExecMask))
+	sm.countClass(in)
+
+	switch in.Op.Class() {
+	case isa.ClassALU:
+		sm.aluPorts--
+		sm.finishAfter(w, in, uint64(sm.sim.Cfg.ALULatency))
+	case isa.ClassSFU:
+		sm.sfuFree = sm.cycle + 4 // initiation interval
+		sm.finishAfter(w, in, uint64(sm.sim.Cfg.SFULatency))
+	case isa.ClassMem:
+		sm.lsuPorts--
+		sm.issueMemory(w, in, info)
+	case isa.ClassCtrl:
+		sm.handleControl(w, in)
+	}
+	if w.exec.Done {
+		sm.noteWarpDone(w)
+	}
+}
+
+// finishAfter scoreboards in's destinations for lat cycles.
+func (sm *SM) finishAfter(w *warpCtx, in *isa.Instr, lat uint64) {
+	w.sb.markDsts(in)
+	w.inFlight++
+	instr := *in // the exec's PC moves on; keep a copy
+	sm.sim.Q.At(float64(sm.cycle+lat), func() {
+		w.sb.clearDsts(&instr)
+		w.inFlight--
+	})
+}
+
+func (sm *SM) handleControl(w *warpCtx, in *isa.Instr) {
+	switch in.Op {
+	case isa.OpBar:
+		cta := w.cta
+		cta.atBarrier++
+		if cta.atBarrier >= cta.liveWarps {
+			cta.atBarrier = 0
+			for _, ww := range cta.warps {
+				ww.exec.ReleaseBarrier()
+			}
+		}
+	}
+}
+
+// noteWarpDone handles a warp that finished execution on this issue
+// (explicit exit or falling off the program end).
+func (sm *SM) noteWarpDone(w *warpCtx) {
+	cta := w.cta
+	cta.liveWarps--
+	// A warp exiting releases any barrier its siblings wait at.
+	if cta.liveWarps > 0 && cta.atBarrier >= cta.liveWarps {
+		cta.atBarrier = 0
+		for _, ww := range cta.warps {
+			if !ww.exec.Done {
+				ww.exec.ReleaseBarrier()
+			}
+		}
+	}
+}
+
+// issueMemory handles shared/global/staging accesses of regular warps.
+func (sm *SM) issueMemory(w *warpCtx, in *isa.Instr, info core.StepInfo) {
+	if !in.Op.IsGlobalMem() {
+		// Shared memory: fixed short latency.
+		sm.finishAfter(w, in, uint64(sm.sim.Cfg.L1Latency))
+		return
+	}
+	lines := coalesceInto(&sm.lineBuf, &info.Addrs, info.ExecMask, sm.sim.Cfg.LineSize)
+	sm.lsuFree = sm.cycle + uint64(len(lines)) // coalescer throughput
+
+	if in.Op == isa.OpStGlobal || in.Op == isa.OpAtomAdd {
+		for _, ln := range lines {
+			sm.storeToBuffer(w, ln, info)
+		}
+	}
+	if in.Op == isa.OpLdGlobal || in.Op == isa.OpAtomAdd {
+		req := &loadReq{warp: w, instr: in, issued: sm.cycle}
+		w.sb.markDsts(in)
+		w.inFlight++
+		w.pendingLoads++
+		for _, ln := range lines {
+			if in.Op == isa.OpLdGlobal && sm.l1Lookup(ln, req) {
+				continue // L1 hit path scheduled
+			}
+			// Miss (or atomic, which bypasses L1).
+			req.linesPending++
+			sm.sim.S.L1Misses++
+			sm.fetchOrReplay(req, ln)
+		}
+		if len(req.todo) > 0 {
+			w.replay = req
+			sm.replayQ = append(sm.replayQ, req)
+		}
+		if req.linesPending == 0 && len(req.todo) == 0 {
+			// Guard predicate disabled every lane: nothing to wait for.
+			w.sb.clearDsts(in)
+			w.inFlight--
+			w.pendingLoads--
+		}
+	} else {
+		// Pure store: retires once buffered.
+		sm.finishAfter(w, in, 1)
+	}
+}
+
+// l1Lookup probes the L1 for a load line; on hit it schedules completion
+// (including any capacity-mode decompression) and returns true.
+func (sm *SM) l1Lookup(ln uint64, req *loadReq) bool {
+	if !sm.l1.Lookup(ln, false) {
+		return false
+	}
+	sm.sim.S.L1Hits++
+	lat := uint64(sm.sim.Cfg.L1Latency)
+	// Figure 13: L1-resident compressed lines pay decompression on every
+	// hit.
+	if sm.sim.Design.L1TagMult > 1 {
+		if st := sm.sim.Dom.State(ln); st.IsCompressed() && sm.l1.LineSizeOf(ln) < sm.sim.Cfg.LineSize {
+			switch sm.sim.Design.Decomp {
+			case config.DecompHW:
+				d, _ := compress.HWLatency(sm.sim.Design.Alg)
+				lat += uint64(d)
+			case config.DecompCABA:
+				// Run the decompression assist warp before the hit
+				// completes.
+				req.linesPending++
+				sm.triggerDecompAW(ln, st, req.warp.id, func() { sm.loadLineDone(req) })
+				return true
+			}
+		}
+	}
+	req.linesPending++
+	sm.sim.Q.At(float64(sm.cycle+lat), func() { sm.loadLineDone(req) })
+	return true
+}
+
+// fetchOrReplay sends a missing line to memory, or queues it for replay
+// when the MSHR is full (the LSU retries it in later cycles, as real
+// coalescers do with split transactions).
+func (sm *SM) fetchOrReplay(req *loadReq, ln uint64) {
+	if primary, ok := sm.mshr.Add(ln, req); ok {
+		if primary {
+			sm.sim.Sys.ReadLine(sm.id, ln, &fillCtx{kind: fillLoad, load: req})
+		}
+		return
+	}
+	req.todo = append(req.todo, ln)
+}
+
+// processReplays retries MSHR-overflow lines, one LSU slot per line.
+func (sm *SM) processReplays() {
+	for len(sm.replayQ) > 0 {
+		req := sm.replayQ[0]
+		for len(req.todo) > 0 {
+			if sm.cycle < sm.lsuFree || sm.mshr.Full() {
+				return
+			}
+			ln := req.todo[0]
+			if primary, ok := sm.mshr.Add(ln, req); ok {
+				req.todo = req.todo[1:]
+				sm.lsuFree = sm.cycle + 1
+				if primary {
+					sm.sim.Sys.ReadLine(sm.id, ln, &fillCtx{kind: fillLoad, load: req})
+				}
+				continue
+			}
+			return
+		}
+		req.todo = nil
+		if req.warp.replay == req {
+			req.warp.replay = nil
+		}
+		sm.replayQ = sm.replayQ[1:]
+	}
+}
+
+// loadLineDone retires one line of a load; the last line completes the
+// instruction.
+func (sm *SM) loadLineDone(req *loadReq) {
+	req.linesPending--
+	if req.linesPending > 0 {
+		return
+	}
+	w := req.warp
+	w.sb.clearDsts(req.instr)
+	w.inFlight--
+	w.pendingLoads--
+	sm.sim.S.LoadCount++
+	sm.sim.S.LoadLatTotal += sm.cycle - req.issued
+}
+
+// coalesceInto merges per-lane addresses into unique cache lines using
+// the caller's scratch buffer.
+func coalesceInto(buf *[]uint64, addrs *[core.WarpSize]uint64, mask uint32, lineSize int) []uint64 {
+	lines := (*buf)[:0]
+	for lane := 0; lane < core.WarpSize; lane++ {
+		if mask&(1<<lane) == 0 {
+			continue
+		}
+		la := addrs[lane] &^ uint64(lineSize-1)
+		found := false
+		for _, x := range lines {
+			if x == la {
+				found = true
+				break
+			}
+		}
+		if !found {
+			lines = append(lines, la)
+		}
+	}
+	*buf = lines
+	return lines
+}
+
+// --- Store buffer ---
+
+// storeToBuffer merges a store's words into the pending-store buffer.
+func (sm *SM) storeToBuffer(w *warpCtx, ln uint64, info core.StepInfo) {
+	se := sm.storeBuf[ln]
+	if se == nil {
+		if len(sm.storeBuf) >= storeBufCap {
+			sm.evictOldestStore()
+		}
+		se = &storeEntry{lineAddr: ln}
+		sm.storeBuf[ln] = se
+		sm.storeOrder = append(sm.storeOrder, ln)
+	}
+	se.warp = w.id
+	se.lastTouch = sm.cycle
+	for lane := 0; lane < core.WarpSize; lane++ {
+		if info.ExecMask&(1<<lane) == 0 {
+			continue
+		}
+		if info.Addrs[lane]&^uint64(sm.sim.Cfg.LineSize-1) != ln {
+			continue
+		}
+		word := (info.Addrs[lane] % uint64(sm.sim.Cfg.LineSize)) / 4
+		se.coverage |= 1 << word
+		if info.Width == 8 && word < 31 {
+			se.coverage |= 1 << (word + 1)
+		}
+	}
+}
+
+// evictOldestStore releases the oldest pending entry uncompressed
+// (Section 4.2.2: on overflow, stores go out raw).
+func (sm *SM) evictOldestStore() {
+	for i, la := range sm.storeOrder {
+		se := sm.storeBuf[la]
+		if se == nil || (se.state != sbPending && se.state != sbQueued) {
+			continue
+		}
+		se.released = true // abandon any queued compression chain
+		sm.storeOrder = append(sm.storeOrder[:i], sm.storeOrder[i+1:]...)
+		delete(sm.storeBuf, la)
+		sm.sim.S.StoreBufferFlushes++
+		if sm.sim.Design.Scope == config.ScopeL2 {
+			sm.sim.Dom.SetRaw(la)
+		}
+		sm.sim.Sys.WriteLine(sm.id, la)
+		return
+	}
+}
+
+// drainStores ages the buffer and launches compression/writeback.
+func (sm *SM) drainStores() {
+	for _, la := range sm.storeOrder {
+		se := sm.storeBuf[la]
+		if se == nil || se.state != sbPending {
+			continue
+		}
+		if sm.cycle-se.lastTouch < storeDrainAge && len(sm.storeBuf) < storeBufCap*3/4 {
+			continue
+		}
+		sm.beginDrain(se)
+	}
+}
+
+// beginDrain starts writing a store line back: a partial overwrite of a
+// compressed line fetches it first (Section 4.2.2's worst case), then the
+// line is compressed per the design and sent to L2.
+func (sm *SM) beginDrain(se *storeEntry) {
+	full := se.coverage == 0xFFFFFFFF
+	if !full && sm.sim.Design.Compressing() && sm.sim.Dom.State(se.lineAddr).IsCompressed() {
+		se.state = sbRMW
+		sm.sim.Sys.ReadLine(sm.id, se.lineAddr, &fillCtx{kind: fillRMW, se: se})
+		return
+	}
+	sm.compressAndWrite(se)
+}
+
+// compressAndWrite runs the design's compression path and releases the
+// line.
+func (sm *SM) compressAndWrite(se *storeEntry) {
+	design := sm.sim.Design
+	if design.Scope != config.ScopeL2 {
+		// Base and HW-BDI-Mem: the SM sends raw lines.
+		sm.releaseStore(se)
+		return
+	}
+	switch design.Decomp {
+	case config.DecompIdeal:
+		sm.sim.Dom.CompressLine(se.lineAddr)
+		sm.releaseStore(se)
+	case config.DecompHW:
+		se.state = sbCompress
+		_, lat := compress.HWLatency(design.Alg)
+		sm.sim.Q.At(float64(sm.cycle+uint64(lat)), func() {
+			sm.sim.Dom.CompressLine(se.lineAddr)
+			sm.releaseStore(se)
+		})
+	case config.DecompCABA:
+		if sm.compDisabled {
+			sm.sim.Dom.SetRaw(se.lineAddr)
+			sm.releaseStore(se)
+			return
+		}
+		sm.beginCABACompression(se)
+	default:
+		sm.releaseStore(se)
+	}
+}
+
+// releaseStore sends the (possibly compressed) line to L2 and frees the
+// buffer slot.
+func (sm *SM) releaseStore(se *storeEntry) {
+	se.released = true
+	delete(sm.storeBuf, se.lineAddr)
+	for i, la := range sm.storeOrder {
+		if la == se.lineAddr {
+			sm.storeOrder = append(sm.storeOrder[:i], sm.storeOrder[i+1:]...)
+			break
+		}
+	}
+	sm.sim.Sys.WriteLine(sm.id, se.lineAddr)
+}
+
+// --- CABA integration ---
+
+// compressionChain builds the routine sequence for one line: the
+// zeros/repeat check, then encoding tests starting from the last
+// successful encoding (the paper's single-encoding fast path for
+// homogeneous data).
+func (sm *SM) compressionChain(alg compress.AlgID) []core.RoutineID {
+	switch alg {
+	case compress.AlgBDI:
+		chain := []core.RoutineID{core.RtBDICompSpecial}
+		if sm.hasLastGood {
+			chain = append(chain, core.RtBDICompTest+core.RoutineID(sm.lastGoodEnc))
+		}
+		for _, enc := range core.BDICompTestOrder {
+			if sm.hasLastGood && enc == sm.lastGoodEnc {
+				continue
+			}
+			chain = append(chain, core.RtBDICompTest+core.RoutineID(enc))
+		}
+		return chain
+	case compress.AlgFPC:
+		return []core.RoutineID{core.RtFPCComp}
+	case compress.AlgCPack:
+		return []core.RoutineID{core.RtCPackComp}
+	}
+	return nil
+}
+
+// beginCABACompression queues the line's compression assist-warp chain.
+func (sm *SM) beginCABACompression(se *storeEntry) {
+	se.state = sbQueued
+	se.alg = sm.sim.Design.Alg
+	if se.alg == compress.AlgBest {
+		// CABA-BestOfAll selects per line with no selection overhead
+		// (Section 6.3): pick the oracle's best algorithm, then pay that
+		// algorithm's assist-warp cost.
+		var line [compress.LineSize]byte
+		sm.sim.Dom.ReadRaw(se.lineAddr, line[:])
+		best, _ := compress.Compress(compress.AlgBest, line[:])
+		se.alg = best.Alg
+		if se.alg == compress.AlgNone {
+			sm.sim.Dom.SetRaw(se.lineAddr)
+			sm.releaseStore(se)
+			return
+		}
+	}
+	se.chain = sm.compressionChain(se.alg)
+	se.chainPos = 0
+	sm.stepCompressionChain(se)
+}
+
+// stepCompressionChain triggers the next routine in the chain, retrying
+// next cycle when the low-priority AWB partition is full or throttled.
+func (sm *SM) stepCompressionChain(se *storeEntry) {
+	if se.chainPos >= len(se.chain) {
+		// Nothing fit: release raw. A long failure streak disables the
+		// compression path for this core (incompressible application).
+		sm.compFailStreak++
+		if sm.compFailStreak >= 3 {
+			sm.compDisabled = true
+		}
+		sm.sim.Dom.SetRaw(se.lineAddr)
+		sm.releaseStore(se)
+		return
+	}
+	rt := sm.sim.AWS.MustGet(se.chain[se.chainPos])
+	try := func() bool {
+		if se.released {
+			return true // overflow released the line raw; drop the chain
+		}
+		if !sm.awc.CanTrigger(rt.Priority, se.warp) {
+			return false
+		}
+		ex := core.NewAssistExec(rt)
+		sm.sim.Dom.ReadRaw(se.lineAddr, ex.StageIn[:compress.LineSize])
+		e := sm.awc.Trigger(rt, se.warp, ex, se, func(done *core.Entry) {
+			sm.finishCompressionStep(se, done)
+		})
+		if e == nil {
+			return false
+		}
+		se.state = sbCompress
+		sm.awSB[e] = &regMask{}
+		sm.sim.S.AssistWarps++
+		return true
+	}
+	if !try() {
+		se.state = sbQueued
+		sm.decompRetry = append(sm.decompRetry, try)
+	}
+}
+
+// finishCompressionStep consumes one routine's result.
+func (sm *SM) finishCompressionStep(se *storeEntry, e *core.Entry) {
+	delete(sm.awSB, e)
+	if se.released {
+		return // the buffer overflowed and released this line raw
+	}
+	ex := e.Exec
+	id := se.chain[se.chainPos]
+	switch {
+	case id == core.RtBDICompSpecial:
+		switch ex.Result(core.ResultReg) {
+		case 2:
+			sm.installCompressed(se, compress.BDIZeros, ex)
+			return
+		case 1:
+			sm.installCompressed(se, compress.BDIRepeat, ex)
+			return
+		}
+	case id >= core.RtBDICompTest && id < core.RtBDICompTest+core.RoutineID(compress.BDINumEncodings):
+		if ex.Result(core.ResultReg) == 1 {
+			enc := compress.BDIEncoding(id - core.RtBDICompTest)
+			sm.lastGoodEnc, sm.hasLastGood = enc, true
+			sm.installCompressed(se, enc, ex)
+			return
+		}
+	case id == core.RtFPCComp || id == core.RtCPackComp:
+		if ex.Result(core.ResultReg) == 1 {
+			size := int(ex.Result(core.SizeReg))
+			alg := compress.AlgFPC
+			if id == core.RtCPackComp {
+				alg = compress.AlgCPack
+			}
+			st := compress.Compressed{Alg: alg, Enc: 0,
+				Data: append([]byte(nil), ex.StageOut[:size]...)}
+			sm.compFailStreak = 0
+			sm.sim.Dom.SetCompressed(se.lineAddr, st)
+			sm.sim.S.LinesCompressed++
+			sm.releaseStore(se)
+			return
+		}
+	}
+	// This routine failed: try the next one.
+	se.chainPos++
+	sm.stepCompressionChain(se)
+}
+
+// installCompressed stores a successful BDI compression result.
+func (sm *SM) installCompressed(se *storeEntry, enc compress.BDIEncoding, ex *core.Exec) {
+	sm.compFailStreak = 0
+	size := enc.CompressedSize()
+	st := compress.Compressed{Alg: compress.AlgBDI, Enc: uint8(enc),
+		Data: append([]byte(nil), ex.StageOut[:size]...)}
+	sm.sim.Dom.SetCompressed(se.lineAddr, st)
+	sm.sim.S.LinesCompressed++
+	sm.releaseStore(se)
+}
+
+// triggerDecompAW starts (or queues) a high-priority decompression assist
+// warp for a line arriving compressed; done runs when it finishes.
+func (sm *SM) triggerDecompAW(ln uint64, st compress.Compressed, warp int, done func()) {
+	id, err := core.DecompRoutineID(st)
+	if err != nil {
+		panic("gpu: " + err.Error())
+	}
+	rt := sm.sim.AWS.MustGet(id)
+	try := func() bool {
+		// Prefer the parent warp's AWT slot; when it is busy (e.g. a
+		// divergent load needing several lines decompressed), borrow any
+		// other warp's slot — the AWT is a centralized per-SM structure
+		// (Section 3.3), and the parent's dependents are already held by
+		// the load's scoreboard entry.
+		host := -1
+		if sm.awc.CanTrigger(rt.Priority, warp) {
+			host = warp
+		} else {
+			n := len(sm.warps)
+			for i := 1; i < n; i++ {
+				cand := (warp + i) % n
+				if sm.awc.CanTrigger(rt.Priority, cand) {
+					host = cand
+					break
+				}
+			}
+		}
+		if host < 0 {
+			return false
+		}
+		ex := core.NewAssistExec(rt)
+		copy(ex.StageIn, st.Data)
+		e := sm.awc.Trigger(rt, host, ex, nil, func(fin *core.Entry) {
+			delete(sm.awSB, fin)
+			sm.verifyDecompression(ln, fin.Exec)
+			sm.sim.S.LinesDecompressed++
+			done()
+		})
+		if e == nil {
+			return false
+		}
+		sm.awSB[e] = &regMask{}
+		sm.sim.S.AssistWarps++
+		return true
+	}
+	if !try() {
+		sm.decompRetry = append(sm.decompRetry, try)
+	}
+}
+
+// verifyDecompression checks the assist warp's output against the backing
+// store. The store may legitimately have moved on (a later write to the
+// line between compression and this decompression), so only hard failures
+// (routine errors) are fatal; mismatches are tolerated but counted.
+func (sm *SM) verifyDecompression(ln uint64, ex *core.Exec) {
+	if ex.Err != nil {
+		panic(fmt.Sprintf("gpu: decompression routine failed: %v", ex.Err))
+	}
+	var truth [compress.LineSize]byte
+	sm.sim.Dom.ReadRaw(ln, truth[:])
+	if !bytes.Equal(ex.StageOut[:compress.LineSize], truth[:]) {
+		sm.sim.decompMismatches++
+	}
+}
+
+// --- Assist-warp instruction issue ---
+
+// tryIssueAssistOK wraps tryIssueAssist for the low-priority path.
+func (sm *SM) tryIssueAssistOK(e *core.Entry) (ok, dep, memS, compS bool) {
+	return sm.tryIssueAssist(e)
+}
+
+// tryIssueAssist issues one staged instruction of an assist warp.
+func (sm *SM) tryIssueAssist(e *core.Entry) (ok, dep, memS, compS bool) {
+	in := e.Exec.Current()
+	if in == nil || e.Staged == 0 {
+		return false, false, false, false
+	}
+	sb := sm.awSB[e]
+	if sb == nil {
+		sb = &regMask{}
+		sm.awSB[e] = sb
+	}
+	if sb.conflicts(in) {
+		return false, true, false, false
+	}
+	pOK, memS, compS := sm.portsAvailable(in)
+	if !pOK {
+		return false, false, memS, compS
+	}
+	info, stepped := e.Exec.Step()
+	if !stepped {
+		return false, false, false, false
+	}
+	if e.Exec.Err != nil {
+		panic(fmt.Sprintf("gpu: assist warp %s: %v", e.Routine.Name, e.Exec.Err))
+	}
+	e.Staged--
+	if e.Exec.Done {
+		e.Staged = 0 // discard over-staged slots past the routine's end
+	}
+	sm.sim.S.AssistInstrs++
+	sm.countClass(in)
+
+	lat := uint64(sm.sim.Cfg.ALULatency)
+	switch in.Op.Class() {
+	case isa.ClassALU:
+		sm.aluPorts--
+	case isa.ClassSFU:
+		sm.sfuFree = sm.cycle + 4
+		lat = uint64(sm.sim.Cfg.SFULatency)
+	case isa.ClassMem:
+		sm.lsuPorts--
+		lat = uint64(sm.sim.Cfg.L1Latency)
+		if in.Op.IsGlobalMem() {
+			// Assist-warp global access (prefetch routine): goes through
+			// the normal memory path without blocking the assist warp's
+			// completion on the fill.
+			var awLines []uint64
+			for _, ln := range coalesceInto(&awLines, &info.Addrs, info.ExecMask, sm.sim.Cfg.LineSize) {
+				if sm.l1.Lookup(ln, false) {
+					sm.sim.S.L1Hits++
+					continue
+				}
+				sm.sim.S.L1Misses++
+				primary, _ := sm.mshr.Add(ln, (*loadReq)(nil))
+				if primary {
+					sm.sim.Sys.ReadLine(sm.id, ln, &fillCtx{kind: fillAssist})
+				}
+			}
+		}
+	}
+	sb.markDsts(in)
+	e.Outstanding++
+	instr := *in
+	sm.sim.Q.At(float64(sm.cycle+lat), func() {
+		sb.clearDsts(&instr)
+		e.Outstanding--
+		sm.checkAssistDone(e)
+	})
+	sm.checkAssistDone(e)
+	return true, false, false, false
+}
+
+// countClass tallies the issued instruction's class for the energy model.
+func (sm *SM) countClass(in *isa.Instr) {
+	switch in.Op.Class() {
+	case isa.ClassALU:
+		sm.sim.S.ALUInstrs++
+	case isa.ClassSFU:
+		sm.sim.S.SFUInstrs++
+	case isa.ClassMem:
+		sm.sim.S.MemInstrs++
+	case isa.ClassCtrl:
+		sm.sim.S.CtrlInstrs++
+	}
+}
+
+// checkAssistDone retires a finished assist warp.
+func (sm *SM) checkAssistDone(e *core.Entry) {
+	if !e.Killed && e.Done() {
+		sm.awc.Retire(e)
+	}
+}
+
+// --- Fill path ---
+
+// onFill handles a line arriving from the memory system.
+func (sm *SM) onFill(ln uint64, user any) {
+	ctx := user.(*fillCtx)
+	if sm.sim.dbgFetch != nil && ctx.kind == fillLoad {
+		if t0, ok := sm.sim.dbgFetch[ln]; ok {
+			sm.sim.dbgFetchLat += sm.cycle - t0
+			sm.sim.dbgFetchN++
+			delete(sm.sim.dbgFetch, ln)
+		}
+	}
+	st := sm.sim.Sys.ArrivesCompressed(ln)
+	proceed := func() {
+		sm.completeFill(ln, ctx)
+	}
+	if !st.IsCompressed() {
+		proceed()
+		return
+	}
+	switch sm.sim.Design.Decomp {
+	case config.DecompIdeal:
+		proceed()
+	case config.DecompHW:
+		d, _ := compress.HWLatency(sm.sim.Design.Alg)
+		sm.sim.Q.After(float64(d), proceed)
+	case config.DecompCABA:
+		warp := 0
+		switch {
+		case ctx.kind == fillLoad && ctx.load != nil:
+			warp = ctx.load.warp.id
+		case ctx.kind == fillRMW && ctx.se != nil:
+			warp = ctx.se.warp
+		}
+		sm.triggerDecompAW(ln, st, warp, proceed)
+	default:
+		proceed()
+	}
+}
+
+// completeFill installs the line and wakes its waiters.
+func (sm *SM) completeFill(ln uint64, ctx *fillCtx) {
+	switch ctx.kind {
+	case fillLoad:
+		size := sm.sim.Cfg.LineSize
+		if sm.sim.Design.L1TagMult > 1 {
+			if st := sm.sim.Dom.State(ln); st.IsCompressed() {
+				size = st.Size()
+			}
+		}
+		sm.l1.Insert(ln, size, false)
+		for _, w := range sm.mshr.Complete(ln) {
+			if req, okReq := w.(*loadReq); okReq && req != nil {
+				sm.loadLineDone(req)
+			}
+		}
+	case fillRMW:
+		sm.compressAndWrite(ctx.se)
+	case fillAssist:
+		sm.l1.Insert(ln, sm.sim.Cfg.LineSize, false)
+		sm.mshr.Complete(ln)
+	}
+}

@@ -1,0 +1,128 @@
+package gpu
+
+import (
+	"math/bits"
+
+	"github.com/caba-sim/caba/internal/core"
+	"github.com/caba-sim/caba/internal/isa"
+)
+
+// regMask is a scoreboard bitset over the general registers and predicate
+// registers of one warp (or one assist-warp context).
+type regMask struct {
+	g [4]uint64 // 256 general registers
+	p uint8     // predicate registers
+}
+
+func (m *regMask) setReg(r isa.Reg) {
+	if r != isa.RegNone && r.IsGeneral() {
+		i := r.GeneralIndex()
+		m.g[i/64] |= 1 << (i % 64)
+	}
+}
+
+func (m *regMask) clearReg(r isa.Reg) {
+	if r != isa.RegNone && r.IsGeneral() {
+		i := r.GeneralIndex()
+		m.g[i/64] &^= 1 << (i % 64)
+	}
+}
+
+func (m *regMask) hasReg(r isa.Reg) bool {
+	if r == isa.RegNone || !r.IsGeneral() {
+		return false
+	}
+	i := r.GeneralIndex()
+	return m.g[i/64]&(1<<(i%64)) != 0
+}
+
+func (m *regMask) setPred(p isa.Pred) {
+	if p != isa.PredNone {
+		m.p |= 1 << p
+	}
+}
+
+func (m *regMask) clearPred(p isa.Pred) {
+	if p != isa.PredNone {
+		m.p &^= 1 << p
+	}
+}
+
+func (m *regMask) hasPred(p isa.Pred) bool {
+	return p != isa.PredNone && m.p&(1<<p) != 0
+}
+
+func (m *regMask) empty() bool {
+	return m.g[0]|m.g[1]|m.g[2]|m.g[3] == 0 && m.p == 0
+}
+
+// conflicts reports whether issuing in must wait for pending writes
+// (RAW on sources, guard and predicate reads; WAW on destinations).
+func (m *regMask) conflicts(in *isa.Instr) bool {
+	if m.empty() {
+		return false
+	}
+	if m.hasReg(in.SrcA) || m.hasReg(in.SrcB) || m.hasReg(in.SrcC) || m.hasReg(in.Dst) {
+		return true
+	}
+	if m.hasPred(in.Guard) || m.hasPred(in.PA) || m.hasPred(in.PB) || m.hasPred(in.PDst) {
+		return true
+	}
+	return false
+}
+
+// markDsts records in's destinations as pending.
+func (m *regMask) markDsts(in *isa.Instr) {
+	m.setReg(in.Dst)
+	m.setPred(in.PDst)
+}
+
+// clearDsts releases in's destinations.
+func (m *regMask) clearDsts(in *isa.Instr) {
+	m.clearReg(in.Dst)
+	m.clearPred(in.PDst)
+}
+
+// ctaCtx is one resident thread block on an SM.
+type ctaCtx struct {
+	id        int // CTA index within the grid
+	shared    []byte
+	warps     []*warpCtx
+	liveWarps int
+	atBarrier int
+}
+
+// warpCtx is one hardware warp slot.
+type warpCtx struct {
+	id   int // slot index within the SM
+	cta  *ctaCtx
+	exec *core.Exec
+	sb   regMask
+
+	valid bool
+	// inFlight counts issued-but-not-retired instructions (for drain).
+	inFlight int
+	// pendingLoads counts outstanding global loads (the scoreboard blocks
+	// dependents; independent later loads may issue, bounded by the MSHR).
+	pendingLoads int
+	// replay is the load whose overflow lines are still waiting for MSHR
+	// slots; a warp has at most one.
+	replay *loadReq
+	// lastIssueCycle orders warps for the GTO "oldest" criterion.
+	lastIssueCycle uint64
+}
+
+// loadReq tracks one warp's in-flight global load (possibly several cache
+// lines after coalescing).
+type loadReq struct {
+	warp         *warpCtx
+	instr        *isa.Instr
+	linesPending int
+	issued       uint64
+	// todo holds coalesced lines that could not allocate MSHR entries at
+	// issue and await replay.
+	todo []uint64
+}
+
+// popcount32 counts set bits in a lane mask.
+func popcount32(m uint32) int { return bits.OnesCount32(m) }

@@ -1,0 +1,662 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses a textual program into a Program. The syntax mirrors the
+// disassembly format:
+//
+//	; comment            // comment
+//	.name vecadd         ; optional program name
+//	.reg 16              ; optional minimum register count
+//	loop:                ; label
+//	  movi r1, 5
+//	  mov  r2, %tid
+//	  add  r3, r1, r2    ; register form
+//	  add  r3, r3, 8     ; immediate form (auto-selected)
+//	  setp.lt p0, r3, r4
+//	  setp.ges p1, r3, 100
+//	  sel r5, p0, r1, r2
+//	  vote.all p1, p0
+//	  @p0 bra loop       ; predicated (divergent) branch
+//	  @!p1 add r1, r1, 1 ; guarded instruction
+//	  ld.global.u32 r4, [r3+16]
+//	  st.shared.u8 [r3], r4
+//	  atom.add.u32 r1, [r2+8], r3
+//	  bar
+//	  exit
+//
+// This is the CUDA-extension-style interface the paper describes for
+// supplying assist-warp subroutines (Section 3.2.3).
+func Assemble(name, src string) (*Program, error) {
+	a := &assembler{b: NewBuilder(name)}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		if err := a.line(raw); err != nil {
+			return nil, fmt.Errorf("isa: line %d: %w", lineNo+1, err)
+		}
+	}
+	p, err := a.b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if a.minReg > p.NumReg {
+		p.NumReg = a.minReg
+	}
+	if a.name != "" {
+		p.Name = a.name
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble that panics on error; for static subroutines.
+func MustAssemble(name, src string) *Program {
+	p, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type assembler struct {
+	b      *Builder
+	minReg int
+	name   string
+}
+
+func stripComment(s string) string {
+	if i := strings.Index(s, ";"); i >= 0 {
+		s = s[:i]
+	}
+	if i := strings.Index(s, "//"); i >= 0 {
+		s = s[:i]
+	}
+	return strings.TrimSpace(s)
+}
+
+func (a *assembler) line(raw string) error {
+	s := stripComment(raw)
+	if s == "" {
+		return nil
+	}
+	// Directives.
+	if strings.HasPrefix(s, ".") {
+		f := strings.Fields(s)
+		switch f[0] {
+		case ".name":
+			if len(f) != 2 {
+				return fmt.Errorf(".name takes one argument")
+			}
+			a.name = f[1]
+			return nil
+		case ".reg":
+			if len(f) != 2 {
+				return fmt.Errorf(".reg takes one argument")
+			}
+			n, err := strconv.Atoi(f[1])
+			if err != nil || n <= 0 || n > 256 {
+				return fmt.Errorf("bad .reg count %q", f[1])
+			}
+			a.minReg = n
+			return nil
+		}
+		return fmt.Errorf("unknown directive %q", s)
+	}
+	// Labels (possibly followed by an instruction on the same line).
+	for {
+		i := strings.Index(s, ":")
+		if i < 0 {
+			break
+		}
+		label := strings.TrimSpace(s[:i])
+		if label == "" || strings.ContainsAny(label, " \t,") {
+			return fmt.Errorf("bad label %q", label)
+		}
+		a.b.Label(label)
+		s = strings.TrimSpace(s[i+1:])
+		if s == "" {
+			return nil
+		}
+	}
+	return a.instr(s)
+}
+
+// parseGuard strips a leading @p / @!p guard and returns it.
+func parseGuard(s string) (Pred, bool, string, error) {
+	if !strings.HasPrefix(s, "@") {
+		return PredNone, false, s, nil
+	}
+	s = s[1:]
+	neg := false
+	if strings.HasPrefix(s, "!") {
+		neg = true
+		s = s[1:]
+	}
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return PredNone, false, "", fmt.Errorf("guard with no instruction")
+	}
+	p, err := parsePred(s[:i])
+	if err != nil {
+		return PredNone, false, "", err
+	}
+	return p, neg, strings.TrimSpace(s[i:]), nil
+}
+
+func parsePred(s string) (Pred, error) {
+	if len(s) >= 2 && s[0] == 'p' {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < NumPredRegs {
+			return P(n), nil
+		}
+	}
+	return PredNone, fmt.Errorf("bad predicate register %q", s)
+}
+
+var specialRegs = map[string]Reg{
+	"%tid": RegTid, "%ntid": RegNTid, "%ctaid": RegCtaid, "%ncta": RegNCta,
+	"%lane": RegLane, "%warp": RegWarp, "%gtid": RegGtid, "%zero": RegZero,
+	"%p0": RegParam0, "%p1": RegParam1, "%p2": RegParam2, "%p3": RegParam3,
+}
+
+func parseReg(s string) (Reg, error) {
+	if r, ok := specialRegs[s]; ok {
+		return r, nil
+	}
+	if len(s) >= 2 && s[0] == 'r' {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < 256 {
+			return R(n), nil
+		}
+	}
+	return RegNone, fmt.Errorf("bad register %q", s)
+}
+
+func parseImm(s string) (int64, error) {
+	return strconv.ParseInt(s, 0, 64)
+}
+
+// operand is either a register or an immediate.
+type operand struct {
+	reg   Reg
+	imm   int64
+	isImm bool
+}
+
+func parseOperand(s string) (operand, error) {
+	if r, err := parseReg(s); err == nil {
+		return operand{reg: r}, nil
+	}
+	v, err := parseImm(s)
+	if err != nil {
+		return operand{}, fmt.Errorf("bad operand %q", s)
+	}
+	return operand{imm: v, isImm: true}, nil
+}
+
+// parseMemRef parses "[rX+off]" or "[rX]" or "[rX-off]".
+func parseMemRef(s string) (Reg, int64, error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return RegNone, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	sign := int64(1)
+	var regPart, offPart string
+	if i := strings.IndexAny(inner, "+-"); i > 0 {
+		if inner[i] == '-' {
+			sign = -1
+		}
+		regPart, offPart = inner[:i], inner[i+1:]
+	} else {
+		regPart = inner
+	}
+	r, err := parseReg(strings.TrimSpace(regPart))
+	if err != nil {
+		return RegNone, 0, err
+	}
+	var off int64
+	if offPart != "" {
+		off, err = parseImm(strings.TrimSpace(offPart))
+		if err != nil {
+			return RegNone, 0, err
+		}
+	}
+	return r, sign * off, nil
+}
+
+func parseWidthSuffix(s string) (uint8, error) {
+	switch s {
+	case "u8":
+		return 1, nil
+	case "u16":
+		return 2, nil
+	case "u32":
+		return 4, nil
+	case "u64":
+		return 8, nil
+	}
+	return 0, fmt.Errorf("bad width suffix %q", s)
+}
+
+var cmpByName = map[string]CmpOp{
+	"eq": CmpEQ, "ne": CmpNE, "lt": CmpLT, "le": CmpLE, "gt": CmpGT, "ge": CmpGE,
+	"lts": CmpLTS, "les": CmpLES, "gts": CmpGTS, "ges": CmpGES,
+}
+
+// twoOpALU maps mnemonics to their register/immediate op pair.
+var twoOpALU = map[string][2]Op{
+	"add": {OpAdd, OpAddI},
+	"sub": {OpSub, OpSubI},
+	"mul": {OpMul, OpMulI},
+	"and": {OpAnd, OpAndI},
+	"or":  {OpOr, OpOrI},
+	"xor": {OpXor, OpXorI},
+	"shl": {OpShl, OpShlI},
+	"shr": {OpShr, OpShrI},
+	"min": {OpMin, OpNop},
+	"max": {OpMax, OpNop},
+}
+
+func splitArgs(s string) []string {
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	if len(parts) == 1 && parts[0] == "" {
+		return nil
+	}
+	return parts
+}
+
+func (a *assembler) instr(s string) error {
+	guard, guardNeg, rest, err := parseGuard(s)
+	if err != nil {
+		return err
+	}
+	s = rest
+	var mnem, argStr string
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		mnem, argStr = s[:i], strings.TrimSpace(s[i+1:])
+	} else {
+		mnem = s
+	}
+	args := splitArgs(argStr)
+	applyGuard := func() {
+		if guard != PredNone {
+			a.b.WithGuard(guard, guardNeg)
+		}
+	}
+
+	// Memory ops: mnemonic carries dotted suffixes.
+	dot := strings.Split(mnem, ".")
+	switch dot[0] {
+	case "ld", "st":
+		if len(dot) != 3 {
+			return fmt.Errorf("memory op needs space.width suffixes: %q", mnem)
+		}
+		width, err := parseWidthSuffix(dot[2])
+		if err != nil {
+			return err
+		}
+		if len(args) != 2 {
+			return fmt.Errorf("%s takes 2 operands", mnem)
+		}
+		if dot[0] == "ld" {
+			dst, err := parseReg(args[0])
+			if err != nil {
+				return err
+			}
+			addr, off, err := parseMemRef(args[1])
+			if err != nil {
+				return err
+			}
+			switch dot[1] {
+			case "global":
+				a.b.LdGlobal(dst, addr, off, width)
+			case "shared":
+				a.b.LdShared(dst, addr, off, width)
+			case "stage":
+				a.b.LdStage(dst, addr, off, width)
+			default:
+				return fmt.Errorf("bad memory space %q", dot[1])
+			}
+		} else {
+			addr, off, err := parseMemRef(args[0])
+			if err != nil {
+				return err
+			}
+			src, err := parseReg(args[1])
+			if err != nil {
+				return err
+			}
+			switch dot[1] {
+			case "global":
+				a.b.StGlobal(addr, off, src, width)
+			case "shared":
+				a.b.StShared(addr, off, src, width)
+			case "stage":
+				a.b.StStage(addr, off, src, width)
+			default:
+				return fmt.Errorf("bad memory space %q", dot[1])
+			}
+		}
+		applyGuard()
+		return nil
+	case "atom":
+		if len(dot) != 3 || dot[1] != "add" {
+			return fmt.Errorf("unsupported atomic %q", mnem)
+		}
+		width, err := parseWidthSuffix(dot[2])
+		if err != nil {
+			return err
+		}
+		if len(args) != 3 {
+			return fmt.Errorf("atom.add takes 3 operands")
+		}
+		dst, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		addr, off, err := parseMemRef(args[1])
+		if err != nil {
+			return err
+		}
+		src, err := parseReg(args[2])
+		if err != nil {
+			return err
+		}
+		a.b.AtomAdd(dst, addr, off, src, width)
+		applyGuard()
+		return nil
+	case "setp":
+		if len(dot) != 2 {
+			return fmt.Errorf("setp needs a comparison suffix")
+		}
+		cmp, ok := cmpByName[dot[1]]
+		if !ok {
+			return fmt.Errorf("bad comparison %q", dot[1])
+		}
+		if len(args) != 3 {
+			return fmt.Errorf("setp takes 3 operands")
+		}
+		pd, err := parsePred(args[0])
+		if err != nil {
+			return err
+		}
+		ra, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		ob, err := parseOperand(args[2])
+		if err != nil {
+			return err
+		}
+		if ob.isImm {
+			a.b.SetPI(cmp, pd, ra, ob.imm)
+		} else {
+			a.b.SetP(cmp, pd, ra, ob.reg)
+		}
+		applyGuard()
+		return nil
+	case "vote":
+		if len(dot) != 2 || len(args) != 2 {
+			return fmt.Errorf("vote.{all,any} pd, pa")
+		}
+		pd, err := parsePred(args[0])
+		if err != nil {
+			return err
+		}
+		pa, err := parsePred(args[1])
+		if err != nil {
+			return err
+		}
+		switch dot[1] {
+		case "all":
+			a.b.VoteAll(pd, pa)
+		case "any":
+			a.b.VoteAny(pd, pa)
+		default:
+			return fmt.Errorf("bad vote mode %q", dot[1])
+		}
+		applyGuard()
+		return nil
+	case "sext":
+		if len(dot) != 2 || len(args) != 2 {
+			return fmt.Errorf("sext.uN rd, ra")
+		}
+		width, err := parseWidthSuffix(dot[1])
+		if err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		ra, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		a.b.Sext(rd, ra, width)
+		applyGuard()
+		return nil
+	}
+
+	switch mnem {
+	case "mov", "movi":
+		if len(args) != 2 {
+			return fmt.Errorf("mov takes 2 operands")
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		ob, err := parseOperand(args[1])
+		if err != nil {
+			return err
+		}
+		if ob.isImm {
+			a.b.MovI(rd, ob.imm)
+		} else {
+			a.b.Mov(rd, ob.reg)
+		}
+		applyGuard()
+		return nil
+	case "not", "ctz":
+		if len(args) != 2 {
+			return fmt.Errorf("%s takes 2 operands", mnem)
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		ra, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		if mnem == "not" {
+			a.b.Not(rd, ra)
+		} else {
+			a.b.Ctz(rd, ra)
+		}
+		applyGuard()
+		return nil
+	case "ballot":
+		if len(args) != 2 {
+			return fmt.Errorf("ballot takes 2 operands")
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		pa, err := parsePred(args[1])
+		if err != nil {
+			return err
+		}
+		a.b.Ballot(rd, pa)
+		applyGuard()
+		return nil
+	case "shfl":
+		if len(args) != 3 {
+			return fmt.Errorf("shfl takes 3 operands")
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		ra, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		ri, err := parseReg(args[2])
+		if err != nil {
+			return err
+		}
+		a.b.Shfl(rd, ra, ri)
+		applyGuard()
+		return nil
+	case "sfu":
+		if len(args) != 2 {
+			return fmt.Errorf("sfu takes 2 operands")
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		ra, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		a.b.Sfu(rd, ra)
+		applyGuard()
+		return nil
+	case "mad":
+		if len(args) != 4 {
+			return fmt.Errorf("mad takes 4 operands")
+		}
+		var rs [4]Reg
+		for i, arg := range args {
+			r, err := parseReg(arg)
+			if err != nil {
+				return err
+			}
+			rs[i] = r
+		}
+		a.b.Mad(rs[0], rs[1], rs[2], rs[3])
+		applyGuard()
+		return nil
+	case "sel":
+		if len(args) != 4 {
+			return fmt.Errorf("sel takes 4 operands")
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		pa, err := parsePred(args[1])
+		if err != nil {
+			return err
+		}
+		ra, err := parseReg(args[2])
+		if err != nil {
+			return err
+		}
+		rb, err := parseReg(args[3])
+		if err != nil {
+			return err
+		}
+		a.b.Sel(rd, pa, ra, rb)
+		applyGuard()
+		return nil
+	case "pand", "por":
+		if len(args) != 3 {
+			return fmt.Errorf("%s takes 3 operands", mnem)
+		}
+		pd, err := parsePred(args[0])
+		if err != nil {
+			return err
+		}
+		pa, err := parsePred(args[1])
+		if err != nil {
+			return err
+		}
+		pb, err := parsePred(args[2])
+		if err != nil {
+			return err
+		}
+		if mnem == "pand" {
+			a.b.PAnd(pd, pa, pb)
+		} else {
+			a.b.POr(pd, pa, pb)
+		}
+		applyGuard()
+		return nil
+	case "pnot":
+		if len(args) != 2 {
+			return fmt.Errorf("pnot takes 2 operands")
+		}
+		pd, err := parsePred(args[0])
+		if err != nil {
+			return err
+		}
+		pa, err := parsePred(args[1])
+		if err != nil {
+			return err
+		}
+		a.b.PNot(pd, pa)
+		applyGuard()
+		return nil
+	case "bra":
+		if len(args) != 1 {
+			return fmt.Errorf("bra takes a label")
+		}
+		if guard != PredNone {
+			a.b.BraP(guard, guardNeg, args[0])
+		} else {
+			a.b.Bra(args[0])
+		}
+		return nil
+	case "bar":
+		a.b.Bar()
+		applyGuard()
+		return nil
+	case "exit":
+		a.b.Exit()
+		applyGuard()
+		return nil
+	case "nop":
+		a.b.Nop()
+		applyGuard()
+		return nil
+	}
+
+	if ops, ok := twoOpALU[mnem]; ok {
+		if len(args) != 3 {
+			return fmt.Errorf("%s takes 3 operands", mnem)
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		ra, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		ob, err := parseOperand(args[2])
+		if err != nil {
+			return err
+		}
+		if ob.isImm {
+			if ops[1] == OpNop {
+				return fmt.Errorf("%s has no immediate form", mnem)
+			}
+			a.b.aluI(ops[1], rd, ra, ob.imm)
+		} else {
+			a.b.alu2(ops[0], rd, ra, ob.reg)
+		}
+		applyGuard()
+		return nil
+	}
+	return fmt.Errorf("unknown mnemonic %q", mnem)
+}

@@ -1,0 +1,136 @@
+package isa
+
+// Control-flow analysis: immediate post-dominators, used by the SIMT stack
+// to pick reconvergence points for divergent branches (the standard
+// PDOM-based reconvergence of GPGPU-Sim and real GPUs).
+
+// exitNode is the virtual node every Exit (and the final instruction)
+// flows to.
+
+// successors returns the CFG successors of instruction i; the virtual exit
+// node is represented by len(code).
+func successors(code []Instr, i int) []int {
+	n := len(code)
+	in := &code[i]
+	switch in.Op {
+	case OpExit:
+		return []int{n}
+	case OpBra:
+		if in.Guard == PredNone {
+			return []int{int(in.Target)}
+		}
+		return orderedPair(int(in.Target), next(i, n))
+	case OpBrab:
+		return orderedPair(int(in.Target), next(i, n))
+	default:
+		return []int{next(i, n)}
+	}
+}
+
+func next(i, n int) int {
+	if i+1 >= n {
+		return n // falls off the end: exit
+	}
+	return i + 1
+}
+
+func orderedPair(a, b int) []int {
+	if a == b {
+		return []int{a}
+	}
+	return []int{a, b}
+}
+
+// PostDominators computes, for every instruction, its immediate
+// post-dominator: the first instruction control must pass through on every
+// path to program exit. Divergent branches reconverge there. The virtual
+// exit node is len(p.Code); an instruction whose ipdom is the exit node
+// reconverges only at warp termination.
+//
+// Uses the classic iterative dataflow algorithm (O(n^2) worst case), which
+// is fine for the small kernels and assist-warp subroutines in this ISA.
+func PostDominators(p *Program) []int {
+	n := len(p.Code)
+	// pdom[i] = set of post-dominators of i, as a bitset; node n = exit.
+	words := (n + 1 + 63) / 64
+	full := make([]uint64, words)
+	for i := 0; i <= n; i++ {
+		full[i/64] |= 1 << (i % 64)
+	}
+	pdom := make([][]uint64, n+1)
+	for i := 0; i <= n; i++ {
+		pdom[i] = make([]uint64, words)
+		if i == n {
+			pdom[i][n/64] = 1 << (n % 64) // exit post-dominates itself only
+		} else {
+			copy(pdom[i], full)
+		}
+	}
+	tmp := make([]uint64, words)
+	changed := true
+	for changed {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			succs := successors(p.Code, i)
+			copy(tmp, full)
+			for _, s := range succs {
+				for w := range tmp {
+					tmp[w] &= pdom[s][w]
+				}
+			}
+			tmp[i/64] |= 1 << (i % 64) // every node post-dominates itself
+			for w := range tmp {
+				if tmp[w] != pdom[i][w] {
+					copy(pdom[i], tmp)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	// Immediate post-dominator: the closest strict post-dominator. For
+	// straight-line reconvergence the nearest one in instruction order
+	// after i works because post-dominators of a node form a chain.
+	ipdom := make([]int, n)
+	for i := 0; i < n; i++ {
+		ip := n
+		for j := 0; j <= n; j++ {
+			if j == i {
+				continue
+			}
+			if pdom[i][j/64]&(1<<(j%64)) != 0 {
+				// candidate strict post-dominator; the immediate one is
+				// the candidate post-dominated by all other candidates,
+				// i.e. the one with the smallest post-dominator set.
+				if ip == n || popcountLess(pdom[j], pdom[ip]) {
+					ip = j
+				}
+			}
+		}
+		ipdom[i] = ip
+	}
+	return ipdom
+}
+
+// popcountLess reports whether set a has strictly more members than set b —
+// in a post-dominator chain the immediate post-dominator has the largest
+// set (it is post-dominated by everything later in the chain... inverted:
+// each post-dominator's own set includes all later ones, so the immediate
+// one has the *largest* set).
+func popcountLess(a, b []uint64) bool {
+	ca, cb := 0, 0
+	for i := range a {
+		ca += popcount(a[i])
+		cb += popcount(b[i])
+	}
+	return ca > cb
+}
+
+func popcount(x uint64) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}

@@ -1,0 +1,130 @@
+package isa
+
+import "math/bits"
+
+// This file implements the functional (value) semantics of the scalar ALU
+// and SFU operations. The execution engine calls these per active lane;
+// warp-level ops (ballot, shfl, vote) are handled by the executor, which
+// sees all lanes at once.
+
+// EvalALU computes the result of a scalar ALU op given already-read operand
+// values a, b, c and the instruction immediate. Ops that do not produce a
+// general-register result (predicate ops, memory, control) must not be
+// passed here.
+func EvalALU(in *Instr, a, b, c uint64) uint64 {
+	switch in.Op {
+	case OpMov:
+		return a
+	case OpMovI:
+		return uint64(in.Imm)
+	case OpAdd:
+		return a + b
+	case OpAddI:
+		return a + uint64(in.Imm)
+	case OpSub:
+		return a - b
+	case OpSubI:
+		return a - uint64(in.Imm)
+	case OpMul:
+		return a * b
+	case OpMulI:
+		return a * uint64(in.Imm)
+	case OpMad:
+		return a*b + c
+	case OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	case OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	case OpAnd:
+		return a & b
+	case OpAndI:
+		return a & uint64(in.Imm)
+	case OpOr:
+		return a | b
+	case OpOrI:
+		return a | uint64(in.Imm)
+	case OpXor:
+		return a ^ b
+	case OpXorI:
+		return a ^ uint64(in.Imm)
+	case OpNot:
+		return ^a
+	case OpShl:
+		return a << (b & 63)
+	case OpShlI:
+		return a << (uint64(in.Imm) & 63)
+	case OpShr:
+		return a >> (b & 63)
+	case OpShrI:
+		return a >> (uint64(in.Imm) & 63)
+	case OpSext:
+		return SignExtend(a, in.Width)
+	case OpSfu:
+		return sfuMix(a)
+	case OpCtz:
+		return uint64(bits.TrailingZeros64(a))
+	case OpNop:
+		return 0
+	}
+	panic("isa: EvalALU called with non-ALU op " + in.Op.String())
+}
+
+// EvalCmp evaluates a SetP comparison between a and b.
+func EvalCmp(cmp CmpOp, a, b uint64) bool {
+	switch cmp {
+	case CmpEQ:
+		return a == b
+	case CmpNE:
+		return a != b
+	case CmpLT:
+		return a < b
+	case CmpLE:
+		return a <= b
+	case CmpGT:
+		return a > b
+	case CmpGE:
+		return a >= b
+	case CmpLTS:
+		return int64(a) < int64(b)
+	case CmpLES:
+		return int64(a) <= int64(b)
+	case CmpGTS:
+		return int64(a) > int64(b)
+	case CmpGES:
+		return int64(a) >= int64(b)
+	}
+	panic("isa: unknown comparison")
+}
+
+// SignExtend sign-extends the low `width` bytes of v to 64 bits.
+func SignExtend(v uint64, width uint8) uint64 {
+	shift := 64 - uint(width)*8
+	return uint64(int64(v<<shift) >> shift)
+}
+
+// ZeroExtend keeps only the low `width` bytes of v.
+func ZeroExtend(v uint64, width uint8) uint64 {
+	if width >= 8 {
+		return v
+	}
+	return v & ((uint64(1) << (uint(width) * 8)) - 1)
+}
+
+// sfuMix is the modeled special-function computation: an invertible 64-bit
+// bit-mixer (splitmix64 finalizer). Its exact function is irrelevant to the
+// architecture study; it stands in for rsqrt/sin-style SFU work and gives
+// data-dependent but deterministic results for memoization experiments.
+func sfuMix(v uint64) uint64 {
+	v ^= v >> 30
+	v *= 0xbf58476d1ce4e5b9
+	v ^= v >> 27
+	v *= 0x94d049bb133111eb
+	v ^= v >> 31
+	return v
+}

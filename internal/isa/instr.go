@@ -1,0 +1,258 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Reg names a register operand. Values below SpecialBase address the
+// per-thread general register file (r0, r1, ...); values at or above it are
+// read-only special registers supplied by the execution engine.
+type Reg uint16
+
+// RegNone marks an unused register operand.
+const RegNone Reg = 0xFFFF
+
+// SpecialBase is the first special-register number.
+const SpecialBase Reg = 0x1000
+
+// Special registers.
+const (
+	RegTid    Reg = SpecialBase + iota // linear thread index within the CTA
+	RegNTid                            // number of threads per CTA
+	RegCtaid                           // CTA index within the grid
+	RegNCta                            // number of CTAs in the grid
+	RegLane                            // lane index within the warp (0..31)
+	RegWarp                            // warp index within the CTA
+	RegGtid                            // global linear thread index
+	RegZero                            // always zero
+	RegParam0                          // kernel parameter registers
+	RegParam1
+	RegParam2
+	RegParam3
+	specialEnd
+)
+
+// NumSpecial is the count of special registers.
+const NumSpecial = int(specialEnd - SpecialBase)
+
+// R returns the i'th general register.
+func R(i int) Reg { return Reg(i) }
+
+// IsGeneral reports whether r names a general (writable) register.
+func (r Reg) IsGeneral() bool { return r < SpecialBase }
+
+// GeneralIndex returns the general register file index; callers must check
+// IsGeneral first.
+func (r Reg) GeneralIndex() int { return int(r) }
+
+// SpecialIndex returns the index into the special register set.
+func (r Reg) SpecialIndex() int { return int(r - SpecialBase) }
+
+// String returns the assembly name of the register.
+func (r Reg) String() string {
+	switch {
+	case r == RegNone:
+		return "_"
+	case r.IsGeneral():
+		return fmt.Sprintf("r%d", int(r))
+	}
+	names := [...]string{"%tid", "%ntid", "%ctaid", "%ncta", "%lane", "%warp", "%gtid", "%zero", "%p0", "%p1", "%p2", "%p3"}
+	i := r.SpecialIndex()
+	if i < len(names) {
+		return names[i]
+	}
+	return fmt.Sprintf("%%sr%d", i)
+}
+
+// Pred names a predicate register. Each thread has NumPredRegs one-bit
+// predicate registers.
+type Pred uint8
+
+// PredNone marks an unpredicated instruction / unused predicate operand.
+const PredNone Pred = 0xFF
+
+// NumPredRegs is the number of per-thread predicate registers.
+const NumPredRegs = 4
+
+// P returns the i'th predicate register.
+func P(i int) Pred { return Pred(i) }
+
+// String returns the assembly name of the predicate register.
+func (p Pred) String() string {
+	if p == PredNone {
+		return "_"
+	}
+	return fmt.Sprintf("p%d", uint8(p))
+}
+
+// Instr is a single decoded instruction. The layout is a superset of all
+// op formats; unused fields hold their zero/None values.
+type Instr struct {
+	Op   Op
+	Cmp  CmpOp // comparison for SetP/SetPI
+	Dst  Reg
+	SrcA Reg
+	SrcB Reg
+	SrcC Reg
+	Imm  int64
+
+	// Guard predicate: when Guard != PredNone the instruction executes
+	// only in lanes where the predicate (xor GuardNeg) is true.
+	Guard    Pred
+	GuardNeg bool
+
+	// Predicate operands for predicate-manipulating ops and Sel.
+	PDst Pred
+	PA   Pred
+	PB   Pred
+
+	// Width is the access size in bytes for memory ops (1, 2, 4 or 8)
+	// and for Sext.
+	Width uint8
+
+	// Target is the branch destination (instruction index in the program).
+	Target int32
+}
+
+// DstRegs appends the general registers written by the instruction to buf.
+func (in *Instr) DstRegs(buf []Reg) []Reg {
+	if in.Dst != RegNone && in.Dst.IsGeneral() {
+		buf = append(buf, in.Dst)
+	}
+	return buf
+}
+
+// SrcRegs appends the general registers read by the instruction to buf.
+func (in *Instr) SrcRegs(buf []Reg) []Reg {
+	for _, r := range [...]Reg{in.SrcA, in.SrcB, in.SrcC} {
+		if r != RegNone && r.IsGeneral() {
+			buf = append(buf, r)
+		}
+	}
+	return buf
+}
+
+// String renders the instruction in assembly syntax.
+func (in *Instr) String() string {
+	var b strings.Builder
+	if in.Guard != PredNone {
+		if in.GuardNeg {
+			b.WriteString("@!")
+		} else {
+			b.WriteString("@")
+		}
+		b.WriteString(in.Guard.String())
+		b.WriteString(" ")
+	}
+	switch in.Op {
+	case OpSetP, OpSetPI:
+		fmt.Fprintf(&b, "setp.%s %s, %s, ", in.Cmp, in.PDst, in.SrcA)
+		if in.Op == OpSetPI {
+			fmt.Fprintf(&b, "%d", in.Imm)
+		} else {
+			b.WriteString(in.SrcB.String())
+		}
+	case OpPAnd, OpPOr:
+		fmt.Fprintf(&b, "%s %s, %s, %s", in.Op, in.PDst, in.PA, in.PB)
+	case OpPNot:
+		fmt.Fprintf(&b, "pnot %s, %s", in.PDst, in.PA)
+	case OpVoteAll, OpVoteAny:
+		fmt.Fprintf(&b, "%s %s, %s", in.Op, in.PDst, in.PA)
+	case OpBallot:
+		fmt.Fprintf(&b, "ballot %s, %s", in.Dst, in.PA)
+	case OpShfl:
+		fmt.Fprintf(&b, "shfl %s, %s, %s", in.Dst, in.SrcA, in.SrcB)
+	case OpCtz:
+		fmt.Fprintf(&b, "ctz %s, %s", in.Dst, in.SrcA)
+	case OpSel:
+		fmt.Fprintf(&b, "sel %s, %s, %s, %s", in.Dst, in.PA, in.SrcA, in.SrcB)
+	case OpLdGlobal, OpLdShared, OpLdStage:
+		fmt.Fprintf(&b, "%s.u%d %s, [%s%+d]", in.Op, in.Width*8, in.Dst, in.SrcA, in.Imm)
+	case OpStGlobal, OpStShared, OpStStage:
+		fmt.Fprintf(&b, "%s.u%d [%s%+d], %s", in.Op, in.Width*8, in.SrcA, in.Imm, in.SrcB)
+	case OpAtomAdd:
+		fmt.Fprintf(&b, "atom.add.u%d %s, [%s%+d], %s", in.Width*8, in.Dst, in.SrcA, in.Imm, in.SrcB)
+	case OpBra:
+		fmt.Fprintf(&b, "bra %d", in.Target)
+	case OpBrab:
+		fmt.Fprintf(&b, "brab %s, %d", in.Guard, in.Target)
+	case OpBar, OpExit, OpNop:
+		b.WriteString(in.Op.String())
+	case OpMovI:
+		fmt.Fprintf(&b, "movi %s, %d", in.Dst, in.Imm)
+	case OpMov, OpNot:
+		fmt.Fprintf(&b, "%s %s, %s", in.Op, in.Dst, in.SrcA)
+	case OpSext:
+		fmt.Fprintf(&b, "sext.u%d %s, %s", in.Width*8, in.Dst, in.SrcA)
+	case OpMad:
+		fmt.Fprintf(&b, "mad %s, %s, %s, %s", in.Dst, in.SrcA, in.SrcB, in.SrcC)
+	default:
+		if in.Op.HasImm() {
+			// Print the register mnemonic ("add", not "addi"): the
+			// assembler selects the immediate form from the operand.
+			fmt.Fprintf(&b, "%s %s, %s, %d", strings.TrimSuffix(in.Op.String(), "i"), in.Dst, in.SrcA, in.Imm)
+		} else {
+			fmt.Fprintf(&b, "%s %s, %s, %s", in.Op, in.Dst, in.SrcA, in.SrcB)
+		}
+	}
+	return b.String()
+}
+
+// Program is an ordered instruction sequence plus the static resource
+// requirements the compiler would have computed.
+type Program struct {
+	Name   string
+	Code   []Instr
+	NumReg int // general registers per thread
+	Labels map[string]int
+}
+
+// Len returns the number of instructions.
+func (p *Program) Len() int { return len(p.Code) }
+
+// At returns the instruction at index i.
+func (p *Program) At(i int) *Instr { return &p.Code[i] }
+
+// Validate checks structural invariants: branch targets in range, register
+// numbers within NumReg, sane widths. It returns the first problem found.
+func (p *Program) Validate() error {
+	if p.NumReg <= 0 || p.NumReg > 256 {
+		return fmt.Errorf("isa: program %q: NumReg %d out of range (1..256)", p.Name, p.NumReg)
+	}
+	var regs []Reg
+	for i := range p.Code {
+		in := &p.Code[i]
+		if in.Op.IsBranch() {
+			if in.Target < 0 || int(in.Target) >= len(p.Code) {
+				return fmt.Errorf("isa: program %q: instr %d: branch target %d out of range", p.Name, i, in.Target)
+			}
+		}
+		if in.Op.IsMem() {
+			switch in.Width {
+			case 1, 2, 4, 8:
+			default:
+				return fmt.Errorf("isa: program %q: instr %d: bad width %d", p.Name, i, in.Width)
+			}
+		}
+		regs = regs[:0]
+		regs = in.DstRegs(regs)
+		regs = in.SrcRegs(regs)
+		for _, r := range regs {
+			if r.GeneralIndex() >= p.NumReg {
+				return fmt.Errorf("isa: program %q: instr %d: register %s exceeds NumReg %d", p.Name, i, r, p.NumReg)
+			}
+		}
+	}
+	return nil
+}
+
+// Disassemble renders the whole program, one instruction per line with
+// its index, suitable for debugging and golden tests.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	for i := range p.Code {
+		fmt.Fprintf(&b, "%4d: %s\n", i, p.Code[i].String())
+	}
+	return b.String()
+}

@@ -1,0 +1,438 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderSimpleProgram(t *testing.T) {
+	p, err := NewBuilder("vecadd").
+		Mov(R(0), RegTid).
+		ShlI(R(0), R(0), 2).
+		Add(R(1), R(0), R(2)).
+		LdGlobal(R(3), R(1), 0, 4).
+		AddI(R(3), R(3), 1).
+		StGlobal(R(1), 0, R(3), 4).
+		Exit().
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 7 {
+		t.Errorf("len = %d, want 7", p.Len())
+	}
+	if p.NumReg != 4 {
+		t.Errorf("NumReg = %d, want 4", p.NumReg)
+	}
+}
+
+func TestBuilderLabelsAndBranches(t *testing.T) {
+	p, err := NewBuilder("loop").
+		MovI(R(0), 10).
+		Label("top").
+		SubI(R(0), R(0), 1).
+		SetPI(CmpGT, P(0), R(0), 0).
+		BraP(P(0), false, "top").
+		Exit().
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := p.At(3)
+	if br.Op != OpBrab || br.Target != 1 {
+		t.Errorf("branch = %v target %d, want brab -> 1", br.Op, br.Target)
+	}
+}
+
+func TestBuilderForwardLabel(t *testing.T) {
+	p, err := NewBuilder("fwd").
+		SetPI(CmpEQ, P(0), R(0), 0).
+		BraP(P(0), false, "done").
+		AddI(R(0), R(0), 1).
+		Label("done").
+		Exit().
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.At(1).Target != 3 {
+		t.Errorf("forward target = %d, want 3", p.At(1).Target)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	_, err := NewBuilder("bad").Bra("nowhere").Exit().Build()
+	if err == nil || !strings.Contains(err.Error(), "undefined label") {
+		t.Errorf("err = %v, want undefined label", err)
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	_, err := NewBuilder("dup").Label("x").Nop().Label("x").Exit().Build()
+	if err == nil || !strings.Contains(err.Error(), "duplicate label") {
+		t.Errorf("err = %v, want duplicate label", err)
+	}
+}
+
+func TestValidateBadWidth(t *testing.T) {
+	p := &Program{Name: "w", NumReg: 2, Code: []Instr{
+		{Op: OpLdGlobal, Dst: R(0), SrcA: R(1), Width: 3, Guard: PredNone},
+	}}
+	if err := p.Validate(); err == nil {
+		t.Error("width 3 should fail validation")
+	}
+}
+
+func TestValidateRegisterRange(t *testing.T) {
+	p := &Program{Name: "r", NumReg: 2, Code: []Instr{
+		{Op: OpMov, Dst: R(5), SrcA: R(0), SrcB: RegNone, SrcC: RegNone, Guard: PredNone},
+	}}
+	if err := p.Validate(); err == nil {
+		t.Error("register beyond NumReg should fail validation")
+	}
+}
+
+func TestValidateBranchTarget(t *testing.T) {
+	p := &Program{Name: "b", NumReg: 1, Code: []Instr{
+		{Op: OpBra, Target: 9, Dst: RegNone, SrcA: RegNone, SrcB: RegNone, SrcC: RegNone, Guard: PredNone},
+	}}
+	if err := p.Validate(); err == nil {
+		t.Error("out-of-range branch target should fail validation")
+	}
+}
+
+func TestEvalALUArithmetic(t *testing.T) {
+	cases := []struct {
+		in      Instr
+		a, b, c uint64
+		want    uint64
+	}{
+		{Instr{Op: OpMov}, 42, 0, 0, 42},
+		{Instr{Op: OpMovI, Imm: -1}, 0, 0, 0, ^uint64(0)},
+		{Instr{Op: OpAdd}, 3, 4, 0, 7},
+		{Instr{Op: OpAddI, Imm: -2}, 3, 0, 0, 1},
+		{Instr{Op: OpSub}, 3, 5, 0, ^uint64(1)},
+		{Instr{Op: OpMul}, 7, 6, 0, 42},
+		{Instr{Op: OpMulI, Imm: 128}, 2, 0, 0, 256},
+		{Instr{Op: OpMad}, 3, 4, 5, 17},
+		{Instr{Op: OpMin}, 9, 4, 0, 4},
+		{Instr{Op: OpMax}, 9, 4, 0, 9},
+		{Instr{Op: OpAnd}, 0b1100, 0b1010, 0, 0b1000},
+		{Instr{Op: OpOr}, 0b1100, 0b1010, 0, 0b1110},
+		{Instr{Op: OpXor}, 0b1100, 0b1010, 0, 0b0110},
+		{Instr{Op: OpNot}, 0, 0, 0, ^uint64(0)},
+		{Instr{Op: OpShl}, 1, 12, 0, 4096},
+		{Instr{Op: OpShlI, Imm: 3}, 2, 0, 0, 16},
+		{Instr{Op: OpShr}, 256, 4, 0, 16},
+		{Instr{Op: OpShrI, Imm: 1}, 3, 0, 0, 1},
+		{Instr{Op: OpSext, Width: 1}, 0x80, 0, 0, ^uint64(0x7F)},
+		{Instr{Op: OpSext, Width: 2}, 0x7FFF, 0, 0, 0x7FFF},
+	}
+	for i, tc := range cases {
+		if got := EvalALU(&tc.in, tc.a, tc.b, tc.c); got != tc.want {
+			t.Errorf("case %d (%v): got %#x, want %#x", i, tc.in.Op, got, tc.want)
+		}
+	}
+}
+
+func TestEvalALUShiftMasking(t *testing.T) {
+	in := Instr{Op: OpShl}
+	if got := EvalALU(&in, 1, 64, 0); got != 1 {
+		t.Errorf("shift by 64 should mask to 0: got %d", got)
+	}
+}
+
+func TestEvalCmp(t *testing.T) {
+	neg := ^uint64(0) // -1 signed
+	cases := []struct {
+		cmp  CmpOp
+		a, b uint64
+		want bool
+	}{
+		{CmpEQ, 5, 5, true},
+		{CmpNE, 5, 5, false},
+		{CmpLT, 3, 5, true},
+		{CmpLE, 5, 5, true},
+		{CmpGT, 6, 5, true},
+		{CmpGE, 4, 5, false},
+		{CmpLT, neg, 5, false},  // unsigned: huge
+		{CmpLTS, neg, 5, true},  // signed: -1 < 5
+		{CmpGTS, 5, neg, true},  // signed: 5 > -1
+		{CmpGES, neg, 0, false}, // signed: -1 < 0
+		{CmpLES, neg, neg, true},
+	}
+	for i, tc := range cases {
+		if got := EvalCmp(tc.cmp, tc.a, tc.b); got != tc.want {
+			t.Errorf("case %d: %v(%d,%d) = %v, want %v", i, tc.cmp, tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestSignZeroExtendInverse(t *testing.T) {
+	f := func(v uint64) bool {
+		for _, w := range []uint8{1, 2, 4, 8} {
+			z := ZeroExtend(v, w)
+			s := SignExtend(v, w)
+			if ZeroExtend(s, w) != z {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvalSfuDeterministicAndMixing(t *testing.T) {
+	in := Instr{Op: OpSfu}
+	a := EvalALU(&in, 12345, 0, 0)
+	b := EvalALU(&in, 12345, 0, 0)
+	if a != b {
+		t.Error("SFU must be deterministic")
+	}
+	if a == 12345 || a == 0 {
+		t.Error("SFU should mix bits")
+	}
+	if EvalALU(&in, 12346, 0, 0) == a {
+		t.Error("different inputs should produce different outputs")
+	}
+}
+
+func TestEvalALUPanicsOnMemOp(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("EvalALU on a memory op must panic")
+		}
+	}()
+	in := Instr{Op: OpLdGlobal}
+	EvalALU(&in, 0, 0, 0)
+}
+
+func TestOpClasses(t *testing.T) {
+	if OpAdd.Class() != ClassALU {
+		t.Error("add should be ALU class")
+	}
+	if OpSfu.Class() != ClassSFU {
+		t.Error("sfu should be SFU class")
+	}
+	for _, op := range []Op{OpLdGlobal, OpStGlobal, OpLdShared, OpStShared, OpLdStage, OpStStage, OpAtomAdd} {
+		if !op.IsMem() {
+			t.Errorf("%v should be a memory op", op)
+		}
+	}
+	for _, op := range []Op{OpBra, OpBrab, OpBar, OpExit} {
+		if op.Class() != ClassCtrl {
+			t.Errorf("%v should be control class", op)
+		}
+	}
+	if !OpLdGlobal.IsGlobalMem() || OpLdShared.IsGlobalMem() || OpLdStage.IsGlobalMem() {
+		t.Error("IsGlobalMem misclassifies")
+	}
+	if !OpAtomAdd.IsLoad() || !OpAtomAdd.IsStore() {
+		t.Error("atomics are both load and store")
+	}
+}
+
+func TestAssembleRoundTrip(t *testing.T) {
+	src := `
+.name saxpyish
+; scale-and-add over a strided array
+  mov r0, %tid
+  shl r0, r0, 2
+  add r1, r0, %p0     ; base pointer parameter
+loop:
+  ld.global.u32 r2, [r1+0]
+  mul r2, r2, 3
+  add r2, r2, 7
+  st.global.u32 [r1+0], r2
+  add r1, r1, 128
+  setp.lt p0, r1, %p1
+  @p0 bra loop
+  bar
+  exit
+`
+	p, err := Assemble("x", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "saxpyish" {
+		t.Errorf("name = %q", p.Name)
+	}
+	if p.Len() != 12 {
+		t.Fatalf("len = %d, want 12; disasm:\n%s", p.Len(), p.Disassemble())
+	}
+	br := p.At(9)
+	if br.Op != OpBrab || br.Guard != P(0) || br.Target != 3 {
+		t.Errorf("predicated branch wrong: %+v", *br)
+	}
+	// Reassembling the disassembly of each instruction must not error for
+	// the ALU/memory subset (labels become numeric targets, so skip
+	// branches).
+	for i := 0; i < p.Len(); i++ {
+		in := p.At(i)
+		if in.Op.IsBranch() {
+			continue
+		}
+		line := in.String()
+		if _, err := Assemble("re", line+"\nexit"); err != nil {
+			t.Errorf("instr %d: %q does not reassemble: %v", i, line, err)
+		}
+	}
+}
+
+func TestAssembleImmediateAutoselect(t *testing.T) {
+	p := MustAssemble("imm", `
+  add r0, r1, 5
+  add r0, r1, r2
+  setp.eq p0, r0, 0
+  setp.eq p0, r0, r1
+  exit`)
+	wants := []Op{OpAddI, OpAdd, OpSetPI, OpSetP, OpExit}
+	for i, w := range wants {
+		if p.At(i).Op != w {
+			t.Errorf("instr %d = %v, want %v", i, p.At(i).Op, w)
+		}
+	}
+}
+
+func TestAssembleMemoryForms(t *testing.T) {
+	p := MustAssemble("mem", `
+  ld.global.u64 r0, [r1+8]
+  ld.shared.u16 r2, [r3-4]
+  ld.stage.u8 r4, [r5]
+  st.global.u32 [r1+12], r0
+  st.stage.u64 [r5+0], r4
+  atom.add.u32 r6, [r1+4], r0
+  exit`)
+	checks := []struct {
+		op    Op
+		width uint8
+		imm   int64
+	}{
+		{OpLdGlobal, 8, 8},
+		{OpLdShared, 2, -4},
+		{OpLdStage, 1, 0},
+		{OpStGlobal, 4, 12},
+		{OpStStage, 8, 0},
+		{OpAtomAdd, 4, 4},
+	}
+	for i, c := range checks {
+		in := p.At(i)
+		if in.Op != c.op || in.Width != c.width || in.Imm != c.imm {
+			t.Errorf("instr %d: got %v w=%d imm=%d, want %v w=%d imm=%d",
+				i, in.Op, in.Width, in.Imm, c.op, c.width, c.imm)
+		}
+	}
+}
+
+func TestAssembleGuards(t *testing.T) {
+	p := MustAssemble("g", `
+  setp.eq p1, r0, 0
+  @p1 add r0, r0, 1
+  @!p1 sub r0, r0, 1
+  exit`)
+	if in := p.At(1); in.Guard != P(1) || in.GuardNeg {
+		t.Errorf("positive guard wrong: %+v", *in)
+	}
+	if in := p.At(2); in.Guard != P(1) || !in.GuardNeg {
+		t.Errorf("negative guard wrong: %+v", *in)
+	}
+}
+
+func TestAssemblePredicateOps(t *testing.T) {
+	p := MustAssemble("p", `
+  pand p0, p1, p2
+  por p1, p2, p3
+  pnot p2, p0
+  vote.all p3, p0
+  vote.any p0, p3
+  sel r0, p0, r1, r2
+  exit`)
+	wants := []Op{OpPAnd, OpPOr, OpPNot, OpVoteAll, OpVoteAny, OpSel}
+	for i, w := range wants {
+		if p.At(i).Op != w {
+			t.Errorf("instr %d = %v, want %v", i, p.At(i).Op, w)
+		}
+	}
+}
+
+func TestAssembleRegDirective(t *testing.T) {
+	p := MustAssemble("regs", ".reg 32\n mov r0, r1\n exit")
+	if p.NumReg != 32 {
+		t.Errorf("NumReg = %d, want 32", p.NumReg)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	bad := []string{
+		"frobnicate r0, r1",
+		"mov r999, r0",
+		"ld.global r0, [r1]",      // missing width
+		"ld.global.u32 r0, r1",    // missing brackets
+		"setp.zz p0, r0, r1",      // bad cmp
+		"@p9 add r0, r0, r1",      // bad predicate
+		".reg abc",                // bad directive arg
+		"min r0, r1, 5",           // min has no immediate form
+		"bra",                     // missing label
+		"label with spaces: exit", // bad label
+	}
+	for _, src := range bad {
+		if _, err := Assemble("bad", src+"\nexit"); err == nil {
+			t.Errorf("%q assembled without error", src)
+		}
+	}
+}
+
+func TestDisassembleStable(t *testing.T) {
+	p := MustAssemble("d", `
+  movi r0, 7
+  mov r1, %lane
+  setp.lts p0, r1, r0
+  @p0 bra skip
+  add r1, r1, r0
+skip:
+  exit`)
+	d := p.Disassemble()
+	for _, want := range []string{"movi r0, 7", "setp.lts p0, r1, r0", "brab p0, 5", "exit"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestRegStringAndSpecials(t *testing.T) {
+	if R(3).String() != "r3" {
+		t.Errorf("R(3) = %q", R(3))
+	}
+	if RegTid.String() != "%tid" || RegParam0.String() != "%p0" {
+		t.Errorf("special names wrong: %q %q", RegTid, RegParam0)
+	}
+	if RegNone.String() != "_" {
+		t.Errorf("RegNone = %q", RegNone)
+	}
+	if !R(3).IsGeneral() || RegTid.IsGeneral() {
+		t.Error("IsGeneral misclassifies")
+	}
+	if RegLane.SpecialIndex() != 4 {
+		t.Errorf("RegLane index = %d", RegLane.SpecialIndex())
+	}
+}
+
+func TestDstSrcRegs(t *testing.T) {
+	in := Instr{Op: OpMad, Dst: R(0), SrcA: R(1), SrcB: RegTid, SrcC: R(2), Guard: PredNone}
+	var buf []Reg
+	if d := in.DstRegs(buf); len(d) != 1 || d[0] != R(0) {
+		t.Errorf("DstRegs = %v", d)
+	}
+	if s := in.SrcRegs(buf); len(s) != 2 {
+		t.Errorf("SrcRegs = %v (special regs must be excluded)", s)
+	}
+}
+
+func TestGuardOnEmptyBuilder(t *testing.T) {
+	if _, err := NewBuilder("e").WithGuard(P(0), false).Exit().Build(); err == nil {
+		t.Error("guard before any instruction should error")
+	}
+}

@@ -1,0 +1,227 @@
+// Package isa defines the miniature SIMT instruction set executed by the
+// simulated GPU cores. Both regular workload kernels and CABA assist-warp
+// subroutines are expressed in this ISA, so assist warps compete for the
+// same fetch/issue/ALU resources as the programs they accelerate.
+//
+// The ISA is deliberately small (integer/logic ALU ops, a long-latency SFU
+// op, global/shared memory accesses, predication, SIMT branches, barriers)
+// plus a handful of staging ops that assist warps use to read a fetched
+// compressed cache line and write back its decompressed form. Values are
+// 64-bit so that 8-byte Base-Delta-Immediate bases fit in one register.
+package isa
+
+import "fmt"
+
+// Op identifies an instruction operation.
+type Op uint8
+
+// Operation codes. The groupings matter to the timing model: ALU ops occupy
+// the integer pipeline, SFU ops the special-function pipeline, and memory
+// ops the load-store pipeline.
+const (
+	OpNop Op = iota
+
+	// ALU: integer arithmetic and logic.
+	OpMov  // dst = srcA
+	OpMovI // dst = imm
+	OpAdd  // dst = srcA + srcB
+	OpAddI // dst = srcA + imm
+	OpSub  // dst = srcA - srcB
+	OpSubI // dst = srcA - imm
+	OpMul  // dst = srcA * srcB
+	OpMulI // dst = srcA * imm
+	OpMad  // dst = srcA*srcB + srcC
+	OpMin  // dst = min(srcA, srcB) (unsigned)
+	OpMax  // dst = max(srcA, srcB) (unsigned)
+	OpAnd
+	OpAndI
+	OpOr
+	OpOrI
+	OpXor
+	OpXorI
+	OpNot  // dst = ^srcA
+	OpShl  // dst = srcA << srcB
+	OpShlI // dst = srcA << imm
+	OpShr  // dst = srcA >> srcB (logical)
+	OpShrI // dst = srcA >> imm (logical)
+	OpSext // dst = sign-extend low Width bytes of srcA
+
+	// Predicate manipulation.
+	OpSetP    // predDst = cmp(srcA, srcB)
+	OpSetPI   // predDst = cmp(srcA, imm)
+	OpPAnd    // predDst = predA && predB
+	OpPOr     // predDst = predA || predB
+	OpPNot    // predDst = !predA
+	OpSel     // dst = predA ? srcA : srcB
+	OpVoteAll // predDst = AND of predA across all active lanes (warp-wide)
+	OpVoteAny // predDst = OR of predA across all active lanes (warp-wide)
+	OpBallot  // dst = bitmask of predA across the warp (inactive lanes read 0)
+	OpShfl    // dst = srcA value of lane (srcB & 31), pre-instruction state
+	OpCtz     // dst = count of trailing zero bits in srcA (64 if srcA == 0)
+
+	// SFU: long-latency special function (modeled bit-mixing function).
+	OpSfu
+
+	// Memory.
+	OpLdGlobal // dst = mem[srcA + imm] (Width bytes, zero-extended)
+	OpStGlobal // mem[srcA + imm] = srcB (Width bytes)
+	OpLdShared // dst = shared[srcA + imm]
+	OpStShared // shared[srcA + imm] = srcB
+	OpAtomAdd  // dst = mem[srcA+imm]; mem[srcA+imm] += srcB (global)
+
+	// Assist-warp staging ops. LdStage reads from the per-warp staging
+	// buffer holding a fetched (compressed) cache line; StStage writes the
+	// per-warp output buffer that is installed into the cache when the
+	// subroutine completes. These occupy the load-store pipeline but never
+	// leave the SM.
+	OpLdStage // dst = stage[srcA + imm] (Width bytes)
+	OpStStage // out[srcA + imm] = srcB (Width bytes)
+
+	// Control.
+	OpBra  // unconditional branch to Target
+	OpBrab // branch with reconvergence: lanes where guard pred holds jump
+	OpBar  // CTA-wide barrier
+	OpExit // thread terminates
+
+	opCount
+)
+
+// Class buckets ops by the pipeline they occupy.
+type Class uint8
+
+const (
+	ClassALU Class = iota
+	ClassSFU
+	ClassMem
+	ClassCtrl
+)
+
+var opInfo = [opCount]struct {
+	name  string
+	class Class
+}{
+	OpNop:      {"nop", ClassALU},
+	OpMov:      {"mov", ClassALU},
+	OpMovI:     {"movi", ClassALU},
+	OpAdd:      {"add", ClassALU},
+	OpAddI:     {"addi", ClassALU},
+	OpSub:      {"sub", ClassALU},
+	OpSubI:     {"subi", ClassALU},
+	OpMul:      {"mul", ClassALU},
+	OpMulI:     {"muli", ClassALU},
+	OpMad:      {"mad", ClassALU},
+	OpMin:      {"min", ClassALU},
+	OpMax:      {"max", ClassALU},
+	OpAnd:      {"and", ClassALU},
+	OpAndI:     {"andi", ClassALU},
+	OpOr:       {"or", ClassALU},
+	OpOrI:      {"ori", ClassALU},
+	OpXor:      {"xor", ClassALU},
+	OpXorI:     {"xori", ClassALU},
+	OpNot:      {"not", ClassALU},
+	OpShl:      {"shl", ClassALU},
+	OpShlI:     {"shli", ClassALU},
+	OpShr:      {"shr", ClassALU},
+	OpShrI:     {"shri", ClassALU},
+	OpSext:     {"sext", ClassALU},
+	OpSetP:     {"setp", ClassALU},
+	OpSetPI:    {"setpi", ClassALU},
+	OpPAnd:     {"pand", ClassALU},
+	OpPOr:      {"por", ClassALU},
+	OpPNot:     {"pnot", ClassALU},
+	OpSel:      {"sel", ClassALU},
+	OpVoteAll:  {"vote.all", ClassALU},
+	OpVoteAny:  {"vote.any", ClassALU},
+	OpBallot:   {"ballot", ClassALU},
+	OpShfl:     {"shfl", ClassALU},
+	OpCtz:      {"ctz", ClassALU},
+	OpSfu:      {"sfu", ClassSFU},
+	OpLdGlobal: {"ld.global", ClassMem},
+	OpStGlobal: {"st.global", ClassMem},
+	OpLdShared: {"ld.shared", ClassMem},
+	OpStShared: {"st.shared", ClassMem},
+	OpAtomAdd:  {"atom.add", ClassMem},
+	OpLdStage:  {"ld.stage", ClassMem},
+	OpStStage:  {"st.stage", ClassMem},
+	OpBra:      {"bra", ClassCtrl},
+	OpBrab:     {"brab", ClassCtrl},
+	OpBar:      {"bar", ClassCtrl},
+	OpExit:     {"exit", ClassCtrl},
+}
+
+// String returns the mnemonic for the op.
+func (o Op) String() string {
+	if int(o) < len(opInfo) && opInfo[o].name != "" {
+		return opInfo[o].name
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Class reports which execution pipeline the op occupies.
+func (o Op) Class() Class {
+	if int(o) < len(opInfo) {
+		return opInfo[o].class
+	}
+	return ClassALU
+}
+
+// IsMem reports whether the op accesses a memory pipeline.
+func (o Op) IsMem() bool { return o.Class() == ClassMem }
+
+// IsGlobalMem reports whether the op accesses global memory (and therefore
+// the cache hierarchy, as opposed to shared memory or staging buffers).
+func (o Op) IsGlobalMem() bool {
+	return o == OpLdGlobal || o == OpStGlobal || o == OpAtomAdd
+}
+
+// IsLoad reports whether the op produces a register value from memory.
+func (o Op) IsLoad() bool {
+	return o == OpLdGlobal || o == OpLdShared || o == OpLdStage || o == OpAtomAdd
+}
+
+// IsStore reports whether the op writes memory.
+func (o Op) IsStore() bool {
+	return o == OpStGlobal || o == OpStShared || o == OpStStage || o == OpAtomAdd
+}
+
+// IsBranch reports whether the op can redirect control flow.
+func (o Op) IsBranch() bool { return o == OpBra || o == OpBrab }
+
+// HasImm reports whether the op consumes its immediate operand.
+func (o Op) HasImm() bool {
+	switch o {
+	case OpMovI, OpAddI, OpSubI, OpMulI, OpAndI, OpOrI, OpXorI, OpShlI, OpShrI,
+		OpSetPI, OpLdGlobal, OpStGlobal, OpLdShared, OpStShared, OpAtomAdd,
+		OpLdStage, OpStStage:
+		return true
+	}
+	return false
+}
+
+// CmpOp is a comparison used by SetP.
+type CmpOp uint8
+
+// Comparison operators. Signed variants interpret operands as two's
+// complement int64.
+const (
+	CmpEQ CmpOp = iota
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+	CmpLTS
+	CmpLES
+	CmpGTS
+	CmpGES
+)
+
+var cmpNames = [...]string{"eq", "ne", "lt", "le", "gt", "ge", "lts", "les", "gts", "ges"}
+
+// String returns the suffix mnemonic for the comparison.
+func (c CmpOp) String() string {
+	if int(c) < len(cmpNames) {
+		return cmpNames[c]
+	}
+	return fmt.Sprintf("cmp(%d)", uint8(c))
+}

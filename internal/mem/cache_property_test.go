@@ -1,0 +1,125 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickCacheAgainstModel drives the set-associative cache with random
+// access sequences and checks it against a trivial reference model:
+// resident bytes never exceed each set's data capacity, tags never exceed
+// the tag count, a hit implies the line was inserted and not yet evicted,
+// and every eviction names a line that was actually resident.
+func TestQuickCacheAgainstModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		assoc := 1 + rng.Intn(4)
+		sets := 1 << rng.Intn(3)
+		tagMult := 1 + rng.Intn(3)
+		lineSize := 128
+		c := NewCache(sets*assoc*lineSize, assoc, lineSize, 1, tagMult)
+
+		resident := map[uint64]int{} // lineAddr -> size
+		for step := 0; step < 400; step++ {
+			la := uint64(rng.Intn(sets*8)) * uint64(lineSize)
+			switch rng.Intn(3) {
+			case 0: // lookup
+				hit := c.Lookup(la, rng.Intn(2) == 0)
+				if _, want := resident[la]; hit != want {
+					return false
+				}
+			case 1: // insert
+				size := 16 * (1 + rng.Intn(8)) // 16..128
+				evs := c.Insert(la, size, rng.Intn(2) == 0)
+				for _, ev := range evs {
+					if _, ok := resident[ev.LineAddr]; !ok {
+						return false // evicted something not resident
+					}
+					delete(resident, ev.LineAddr)
+				}
+				resident[la] = size
+			case 2: // invalidate
+				_, had := c.Invalidate(la)
+				if _, want := resident[la]; had != want {
+					return false
+				}
+				delete(resident, la)
+			}
+			// Invariants: per-set byte and tag budgets.
+			setBytes := map[uint64]int{}
+			setTags := map[uint64]int{}
+			for addr, size := range resident {
+				s := addr / uint64(lineSize) % uint64(sets)
+				setBytes[s] += size
+				setTags[s]++
+			}
+			for s := range setBytes {
+				if setBytes[s] > assoc*lineSize {
+					return false
+				}
+				if setTags[s] > assoc*tagMult {
+					return false
+				}
+			}
+			if c.ResidentLines() != len(resident) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMSHRConservation: every added waiter comes back exactly once.
+func TestQuickMSHRConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMSHR(8)
+		added := map[int]bool{}
+		pending := map[uint64][]int{}
+		next := 0
+		for step := 0; step < 200; step++ {
+			if rng.Intn(3) != 0 || len(pending) == 0 {
+				la := uint64(rng.Intn(12)) * 128
+				primary, ok := m.Add(la, next)
+				if !ok {
+					continue
+				}
+				if primary != (len(pending[la]) == 0) {
+					return false
+				}
+				pending[la] = append(pending[la], next)
+				added[next] = true
+				next++
+			} else {
+				// complete a random pending line
+				for la := range pending {
+					ws := m.Complete(la)
+					if len(ws) != len(pending[la]) {
+						return false
+					}
+					for i, w := range ws {
+						if w.(int) != pending[la][i] {
+							return false // arrival order violated
+						}
+						delete(added, w.(int))
+					}
+					delete(pending, la)
+					break
+				}
+			}
+		}
+		for la := range pending {
+			for _, w := range m.Complete(la) {
+				delete(added, w.(int))
+			}
+		}
+		return len(added) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+package mem
+
+import (
+	"github.com/caba-sim/caba/internal/compress"
+)
+
+// Domain tracks per-line compression state for the whole GPU memory image.
+// A line present in the map is stored compressed (in DRAM, and in L2 for
+// ScopeL2 designs); absent lines are raw. The backing Memory always holds
+// the uncompressed truth, so functional execution is independent of
+// compression state — only sizes, payloads and timing differ.
+type Domain struct {
+	Mem *Memory
+	Alg compress.AlgID
+
+	lines map[uint64]compress.Compressed
+}
+
+// NewDomain creates a compression domain over mem using alg.
+func NewDomain(mem *Memory, alg compress.AlgID) *Domain {
+	return &Domain{Mem: mem, Alg: alg, lines: make(map[uint64]compress.Compressed)}
+}
+
+// LineAddr masks addr down to its line base.
+func LineAddr(addr uint64) uint64 { return addr &^ uint64(compress.LineSize-1) }
+
+// State returns the compression state of the line containing addr.
+// Uncompressed lines return a Compressed with Alg == AlgNone.
+func (d *Domain) State(lineAddr uint64) compress.Compressed {
+	if d == nil {
+		return compress.Compressed{Alg: compress.AlgNone}
+	}
+	return d.lines[lineAddr]
+}
+
+// Bursts returns the DRAM bursts needed to move the line in its current
+// stored form.
+func (d *Domain) Bursts(lineAddr uint64) int {
+	return d.State(lineAddr).Bursts()
+}
+
+// SetCompressed records that lineAddr is now stored as c.
+func (d *Domain) SetCompressed(lineAddr uint64, c compress.Compressed) {
+	if c.IsCompressed() {
+		d.lines[lineAddr] = c
+	} else {
+		delete(d.lines, lineAddr)
+	}
+}
+
+// SetRaw records that lineAddr is stored uncompressed (e.g. the store
+// buffer overflowed and released it raw, Section 4.2.2).
+func (d *Domain) SetRaw(lineAddr uint64) { delete(d.lines, lineAddr) }
+
+// CompressLine compresses the current backing bytes of the line with the
+// domain algorithm and records the result. It returns the new state. This
+// is the "oracle" path used by the HW and Ideal designs; the CABA design
+// instead runs the assist-warp subroutine and calls SetCompressed with its
+// output (which tests verify equals this oracle).
+func (d *Domain) CompressLine(lineAddr uint64) compress.Compressed {
+	var line [compress.LineSize]byte
+	d.Mem.Read(lineAddr, line[:])
+	c, err := compress.Compress(d.Alg, line[:])
+	if err != nil {
+		panic("mem: " + err.Error()) // impossible: line is LineSize
+	}
+	d.SetCompressed(lineAddr, c)
+	return c
+}
+
+// ReadRaw copies the uncompressed line bytes into buf.
+func (d *Domain) ReadRaw(lineAddr uint64, buf []byte) {
+	d.Mem.Read(lineAddr, buf[:compress.LineSize])
+}
+
+// Precompress compresses every line in [addr, addr+size) — the one-time
+// software data preparation of Section 4.3.1 (input data is transferred to
+// GPU memory already compressed). It returns the achieved ratio.
+func (d *Domain) Precompress(addr, size uint64) float64 {
+	var r compress.Ratio
+	start := LineAddr(addr)
+	end := LineAddr(addr + size + compress.LineSize - 1)
+	for la := start; la < end; la += compress.LineSize {
+		r.Add(d.CompressLine(la))
+	}
+	return r.Value()
+}
+
+// CompressedLineCount returns how many lines are currently stored
+// compressed (for tests and debugging).
+func (d *Domain) CompressedLineCount() int { return len(d.lines) }

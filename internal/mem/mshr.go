@@ -1,0 +1,50 @@
+package mem
+
+// MSHR models miss-status holding registers: outstanding line fetches with
+// merging of secondary misses. Waiters are opaque to the memory system;
+// the GPU core attaches its pending-load bookkeeping.
+type MSHR struct {
+	entries map[uint64][]any
+	max     int // 0 = unbounded
+}
+
+// NewMSHR builds an MSHR file with at most max outstanding lines
+// (0 = unbounded, used by L2 partitions where the SM-side MSHRs already
+// bound outstanding misses).
+func NewMSHR(max int) *MSHR {
+	return &MSHR{entries: make(map[uint64][]any), max: max}
+}
+
+// Full reports whether a new (non-merging) miss would be rejected.
+func (m *MSHR) Full() bool { return m.max > 0 && len(m.entries) >= m.max }
+
+// Add registers a waiter for lineAddr. primary is true if this allocated a
+// new entry (the caller must then issue the fetch); ok is false if the
+// MSHR is full and the miss must be retried (a structural memory stall).
+func (m *MSHR) Add(lineAddr uint64, waiter any) (primary, ok bool) {
+	if w, exists := m.entries[lineAddr]; exists {
+		m.entries[lineAddr] = append(w, waiter)
+		return false, true
+	}
+	if m.Full() {
+		return false, false
+	}
+	m.entries[lineAddr] = []any{waiter}
+	return true, true
+}
+
+// Pending reports whether lineAddr has an outstanding fetch.
+func (m *MSHR) Pending(lineAddr uint64) bool {
+	_, exists := m.entries[lineAddr]
+	return exists
+}
+
+// Complete removes the entry and returns its waiters in arrival order.
+func (m *MSHR) Complete(lineAddr uint64) []any {
+	w := m.entries[lineAddr]
+	delete(m.entries, lineAddr)
+	return w
+}
+
+// Outstanding returns the number of in-flight lines.
+func (m *MSHR) Outstanding() int { return len(m.entries) }

@@ -1,0 +1,151 @@
+package mem
+
+import (
+	"github.com/caba-sim/caba/internal/compress"
+	"github.com/caba-sim/caba/internal/config"
+)
+
+// Partition is one memory partition: a bank of the shared L2 plus its
+// GDDR5 channel. Lines are interleaved across partitions at line
+// granularity.
+type Partition struct {
+	id    int
+	sys   *System
+	cache *Cache
+	mshr  *MSHR
+	ch    *Channel
+}
+
+type readWaiter struct {
+	sm   int
+	user any
+}
+
+func newPartition(id int, sys *System) *Partition {
+	cfg := sys.Cfg
+	var md *MDCache
+	if sys.Design.Compressing() {
+		md = NewMDCache(cfg)
+	}
+	return &Partition{
+		id:  id,
+		sys: sys,
+		cache: NewCache(cfg.L2Size/cfg.NumChannels, cfg.L2Assoc, cfg.LineSize,
+			cfg.NumChannels, sys.Design.L2TagMult),
+		mshr: NewMSHR(0),
+		ch:   NewChannel(id, cfg, sys.Q, sys.S, md),
+	}
+}
+
+// handleRead runs when a read request packet arrives at the partition.
+func (p *Partition) handleRead(sm int, lineAddr uint64, user any) {
+	p.sys.Q.After(float64(p.sys.Cfg.L2Latency), func() {
+		if p.cache.Lookup(lineAddr, false) {
+			p.sys.S.L2Hits++
+			p.respond(sm, lineAddr, user)
+			return
+		}
+		p.sys.S.L2Misses++
+		primary, _ := p.mshr.Add(lineAddr, readWaiter{sm: sm, user: user})
+		if !primary {
+			return
+		}
+		p.fetch(lineAddr)
+	})
+}
+
+// fetch issues the DRAM read for a missing line.
+func (p *Partition) fetch(lineAddr uint64) {
+	bursts := compress.MaxBursts
+	if p.sys.Design.Compressing() {
+		st := p.sys.Dom.State(lineAddr)
+		bursts = st.Bursts()
+		p.sys.S.Ratio.Add(st)
+	}
+	p.ch.Enqueue(lineAddr, false, bursts, func() { p.fill(lineAddr) })
+}
+
+// fill installs a line arriving from DRAM and wakes its waiters.
+func (p *Partition) fill(lineAddr uint64) {
+	deliver := func() {
+		evs := p.cache.Insert(lineAddr, p.residentSize(lineAddr), false)
+		p.writebacks(evs)
+		for _, w := range p.mshr.Complete(lineAddr) {
+			wt := w.(readWaiter)
+			p.respond(wt.sm, lineAddr, wt.user)
+		}
+	}
+	if p.sys.Design.Scope == config.ScopeMemory && p.sys.Design.Decomp == config.DecompHW {
+		// Dedicated logic at the MC decompresses before the line enters
+		// L2 (HW-BDI-Mem): fixed-latency, off the core.
+		d, _ := compress.HWLatency(p.sys.Design.Alg)
+		p.sys.Q.After(float64(d), deliver)
+		return
+	}
+	deliver()
+}
+
+// residentSize is the L2 slot size the line occupies: its compressed size
+// only in the Figure 13 capacity-compression mode, otherwise a full slot
+// (the paper's default bandwidth-only compression, Section 4.2).
+func (p *Partition) residentSize(lineAddr uint64) int {
+	if p.sys.Design.Scope == config.ScopeL2 && p.sys.Design.L2TagMult > 1 {
+		if st := p.sys.Dom.State(lineAddr); st.IsCompressed() {
+			return st.Size()
+		}
+	}
+	return p.sys.Cfg.LineSize
+}
+
+// handleWrite runs when a full-line write packet arrives.
+func (p *Partition) handleWrite(lineAddr uint64) {
+	p.sys.Q.After(float64(p.sys.Cfg.L2Latency), func() {
+		if p.cache.Lookup(lineAddr, true) {
+			p.sys.S.L2Hits++
+			// Size may have changed if the line recompressed differently.
+			p.writebacks(p.cache.Insert(lineAddr, p.residentSize(lineAddr), true))
+			return
+		}
+		p.sys.S.L2Misses++
+		p.writebacks(p.cache.Insert(lineAddr, p.residentSize(lineAddr), true))
+	})
+}
+
+// writebacks sends evicted dirty lines to DRAM.
+func (p *Partition) writebacks(evs []Evicted) {
+	for _, ev := range evs {
+		if !ev.Dirty {
+			continue
+		}
+		p.sys.S.L2Evictions++
+		lineAddr := ev.LineAddr
+		issue := func() {
+			bursts := compress.MaxBursts
+			if p.sys.Design.Compressing() {
+				st := p.sys.Dom.State(lineAddr)
+				bursts = st.Bursts()
+				p.sys.S.Ratio.Add(st)
+			}
+			p.ch.Enqueue(lineAddr, true, bursts, nil)
+		}
+		if p.sys.Design.Scope == config.ScopeMemory {
+			// HW-BDI-Mem compresses at the MC on the way out.
+			st := p.sys.Dom.CompressLine(lineAddr)
+			if p.sys.Design.Decomp == config.DecompHW {
+				_, c := compress.HWLatency(p.sys.Design.Alg)
+				_ = st
+				p.sys.Q.After(float64(c), issue)
+				continue
+			}
+		}
+		issue()
+	}
+}
+
+// respond sends the line back across the interconnect to the SM.
+func (p *Partition) respond(sm int, lineAddr uint64, user any) {
+	flits := p.sys.respFlits(lineAddr)
+	p.sys.X.FromPartition(p.id, flits, func() {
+		p.sys.OnFill(sm, lineAddr, user)
+	})
+}

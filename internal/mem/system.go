@@ -1,0 +1,117 @@
+package mem
+
+import (
+	"github.com/caba-sim/caba/internal/compress"
+	"github.com/caba-sim/caba/internal/config"
+	"github.com/caba-sim/caba/internal/stats"
+	"github.com/caba-sim/caba/internal/timing"
+)
+
+// System is the shared memory system below the SMs' L1 caches: the
+// crossbar, the L2 partitions and the DRAM channels. The GPU core model
+// calls ReadLine/WriteLine and receives fills through OnFill.
+type System struct {
+	Cfg    *config.Config
+	Design config.Design
+	Q      *timing.Queue
+	S      *stats.Sim
+	Dom    *Domain
+	X      *Xbar
+	parts  []*Partition
+
+	// OnFill is invoked (at SM arrival time) for every completed ReadLine.
+	OnFill func(sm int, lineAddr uint64, user any)
+}
+
+// NewSystem builds the memory system.
+func NewSystem(cfg *config.Config, design config.Design, q *timing.Queue, s *stats.Sim, dom *Domain) *System {
+	sys := &System{
+		Cfg:    cfg,
+		Design: design,
+		Q:      q,
+		S:      s,
+		Dom:    dom,
+		X:      NewXbar(q, s, cfg.NumChannels, 8),
+	}
+	sys.parts = make([]*Partition, cfg.NumChannels)
+	for i := range sys.parts {
+		sys.parts[i] = newPartition(i, sys)
+	}
+	return sys
+}
+
+// PartitionOf maps a line address to its memory partition.
+func (sys *System) PartitionOf(lineAddr uint64) int {
+	return int(lineAddr / uint64(sys.Cfg.LineSize) % uint64(sys.Cfg.NumChannels))
+}
+
+// ReadLine requests a line on behalf of SM sm. user is returned untouched
+// via OnFill.
+func (sys *System) ReadLine(sm int, lineAddr uint64, user any) {
+	p := sys.PartitionOf(lineAddr)
+	// A read request is a single control flit.
+	sys.X.ToPartition(p, 1, func() {
+		sys.parts[p].handleRead(sm, lineAddr, user)
+	})
+}
+
+// WriteLine sends a full-line write toward L2. The payload size (and hence
+// flit count) is the line's current compressed size for ScopeL2 designs —
+// the SM compressed it before calling — or the full line otherwise.
+func (sys *System) WriteLine(sm int, lineAddr uint64) {
+	p := sys.PartitionOf(lineAddr)
+	flits := 1 + sys.payloadFlits(lineAddr)
+	sys.X.ToPartition(p, flits, func() {
+		sys.parts[p].handleWrite(lineAddr)
+	})
+}
+
+// payloadFlits returns the data flits a line occupies on the interconnect.
+func (sys *System) payloadFlits(lineAddr uint64) int {
+	size := sys.Cfg.LineSize
+	if sys.Design.Scope == config.ScopeL2 {
+		if st := sys.Dom.State(lineAddr); st.IsCompressed() {
+			size = st.Size()
+		}
+	}
+	n := (size + sys.Cfg.FlitSize - 1) / sys.Cfg.FlitSize
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// respFlits is the response packet size: header + payload.
+func (sys *System) respFlits(lineAddr uint64) int {
+	return 1 + sys.payloadFlits(lineAddr)
+}
+
+// ArrivesCompressed reports the compression state a line has when it
+// reaches the SM: compressed only for ScopeL2 designs (HW-BDI-Mem
+// decompresses at the memory controller, so its lines arrive raw).
+func (sys *System) ArrivesCompressed(lineAddr uint64) compress.Compressed {
+	if sys.Design.Scope != config.ScopeL2 {
+		return compress.Compressed{Alg: compress.AlgNone}
+	}
+	return sys.Dom.State(lineAddr)
+}
+
+// Drained reports whether the memory system has no pending work.
+func (sys *System) Drained() bool {
+	for _, p := range sys.parts {
+		if p.mshr.Outstanding() > 0 || p.ch.QueueDepth() > 0 || p.ch.busy {
+			return false
+		}
+	}
+	return sys.Q.Len() == 0
+}
+
+// FinishStats folds component-local counters into the run stats.
+// MemCycles is the total data-bus capacity in burst slots (memory cycles
+// times channels), so DRAMBusyCycles/MemCycles is the paper's bandwidth
+// utilization.
+func (sys *System) FinishStats(coreCycles uint64) {
+	sys.S.Cycles = coreCycles
+	sys.S.MemCycles = uint64(float64(coreCycles) * sys.Cfg.MemCyclesPerCoreCycle() *
+		float64(sys.Cfg.NumChannels))
+}

@@ -1,0 +1,55 @@
+package mem
+
+import (
+	"github.com/caba-sim/caba/internal/stats"
+	"github.com/caba-sim/caba/internal/timing"
+)
+
+// Xbar models the two crossbars (one per direction, Table 1) between the
+// SMs and the memory partitions. Contention is modeled at the partition
+// side — each partition has a request-ingress link and a response-egress
+// link moving one flit (FlitSize bytes) per core cycle — plus a fixed
+// traversal latency. Compressed lines move in fewer flits, which is how
+// ScopeL2 designs save interconnect bandwidth.
+type Xbar struct {
+	q       *timing.Queue
+	s       *stats.Sim
+	latency float64
+	reqIn   []float64 // per-partition next-free time, SM -> partition
+	respOut []float64 // per-partition next-free time, partition -> SM
+}
+
+// NewXbar builds the interconnect for numPartitions memory partitions.
+func NewXbar(q *timing.Queue, s *stats.Sim, numPartitions int, latency float64) *Xbar {
+	return &Xbar{
+		q:       q,
+		s:       s,
+		latency: latency,
+		reqIn:   make([]float64, numPartitions),
+		respOut: make([]float64, numPartitions),
+	}
+}
+
+func (x *Xbar) send(link []float64, part, flits int, deliver func()) {
+	now := x.q.Now()
+	start := now
+	if link[part] > start {
+		start = link[part]
+	}
+	end := start + float64(flits)
+	link[part] = end
+	x.q.At(end+x.latency, deliver)
+}
+
+// ToPartition sends a packet of flits toward partition part, invoking
+// deliver when it arrives.
+func (x *Xbar) ToPartition(part, flits int, deliver func()) {
+	x.s.FlitsToMem += uint64(flits)
+	x.send(x.reqIn, part, flits, deliver)
+}
+
+// FromPartition sends a packet of flits from partition part toward an SM.
+func (x *Xbar) FromPartition(part, flits int, deliver func()) {
+	x.s.FlitsFromMem += uint64(flits)
+	x.send(x.respOut, part, flits, deliver)
+}

@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIPCExcludesAssistInstrs(t *testing.T) {
+	s := Sim{Cycles: 100, ThreadInstrs: 3200, AssistInstrs: 999}
+	if got := s.IPC(); got != 32 {
+		t.Errorf("IPC = %v, want 32 (assist instructions are overhead, not work)", got)
+	}
+	var zero Sim
+	if zero.IPC() != 0 {
+		t.Error("zero-cycle IPC must be 0")
+	}
+}
+
+func TestBWUtilization(t *testing.T) {
+	s := Sim{MemCycles: 1000, DRAMBusyCycles: 400}
+	if got := s.BWUtilization(); got != 0.4 {
+		t.Errorf("utilization = %v, want 0.4", got)
+	}
+}
+
+func TestIssueBreakdownSumsToOne(t *testing.T) {
+	s := Sim{}
+	s.IssueSlots[Active] = 10
+	s.IssueSlots[MemoryStall] = 30
+	s.IssueSlots[IdleCycle] = 60
+	br := s.IssueBreakdown()
+	sum := 0.0
+	for _, v := range br {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("breakdown sums to %v", sum)
+	}
+	if br[IdleCycle] != 0.6 {
+		t.Errorf("idle = %v", br[IdleCycle])
+	}
+}
+
+func TestHitRates(t *testing.T) {
+	s := Sim{L1Hits: 3, L1Misses: 1, MDHits: 85, MDMisses: 15}
+	if s.L1HitRate() != 0.75 {
+		t.Errorf("L1 = %v", s.L1HitRate())
+	}
+	if s.MDHitRate() != 0.85 {
+		t.Errorf("MD = %v", s.MDHitRate())
+	}
+	var zero Sim
+	if zero.L2HitRate() != 0 {
+		t.Error("empty rate must be 0")
+	}
+}
+
+func TestAvgLoadLatency(t *testing.T) {
+	s := Sim{LoadCount: 4, LoadLatTotal: 400}
+	if s.AvgLoadLatency() != 100 {
+		t.Errorf("latency = %v", s.AvgLoadLatency())
+	}
+}
+
+func TestStallKindNames(t *testing.T) {
+	want := []string{"Active", "ComputeStall", "MemoryStall", "DataDepStall", "Idle"}
+	for i, w := range want {
+		if StallKind(i).String() != w {
+			t.Errorf("kind %d = %q, want %q", i, StallKind(i), w)
+		}
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	s := Sim{Cycles: 10, ThreadInstrs: 100, MemCycles: 20, DRAMBusyCycles: 10}
+	s.IssueSlots[Active] = 1
+	out := s.String()
+	for _, frag := range []string{"cycles=10", "ipc=10.00", "bw=50.0%"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("summary %q missing %q", out, frag)
+		}
+	}
+}

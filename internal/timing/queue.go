@@ -1,0 +1,79 @@
+// Package timing provides the discrete-event scheduler that coordinates
+// the simulator's clock domains. SM cores tick cycle by cycle (issue-slot
+// accounting needs every cycle), while the interconnect, L2 and DRAM are
+// event-driven: they schedule completion callbacks on this queue. Times are
+// in core-clock cycles; fractional times express the DRAM clock domain.
+package timing
+
+import "container/heap"
+
+// Event is a scheduled callback.
+type event struct {
+	time float64
+	seq  uint64 // FIFO tie-break for equal times
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Queue is a min-heap of timed callbacks. The zero value is ready to use.
+type Queue struct {
+	h   eventHeap
+	seq uint64
+	now float64
+}
+
+// Now returns the time of the most recently executed event (or the last
+// RunUntil horizon if greater).
+func (q *Queue) Now() float64 { return q.now }
+
+// At schedules fn to run at time t. Scheduling in the past runs the event
+// at the current horizon instead (time never goes backwards).
+func (q *Queue) At(t float64, fn func()) {
+	if t < q.now {
+		t = q.now
+	}
+	q.seq++
+	heap.Push(&q.h, event{time: t, seq: q.seq, fn: fn})
+}
+
+// After schedules fn to run delay cycles after the current horizon.
+func (q *Queue) After(delay float64, fn func()) { q.At(q.now+delay, fn) }
+
+// RunUntil executes all events with time <= t in time order (events may
+// schedule further events, which are honored if they also fall within t).
+func (q *Queue) RunUntil(t float64) {
+	for len(q.h) > 0 && q.h[0].time <= t {
+		e := heap.Pop(&q.h).(event)
+		if e.time > q.now {
+			q.now = e.time
+		}
+		e.fn()
+	}
+	if t > q.now {
+		q.now = t
+	}
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// NextTime returns the time of the earliest pending event; ok is false if
+// the queue is empty.
+func (q *Queue) NextTime() (t float64, ok bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].time, true
+}

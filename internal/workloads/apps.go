@@ -1,0 +1,168 @@
+package workloads
+
+// App describes one synthetic stand-in for a paper application. The
+// fields encode what the evaluation depends on: whether the app is memory-
+// or compute-bound (Figure 1), how compressible its data is and with which
+// algorithm (Figure 11), its register/thread geometry (Figure 2), and its
+// arithmetic intensity and working set (performance shape).
+type App struct {
+	Name  string
+	Suite string // CUDA | Rodinia | Mars | LoneStar
+
+	MemoryBound bool
+	InFig1      bool // among the 27 apps of Figures 1-2
+	InCompress  bool // among the 20 apps of Figures 7-13
+
+	Kind       Kind
+	Pattern    Pattern
+	IdxPattern Pattern // index-array pattern for gather kernels
+
+	Intensity  int // extra ALU ops per element
+	SFUHeavy   bool
+	CTAThreads int
+	ExtraRegs  int // register pressure beyond the template's need (Fig 2)
+
+	// WorkingSetKB is the input array size at Scale = 1.
+	WorkingSetKB int
+	// ItersPerThread controls run length.
+	ItersPerThread int
+}
+
+// Apps is the full application pool: the 27 programs of Figure 1 plus
+// TRA, nw and KM, which appear only in the compression studies.
+var Apps = []App{
+	// --- Memory-bound (Figure 1 left) ---
+	{Name: "BFS", Suite: "CUDA", MemoryBound: true, InFig1: true, InCompress: true,
+		Kind: KindGather, Pattern: PatSmallInt, IdxPattern: PatStride,
+		Intensity: 6, CTAThreads: 256, ExtraRegs: 4, WorkingSetKB: 4096, ItersPerThread: 24},
+	{Name: "CONS", Suite: "CUDA", MemoryBound: true, InFig1: true, InCompress: true,
+		Kind: KindStencil, Pattern: PatZero,
+		Intensity: 8, CTAThreads: 192, ExtraRegs: 8, WorkingSetKB: 4096, ItersPerThread: 20},
+	{Name: "JPEG", Suite: "CUDA", MemoryBound: true, InFig1: true, InCompress: true,
+		Kind: KindStreaming, Pattern: PatDict,
+		Intensity: 10, CTAThreads: 256, ExtraRegs: 10, WorkingSetKB: 4096, ItersPerThread: 32},
+	{Name: "LPS", Suite: "CUDA", MemoryBound: true, InFig1: true, InCompress: true,
+		Kind: KindStencil, Pattern: PatZero,
+		Intensity: 10, CTAThreads: 128, ExtraRegs: 12, WorkingSetKB: 4096, ItersPerThread: 24},
+	{Name: "MUM", Suite: "CUDA", MemoryBound: true, InFig1: true, InCompress: true,
+		Kind: KindGather, Pattern: PatText, IdxPattern: PatRandom,
+		Intensity: 8, CTAThreads: 256, ExtraRegs: 6, WorkingSetKB: 8192, ItersPerThread: 20},
+	{Name: "RAY", Suite: "CUDA", MemoryBound: true, InFig1: true, InCompress: true,
+		Kind: KindStreaming, Pattern: PatFloatish,
+		Intensity: 40, SFUHeavy: true, CTAThreads: 128, ExtraRegs: 16, WorkingSetKB: 2048, ItersPerThread: 24},
+	{Name: "SCP", Suite: "CUDA", MemoryBound: true, InFig1: true, InCompress: false,
+		Kind: KindStreaming, Pattern: PatRandom,
+		Intensity: 6, CTAThreads: 256, ExtraRegs: 2, WorkingSetKB: 4096, ItersPerThread: 32},
+	{Name: "MM", Suite: "Mars", MemoryBound: true, InFig1: true, InCompress: true,
+		Kind: KindMatmul, Pattern: PatFloatish,
+		Intensity: 0, CTAThreads: 256, ExtraRegs: 8, WorkingSetKB: 4096, ItersPerThread: 64},
+	{Name: "PVC", Suite: "Mars", MemoryBound: true, InFig1: true, InCompress: true,
+		Kind: KindMapReduce, Pattern: PatMixedPtr,
+		Intensity: 6, CTAThreads: 256, ExtraRegs: 6, WorkingSetKB: 8192, ItersPerThread: 24},
+	{Name: "PVR", Suite: "Mars", MemoryBound: true, InFig1: true, InCompress: true,
+		Kind: KindMapReduce, Pattern: PatMixedPtr,
+		Intensity: 8, CTAThreads: 192, ExtraRegs: 8, WorkingSetKB: 8192, ItersPerThread: 20},
+	{Name: "SS", Suite: "Mars", MemoryBound: true, InFig1: true, InCompress: true,
+		Kind: KindMapReduce, Pattern: PatFloatish,
+		Intensity: 12, CTAThreads: 256, ExtraRegs: 10, WorkingSetKB: 4096, ItersPerThread: 20},
+	{Name: "sc", Suite: "Rodinia", MemoryBound: true, InFig1: true, InCompress: false,
+		Kind: KindStreaming, Pattern: PatRandom,
+		Intensity: 8, CTAThreads: 256, ExtraRegs: 6, WorkingSetKB: 4096, ItersPerThread: 24},
+	{Name: "bfs", Suite: "LoneStar", MemoryBound: true, InFig1: true, InCompress: true,
+		Kind: KindGather, Pattern: PatSmallInt, IdxPattern: PatStride,
+		Intensity: 4, CTAThreads: 256, ExtraRegs: 2, WorkingSetKB: 2048, ItersPerThread: 24},
+	{Name: "bh", Suite: "LoneStar", MemoryBound: true, InFig1: true, InCompress: true,
+		Kind: KindGather, Pattern: PatPointer, IdxPattern: PatRandom,
+		Intensity: 12, CTAThreads: 192, ExtraRegs: 14, WorkingSetKB: 4096, ItersPerThread: 16},
+	{Name: "mst", Suite: "LoneStar", MemoryBound: true, InFig1: true, InCompress: true,
+		Kind: KindGather, Pattern: PatSmallInt, IdxPattern: PatStride,
+		Intensity: 6, CTAThreads: 256, ExtraRegs: 4, WorkingSetKB: 8192, ItersPerThread: 24},
+	{Name: "sp", Suite: "LoneStar", MemoryBound: true, InFig1: true, InCompress: true,
+		Kind: KindGather, Pattern: PatFloatish, IdxPattern: PatStride,
+		Intensity: 10, CTAThreads: 192, ExtraRegs: 8, WorkingSetKB: 4096, ItersPerThread: 20},
+	{Name: "sssp", Suite: "LoneStar", MemoryBound: true, InFig1: true, InCompress: true,
+		Kind: KindGather, Pattern: PatSmallInt, IdxPattern: PatStride,
+		Intensity: 5, CTAThreads: 256, ExtraRegs: 4, WorkingSetKB: 2048, ItersPerThread: 28},
+
+	// --- Compression-suite apps not in Figure 1 ---
+	{Name: "TRA", Suite: "CUDA", MemoryBound: true, InFig1: false, InCompress: true,
+		Kind: KindStreaming, Pattern: PatStride,
+		Intensity: 4, CTAThreads: 256, ExtraRegs: 4, WorkingSetKB: 4096, ItersPerThread: 40},
+	{Name: "nw", Suite: "Rodinia", MemoryBound: true, InFig1: false, InCompress: true,
+		Kind: KindStencil, Pattern: PatDict,
+		Intensity: 12, CTAThreads: 128, ExtraRegs: 10, WorkingSetKB: 2048, ItersPerThread: 24},
+	{Name: "KM", Suite: "Mars", MemoryBound: true, InFig1: false, InCompress: true,
+		Kind: KindMapReduce, Pattern: PatFloatish,
+		Intensity: 16, CTAThreads: 256, ExtraRegs: 8, WorkingSetKB: 1024, ItersPerThread: 32},
+
+	// --- Compute-bound (Figure 1 right) ---
+	{Name: "bp", Suite: "Rodinia", MemoryBound: false, InFig1: true, InCompress: false,
+		Kind: KindCompute, Pattern: PatFloatish,
+		Intensity: 40, CTAThreads: 256, ExtraRegs: 8, WorkingSetKB: 512, ItersPerThread: 64},
+	{Name: "hs", Suite: "Rodinia", MemoryBound: false, InFig1: true, InCompress: true,
+		Kind: KindStencil, Pattern: PatFloatish,
+		Intensity: 36, CTAThreads: 192, ExtraRegs: 12, WorkingSetKB: 1024, ItersPerThread: 20},
+	{Name: "dmr", Suite: "LoneStar", MemoryBound: false, InFig1: true, InCompress: false,
+		Kind: KindCompute, Pattern: PatFloatish, SFUHeavy: true,
+		Intensity: 32, CTAThreads: 128, ExtraRegs: 18, WorkingSetKB: 512, ItersPerThread: 48},
+	{Name: "NQU", Suite: "CUDA", MemoryBound: false, InFig1: true, InCompress: false,
+		Kind: KindCompute, Pattern: PatSmallInt,
+		Intensity: 48, CTAThreads: 96, ExtraRegs: 6, WorkingSetKB: 256, ItersPerThread: 64},
+	{Name: "SLA", Suite: "CUDA", MemoryBound: false, InFig1: true, InCompress: true,
+		Kind: KindStreaming, Pattern: PatSmallInt,
+		Intensity: 32, CTAThreads: 256, ExtraRegs: 8, WorkingSetKB: 1024, ItersPerThread: 24},
+	{Name: "pt", Suite: "LoneStar", MemoryBound: false, InFig1: true, InCompress: false,
+		Kind: KindCompute, Pattern: PatSmallInt,
+		Intensity: 40, CTAThreads: 192, ExtraRegs: 10, WorkingSetKB: 512, ItersPerThread: 56},
+	{Name: "lc", Suite: "CUDA", MemoryBound: false, InFig1: true, InCompress: false,
+		Kind: KindCompute, Pattern: PatDict,
+		Intensity: 36, CTAThreads: 256, ExtraRegs: 6, WorkingSetKB: 512, ItersPerThread: 48},
+	{Name: "STO", Suite: "CUDA", MemoryBound: false, InFig1: true, InCompress: false,
+		Kind: KindCompute, Pattern: PatRandom,
+		Intensity: 44, CTAThreads: 128, ExtraRegs: 14, WorkingSetKB: 512, ItersPerThread: 48},
+	{Name: "NN", Suite: "CUDA", MemoryBound: false, InFig1: true, InCompress: false,
+		Kind: KindCompute, Pattern: PatFloatish,
+		Intensity: 40, CTAThreads: 256, ExtraRegs: 10, WorkingSetKB: 512, ItersPerThread: 56},
+	{Name: "mc", Suite: "CUDA", MemoryBound: false, InFig1: true, InCompress: false,
+		Kind: KindCompute, Pattern: PatRandom, SFUHeavy: true,
+		Intensity: 32, CTAThreads: 256, ExtraRegs: 8, WorkingSetKB: 256, ItersPerThread: 64},
+}
+
+// ByName returns the app descriptor, or nil.
+func ByName(name string) *App {
+	for i := range Apps {
+		if Apps[i].Name == name {
+			return &Apps[i]
+		}
+	}
+	return nil
+}
+
+// Fig1Apps returns the 27 apps of Figures 1-2, memory-bound first (the
+// paper's ordering).
+func Fig1Apps() []*App {
+	var mem, comp []*App
+	for i := range Apps {
+		a := &Apps[i]
+		if !a.InFig1 {
+			continue
+		}
+		if a.MemoryBound {
+			mem = append(mem, a)
+		} else {
+			comp = append(comp, a)
+		}
+	}
+	return append(mem, comp...)
+}
+
+// CompressApps returns the 20 apps of the compression studies.
+func CompressApps() []*App {
+	var out []*App
+	for i := range Apps {
+		if Apps[i].InCompress {
+			out = append(out, &Apps[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,288 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/caba-sim/caba/internal/isa"
+)
+
+// Memory layout shared by all workload kernels. Addresses are baked into
+// the programs; the %p parameter registers carry sizes.
+const (
+	InBase  = 0x1000_0000 // input data array
+	IdxBase = 0x1800_0000 // index array (gather kernels)
+	OutBase = 0x2000_0000 // output array
+	AuxBase = 0x2800_0000 // buckets / scratch (map-reduce kernels)
+
+	// AuxBuckets is the histogram size used by map-reduce kernels.
+	AuxBuckets = 1024
+)
+
+// Kind selects a kernel template.
+type Kind uint8
+
+// Kernel templates.
+const (
+	KindStreaming Kind = iota // pipelined strided reduction/transform
+	KindStencil               // 3-point neighbourhood sweep
+	KindGather                // index-array indirection (irregular)
+	KindMapReduce             // hash + atomic histogram
+	KindMatmul                // shared-memory tiled multiply with barriers
+	KindCompute               // SFU-heavy, little memory
+)
+
+var kindNames = [...]string{"streaming", "stencil", "gather", "mapreduce", "matmul", "compute"}
+
+// String returns the template name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// aluBody emits `n` data-dependent ALU ops over reg (as assembly lines),
+// modeling per-element compute intensity.
+func aluBody(reg string, n int) string {
+	ops := []string{
+		"mul %s, %s, 3\n", "add %s, %s, 17\n", "xor %s, %s, 255\n",
+		"shr %s, %s, 1\n", "or %s, %s, 5\n", "sub %s, %s, 2\n",
+	}
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, ops[i%len(ops)], reg, reg)
+	}
+	return b.String()
+}
+
+// buildStreaming: each thread sums `iters` elements strided across the
+// array with 4-deep pipelined loads, applies `intensity` ALU ops per
+// element batch, and writes one result.
+//
+// Params: %p0 = passes over the working set, %p2 = stride bytes,
+// %p3 = iters per pass.
+func buildStreaming(name string, intensity int) *isa.Program {
+	src := fmt.Sprintf(`
+  movi r10, %d          ; in base
+  mov r0, %%gtid
+  shl r0, r0, 2
+  movi r2, 0
+  movi r9, 0            ; pass counter
+pass:
+  add r1, r0, r10
+  movi r3, 0
+loop:
+  ld.global.u32 r4, [r1]
+  add r1, r1, %%p2
+  ld.global.u32 r5, [r1]
+  add r1, r1, %%p2
+  ld.global.u32 r6, [r1]
+  add r1, r1, %%p2
+  ld.global.u32 r7, [r1]
+  add r1, r1, %%p2
+  add r2, r2, r4
+  add r2, r2, r5
+  add r2, r2, r6
+  add r2, r2, r7
+%s  add r3, r3, 4
+  setp.lt p0, r3, %%p3
+  @p0 bra loop
+  add r9, r9, 1
+  setp.lt p0, r9, %%p0
+  @p0 bra pass
+  movi r10, %d          ; out base
+  add r5, r0, r10
+  st.global.u32 [r5], r2
+  exit`, InBase, aluBody("r2", intensity), OutBase)
+	return isa.MustAssemble(name, src)
+}
+
+// buildStencil: threads sweep rows of a 2D grid, reading the 3-point
+// neighbourhood, computing, and writing the result row.
+//
+// Params: %p0 = passes, %p2 = row stride bytes (grid width * 4),
+// %p3 = rows per pass.
+func buildStencil(name string, intensity int) *isa.Program {
+	src := fmt.Sprintf(`
+  movi r10, %d
+  mov r0, %%gtid
+  shl r0, r0, 2
+  movi r11, %d
+  movi r8, 0            ; pass counter
+pass:
+  add r1, r0, r10       ; row pointer (input)
+  add r9, r0, r11       ; row pointer (output)
+  movi r3, 0
+loop:
+  ld.global.u32 r4, [r1-4]
+  ld.global.u32 r5, [r1]
+  ld.global.u32 r6, [r1+4]
+  add r4, r4, r6
+  shr r4, r4, 1
+  add r4, r4, r5
+  shr r4, r4, 1
+%s  st.global.u32 [r9], r4
+  add r1, r1, %%p2
+  add r9, r9, %%p2
+  add r3, r3, 1
+  setp.lt p0, r3, %%p3
+  @p0 bra loop
+  add r8, r8, 1
+  setp.lt p0, r8, %%p0
+  @p0 bra pass
+  exit`, InBase, OutBase, aluBody("r4", intensity))
+	return isa.MustAssemble(name, src)
+}
+
+// buildGather: irregular access — each step loads an index, then the
+// indexed element (a dependent load), accumulating. Low MLP, the classic
+// graph-application profile.
+//
+// Params: %p0 = index-walk stride in bytes (total threads * 4),
+// %p2 = element count (power of two), %p3 = iters.
+func buildGather(name string, intensity int) *isa.Program {
+	src := fmt.Sprintf(`
+  movi r10, %d          ; idx base
+  movi r11, %d          ; in base
+  mov r0, %%gtid
+  shl r0, r0, 2
+  mov r13, r0           ; byte offset within the index array
+  movi r2, 0
+  movi r3, 0
+  mov r12, %%p2
+  shl r12, r12, 2
+  sub r12, r12, 1      ; byte mask over the index array
+  mov r14, %%p2
+  sub r14, r14, 1      ; element mask over the data array
+loop:
+  add r1, r13, r10
+  ld.global.u32 r4, [r1]
+  and r4, r4, r14
+  shl r4, r4, 2
+  add r4, r4, r11
+  ld.global.u32 r5, [r4] ; dependent, data-driven load
+  add r2, r2, r5
+%s  add r13, r13, %%p0
+  and r13, r13, r12     ; wrap within the index array
+  add r3, r3, 1
+  setp.lt p0, r3, %%p3
+  @p0 bra loop
+  movi r10, %d
+  add r5, r0, r10
+  st.global.u32 [r5], r2
+  exit`, IdxBase, InBase, aluBody("r2", intensity), OutBase)
+	return isa.MustAssemble(name, src)
+}
+
+// buildMapReduce: stream elements, hash them, and atomically accumulate
+// into a bucket array (Mars-style PageViewCount/Rank).
+//
+// Params: %p0 = passes, %p2 = stride bytes, %p3 = iters per pass.
+func buildMapReduce(name string, intensity int) *isa.Program {
+	src := fmt.Sprintf(`
+  movi r10, %d          ; in base
+  movi r11, %d          ; aux (buckets) base
+  mov r0, %%gtid
+  shl r0, r0, 2
+  movi r9, 0            ; pass counter
+  movi r8, 0            ; local combiner (Mars-style)
+pass:
+  add r1, r0, r10
+  movi r3, 0
+loop:
+  ld.global.u32 r4, [r1]
+  add r1, r1, %%p2
+  sfu r5, r4            ; hash
+%s  add r8, r8, r5
+  and r6, r3, 7
+  setp.eq p1, r6, 7     ; flush the combiner every 8 elements
+  and r5, r8, %d
+  shl r5, r5, 2
+  add r5, r5, r11
+  movi r6, 1
+  @p1 atom.add.u32 r7, [r5], r6
+  add r3, r3, 1
+  setp.lt p0, r3, %%p3
+  @p0 bra loop
+  add r9, r9, 1
+  setp.lt p0, r9, %%p0
+  @p0 bra pass
+  exit`, InBase, AuxBase, aluBody("r4", intensity), AuxBuckets-1)
+	return isa.MustAssemble(name, src)
+}
+
+// buildMatmul: a simplified shared-memory tiled multiply. Each CTA stages
+// a tile of A and B into shared memory behind barriers, then every thread
+// accumulates an 8-term dot-product slice per tile.
+//
+// Params: %p2 = tiles per thread, %p3 = tile stride bytes.
+func buildMatmul(name string) *isa.Program {
+	src := fmt.Sprintf(`
+  movi r10, %d
+  mov r0, %%tid
+  shl r1, r0, 2
+  mov r2, %%gtid
+  shl r2, r2, 2
+  add r2, r2, r10       ; A pointer
+  movi r4, 0            ; acc
+  movi r3, 0            ; tile counter
+tile:
+  ld.global.u32 r5, [r2]
+  st.shared.u32 [r1], r5
+  bar
+  movi r6, 0
+  mov r7, r1
+inner:
+  ld.shared.u32 r8, [r7]
+  mad r4, r8, r5, r4
+  add r7, r7, 4
+  and r7, r7, 1023
+  add r6, r6, 1
+  setp.lt p0, r6, 8
+  @p0 bra inner
+  bar
+  add r2, r2, %%p3
+  add r3, r3, 1
+  setp.lt p0, r3, %%p2
+  @p0 bra tile
+  movi r10, %d
+  mov r9, %%gtid
+  shl r9, r9, 2
+  add r9, r9, r10
+  st.global.u32 [r9], r4
+  exit`, InBase, OutBase)
+	return isa.MustAssemble(name, src)
+}
+
+// buildCompute: SFU-and-ALU-heavy with an occasional load; the
+// compute-bound profile of Figure 1.
+//
+// Params: %p2 = stride bytes, %p3 = iters.
+func buildCompute(name string, intensity int, sfuHeavy bool) *isa.Program {
+	sfu := "sfu r2, r2\n"
+	if sfuHeavy {
+		sfu = "sfu r2, r2\n  sfu r2, r2\n  sfu r2, r2\n"
+	}
+	src := fmt.Sprintf(`
+  movi r10, %d
+  mov r0, %%gtid
+  shl r0, r0, 2
+  add r1, r0, r10
+  movi r2, 7
+  movi r3, 0
+loop:
+  and r6, r3, 7
+  setp.eq p1, r6, 0
+  @p1 ld.global.u32 r4, [r1]
+  @p1 add r1, r1, %%p2
+  @p1 xor r2, r2, r4
+  %s%s  add r3, r3, 1
+  setp.lt p0, r3, %%p3
+  @p0 bra loop
+  movi r10, %d
+  add r5, r0, r10
+  st.global.u32 [r5], r2
+  exit`, InBase, sfu, aluBody("r2", intensity), OutBase)
+	return isa.MustAssemble(name, src)
+}

@@ -1,0 +1,106 @@
+// Package workloads provides synthetic stand-ins for the paper's 27
+// CUDA/Rodinia/Mars/LoneStar applications. Each application descriptor
+// pairs a kernel template (streaming, stencil, gather, map-reduce, tiled
+// matrix, compute) with a data-pattern generator calibrated to the
+// compressibility the paper reports (Figure 11) and an arithmetic
+// intensity/working-set that reproduces its memory- or compute-bound
+// behaviour (Figure 1).
+package workloads
+
+import (
+	"encoding/binary"
+	"math/rand"
+)
+
+// Pattern identifies a synthetic data distribution. Compressibility is a
+// property of the bytes themselves: the generators below are calibrated so
+// measuring them with internal/compress reproduces the paper's per-app
+// algorithm preferences (e.g. pointer-heavy data favours BDI, text and
+// dictionary data favour FPC/C-Pack, random data compresses with nothing).
+type Pattern uint8
+
+// Data patterns.
+const (
+	PatZero     Pattern = iota // mostly zero with sparse values
+	PatSmallInt                // small bounded integers (counters, distances)
+	PatPointer                 // 8-byte bases with small deltas
+	PatFloatish                // 4-byte values sharing high bits (narrow-range floats)
+	PatText                    // ASCII bytes
+	PatDict                    // few distinct 32-bit words
+	PatStride                  // smoothly increasing 4-byte values
+	PatRandom                  // incompressible noise
+	PatMixedPtr                // alternating pointers and small ints (PVC-style)
+)
+
+// Fill writes n bytes of the pattern at buf using rng.
+func (p Pattern) Fill(buf []byte, rng *rand.Rand) {
+	switch p {
+	case PatZero:
+		for i := range buf {
+			buf[i] = 0
+		}
+		// Sparse small values at aligned offsets (boundary cells,
+		// sparse matrices).
+		for i := 0; i < len(buf)/512; i++ {
+			off := rng.Intn(len(buf)/4) * 4
+			binary.LittleEndian.PutUint32(buf[off:], uint32(1+rng.Intn(100)))
+		}
+	case PatSmallInt:
+		for i := 0; i+4 <= len(buf); i += 4 {
+			binary.LittleEndian.PutUint32(buf[i:], uint32(rng.Intn(512)))
+		}
+	case PatPointer:
+		base := (rng.Uint64() | 0x4000_0000_0000) &^ 0xFFFF
+		for i := 0; i+8 <= len(buf); i += 8 {
+			if i%1024 == 0 {
+				base += uint64(rng.Intn(1 << 20))
+			}
+			binary.LittleEndian.PutUint64(buf[i:], base+uint64(rng.Intn(180)))
+		}
+	case PatFloatish:
+		// Narrow-range "floats": shared exponent bits, varying mantissa
+		// low bits — compresses with 4-byte-base BDI.
+		exp := uint32(0x3F80_0000)
+		for i := 0; i+4 <= len(buf); i += 4 {
+			binary.LittleEndian.PutUint32(buf[i:], exp|uint32(rng.Intn(1<<14)))
+		}
+	case PatText:
+		// Genome/text-like: a small alphabet with run-length structure,
+		// which FPC's repeated-byte pattern and C-Pack's dictionary catch
+		// but BDI's base-delta view does not.
+		alphabet := []byte("ACGTacgt nthe")
+		for i := 0; i < len(buf); {
+			ch := alphabet[rng.Intn(len(alphabet))]
+			run := 2 + rng.Intn(7)
+			for j := 0; j < run && i < len(buf); j++ {
+				buf[i] = ch
+				i++
+			}
+		}
+	case PatDict:
+		var dict [6]uint32
+		for i := range dict {
+			dict[i] = rng.Uint32()
+		}
+		for i := 0; i+4 <= len(buf); i += 4 {
+			binary.LittleEndian.PutUint32(buf[i:], dict[rng.Intn(len(dict))])
+		}
+	case PatStride:
+		v := uint32(rng.Intn(1 << 16))
+		for i := 0; i+4 <= len(buf); i += 4 {
+			binary.LittleEndian.PutUint32(buf[i:], v)
+			v += uint32(1 + rng.Intn(7))
+		}
+	case PatRandom:
+		rng.Read(buf)
+	case PatMixedPtr:
+		base := (rng.Uint64() | 0x8000_0000) &^ 0xFFF
+		for i := 0; i+8 <= len(buf); i += 8 {
+			if i%16 == 0 {
+				binary.LittleEndian.PutUint64(buf[i:], uint64(rng.Intn(64)))
+			} else {
+				binary.LittleEndian.PutUint64(buf[i:], base+uint64(rng.Intn(200)))
+			}
+		}
+	}
+}

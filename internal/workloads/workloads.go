@@ -1,0 +1,179 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/caba-sim/caba/internal/config"
+	"github.com/caba-sim/caba/internal/gpu"
+	"github.com/caba-sim/caba/internal/isa"
+)
+
+// Instance is an App instantiated for a particular configuration: the
+// built kernel plus the memory layout it expects.
+type Instance struct {
+	App     *App
+	Kernel  *gpu.Kernel
+	Threads int
+	// Memory regions (bytes) the workload reads; compressing designs
+	// precompress these (Section 4.3.1).
+	InBytes  uint64
+	IdxBytes uint64
+	OutBytes uint64
+}
+
+// roundPow2 rounds n up to a power of two (minimum 1024).
+func roundPow2(n int) int {
+	p := 1024
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Instantiate sizes and builds the kernel for cfg (honoring cfg.Scale).
+// Threads are chosen to fill the machine (so scaled-down runs stay
+// parallel); per-thread iteration counts then cover the working set.
+func (a *App) Instantiate(cfg *config.Config) (*Instance, error) {
+	elements := roundPow2(int(float64(a.WorkingSetKB) * 1024 * cfg.Scale / 4))
+	fill := cfg.NumSMs * cfg.MaxThreadsPerSM
+
+	var threads, iters, passes int
+	passes = 1
+	if a.Kind == KindCompute {
+		// Compute-bound apps: work is iterations, not elements.
+		threads = 2 * fill
+		iters = a.ItersPerThread
+	} else {
+		threads = elements / 4 // at least 4 elements per thread
+		if threads > 2*fill {
+			threads = 2 * fill
+		}
+		if threads > 1<<16 {
+			threads = 1 << 16
+		}
+		if threads < a.CTAThreads {
+			threads = a.CTAThreads
+		}
+		iters = elements / threads
+		if iters > a.ItersPerThread*4 {
+			iters = a.ItersPerThread * 4
+		}
+		if iters < 4 {
+			iters = 4
+		}
+		// Multiple passes give a sustained phase (real kernels launch
+		// repeatedly over the same data) — but only when the working set
+		// exceeds the L2 by a margin, so repetition does not turn a
+		// DRAM-streaming application into an L2-resident one.
+		if elements*4 > 3*(cfg.L2Size/2) {
+			for passes*iters < a.ItersPerThread && passes < 8 {
+				passes++
+			}
+		}
+	}
+	if iters < 4 {
+		iters = 4
+	}
+	iters &^= 3 // templates unroll by 4 where it matters
+	ctas := (threads + a.CTAThreads - 1) / a.CTAThreads
+	threads = ctas * a.CTAThreads
+
+	var prog *isa.Program
+	params := [4]uint64{}
+	shared := 0
+	stride := uint64(threads * 4)
+	switch a.Kind {
+	case KindStreaming:
+		prog = buildStreaming(a.Name, a.Intensity)
+		params = [4]uint64{uint64(passes), 0, stride, uint64(iters)}
+	case KindStencil:
+		prog = buildStencil(a.Name, a.Intensity)
+		params = [4]uint64{uint64(passes), 0, stride, uint64(iters)}
+	case KindGather:
+		prog = buildGather(a.Name, a.Intensity)
+		params = [4]uint64{stride, 0, uint64(elements), uint64(iters)}
+	case KindMapReduce:
+		prog = buildMapReduce(a.Name, a.Intensity)
+		params = [4]uint64{uint64(passes), 0, stride, uint64(iters)}
+	case KindMatmul:
+		prog = buildMatmul(a.Name)
+		// Tile count is the app's work knob (each tile is an 8-term
+		// inner loop behind two barriers).
+		tiles := a.ItersPerThread / 8
+		if tiles < 1 {
+			tiles = 1
+		}
+		params = [4]uint64{0, 0, uint64(tiles), stride}
+		shared = a.CTAThreads * 4
+		if shared < 1024 {
+			shared = 1024
+		}
+	case KindCompute:
+		prog = buildCompute(a.Name, a.Intensity, a.SFUHeavy)
+		params = [4]uint64{0, 0, stride, uint64(iters)}
+	default:
+		return nil, fmt.Errorf("workloads: %s: unknown kind %v", a.Name, a.Kind)
+	}
+	// Model the application's real register pressure (Figure 2).
+	prog.NumReg += a.ExtraRegs
+	if prog.NumReg > 64 {
+		prog.NumReg = 64
+	}
+
+	inBytes := uint64(elements * 4)
+	inst := &Instance{
+		App:     a,
+		Threads: threads,
+		Kernel: &gpu.Kernel{
+			Prog:       prog,
+			GridCTAs:   ctas,
+			CTAThreads: a.CTAThreads,
+			SharedMem:  shared,
+			Params:     params,
+		},
+		InBytes:  inBytes,
+		OutBytes: uint64(threads * 4),
+	}
+	if a.Kind == KindGather {
+		inst.IdxBytes = inBytes
+	}
+	return inst, nil
+}
+
+// Prepare fills the simulator's memory with the app's data patterns and,
+// for compressing designs, performs the Section 4.3.1 one-time setup
+// (input transferred to GPU memory in compressed form). It returns the
+// input compression ratio achieved by the precompression (1.0 when not
+// compressing).
+func (inst *Instance) Prepare(sim *gpu.Simulator, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	buf := make([]byte, inst.InBytes)
+	inst.App.Pattern.Fill(buf, rng)
+	sim.Mem.Write(InBase, buf)
+	if inst.IdxBytes > 0 {
+		idx := make([]byte, inst.IdxBytes)
+		pat := inst.App.IdxPattern
+		pat.Fill(idx, rng)
+		sim.Mem.Write(IdxBase, idx)
+	}
+	if !sim.Design.Compressing() {
+		return 1.0
+	}
+	ratio := sim.Dom.Precompress(InBase, inst.InBytes)
+	if inst.IdxBytes > 0 {
+		sim.Dom.Precompress(IdxBase, inst.IdxBytes)
+	}
+	return ratio
+}
+
+// MaxCycles returns a generous per-run cycle budget scaled to the
+// instance (a watchdog against deadlock regressions).
+func (inst *Instance) MaxCycles() uint64 {
+	work := uint64(inst.Threads) * uint64(8*(inst.App.ItersPerThread+8))
+	c := work * 400
+	if c < 20_000_000 {
+		c = 20_000_000
+	}
+	return c
+}

@@ -1,0 +1,197 @@
+package workloads
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/caba-sim/caba/internal/compress"
+	"github.com/caba-sim/caba/internal/config"
+	"github.com/caba-sim/caba/internal/gpu"
+)
+
+func TestAppPoolShape(t *testing.T) {
+	fig1 := Fig1Apps()
+	if len(fig1) != 27 {
+		t.Errorf("Figure 1 pool = %d apps, want 27", len(fig1))
+	}
+	mem := 0
+	for _, a := range fig1 {
+		if a.MemoryBound {
+			mem++
+		}
+	}
+	if mem != 17 {
+		t.Errorf("memory-bound = %d, want 17 (Section 2)", mem)
+	}
+	if got := len(CompressApps()); got != 20 {
+		t.Errorf("compression suite = %d apps, want 20", got)
+	}
+	seen := map[string]bool{}
+	for i := range Apps {
+		if seen[Apps[i].Name] {
+			t.Errorf("duplicate app %q", Apps[i].Name)
+		}
+		seen[Apps[i].Name] = true
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("PVC") == nil || ByName("PVC").Suite != "Mars" {
+		t.Error("PVC lookup failed")
+	}
+	if ByName("nope") != nil {
+		t.Error("unknown app should be nil")
+	}
+}
+
+func TestAllAppsInstantiate(t *testing.T) {
+	cfg := config.Baseline()
+	cfg.Scale = 0.05
+	for i := range Apps {
+		a := &Apps[i]
+		inst, err := a.Instantiate(&cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		if err := inst.Kernel.Validate(&cfg); err != nil {
+			t.Errorf("%s: invalid kernel: %v", a.Name, err)
+		}
+		if inst.Threads%a.CTAThreads != 0 {
+			t.Errorf("%s: %d threads not whole CTAs", a.Name, inst.Threads)
+		}
+		if inst.Kernel.Prog.NumReg > 64 {
+			t.Errorf("%s: %d registers", a.Name, inst.Kernel.Prog.NumReg)
+		}
+	}
+}
+
+// TestPatternCompressibility pins the Figure 11 calibration: which
+// algorithm wins on which pattern.
+func TestPatternCompressibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	measure := func(p Pattern, alg compress.AlgID) float64 {
+		buf := make([]byte, 64*compress.LineSize)
+		p.Fill(buf, rng)
+		r, err := compress.MeasureRatio(alg, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	// Pointer-style data: BDI strong.
+	if r := measure(PatPointer, compress.AlgBDI); r < 1.5 {
+		t.Errorf("pointer/BDI ratio = %.2f, want > 1.5", r)
+	}
+	// Mixed pointer (the Figure 5 PVC shape): BDI strong.
+	if r := measure(PatMixedPtr, compress.AlgBDI); r < 1.5 {
+		t.Errorf("mixedptr/BDI ratio = %.2f, want > 1.5", r)
+	}
+	// Dictionary data: C-Pack beats BDI (JPEG, nw per the paper).
+	bdi := measure(PatDict, compress.AlgBDI)
+	cpack := measure(PatDict, compress.AlgCPack)
+	if cpack <= bdi {
+		t.Errorf("dict: C-Pack (%.2f) should beat BDI (%.2f)", cpack, bdi)
+	}
+	// Text: FPC/C-Pack beat BDI (MUM).
+	bdi = measure(PatText, compress.AlgBDI)
+	fpc := measure(PatText, compress.AlgFPC)
+	cpk := measure(PatText, compress.AlgCPack)
+	if fpc <= bdi && cpk <= bdi {
+		t.Errorf("text: FPC (%.2f) or C-Pack (%.2f) should beat BDI (%.2f)", fpc, cpk, bdi)
+	}
+	// Random: nothing compresses.
+	for _, alg := range []compress.AlgID{compress.AlgBDI, compress.AlgFPC, compress.AlgCPack} {
+		if r := measure(PatRandom, alg); r > 1.1 {
+			t.Errorf("random/%v ratio = %.2f, want ~1.0", alg, r)
+		}
+	}
+	// Zero-heavy: everything compresses a lot.
+	if r := measure(PatZero, compress.AlgBDI); r < 2.5 {
+		t.Errorf("zero/BDI ratio = %.2f, want > 2.5", r)
+	}
+}
+
+func TestPrepareAndRunSelectedApps(t *testing.T) {
+	cfg := config.Baseline()
+	cfg.Scale = 0.01
+	cfg.NumSMs = 4
+	cfg.MaxThreadsPerSM = 512
+	for _, name := range []string{"SCP", "PVC", "bfs", "MM", "hs", "NQU"} {
+		a := ByName(name)
+		inst, err := a.Instantiate(&cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sim, err := gpu.New(&cfg, config.DesignBase, inst.Kernel)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ratio := inst.Prepare(sim, 7)
+		if ratio != 1.0 {
+			t.Errorf("%s: base design should not precompress (%v)", name, ratio)
+		}
+		if err := sim.Run(inst.MaxCycles()); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sim.S.ThreadInstrs == 0 {
+			t.Errorf("%s: no work executed", name)
+		}
+	}
+}
+
+func TestPrepareCompressingDesignPrecompresses(t *testing.T) {
+	cfg := config.Baseline()
+	cfg.Scale = 0.01
+	cfg.NumSMs = 2
+	cfg.MaxThreadsPerSM = 256
+	a := ByName("PVC")
+	inst, _ := a.Instantiate(&cfg)
+	sim, err := gpu.New(&cfg, config.DesignCABABDI, inst.Kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := inst.Prepare(sim, 7)
+	if ratio < 1.5 {
+		t.Errorf("PVC input ratio = %.2f, want BDI-friendly (> 1.5)", ratio)
+	}
+	if sim.Dom.CompressedLineCount() == 0 {
+		t.Error("precompression left no compressed lines")
+	}
+}
+
+func TestDeterministicPreparation(t *testing.T) {
+	cfg := config.Baseline()
+	cfg.Scale = 0.01
+	a := ByName("JPEG")
+	mk := func() uint64 {
+		inst, _ := a.Instantiate(&cfg)
+		sim, err := gpu.New(&cfg, config.DesignBase, inst.Kernel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst.Prepare(sim, 42)
+		var sum uint64
+		for off := uint64(0); off < 4096; off += 8 {
+			sum += sim.Mem.ReadU(InBase+off, 8)
+		}
+		return sum
+	}
+	if mk() != mk() {
+		t.Error("same seed must produce identical data")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindGather.String() != "gather" || Kind(99).String() == "" {
+		t.Error("Kind.String broken")
+	}
+}
+
+func TestMemoryBoundAppsHaveMemoryKinds(t *testing.T) {
+	for i := range Apps {
+		a := &Apps[i]
+		if !a.MemoryBound && a.Kind != KindCompute && a.Kind != KindStencil && a.Kind != KindStreaming {
+			t.Errorf("%s: compute-bound app with kind %v", a.Name, a.Kind)
+		}
+	}
+}
