@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build vet test race check bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+# check is the tier-1 gate: everything must pass before a commit.
+check: build vet test race
+
+# bench refreshes BENCH_sim.json with the simulator hot-loop and event
+# queue numbers (ns/op, B/op, allocs/op).
+bench:
+	./scripts/bench.sh

@@ -234,6 +234,25 @@ func benchOneApp(b *testing.B, app string, d caba.Design) {
 func BenchmarkSimBasePVC(b *testing.B)  { benchOneApp(b, "PVC", caba.Base) }
 func BenchmarkSimCABAPVC(b *testing.B)  { benchOneApp(b, "PVC", caba.CABABDI) }
 func BenchmarkSimBaseSSSP(b *testing.B) { benchOneApp(b, "sssp", caba.Base) }
+
+// BenchmarkSimHotLoop measures the simulator's inner loop — issue,
+// writeback ring, memory events, stall accounting — on a memory-bound
+// kernel with the fixed seed, reporting allocations per run. This is the
+// canary for hot-path allocation regressions: the fast-forward +
+// preallocation work dropped it several-fold, and BENCH_sim.json records
+// the calibrated numbers.
+func BenchmarkSimHotLoop(b *testing.B) {
+	cfg := caba.QuickConfig()
+	cfg.Scale = 0.05
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := caba.Run(cfg, caba.CABABDI, "sssp", 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.IPC, "ipc")
+	}
+}
 func BenchmarkSimCABASSSP(b *testing.B) { benchOneApp(b, "sssp", caba.CABABDI) }
 
 // BenchmarkAblationDeployBW sweeps the AWC's deployment bandwidth — the

@@ -11,6 +11,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -18,7 +20,11 @@ import (
 	"github.com/caba-sim/caba/experiments"
 )
 
-func main() {
+func main() { os.Exit(realMain()) }
+
+// realMain returns the process exit code; keeping it out of main lets the
+// deferred profile writers run before exit.
+func realMain() int {
 	fig := flag.Int("fig", 0, "figure number to regenerate (1,2,7,8,9,10,11,12,13)")
 	figs := flag.String("figs", "", "comma-separated figure list, e.g. 7,8,9")
 	table := flag.Int("table", 0, "table number to print (1)")
@@ -27,7 +33,37 @@ func main() {
 	full := flag.Bool("full", false, "shorthand for -scale 1.0")
 	seed := flag.Int64("seed", 1, "synthetic data seed")
 	parallel := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}()
+	}
 
 	o := experiments.Defaults(os.Stdout)
 	o.Scale = *scale
@@ -72,27 +108,28 @@ func main() {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "bad figure:", part)
-				os.Exit(2)
+				return 2
 			}
 			if err := run(n); err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
-				os.Exit(1)
+				return 1
 			}
 		}
 	case *all:
 		for _, n := range []int{1, 2, 7, 8, 9, 10, 12, 13} {
 			if err := run(n); err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
-				os.Exit(1)
+				return 1
 			}
 		}
 	case *fig != 0:
 		if err := run(*fig); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			return 1
 		}
 	default:
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -64,7 +65,10 @@ type runKey struct {
 	bwScale float64
 }
 
-// sweep runs every (app, design, bw) combination in parallel.
+// sweep runs every (app, design, bw) combination on a bounded worker
+// pool. All failures are collected and returned together (errors.Join),
+// so one bad configuration reports every broken cell of the grid instead
+// of just the first one hit.
 func (o *Options) sweep(apps []string, designs []caba.Design, bws []float64) (map[runKey]*caba.Result, error) {
 	if len(bws) == 0 {
 		bws = []float64{1.0}
@@ -73,42 +77,40 @@ func (o *Options) sweep(apps []string, designs []caba.Design, bws []float64) (ma
 		key    runKey
 		design caba.Design
 	}
-	var jobs []job
+	jobs := make(chan job)
+	results := make(map[runKey]*caba.Result, len(apps)*len(designs)*len(bws))
+	var mu sync.Mutex
+	var errs []error
+	var wg sync.WaitGroup
+	for w := 0; w < o.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				cfg := o.cfg()
+				cfg.BWScale = j.key.bwScale
+				res, err := caba.Run(cfg, j.design, j.key.app, o.Seed)
+				mu.Lock()
+				if err != nil {
+					errs = append(errs, fmt.Errorf("%s/%s@%vx: %w", j.key.app, j.key.design, j.key.bwScale, err))
+				} else {
+					results[j.key] = res
+				}
+				mu.Unlock()
+			}
+		}()
+	}
 	for _, a := range apps {
 		for _, d := range designs {
 			for _, bw := range bws {
-				jobs = append(jobs, job{runKey{a, d.Name, bw}, d})
+				jobs <- job{runKey{a, d.Name, bw}, d}
 			}
 		}
 	}
-	results := make(map[runKey]*caba.Result, len(jobs))
-	var mu sync.Mutex
-	var firstErr error
-	sem := make(chan struct{}, o.workers())
-	var wg sync.WaitGroup
-	for _, j := range jobs {
-		wg.Add(1)
-		go func(j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			cfg := o.cfg()
-			cfg.BWScale = j.key.bwScale
-			res, err := caba.Run(cfg, j.design, j.key.app, o.Seed)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("%s/%s@%vx: %w", j.key.app, j.key.design, j.key.bwScale, err)
-				}
-				return
-			}
-			results[j.key] = res
-		}(j)
-	}
+	close(jobs)
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	return results, nil
 }

@@ -1,0 +1,66 @@
+package caba_test
+
+import (
+	"fmt"
+	"testing"
+
+	caba "github.com/caba-sim/caba"
+)
+
+// TestFastForwardGoldenEquivalence is the fast-forward engine's contract:
+// cycle-skipping must be invisible in the results. Every app×design pair
+// below runs twice — per-cycle ticking and fast-forward — and the two
+// Result structs (cycles, the Figure-1 stall breakdown, bandwidth
+// utilization, energy, and every raw counter in Metrics) must match
+// exactly, not approximately.
+func TestFastForwardGoldenEquivalence(t *testing.T) {
+	pairs := []struct {
+		app    string
+		design caba.Design
+	}{
+		{"sssp", caba.Base},       // memory-bound, no compression machinery
+		{"PVC", caba.CABABDI},     // assist-warp compression + decompression
+		{"bfs", caba.HWBDI},       // hardware (de)compression latencies
+		{"TRA", caba.CABABDI},     // second CABA-BDI app, different access pattern
+		{"KM", caba.IdealBDI}, // zero-latency decompression design
+	}
+	for _, p := range pairs {
+		p := p
+		t.Run(fmt.Sprintf("%s_%s", p.app, p.design.Name), func(t *testing.T) {
+			t.Parallel()
+			cfg := caba.QuickConfig()
+			cfg.Scale = 0.03
+
+			cfg.FastForward = false
+			slow, err := caba.Run(cfg, p.design, p.app, 1)
+			if err != nil {
+				t.Fatalf("per-cycle run: %v", err)
+			}
+			cfg.FastForward = true
+			fast, err := caba.Run(cfg, p.design, p.app, 1)
+			if err != nil {
+				t.Fatalf("fast-forward run: %v", err)
+			}
+
+			if slow.Cycles != fast.Cycles {
+				t.Errorf("cycles diverge: per-cycle %d, fast-forward %d", slow.Cycles, fast.Cycles)
+			}
+			if slow.IPC != fast.IPC {
+				t.Errorf("IPC diverges: %v != %v", slow.IPC, fast.IPC)
+			}
+			if slow.BandwidthUtil != fast.BandwidthUtil {
+				t.Errorf("bandwidth utilization diverges: %v != %v", slow.BandwidthUtil, fast.BandwidthUtil)
+			}
+			if slow.CompressionRatio != fast.CompressionRatio {
+				t.Errorf("compression ratio diverges: %v != %v", slow.CompressionRatio, fast.CompressionRatio)
+			}
+			if slow.EnergyNJ != fast.EnergyNJ || slow.DRAMEnergyNJ != fast.DRAMEnergyNJ {
+				t.Errorf("energy diverges: total %v != %v, DRAM %v != %v",
+					slow.EnergyNJ, fast.EnergyNJ, slow.DRAMEnergyNJ, fast.DRAMEnergyNJ)
+			}
+			for _, d := range slow.Stats.Diff(fast.Stats) {
+				t.Errorf("stats diverge: %s", d)
+			}
+		})
+	}
+}

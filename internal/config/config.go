@@ -99,6 +99,15 @@ type Config struct {
 	// Scale shrinks workload working sets and grids for tests/quick
 	// benches. 1.0 is paper scale.
 	Scale float64
+
+	// FastForward enables the cycle-skipping engine: when every SM is
+	// provably unable to issue (all warps stalled on memory or
+	// dependencies, or the grid is exhausted and the memory system is
+	// draining), the simulator jumps the clock to the next wake event in
+	// one step, crediting the skipped issue slots to the stall
+	// classifier in bulk. Statistics are bit-identical to per-cycle
+	// ticking; only wall-clock time changes.
+	FastForward bool
 }
 
 // Baseline returns the paper's Table 1 configuration.
@@ -139,6 +148,7 @@ func Baseline() Config {
 		MDCacheAssoc:    4,
 		MDLinesPerEntry: 128,
 		Scale:           1.0,
+		FastForward:     true,
 	}
 }
 

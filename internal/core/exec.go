@@ -106,7 +106,7 @@ type Exec struct {
 func NewExec(prog *isa.Program, active uint32) *Exec {
 	e := &Exec{
 		Prog:    prog,
-		ipdom:   isa.PostDominators(prog),
+		ipdom:   prog.IPDom(),
 		Active:  active,
 		launch:  active,
 		rpc:     len(prog.Code),

@@ -90,6 +90,10 @@ type Entry struct {
 	// Outstanding counts issued instructions not yet written back.
 	Outstanding int
 
+	// SB is the assist warp's issue scoreboard over its reserved register
+	// slice; embedding it here avoids a per-entry side-table.
+	SB RegMask
+
 	Killed bool
 	User   any // opaque owner context (e.g. the pending load this unblocks)
 
@@ -200,6 +204,28 @@ func (c *Controller) NoteIssueSlot(busy bool) {
 	}
 	c.windowPos = (c.windowPos + 1) % len(c.window)
 }
+
+// NoteIdleSlots advances the utilization monitor by n idle slots, exactly
+// as if NoteIssueSlot(false) had been called n times. The fast-forward
+// engine uses it to credit skipped cycles in bulk; once n covers the whole
+// window the update collapses to a clear plus a position rotation.
+func (c *Controller) NoteIdleSlots(n int) {
+	if n >= len(c.window) {
+		for i := range c.window {
+			c.window[i] = false
+		}
+		c.windowBusy = 0
+		c.windowPos = (c.windowPos + n) % len(c.window)
+		return
+	}
+	for i := 0; i < n; i++ {
+		c.NoteIssueSlot(false)
+	}
+}
+
+// Idle reports whether the AWT holds no assist warps (the controller's
+// Tick and issue paths are guaranteed no-ops).
+func (c *Controller) Idle() bool { return len(c.entries) == 0 }
 
 // Utilization returns the fraction of recent issue slots that were busy.
 func (c *Controller) Utilization() float64 {

@@ -134,6 +134,19 @@ func NewAssistExec(rt *Routine) *Exec {
 	return e
 }
 
+// NewAssistExecBuffers is NewAssistExec with caller-provided staging and
+// scratch buffers, for callers that recycle them (the timing simulator
+// pools line-staging buffers per SM cluster). The buffers must be zeroed:
+// routines rely on staging reads beyond the written payload returning
+// zero, exactly as freshly allocated buffers do.
+func NewAssistExecBuffers(rt *Routine, stageIn, stageOut, shared []byte) *Exec {
+	e := NewExec(rt.Prog, rt.ActiveMask)
+	e.StageIn = stageIn
+	e.StageOut = stageOut
+	e.Shared = shared
+	return e
+}
+
 // RunDecompression executes a decompression routine functionally over the
 // payload and returns the reconstructed line. It is the verification path
 // used by tests and the functional path used by the GPU model (which adds

@@ -2,6 +2,7 @@ package gpu
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/caba-sim/caba/internal/compress"
 	"github.com/caba-sim/caba/internal/config"
@@ -10,6 +11,17 @@ import (
 	"github.com/caba-sim/caba/internal/stats"
 	"github.com/caba-sim/caba/internal/timing"
 )
+
+// wedgeLimit is the number of consecutive fully-idle drain cycles after
+// which Run declares the simulation wedged. A variable so tests can lower
+// it to exercise the detector.
+var wedgeLimit = 10_000_000
+
+// stageBufs is one recyclable set of assist-warp staging/scratch buffers
+// (the 128B-line staging the compress/decompress routines work in).
+type stageBufs struct {
+	in, out, shared []byte
+}
 
 // Simulator is one GPU: cores, CABA framework, and the memory system, run
 // against one kernel under one design.
@@ -31,6 +43,15 @@ type Simulator struct {
 	awtEntries int // AWT capacity per SM, register-budget limited
 
 	occ Occupancy
+
+	// stagePool recycles assist-warp staging buffers across triggers.
+	stagePool []stageBufs
+	// ffKinds is per-SM scratch for the fast-forward stall classification.
+	ffKinds []stats.StallKind
+	// ffSkips / ffCycles count fast-forward jumps and the cycles they
+	// covered (observability; not part of the equivalence-checked stats).
+	ffSkips  uint64
+	ffCycles uint64
 
 	// Debug instrumentation (enabled by tests).
 	dbgFetch    map[uint64]uint64
@@ -100,6 +121,7 @@ func New(cfg *config.Config, design config.Design, k *Kernel) (*Simulator, error
 	for i := range sim.sms {
 		sim.sms[i] = newSM(i, sim)
 	}
+	sim.ffKinds = make([]stats.StallKind, cfg.NumSMs)
 	sim.S.RegsPerThread = k.Prog.NumReg
 	sim.S.ThreadsPerSM = sim.occ.ThreadsPerSM
 	sim.S.CTAsPerSM = sim.occ.CTAsPerSM
@@ -147,6 +169,34 @@ func (sim *Simulator) assistRegDemand() int {
 // Occupancy returns the static occupancy analysis for this run.
 func (sim *Simulator) Occupancy() Occupancy { return sim.occ }
 
+// FastForwardStats returns the number of clock jumps the fast-forward
+// engine performed and the total cycles they covered.
+func (sim *Simulator) FastForwardStats() (skips, cycles uint64) {
+	return sim.ffSkips, sim.ffCycles
+}
+
+// newAssistExec builds an assist-warp execution context, recycling staging
+// buffers from the per-simulator pool when available. Recycled buffers are
+// zeroed: routines rely on reads past the written payload returning zero.
+func (sim *Simulator) newAssistExec(rt *core.Routine) *core.Exec {
+	n := len(sim.stagePool)
+	if n == 0 {
+		return core.NewAssistExec(rt)
+	}
+	s := sim.stagePool[n-1]
+	sim.stagePool = sim.stagePool[:n-1]
+	clear(s.in)
+	clear(s.out)
+	clear(s.shared)
+	return core.NewAssistExecBuffers(rt, s.in, s.out, s.shared)
+}
+
+// releaseAssistExec returns a retired assist exec's staging buffers to the
+// pool. The exec must have no remaining readers.
+func (sim *Simulator) releaseAssistExec(ex *core.Exec) {
+	sim.stagePool = append(sim.stagePool, stageBufs{in: ex.StageIn, out: ex.StageOut, shared: ex.Shared})
+}
+
 // DecompMismatches returns the racing-write counter (tests assert zero).
 func (sim *Simulator) DecompMismatches() uint64 { return sim.decompMismatches }
 
@@ -164,6 +214,12 @@ func (sim *Simulator) dispatch(sm *SM) {
 
 // Run executes the kernel to completion (or the cycle cap) and finalizes
 // statistics.
+//
+// Every elapsed cycle contributes its issue slots to the Figure 1
+// breakdown (idle slots included), so SMs tick through stalls and the
+// final memory drain. When Config.FastForward is set and every SM is
+// provably unable to act, the skipped ticks are credited in bulk instead
+// of executed — the statistics are bit-identical either way.
 func (sim *Simulator) Run(maxCycles uint64) error {
 	if maxCycles == 0 {
 		maxCycles = 200_000_000
@@ -171,6 +227,7 @@ func (sim *Simulator) Run(maxCycles uint64) error {
 	for _, sm := range sim.sms {
 		sim.dispatch(sm)
 	}
+	ff := sim.Cfg.FastForward
 	idleStreak := 0
 	for sim.cycle = 0; sim.cycle < maxCycles; sim.cycle++ {
 		sim.Q.RunUntil(float64(sim.cycle))
@@ -181,20 +238,38 @@ func (sim *Simulator) Run(maxCycles uint64) error {
 				break
 			}
 		}
-		if !busy && sim.nextCTA >= sim.Kernel.GridCTAs {
+		drainIdle := !busy && sim.nextCTA >= sim.Kernel.GridCTAs
+		if drainIdle {
 			if sim.Q.Len() == 0 && sim.Sys.Drained() {
 				break
 			}
 			idleStreak++
-			if idleStreak > 10_000_000 {
+			if idleStreak > wedgeLimit {
 				return fmt.Errorf("gpu: wedged waiting for memory drain at cycle %d", sim.cycle)
 			}
 		} else {
 			idleStreak = 0
 		}
-		// Tick every SM — including idle ones and through the final
-		// memory drain — so every elapsed cycle contributes its issue
-		// slots to the Figure 1 breakdown (idle slots included).
+		if ff {
+			if wake, ok := sim.ffWake(maxCycles); ok {
+				skip := wake - sim.cycle // ticks credited: cycle .. wake-1
+				if drainIdle && idleStreak+int(skip-1) > wedgeLimit {
+					// The wedge detector would fire inside the window:
+					// credit exactly up to its firing cycle so the error
+					// reports the same cycle as per-cycle ticking.
+					fire := sim.cycle + uint64(wedgeLimit-idleStreak) + 1
+					sim.creditSkip(fire-sim.cycle, fire)
+					sim.cycle = fire
+					return fmt.Errorf("gpu: wedged waiting for memory drain at cycle %d", sim.cycle)
+				}
+				sim.creditSkip(skip, wake)
+				if drainIdle {
+					idleStreak += int(skip - 1)
+				}
+				sim.cycle = wake - 1 // loop increment resumes at wake
+				continue
+			}
+		}
 		for _, sm := range sim.sms {
 			sm.tick(sim.cycle)
 		}
@@ -205,6 +280,61 @@ func (sim *Simulator) Run(maxCycles uint64) error {
 	sim.Sys.FinishStats(sim.cycle)
 	sim.S.L1Evictions = sim.l1Evictions()
 	return nil
+}
+
+// ffWake computes the fast-forward wake cycle: the earliest future cycle
+// at which any SM could act, bounded by the next memory-system event and
+// the cycle cap. ok is false when some SM can act this cycle (no skip) or
+// the window is too short to be worth skipping.
+func (sim *Simulator) ffWake(maxCycles uint64) (uint64, bool) {
+	wake := maxCycles
+	if t, qok := sim.Q.NextTime(); qok {
+		// An event at time T affects tick(ceil(T)) at the earliest: events
+		// run during RunUntil at the top of that iteration.
+		if w := uint64(math.Ceil(t)); w < wake {
+			wake = w
+		}
+	}
+	if wake <= sim.cycle+1 {
+		return 0, false
+	}
+	for i, sm := range sim.sms {
+		// Reuse the SM's quiescence cache when it is still valid; a fresh
+		// verdict seeds it for the per-SM tick fast path even when the
+		// global skip below turns out to be too short.
+		if !sm.qValid || sim.cycle >= sm.qHorizon {
+			kind, horizon, ok := sm.quiescent(sim.cycle)
+			if !ok {
+				sm.qValid = false
+				return 0, false
+			}
+			sm.qValid, sm.qKind, sm.qHorizon = true, kind, horizon
+		}
+		sim.ffKinds[i] = sm.qKind
+		if sm.qHorizon < wake {
+			wake = sm.qHorizon
+		}
+	}
+	if wake <= sim.cycle+1 {
+		return 0, false
+	}
+	return wake, true
+}
+
+// creditSkip applies the bulk stall accounting for n skipped ticks
+// (cycles sim.cycle .. wake-1): each SM's issue slots are credited with
+// its quiescent classification, the AWC utilization windows advance by
+// the same slot count, and per-SM clocks move to wake-1 exactly as if
+// tick(wake-1) had run.
+func (sim *Simulator) creditSkip(n, wake uint64) {
+	sched := sim.Cfg.NumSchedulers
+	for i, sm := range sim.sms {
+		sim.S.IssueSlots[sim.ffKinds[i]] += n * uint64(sched)
+		sm.awc.NoteIdleSlots(int(n) * sched)
+		sm.cycle = wake - 1
+	}
+	sim.ffSkips++
+	sim.ffCycles += n
 }
 
 func (sim *Simulator) l1Evictions() uint64 {

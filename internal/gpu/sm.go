@@ -61,6 +61,26 @@ type fillCtx struct {
 	instr *isa.Instr
 }
 
+// wbKind tags a pipeline writeback record.
+type wbKind uint8
+
+const (
+	wbWarp   wbKind = iota // regular-warp ALU/SFU/shared-mem completion
+	wbAssist               // assist-warp instruction completion
+	wbLoad                 // L1-hit (or HW-decompressed) load line completion
+)
+
+// wbRec is one pending pipeline writeback, held in the SM's time-bucketed
+// ring instead of a heap-allocated event closure: the issue hot path was
+// dominated by one closure + instruction copy per issued instruction.
+type wbRec struct {
+	kind  wbKind
+	instr isa.Instr
+	w     *warpCtx
+	e     *core.Entry
+	req   *loadReq
+}
+
 // SM is one streaming multiprocessor.
 type SM struct {
 	id  int
@@ -72,11 +92,19 @@ type SM struct {
 	l1   *mem.Cache
 	mshr *mem.MSHR
 
-	awc  *core.Controller
-	awSB map[*core.Entry]*regMask
+	awc *core.Controller
 
-	storeBuf   map[uint64]*storeEntry
-	storeOrder []uint64
+	// storeBuf holds pending store lines in age order (oldest first). It
+	// is bounded by storeBufCap, so identity/address lookups are linear
+	// scans over a short slice — cheaper than the map it replaces.
+	storeBuf []*storeEntry
+
+	// wbRing is the pipeline writeback ring: bucket (cycle & wbMask)
+	// holds the writebacks completing at that cycle. Bucket slices are
+	// recycled, so steady-state issue allocates nothing.
+	wbRing    [][]wbRec
+	wbMask    uint64
+	wbPending int
 
 	// Retry queues for assist-warp triggers that found the AWT/AWB full.
 	decompRetry []func() bool
@@ -89,9 +117,17 @@ type SM struct {
 	sfuFree  uint64 // SFU initiation interval
 	lsuFree  uint64 // LSU busy from multi-line coalesced accesses
 
-	greedy      *warpCtx
-	order       []*warpCtx // scheduling order scratch, rebuilt each tick
+	greedy *warpCtx
+	// order is the GTO scheduling order (valid warps, stable-sorted by
+	// lastIssueCycle then warp slot). It is maintained incrementally:
+	// issued warps recorded in issuedBuf are re-placed at the back on the
+	// next tick, and orderDirty forces a full rebuild after warp validity
+	// changes (CTA placement/retirement). LRR rebuilds every tick.
+	order      []*warpCtx
+	orderDirty bool
+	issuedBuf  []*warpCtx
 	lineBuf     []uint64
+	awLineBuf   []uint64 // coalescing scratch for assist-warp accesses
 	lastGoodEnc compress.BDIEncoding
 	hasLastGood bool
 
@@ -102,23 +138,58 @@ type SM struct {
 	compFailStreak int
 	compDisabled   bool
 
+	// Quiescence cache. When valid, quiescent() has proven that every
+	// tick before qHorizon (exclusive) is a pure stall-accounting no-op
+	// classified as qKind, so tick() replays that verdict in O(1) instead
+	// of re-scanning the warp list. Any event-side entry into the SM
+	// (fills, delayed decompression, store releases, CTA placement)
+	// invalidates it via touch(). This is what makes memory-stall cycles
+	// cheap even when dense memory-system events pin the global clock to
+	// per-cycle stepping.
+	qValid   bool
+	qKind    stats.StallKind
+	qHorizon uint64
+	// qTry gates cache establishment: only a tick that issued nothing
+	// makes the next tick a quiescence candidate, so busy ticks never pay
+	// for the extra scan.
+	qTry bool
+
 	cycle uint64
 }
+
+// touch invalidates the quiescence cache; every mutation of SM state that
+// can happen outside tick() must call it.
+func (sm *SM) touch() { sm.qValid = false }
 
 func newSM(id int, sim *Simulator) *SM {
 	cfg := sim.Cfg
 	sm := &SM{
-		id:       id,
-		sim:      sim,
-		warps:    make([]*warpCtx, cfg.MaxWarpsPerSM),
-		l1:       mem.NewCache(cfg.L1Size, cfg.L1Assoc, cfg.LineSize, 1, sim.Design.L1TagMult),
-		mshr:     mem.NewMSHR(cfg.L1MSHRs),
-		awSB:     make(map[*core.Entry]*regMask),
-		storeBuf: make(map[uint64]*storeEntry),
+		id:    id,
+		sim:   sim,
+		warps: make([]*warpCtx, cfg.MaxWarpsPerSM),
+		l1:    mem.NewCache(cfg.L1Size, cfg.L1Assoc, cfg.LineSize, 1, sim.Design.L1TagMult),
+		mshr:  mem.NewMSHR(cfg.L1MSHRs),
 	}
 	for i := range sm.warps {
 		sm.warps[i] = &warpCtx{id: i}
 	}
+	// Size the writeback ring to cover the longest in-pipeline latency:
+	// ALU/SFU completion, and L1 hits including the worst-case hardware
+	// decompression penalty.
+	maxLat := cfg.ALULatency
+	if cfg.SFULatency > maxLat {
+		maxLat = cfg.SFULatency
+	}
+	if d, _ := compress.HWLatency(compress.AlgBest); cfg.L1Latency+d > maxLat {
+		maxLat = cfg.L1Latency + d
+	}
+	ringSize := 1
+	for ringSize < maxLat+2 {
+		ringSize *= 2
+	}
+	sm.wbRing = make([][]wbRec, ringSize)
+	sm.wbMask = uint64(ringSize - 1)
+	sm.orderDirty = true
 	entries := sim.awtEntries
 	if entries <= 0 {
 		entries = cfg.MaxWarpsPerSM
@@ -137,13 +208,73 @@ func (sm *SM) hasWork() bool {
 			return true
 		}
 	}
-	return len(sm.storeBuf) > 0 || len(sm.awc.Entries()) > 0 || len(sm.decompRetry) > 0 || len(sm.replayQ) > 0
+	return len(sm.storeBuf) > 0 || len(sm.awc.Entries()) > 0 ||
+		len(sm.decompRetry) > 0 || len(sm.replayQ) > 0 || sm.wbPending > 0
+}
+
+// --- Writeback ring ---
+
+// wbAdd schedules a pipeline writeback at absolute cycle at.
+func (sm *SM) wbAdd(at uint64, rec wbRec) {
+	if at-sm.cycle > sm.wbMask {
+		panic("gpu: writeback latency exceeds ring span")
+	}
+	i := at & sm.wbMask
+	sm.wbRing[i] = append(sm.wbRing[i], rec)
+	sm.wbPending++
+}
+
+// wbPop retires the writebacks due at cycle. It runs at tick start,
+// before sm.cycle advances, preserving the completion-before-issue
+// ordering (and load-latency accounting) of the event-queue path it
+// replaces.
+func (sm *SM) wbPop(cycle uint64) {
+	bucket := sm.wbRing[cycle&sm.wbMask]
+	if len(bucket) == 0 {
+		return
+	}
+	sm.wbRing[cycle&sm.wbMask] = bucket[:0]
+	sm.wbPending -= len(bucket)
+	for i := range bucket {
+		rec := &bucket[i]
+		switch rec.kind {
+		case wbWarp:
+			rec.w.sb.ClearDsts(&rec.instr)
+			rec.w.inFlight--
+		case wbAssist:
+			rec.e.SB.ClearDsts(&rec.instr)
+			rec.e.Outstanding--
+			sm.checkAssistDone(rec.e)
+		case wbLoad:
+			sm.loadLineDone(rec.req)
+		}
+		*rec = wbRec{} // drop pointers so retired contexts can be collected
+	}
+}
+
+// wbNext returns the cycle of the earliest pending writeback after `from`
+// (exclusive); ok is false when the ring is empty. Used by the
+// fast-forward engine to bound the skip window.
+func (sm *SM) wbNext(from uint64) (uint64, bool) {
+	if sm.wbPending == 0 {
+		return 0, false
+	}
+	for d := uint64(1); d <= sm.wbMask+1; d++ {
+		if len(sm.wbRing[(from+d)&sm.wbMask]) > 0 {
+			return from + d, true
+		}
+	}
+	return 0, false
 }
 
 // --- CTA lifecycle ---
 
 // placeCTA installs thread block cta onto the SM. Caller checked capacity.
+// It invalidates the quiescence cache: fresh warps change the issue
+// picture.
 func (sm *SM) placeCTA(ctaID int) {
+	sm.touch()
+	sm.orderDirty = true
 	k := sm.sim.Kernel
 	cfg := sm.sim.Cfg
 	warpsNeeded := k.WarpsPerCTA(cfg)
@@ -223,6 +354,7 @@ func (sm *SM) retireCTAIfDone(cta *ctaCtx) {
 		w.exec = nil
 		w.cta = nil
 	}
+	sm.orderDirty = true
 	for i, c := range sm.ctas {
 		if c == cta {
 			sm.ctas = append(sm.ctas[:i], sm.ctas[i+1:]...)
@@ -235,6 +367,33 @@ func (sm *SM) retireCTAIfDone(cta *ctaCtx) {
 // --- Per-cycle tick ---
 
 func (sm *SM) tick(cycle uint64) {
+	// Quiescence fast path: replay (or establish) a proven stall
+	// classification without touching the pipeline. Bit-identical to the
+	// full tick below — quiescent() guarantees the tick would be a pure
+	// accounting no-op, and NoteIdleSlots matches NumSchedulers failed
+	// NoteIssueSlot calls exactly.
+	if sm.sim.Cfg.FastForward {
+		if !sm.qValid && sm.qTry {
+			if kind, horizon, ok := sm.quiescent(cycle); ok {
+				sm.qValid, sm.qKind, sm.qHorizon = true, kind, horizon
+			}
+		}
+		if sm.qValid {
+			if cycle < sm.qHorizon {
+				sm.cycle = cycle
+				sched := sm.sim.Cfg.NumSchedulers
+				sm.sim.S.IssueSlots[sm.qKind] += uint64(sched)
+				sm.awc.NoteIdleSlots(sched)
+				return
+			}
+			sm.qValid = false
+		}
+	}
+
+	// Retire pipeline writebacks due this cycle before the clock (and the
+	// issue stage) advances.
+	sm.wbPop(cycle)
+
 	sm.cycle = cycle
 	sm.aluPorts = sm.sim.Cfg.NumSchedulers
 	sm.lsuPorts = 1
@@ -254,11 +413,16 @@ func (sm *SM) tick(cycle uint64) {
 	sm.processReplays()
 	sm.rebuildOrder()
 
+	idle := true
 	for s := 0; s < sm.sim.Cfg.NumSchedulers; s++ {
 		kind := sm.issueSlot()
+		if kind == stats.Active {
+			idle = false
+		}
 		sm.awc.NoteIssueSlot(kind == stats.Active)
 		sm.sim.S.IssueSlots[kind]++
 	}
+	sm.qTry = idle
 
 	sm.drainStores()
 
@@ -274,6 +438,138 @@ type slotFlags struct {
 	dep   bool
 	memS  bool
 	compS bool
+}
+
+// quiescent reports whether tick(cycle) would be a pure stall-accounting
+// no-op for this SM — nothing can issue, retire, drain or deploy — and if
+// so, which stall kind each of its issue slots would record. horizon is
+// the earliest future cycle at which this SM's own state can make a tick
+// act again (pipeline writeback, LSU/SFU port release, store-buffer
+// aging); ^uint64(0) when the SM is waiting purely on memory-system
+// events. The fast-forward engine may then skip ticks up to
+// min(horizon, next event) while crediting `kind` in bulk, with results
+// bit-identical to per-cycle ticking.
+func (sm *SM) quiescent(cycle uint64) (kind stats.StallKind, horizon uint64, ok bool) {
+	horizon = ^uint64(0)
+
+	// Assist-warp machinery in flight advances state every tick (retries,
+	// AWC deployment, round-robin rotation).
+	if len(sm.decompRetry) > 0 || !sm.awc.Idle() {
+		return 0, 0, false
+	}
+	// A writeback due this very tick acts; later ones bound the window.
+	if len(sm.wbRing[cycle&sm.wbMask]) > 0 {
+		return 0, 0, false
+	}
+	if wb, any := sm.wbNext(cycle); any && wb < horizon {
+		horizon = wb
+	}
+	// Replay queue: progress this tick means not quiescent; otherwise it
+	// is gated on the LSU (horizon) or a fill event freeing the MSHR
+	// (covered by the event-queue bound).
+	if len(sm.replayQ) > 0 {
+		if cycle >= sm.lsuFree {
+			if !sm.mshr.Full() {
+				return 0, 0, false
+			}
+		} else if sm.lsuFree < horizon {
+			horizon = sm.lsuFree
+		}
+	}
+	// A retirable CTA means the tick would retire it and dispatch work.
+	for _, cta := range sm.ctas {
+		if cta.liveWarps != 0 {
+			continue
+		}
+		retirable := true
+		for _, w := range cta.warps {
+			if w.inFlight > 0 || w.pendingLoads > 0 || w.replay != nil {
+				retirable = false
+				break
+			}
+		}
+		if retirable {
+			return 0, 0, false
+		}
+	}
+	// Store buffer: a due drain acts now; future aging bounds the window.
+	bufFull := len(sm.storeBuf) >= storeBufCap*3/4
+	for _, se := range sm.storeBuf {
+		if se.state != sbPending {
+			continue
+		}
+		if bufFull || cycle-se.lastTouch >= storeDrainAge {
+			return 0, 0, false
+		}
+		if t := se.lastTouch + storeDrainAge; t < horizon {
+			horizon = t
+		}
+	}
+	// Warps: replicate issueSlot's classification flags without issuing.
+	// Per-tick port counters (aluPorts/lsuPorts) reset every cycle, so
+	// only the lsuFree/sfuFree time gates matter here. Under LRR the last
+	// issuer is skipped by the issue loop, so it is skipped here too.
+	var f slotFlags
+	lrr := sm.sim.Cfg.Scheduler == config.SchedLRR
+	for _, w := range sm.warps {
+		if !w.valid || (lrr && w == sm.greedy) {
+			continue
+		}
+		in := w.exec.Current()
+		if in == nil {
+			continue // done or at barrier: contributes to idle
+		}
+		if w.sb.Conflicts(in) {
+			f.dep = true
+			continue
+		}
+		switch in.Op.Class() {
+		case isa.ClassMem:
+			if cycle < sm.lsuFree {
+				f.memS = true
+				if sm.lsuFree < horizon {
+					horizon = sm.lsuFree
+				}
+				continue
+			}
+			if in.Op.IsGlobalMem() && in.Op.IsStore() &&
+				len(sm.storeBuf) >= storeBufCap && !sm.canEvictStore() {
+				// Unblocks only via compression/RMW completion events.
+				f.memS = true
+				continue
+			}
+			if in.Op.IsGlobalMem() && w.replay != nil {
+				// Blocks behind the warp's replaying load, which drains
+				// via fill events or the LSU horizon handled above.
+				f.memS = true
+				continue
+			}
+			return 0, 0, false // the LSU is free: this warp would issue
+		case isa.ClassSFU:
+			if cycle < sm.sfuFree {
+				f.compS = true
+				if sm.sfuFree < horizon {
+					horizon = sm.sfuFree
+				}
+				continue
+			}
+			return 0, 0, false
+		default:
+			// ALU and control ports are always available at tick start.
+			return 0, 0, false
+		}
+	}
+	switch {
+	case f.memS:
+		kind = stats.MemoryStall
+	case f.compS:
+		kind = stats.ComputeStall
+	case f.dep:
+		kind = stats.DataDepStall
+	default:
+		kind = stats.IdleCycle
+	}
+	return kind, horizon, true
 }
 
 // issueSlot tries to issue one instruction and classifies the slot.
@@ -347,7 +643,7 @@ func (sm *SM) tryWarp(w *warpCtx, f *slotFlags) bool {
 	if in == nil {
 		return false // done or at barrier: contributes to idle
 	}
-	if w.sb.conflicts(in) {
+	if w.sb.Conflicts(in) {
 		f.dep = true
 		return false
 	}
@@ -367,12 +663,17 @@ func (sm *SM) tryWarp(w *warpCtx, f *slotFlags) bool {
 	return true
 }
 
-// rebuildOrder sorts live warps by last issue cycle (oldest first) for
-// GTO; for LRR it rotates round-robin from the slot after the last issuer.
-// The GTO list is nearly sorted between ticks, so insertion sort is cheap.
+// rebuildOrder maintains the scheduling order. LRR rotates round-robin
+// from the slot after the last issuer every tick. GTO (oldest-first,
+// stable on warp slot) is kept incrementally: a full filter+sort only
+// after validity changes (orderDirty); otherwise each warp that issued
+// last tick is re-placed at the back, which reproduces the stable sort
+// exactly — issued warps share the previous tick's (maximal) issue cycle,
+// and ties within that group are restored to slot order.
 func (sm *SM) rebuildOrder() {
-	sm.order = sm.order[:0]
 	if sm.sim.Cfg.Scheduler == config.SchedLRR {
+		sm.issuedBuf = sm.issuedBuf[:0]
+		sm.order = sm.order[:0]
 		start := 0
 		if sm.greedy != nil {
 			start = sm.greedy.id + 1
@@ -386,16 +687,52 @@ func (sm *SM) rebuildOrder() {
 		}
 		return
 	}
-	for _, w := range sm.warps {
-		if w.valid {
-			sm.order = append(sm.order, w)
+	if sm.orderDirty {
+		sm.orderDirty = false
+		sm.issuedBuf = sm.issuedBuf[:0]
+		sm.order = sm.order[:0]
+		for _, w := range sm.warps {
+			if w.valid {
+				sm.order = append(sm.order, w)
+			}
+		}
+		for i := 1; i < len(sm.order); i++ {
+			for j := i; j > 0 && sm.order[j].lastIssueCycle < sm.order[j-1].lastIssueCycle; j-- {
+				sm.order[j], sm.order[j-1] = sm.order[j-1], sm.order[j]
+			}
+		}
+		return
+	}
+	if len(sm.issuedBuf) > 0 {
+		for _, w := range sm.issuedBuf {
+			sm.orderMoveToBack(w)
+		}
+		sm.issuedBuf = sm.issuedBuf[:0]
+	}
+}
+
+// orderMoveToBack re-places w (which just issued, so its lastIssueCycle is
+// maximal) at the back of the GTO order, keeping equal-cycle ties in warp
+// slot order.
+func (sm *SM) orderMoveToBack(w *warpCtx) {
+	pos := -1
+	for i, o := range sm.order {
+		if o == w {
+			pos = i
+			break
 		}
 	}
-	for i := 1; i < len(sm.order); i++ {
-		for j := i; j > 0 && sm.order[j].lastIssueCycle < sm.order[j-1].lastIssueCycle; j-- {
-			sm.order[j], sm.order[j-1] = sm.order[j-1], sm.order[j]
-		}
+	if pos < 0 {
+		return
 	}
+	n := len(sm.order)
+	copy(sm.order[pos:], sm.order[pos+1:])
+	k := n - 1
+	for k > pos && sm.order[k-1].lastIssueCycle == w.lastIssueCycle && sm.order[k-1].id > w.id {
+		sm.order[k] = sm.order[k-1]
+		k--
+	}
+	sm.order[k] = w
 }
 
 // portsAvailable checks structural hazards for an op class; (ok, memStall,
@@ -424,12 +761,32 @@ func (sm *SM) portsAvailable(in *isa.Instr) (bool, bool, bool) {
 
 // canEvictStore reports whether the store buffer has a releasable entry.
 func (sm *SM) canEvictStore() bool {
-	for _, la := range sm.storeOrder {
-		if se := sm.storeBuf[la]; se != nil && (se.state == sbPending || se.state == sbQueued) {
+	for _, se := range sm.storeBuf {
+		if se.state == sbPending || se.state == sbQueued {
 			return true
 		}
 	}
 	return false
+}
+
+// findStore returns the buffered entry for lineAddr, or nil.
+func (sm *SM) findStore(ln uint64) *storeEntry {
+	for _, se := range sm.storeBuf {
+		if se.lineAddr == ln {
+			return se
+		}
+	}
+	return nil
+}
+
+// removeStore unlinks se from the buffer, preserving age order.
+func (sm *SM) removeStore(se *storeEntry) {
+	for i, x := range sm.storeBuf {
+		if x == se {
+			sm.storeBuf = append(sm.storeBuf[:i], sm.storeBuf[i+1:]...)
+			return
+		}
+	}
 }
 
 // --- Regular instruction issue ---
@@ -443,6 +800,7 @@ func (sm *SM) issueRegular(w *warpCtx, in *isa.Instr) {
 		panic(fmt.Sprintf("gpu: sm%d warp %d: %v", sm.id, w.id, w.exec.Err))
 	}
 	w.lastIssueCycle = sm.cycle
+	sm.issuedBuf = append(sm.issuedBuf, w)
 	sm.sim.S.WarpInstrs++
 	sm.sim.S.ThreadInstrs += uint64(popcount32(info.ExecMask))
 	sm.countClass(in)
@@ -465,15 +823,12 @@ func (sm *SM) issueRegular(w *warpCtx, in *isa.Instr) {
 	}
 }
 
-// finishAfter scoreboards in's destinations for lat cycles.
+// finishAfter scoreboards in's destinations for lat cycles. The exec's PC
+// moves on, so the ring record keeps a copy of the instruction.
 func (sm *SM) finishAfter(w *warpCtx, in *isa.Instr, lat uint64) {
-	w.sb.markDsts(in)
+	w.sb.MarkDsts(in)
 	w.inFlight++
-	instr := *in // the exec's PC moves on; keep a copy
-	sm.sim.Q.At(float64(sm.cycle+lat), func() {
-		w.sb.clearDsts(&instr)
-		w.inFlight--
-	})
+	sm.wbAdd(sm.cycle+lat, wbRec{kind: wbWarp, instr: *in, w: w})
 }
 
 func (sm *SM) handleControl(w *warpCtx, in *isa.Instr) {
@@ -523,7 +878,7 @@ func (sm *SM) issueMemory(w *warpCtx, in *isa.Instr, info core.StepInfo) {
 	}
 	if in.Op == isa.OpLdGlobal || in.Op == isa.OpAtomAdd {
 		req := &loadReq{warp: w, instr: in, issued: sm.cycle}
-		w.sb.markDsts(in)
+		w.sb.MarkDsts(in)
 		w.inFlight++
 		w.pendingLoads++
 		for _, ln := range lines {
@@ -541,7 +896,7 @@ func (sm *SM) issueMemory(w *warpCtx, in *isa.Instr, info core.StepInfo) {
 		}
 		if req.linesPending == 0 && len(req.todo) == 0 {
 			// Guard predicate disabled every lane: nothing to wait for.
-			w.sb.clearDsts(in)
+			w.sb.ClearDsts(in)
 			w.inFlight--
 			w.pendingLoads--
 		}
@@ -577,7 +932,7 @@ func (sm *SM) l1Lookup(ln uint64, req *loadReq) bool {
 		}
 	}
 	req.linesPending++
-	sm.sim.Q.At(float64(sm.cycle+lat), func() { sm.loadLineDone(req) })
+	sm.wbAdd(sm.cycle+lat, wbRec{kind: wbLoad, req: req})
 	return true
 }
 
@@ -624,12 +979,13 @@ func (sm *SM) processReplays() {
 // loadLineDone retires one line of a load; the last line completes the
 // instruction.
 func (sm *SM) loadLineDone(req *loadReq) {
+	sm.touch()
 	req.linesPending--
 	if req.linesPending > 0 {
 		return
 	}
 	w := req.warp
-	w.sb.clearDsts(req.instr)
+	w.sb.ClearDsts(req.instr)
 	w.inFlight--
 	w.pendingLoads--
 	sm.sim.S.LoadCount++
@@ -664,14 +1020,13 @@ func coalesceInto(buf *[]uint64, addrs *[core.WarpSize]uint64, mask uint32, line
 
 // storeToBuffer merges a store's words into the pending-store buffer.
 func (sm *SM) storeToBuffer(w *warpCtx, ln uint64, info core.StepInfo) {
-	se := sm.storeBuf[ln]
+	se := sm.findStore(ln)
 	if se == nil {
 		if len(sm.storeBuf) >= storeBufCap {
 			sm.evictOldestStore()
 		}
 		se = &storeEntry{lineAddr: ln}
-		sm.storeBuf[ln] = se
-		sm.storeOrder = append(sm.storeOrder, ln)
+		sm.storeBuf = append(sm.storeBuf, se)
 	}
 	se.warp = w.id
 	se.lastTouch = sm.cycle
@@ -693,34 +1048,34 @@ func (sm *SM) storeToBuffer(w *warpCtx, ln uint64, info core.StepInfo) {
 // evictOldestStore releases the oldest pending entry uncompressed
 // (Section 4.2.2: on overflow, stores go out raw).
 func (sm *SM) evictOldestStore() {
-	for i, la := range sm.storeOrder {
-		se := sm.storeBuf[la]
-		if se == nil || (se.state != sbPending && se.state != sbQueued) {
+	for i, se := range sm.storeBuf {
+		if se.state != sbPending && se.state != sbQueued {
 			continue
 		}
 		se.released = true // abandon any queued compression chain
-		sm.storeOrder = append(sm.storeOrder[:i], sm.storeOrder[i+1:]...)
-		delete(sm.storeBuf, la)
+		sm.storeBuf = append(sm.storeBuf[:i], sm.storeBuf[i+1:]...)
 		sm.sim.S.StoreBufferFlushes++
 		if sm.sim.Design.Scope == config.ScopeL2 {
-			sm.sim.Dom.SetRaw(la)
+			sm.sim.Dom.SetRaw(se.lineAddr)
 		}
-		sm.sim.Sys.WriteLine(sm.id, la)
+		sm.sim.Sys.WriteLine(sm.id, se.lineAddr)
 		return
 	}
 }
 
 // drainStores ages the buffer and launches compression/writeback.
+// beginDrain may release the entry synchronously (removing it from the
+// buffer), so the walk re-checks the slot before advancing.
 func (sm *SM) drainStores() {
-	for _, la := range sm.storeOrder {
-		se := sm.storeBuf[la]
-		if se == nil || se.state != sbPending {
-			continue
+	for i := 0; i < len(sm.storeBuf); {
+		se := sm.storeBuf[i]
+		if se.state == sbPending &&
+			(sm.cycle-se.lastTouch >= storeDrainAge || len(sm.storeBuf) >= storeBufCap*3/4) {
+			sm.beginDrain(se)
 		}
-		if sm.cycle-se.lastTouch < storeDrainAge && len(sm.storeBuf) < storeBufCap*3/4 {
-			continue
+		if i < len(sm.storeBuf) && sm.storeBuf[i] == se {
+			i++
 		}
-		sm.beginDrain(se)
 	}
 }
 
@@ -772,14 +1127,9 @@ func (sm *SM) compressAndWrite(se *storeEntry) {
 // releaseStore sends the (possibly compressed) line to L2 and frees the
 // buffer slot.
 func (sm *SM) releaseStore(se *storeEntry) {
+	sm.touch()
 	se.released = true
-	delete(sm.storeBuf, se.lineAddr)
-	for i, la := range sm.storeOrder {
-		if la == se.lineAddr {
-			sm.storeOrder = append(sm.storeOrder[:i], sm.storeOrder[i+1:]...)
-			break
-		}
-	}
+	sm.removeStore(se)
 	sm.sim.Sys.WriteLine(sm.id, se.lineAddr)
 }
 
@@ -856,16 +1206,16 @@ func (sm *SM) stepCompressionChain(se *storeEntry) {
 		if !sm.awc.CanTrigger(rt.Priority, se.warp) {
 			return false
 		}
-		ex := core.NewAssistExec(rt)
+		ex := sm.sim.newAssistExec(rt)
 		sm.sim.Dom.ReadRaw(se.lineAddr, ex.StageIn[:compress.LineSize])
 		e := sm.awc.Trigger(rt, se.warp, ex, se, func(done *core.Entry) {
 			sm.finishCompressionStep(se, done)
 		})
 		if e == nil {
+			sm.sim.releaseAssistExec(ex)
 			return false
 		}
 		se.state = sbCompress
-		sm.awSB[e] = &regMask{}
 		sm.sim.S.AssistWarps++
 		return true
 	}
@@ -877,7 +1227,6 @@ func (sm *SM) stepCompressionChain(se *storeEntry) {
 
 // finishCompressionStep consumes one routine's result.
 func (sm *SM) finishCompressionStep(se *storeEntry, e *core.Entry) {
-	delete(sm.awSB, e)
 	if se.released {
 		return // the buffer overflowed and released this line raw
 	}
@@ -935,6 +1284,7 @@ func (sm *SM) installCompressed(se *storeEntry, enc compress.BDIEncoding, ex *co
 // triggerDecompAW starts (or queues) a high-priority decompression assist
 // warp for a line arriving compressed; done runs when it finishes.
 func (sm *SM) triggerDecompAW(ln uint64, st compress.Compressed, warp int, done func()) {
+	sm.touch()
 	id, err := core.DecompRoutineID(st)
 	if err != nil {
 		panic("gpu: " + err.Error())
@@ -962,18 +1312,17 @@ func (sm *SM) triggerDecompAW(ln uint64, st compress.Compressed, warp int, done 
 		if host < 0 {
 			return false
 		}
-		ex := core.NewAssistExec(rt)
+		ex := sm.sim.newAssistExec(rt)
 		copy(ex.StageIn, st.Data)
 		e := sm.awc.Trigger(rt, host, ex, nil, func(fin *core.Entry) {
-			delete(sm.awSB, fin)
 			sm.verifyDecompression(ln, fin.Exec)
 			sm.sim.S.LinesDecompressed++
 			done()
 		})
 		if e == nil {
+			sm.sim.releaseAssistExec(ex)
 			return false
 		}
-		sm.awSB[e] = &regMask{}
 		sm.sim.S.AssistWarps++
 		return true
 	}
@@ -1010,12 +1359,7 @@ func (sm *SM) tryIssueAssist(e *core.Entry) (ok, dep, memS, compS bool) {
 	if in == nil || e.Staged == 0 {
 		return false, false, false, false
 	}
-	sb := sm.awSB[e]
-	if sb == nil {
-		sb = &regMask{}
-		sm.awSB[e] = sb
-	}
-	if sb.conflicts(in) {
+	if e.SB.Conflicts(in) {
 		return false, true, false, false
 	}
 	pOK, memS, compS := sm.portsAvailable(in)
@@ -1050,8 +1394,7 @@ func (sm *SM) tryIssueAssist(e *core.Entry) (ok, dep, memS, compS bool) {
 			// Assist-warp global access (prefetch routine): goes through
 			// the normal memory path without blocking the assist warp's
 			// completion on the fill.
-			var awLines []uint64
-			for _, ln := range coalesceInto(&awLines, &info.Addrs, info.ExecMask, sm.sim.Cfg.LineSize) {
+			for _, ln := range coalesceInto(&sm.awLineBuf, &info.Addrs, info.ExecMask, sm.sim.Cfg.LineSize) {
 				if sm.l1.Lookup(ln, false) {
 					sm.sim.S.L1Hits++
 					continue
@@ -1064,14 +1407,9 @@ func (sm *SM) tryIssueAssist(e *core.Entry) (ok, dep, memS, compS bool) {
 			}
 		}
 	}
-	sb.markDsts(in)
+	e.SB.MarkDsts(in)
 	e.Outstanding++
-	instr := *in
-	sm.sim.Q.At(float64(sm.cycle+lat), func() {
-		sb.clearDsts(&instr)
-		e.Outstanding--
-		sm.checkAssistDone(e)
-	})
+	sm.wbAdd(sm.cycle+lat, wbRec{kind: wbAssist, instr: *in, e: e})
 	sm.checkAssistDone(e)
 	return true, false, false, false
 }
@@ -1090,10 +1428,13 @@ func (sm *SM) countClass(in *isa.Instr) {
 	}
 }
 
-// checkAssistDone retires a finished assist warp.
+// checkAssistDone retires a finished assist warp and recycles its staging
+// buffers (the completion callback, which fires inside Retire, is the last
+// reader of the exec's staging output).
 func (sm *SM) checkAssistDone(e *core.Entry) {
 	if !e.Killed && e.Done() {
 		sm.awc.Retire(e)
+		sm.sim.releaseAssistExec(e.Exec)
 	}
 }
 
@@ -1101,6 +1442,7 @@ func (sm *SM) checkAssistDone(e *core.Entry) {
 
 // onFill handles a line arriving from the memory system.
 func (sm *SM) onFill(ln uint64, user any) {
+	sm.touch()
 	ctx := user.(*fillCtx)
 	if sm.sim.dbgFetch != nil && ctx.kind == fillLoad {
 		if t0, ok := sm.sim.dbgFetch[ln]; ok {
@@ -1139,6 +1481,7 @@ func (sm *SM) onFill(ln uint64, user any) {
 
 // completeFill installs the line and wakes its waiters.
 func (sm *SM) completeFill(ln uint64, ctx *fillCtx) {
+	sm.touch()
 	switch ctx.kind {
 	case fillLoad:
 		size := sm.sim.Cfg.LineSize

@@ -7,81 +7,10 @@ import (
 	"github.com/caba-sim/caba/internal/isa"
 )
 
-// regMask is a scoreboard bitset over the general registers and predicate
-// registers of one warp (or one assist-warp context).
-type regMask struct {
-	g [4]uint64 // 256 general registers
-	p uint8     // predicate registers
-}
-
-func (m *regMask) setReg(r isa.Reg) {
-	if r != isa.RegNone && r.IsGeneral() {
-		i := r.GeneralIndex()
-		m.g[i/64] |= 1 << (i % 64)
-	}
-}
-
-func (m *regMask) clearReg(r isa.Reg) {
-	if r != isa.RegNone && r.IsGeneral() {
-		i := r.GeneralIndex()
-		m.g[i/64] &^= 1 << (i % 64)
-	}
-}
-
-func (m *regMask) hasReg(r isa.Reg) bool {
-	if r == isa.RegNone || !r.IsGeneral() {
-		return false
-	}
-	i := r.GeneralIndex()
-	return m.g[i/64]&(1<<(i%64)) != 0
-}
-
-func (m *regMask) setPred(p isa.Pred) {
-	if p != isa.PredNone {
-		m.p |= 1 << p
-	}
-}
-
-func (m *regMask) clearPred(p isa.Pred) {
-	if p != isa.PredNone {
-		m.p &^= 1 << p
-	}
-}
-
-func (m *regMask) hasPred(p isa.Pred) bool {
-	return p != isa.PredNone && m.p&(1<<p) != 0
-}
-
-func (m *regMask) empty() bool {
-	return m.g[0]|m.g[1]|m.g[2]|m.g[3] == 0 && m.p == 0
-}
-
-// conflicts reports whether issuing in must wait for pending writes
-// (RAW on sources, guard and predicate reads; WAW on destinations).
-func (m *regMask) conflicts(in *isa.Instr) bool {
-	if m.empty() {
-		return false
-	}
-	if m.hasReg(in.SrcA) || m.hasReg(in.SrcB) || m.hasReg(in.SrcC) || m.hasReg(in.Dst) {
-		return true
-	}
-	if m.hasPred(in.Guard) || m.hasPred(in.PA) || m.hasPred(in.PB) || m.hasPred(in.PDst) {
-		return true
-	}
-	return false
-}
-
-// markDsts records in's destinations as pending.
-func (m *regMask) markDsts(in *isa.Instr) {
-	m.setReg(in.Dst)
-	m.setPred(in.PDst)
-}
-
-// clearDsts releases in's destinations.
-func (m *regMask) clearDsts(in *isa.Instr) {
-	m.clearReg(in.Dst)
-	m.clearPred(in.PDst)
-}
+// regMask aliases the framework's scoreboard bitset (core.RegMask), which
+// is shared with AWT entries so both warp kinds scoreboard without
+// allocation.
+type regMask = core.RegMask
 
 // ctaCtx is one resident thread block on an SM.
 type ctaCtx struct {

@@ -3,6 +3,7 @@ package isa
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Reg names a register operand. Values below SpecialBase address the
@@ -206,6 +207,19 @@ type Program struct {
 	Code   []Instr
 	NumReg int // general registers per thread
 	Labels map[string]int
+
+	// ipdom caches the post-dominator table (see IPDom); programs are
+	// immutable after assembly, so it is computed at most once.
+	ipdomOnce sync.Once
+	ipdom     []int
+}
+
+// IPDom returns the immediate post-dominator table for p, computing and
+// caching it on first use. Safe for concurrent use (routine programs are
+// shared across simulators running in parallel sweeps).
+func (p *Program) IPDom() []int {
+	p.ipdomOnce.Do(func() { p.ipdom = PostDominators(p) })
+	return p.ipdom
 }
 
 // Len returns the number of instructions.

@@ -6,6 +6,7 @@ package stats
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
 
 	"github.com/caba-sim/caba/internal/compress"
@@ -182,6 +183,23 @@ func (s *Sim) AvgPowerW(coreClockMHz int) float64 {
 	}
 	seconds := float64(s.Cycles) / (float64(coreClockMHz) * 1e6)
 	return s.TotalEnergy() * 1e-9 / seconds
+}
+
+// Diff compares every field of two runs and returns a human-readable
+// line per mismatch (empty when identical). The fast-forward golden
+// equivalence tests use it so a divergence names the counter that moved
+// instead of dumping two structs.
+func (s *Sim) Diff(o *Sim) []string {
+	var out []string
+	va, vb := reflect.ValueOf(*s), reflect.ValueOf(*o)
+	t := va.Type()
+	for i := 0; i < t.NumField(); i++ {
+		fa, fb := va.Field(i), vb.Field(i)
+		if !reflect.DeepEqual(fa.Interface(), fb.Interface()) {
+			out = append(out, fmt.Sprintf("%s: %v != %v", t.Field(i).Name, fa.Interface(), fb.Interface()))
+		}
+	}
+	return out
 }
 
 // String summarizes the run for logs and the CLI.

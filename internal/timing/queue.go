@@ -5,8 +5,6 @@
 // in core-clock cycles; fractional times express the DRAM clock domain.
 package timing
 
-import "container/heap"
-
 // Event is a scheduled callback.
 type event struct {
 	time float64
@@ -14,22 +12,12 @@ type event struct {
 	fn   func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-
 // Queue is a min-heap of timed callbacks. The zero value is ready to use.
+// The heap is hand-rolled over a typed slice: events are sifted by value
+// with no interface boxing, so scheduling does not allocate beyond the
+// callback itself.
 type Queue struct {
-	h   eventHeap
+	h   []event
 	seq uint64
 	now float64
 }
@@ -38,6 +26,46 @@ type Queue struct {
 // RunUntil horizon if greater).
 func (q *Queue) Now() float64 { return q.now }
 
+// less orders events by time, FIFO within a time.
+func (q *Queue) less(i, j int) bool {
+	if q.h[i].time != q.h[j].time {
+		return q.h[i].time < q.h[j].time
+	}
+	return q.h[i].seq < q.h[j].seq
+}
+
+// up restores the heap property from leaf i toward the root.
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+// down restores the heap property from the root toward the leaves.
+func (q *Queue) down(i int) {
+	n := len(q.h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		least := l
+		if r := l + 1; r < n && q.less(r, l) {
+			least = r
+		}
+		if !q.less(least, i) {
+			break
+		}
+		q.h[i], q.h[least] = q.h[least], q.h[i]
+		i = least
+	}
+}
+
 // At schedules fn to run at time t. Scheduling in the past runs the event
 // at the current horizon instead (time never goes backwards).
 func (q *Queue) At(t float64, fn func()) {
@@ -45,7 +73,8 @@ func (q *Queue) At(t float64, fn func()) {
 		t = q.now
 	}
 	q.seq++
-	heap.Push(&q.h, event{time: t, seq: q.seq, fn: fn})
+	q.h = append(q.h, event{time: t, seq: q.seq, fn: fn})
+	q.up(len(q.h) - 1)
 }
 
 // After schedules fn to run delay cycles after the current horizon.
@@ -55,7 +84,12 @@ func (q *Queue) After(delay float64, fn func()) { q.At(q.now+delay, fn) }
 // schedule further events, which are honored if they also fall within t).
 func (q *Queue) RunUntil(t float64) {
 	for len(q.h) > 0 && q.h[0].time <= t {
-		e := heap.Pop(&q.h).(event)
+		e := q.h[0]
+		n := len(q.h) - 1
+		q.h[0] = q.h[n]
+		q.h[n] = event{} // release the callback for GC
+		q.h = q.h[:n]
+		q.down(0)
 		if e.time > q.now {
 			q.now = e.time
 		}

@@ -1,0 +1,31 @@
+#!/bin/sh
+# Regenerates BENCH_sim.json: wall-clock and allocation numbers for the
+# simulator hot loop (single-run Sim* benchmarks, fixed 5 iterations for
+# comparability) and the event-queue micro-benchmark. Run via `make bench`
+# from the repository root.
+set -e
+cd "$(dirname "$0")/.."
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' \
+  -bench 'BenchmarkSimBasePVC$|BenchmarkSimCABAPVC$|BenchmarkSimBaseSSSP$|BenchmarkSimCABASSSP$|BenchmarkSimHotLoop$' \
+  -benchtime 5x -benchmem . | tee "$tmp"
+go test -run '^$' -bench 'BenchmarkQueue$' -benchmem ./internal/timing | tee -a "$tmp"
+
+awk '
+BEGIN { print "{"; printf "  \"benchmarks\": [" ; sep="" }
+/^Benchmark/ {
+  name=$1; sub(/-[0-9]+$/, "", name)
+  ns="null"; bytes="null"; allocs="null"
+  for (i = 2; i <= NF; i++) {
+    if ($i == "ns/op") ns = $(i-1)
+    else if ($i == "B/op") bytes = $(i-1)
+    else if ($i == "allocs/op") allocs = $(i-1)
+  }
+  printf "%s\n    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", sep, name, ns, bytes, allocs
+  sep=","
+}
+END { print "\n  ]"; print "}" }
+' "$tmp" > BENCH_sim.json
+echo "wrote BENCH_sim.json"
