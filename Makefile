@@ -12,7 +12,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/...
+	$(GO) test -race ./...
 
 # check is the tier-1 gate: everything must pass before a commit.
 check: build vet test race

@@ -113,6 +113,15 @@ type Result struct {
 	MDHitRate        float64
 	InputRatio       float64 // compression ratio of the precompressed input
 
+	// DecompMismatches counts assist-warp decompressions whose output no
+	// longer matched the backing store (a later write raced the
+	// compressed copy); the parallel-equivalence tests assert it too.
+	DecompMismatches uint64
+	// FFSkips / FFCycles report the fast-forward engine's clock jumps and
+	// the cycles they covered (observability; zero with FastForward off).
+	FFSkips  uint64
+	FFCycles uint64
+
 	Occupancy Occupancy
 	Stats     *Metrics
 }
@@ -167,7 +176,7 @@ func RunKernel(cfg Config, design Design, k *Kernel, prepare func(*Simulator)) (
 func finishResult(app string, design Design, cfg *Config, sim *gpu.Simulator, inputRatio float64) *Result {
 	m := energy.DefaultModel()
 	energy.Apply(&m, cfg, design, sim.S)
-	return &Result{
+	r := &Result{
 		App:              app,
 		Design:           design.Name,
 		Cycles:           sim.Cycles(),
@@ -179,9 +188,12 @@ func finishResult(app string, design Design, cfg *Config, sim *gpu.Simulator, in
 		AvgPowerW:        sim.S.AvgPowerW(cfg.CoreClockMHz),
 		MDHitRate:        sim.S.MDHitRate(),
 		InputRatio:       inputRatio,
+		DecompMismatches: sim.DecompMismatches(),
 		Occupancy:        sim.Occupancy(),
 		Stats:            sim.S,
 	}
+	r.FFSkips, r.FFCycles = sim.FastForwardStats()
+	return r
 }
 
 // Assemble compiles a kernel written in the textual ISA (the same

@@ -33,6 +33,8 @@ func realMain() int {
 	full := flag.Bool("full", false, "shorthand for -scale 1.0")
 	seed := flag.Int64("seed", 1, "synthetic data seed")
 	parallel := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	parallelism := flag.Int("parallelism", 0,
+		"total worker-goroutine budget: concurrent simulations x SM workers per simulation (0 = GOMAXPROCS)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -72,6 +74,7 @@ func realMain() int {
 	}
 	o.Seed = *seed
 	o.Parallel = *parallel
+	o.Parallelism = *parallelism
 
 	run := func(n int) error {
 		start := time.Now()

@@ -27,6 +27,12 @@ type Options struct {
 	Seed int64
 	// Parallel bounds concurrent simulations (0 = GOMAXPROCS).
 	Parallel int
+	// Parallelism caps the sweep's total worker-goroutine budget:
+	// concurrent simulations times SM-tick workers per simulation (0 =
+	// GOMAXPROCS). Without the cap, every concurrent simulation would
+	// start its own GOMAXPROCS-sized SM worker pool and a grid sweep
+	// would run GOMAXPROCS² goroutines.
+	Parallelism int
 	// Out receives the rendered tables (nil = discard).
 	Out io.Writer
 }
@@ -58,6 +64,33 @@ func (o *Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// plan splits the Parallelism budget between sweep-level concurrency and
+// per-simulation SM workers so their product never exceeds the budget.
+// Independent simulations scale better than intra-simulation ticking (no
+// cycle barriers), so the sweep level is filled first; leftover budget
+// goes to SM workers only when the grid has fewer jobs than budget.
+func (o *Options) plan(jobs int) (sims, smWorkers int) {
+	budget := o.Parallelism
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	sims = o.workers()
+	if sims > budget {
+		sims = budget
+	}
+	if jobs > 0 && sims > jobs {
+		sims = jobs
+	}
+	if sims < 1 {
+		sims = 1
+	}
+	smWorkers = budget / sims
+	if smWorkers < 1 {
+		smWorkers = 1
+	}
+	return sims, smWorkers
+}
+
 // runKey identifies one simulation in a sweep.
 type runKey struct {
 	app     string
@@ -82,13 +115,15 @@ func (o *Options) sweep(apps []string, designs []caba.Design, bws []float64) (ma
 	var mu sync.Mutex
 	var errs []error
 	var wg sync.WaitGroup
-	for w := 0; w < o.workers(); w++ {
+	sims, smWorkers := o.plan(len(apps) * len(designs) * len(bws))
+	for w := 0; w < sims; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
 				cfg := o.cfg()
 				cfg.BWScale = j.key.bwScale
+				cfg.SMWorkers = smWorkers
 				res, err := caba.Run(cfg, j.design, j.key.app, o.Seed)
 				mu.Lock()
 				if err != nil {

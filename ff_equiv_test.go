@@ -18,10 +18,10 @@ func TestFastForwardGoldenEquivalence(t *testing.T) {
 		app    string
 		design caba.Design
 	}{
-		{"sssp", caba.Base},       // memory-bound, no compression machinery
-		{"PVC", caba.CABABDI},     // assist-warp compression + decompression
-		{"bfs", caba.HWBDI},       // hardware (de)compression latencies
-		{"TRA", caba.CABABDI},     // second CABA-BDI app, different access pattern
+		{"sssp", caba.Base},   // memory-bound, no compression machinery
+		{"PVC", caba.CABABDI}, // assist-warp compression + decompression
+		{"bfs", caba.HWBDI},   // hardware (de)compression latencies
+		{"TRA", caba.CABABDI}, // second CABA-BDI app, different access pattern
 		{"KM", caba.IdealBDI}, // zero-latency decompression design
 	}
 	for _, p := range pairs {

@@ -100,6 +100,16 @@ type Config struct {
 	// benches. 1.0 is paper scale.
 	Scale float64
 
+	// SMWorkers bounds the worker goroutines that tick SMs concurrently
+	// within one simulation (the two-phase tick): in phase A the workers
+	// advance their SMs and stage all outbound memory traffic into
+	// per-SM outboxes; in phase B the main goroutine commits the staged
+	// traffic in fixed SM-index order. 1 forces the serial path; 0 (the
+	// default) uses runtime.GOMAXPROCS(0); values above NumSMs are
+	// clamped. Results are bit-identical at every setting — the staging
+	// and ordered commit run identically regardless of worker count.
+	SMWorkers int
+
 	// FastForward enables the cycle-skipping engine: when every SM is
 	// provably unable to issue (all warps stalled on memory or
 	// dependencies, or the grid is exhausted and the memory system is
@@ -191,6 +201,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: Scale %v out of (0,1]", c.Scale)
 	case c.NumSchedulers <= 0:
 		return fmt.Errorf("config: NumSchedulers must be positive")
+	case c.SMWorkers < 0:
+		return fmt.Errorf("config: SMWorkers must be non-negative (0 = GOMAXPROCS)")
 	}
 	return nil
 }

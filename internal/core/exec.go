@@ -81,7 +81,8 @@ type Exec struct {
 	exited uint32
 	stack  []pathFrame
 
-	Regs    [][]uint64 // [lane][reg]
+	Regs    [][]uint64 // [lane][reg]; lanes share one backing array
+	regBack []uint64   // flat [WarpSize*NumReg] backing for Regs
 	Preds   [][isa.NumPredRegs]bool
 	Special [][isa.NumSpecial]uint64
 
@@ -102,29 +103,54 @@ type Exec struct {
 }
 
 // NewExec builds an execution context for prog with the given initial
-// active mask. Register files are sized from prog.NumReg.
+// active mask. Register files are sized from prog.NumReg; all lanes share
+// one flat backing array, so a context costs a handful of allocations
+// rather than one per lane.
 func NewExec(prog *isa.Program, active uint32) *Exec {
 	e := &Exec{
-		Prog:    prog,
-		ipdom:   prog.IPDom(),
-		Active:  active,
-		launch:  active,
-		rpc:     len(prog.Code),
 		Regs:    make([][]uint64, WarpSize),
 		Preds:   make([][isa.NumPredRegs]bool, WarpSize),
 		Special: make([][isa.NumSpecial]uint64, WarpSize),
-		Mem:     NopMem{},
+	}
+	e.Reset(prog, active)
+	return e
+}
+
+// Reset reinitializes e for a fresh run of prog with the given active
+// mask, reusing every prior allocation (register backing, predicate and
+// special files, the SIMT stack). It is the allocation-free twin of
+// NewExec for execution-context pools; staging buffers (StageIn/StageOut/
+// Shared) are left untouched for the caller to manage.
+func (e *Exec) Reset(prog *isa.Program, active uint32) {
+	e.Prog = prog
+	e.ipdom = prog.IPDom()
+	e.PC = 0
+	e.rpc = len(prog.Code)
+	e.Active = active
+	e.launch = active
+	e.exited = 0
+	e.stack = e.stack[:0]
+	e.Mem = NopMem{}
+	e.Done = active == 0
+	e.AtBarrier = false
+	e.Err = nil
+	e.Executed = 0
+
+	need := WarpSize * prog.NumReg
+	if cap(e.regBack) < need {
+		e.regBack = make([]uint64, need)
+	} else {
+		e.regBack = e.regBack[:need]
+		clear(e.regBack)
 	}
 	for i := range e.Regs {
-		e.Regs[i] = make([]uint64, prog.NumReg)
+		e.Regs[i] = e.regBack[i*prog.NumReg : (i+1)*prog.NumReg : (i+1)*prog.NumReg]
 	}
+	clear(e.Preds)
+	clear(e.Special)
 	for lane := 0; lane < WarpSize; lane++ {
 		e.Special[lane][isa.RegLane.SpecialIndex()] = uint64(lane)
 	}
-	if active == 0 {
-		e.Done = true
-	}
-	return e
 }
 
 // SetSpecial sets a special register to the same value in every lane

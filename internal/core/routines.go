@@ -134,16 +134,19 @@ func NewAssistExec(rt *Routine) *Exec {
 	return e
 }
 
-// NewAssistExecBuffers is NewAssistExec with caller-provided staging and
-// scratch buffers, for callers that recycle them (the timing simulator
-// pools line-staging buffers per SM cluster). The buffers must be zeroed:
-// routines rely on staging reads beyond the written payload returning
-// zero, exactly as freshly allocated buffers do.
-func NewAssistExecBuffers(rt *Routine, stageIn, stageOut, shared []byte) *Exec {
-	e := NewExec(rt.Prog, rt.ActiveMask)
-	e.StageIn = stageIn
-	e.StageOut = stageOut
-	e.Shared = shared
+// ResetAssistExec reinitializes a pooled assist execution context for rt,
+// reusing its register file and staging buffers. The staging and scratch
+// buffers are zeroed: routines rely on reads past the written payload
+// returning zero, exactly as freshly allocated buffers do. A nil e builds
+// a fresh context.
+func ResetAssistExec(e *Exec, rt *Routine) *Exec {
+	if e == nil {
+		return NewAssistExec(rt)
+	}
+	e.Reset(rt.Prog, rt.ActiveMask)
+	clear(e.StageIn)
+	clear(e.StageOut)
+	clear(e.Shared)
 	return e
 }
 

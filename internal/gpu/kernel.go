@@ -101,24 +101,7 @@ func ComputeOccupancy(cfg *config.Config, k *Kernel, assistRegs int) Occupancy {
 	return occ
 }
 
-// globalMem adapts the backing store to the executor's functional
-// interface.
-type globalMem struct {
-	m *mem.Memory
-}
-
-func (g globalMem) LoadGlobal(addr uint64, width uint8) uint64 {
-	return g.m.ReadU(addr, width)
-}
-
-func (g globalMem) StoreGlobal(addr uint64, v uint64, width uint8) {
-	g.m.WriteU(addr, v, width)
-}
-
-func (g globalMem) AtomicAdd(addr uint64, v uint64, width uint8) uint64 {
-	old := g.m.ReadU(addr, width)
-	g.m.WriteU(addr, old+v, width)
-	return old
-}
-
-var _ core.GlobalMem = globalMem{}
+// Warps access global memory through their SM's write buffer, which
+// implements the executor's functional interface with staged (phase-A
+// safe) semantics.
+var _ core.GlobalMem = (*mem.WriteBuffer)(nil)

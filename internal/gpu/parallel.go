@@ -1,0 +1,66 @@
+package gpu
+
+import "sync/atomic"
+
+// smPool is the persistent phase-A worker pool. Each worker owns a static
+// partition of the SMs (SM i belongs to worker i mod N) and ticks them on
+// demand; the partition only shapes wall-clock, never results, because
+// every shared-state effect is staged per SM and committed by the main
+// goroutine in SM-index order.
+//
+// Memory-model notes: the per-worker channel send is the happens-before
+// edge publishing the main goroutine's commits (and the new cycle) to the
+// worker, and the countdown-plus-done-channel handoff is the edge
+// publishing every worker's staged state back to the main goroutine.
+// Phase-A ticks only read the shared structures (backing pages, Domain
+// lines, the event queue is untouched), so concurrent workers never race.
+type smPool struct {
+	sms     []*SM
+	work    []chan uint64
+	pending atomic.Int32
+	done    chan struct{}
+}
+
+// newSMPool starts n workers over sms.
+func newSMPool(sms []*SM, n int) *smPool {
+	p := &smPool{
+		sms:  sms,
+		work: make([]chan uint64, n),
+		done: make(chan struct{}),
+	}
+	for w := range p.work {
+		ch := make(chan uint64, 1)
+		p.work[w] = ch
+		go p.runWorker(w, ch)
+	}
+	return p
+}
+
+func (p *smPool) runWorker(w int, ch chan uint64) {
+	stride := len(p.work)
+	for cycle := range ch {
+		for i := w; i < len(p.sms); i += stride {
+			p.sms[i].tick(cycle)
+		}
+		if p.pending.Add(-1) == 0 {
+			p.done <- struct{}{}
+		}
+	}
+}
+
+// tick runs phase A for one cycle across all workers and blocks until
+// every SM has ticked.
+func (p *smPool) tick(cycle uint64) {
+	p.pending.Store(int32(len(p.work)))
+	for _, ch := range p.work {
+		ch <- cycle
+	}
+	<-p.done
+}
+
+// stop terminates the workers. The pool must be idle.
+func (p *smPool) stop() {
+	for _, ch := range p.work {
+		close(ch)
+	}
+}

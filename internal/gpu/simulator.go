@@ -3,6 +3,7 @@ package gpu
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"github.com/caba-sim/caba/internal/compress"
 	"github.com/caba-sim/caba/internal/config"
@@ -16,12 +17,6 @@ import (
 // which Run declares the simulation wedged. A variable so tests can lower
 // it to exercise the detector.
 var wedgeLimit = 10_000_000
-
-// stageBufs is one recyclable set of assist-warp staging/scratch buffers
-// (the 128B-line staging the compress/decompress routines work in).
-type stageBufs struct {
-	in, out, shared []byte
-}
 
 // Simulator is one GPU: cores, CABA framework, and the memory system, run
 // against one kernel under one design.
@@ -44,8 +39,6 @@ type Simulator struct {
 
 	occ Occupancy
 
-	// stagePool recycles assist-warp staging buffers across triggers.
-	stagePool []stageBufs
 	// ffKinds is per-SM scratch for the fast-forward stall classification.
 	ffKinds []stats.StallKind
 	// ffSkips / ffCycles count fast-forward jumps and the cycles they
@@ -57,11 +50,6 @@ type Simulator struct {
 	dbgFetch    map[uint64]uint64
 	dbgFetchLat uint64
 	dbgFetchN   uint64
-
-	// decompMismatches counts assist-warp decompressions whose output no
-	// longer matches the backing store (a later write raced the
-	// compressed copy); always zero in quiescent-data tests.
-	decompMismatches uint64
 }
 
 // sharedLibrary is built once: routines are immutable.
@@ -175,30 +163,15 @@ func (sim *Simulator) FastForwardStats() (skips, cycles uint64) {
 	return sim.ffSkips, sim.ffCycles
 }
 
-// newAssistExec builds an assist-warp execution context, recycling staging
-// buffers from the per-simulator pool when available. Recycled buffers are
-// zeroed: routines rely on reads past the written payload returning zero.
-func (sim *Simulator) newAssistExec(rt *core.Routine) *core.Exec {
-	n := len(sim.stagePool)
-	if n == 0 {
-		return core.NewAssistExec(rt)
-	}
-	s := sim.stagePool[n-1]
-	sim.stagePool = sim.stagePool[:n-1]
-	clear(s.in)
-	clear(s.out)
-	clear(s.shared)
-	return core.NewAssistExecBuffers(rt, s.in, s.out, s.shared)
-}
-
-// releaseAssistExec returns a retired assist exec's staging buffers to the
-// pool. The exec must have no remaining readers.
-func (sim *Simulator) releaseAssistExec(ex *core.Exec) {
-	sim.stagePool = append(sim.stagePool, stageBufs{in: ex.StageIn, out: ex.StageOut, shared: ex.Shared})
-}
-
 // DecompMismatches returns the racing-write counter (tests assert zero).
-func (sim *Simulator) DecompMismatches() uint64 { return sim.decompMismatches }
+// The count lives in the per-SM shards, which survive the end-of-run fold.
+func (sim *Simulator) DecompMismatches() uint64 {
+	var n uint64
+	for _, sm := range sim.sms {
+		n += sm.stat.DecompMismatches
+	}
+	return n
+}
 
 // dispatch fills sm with CTAs while resources allow.
 func (sim *Simulator) dispatch(sm *SM) {
@@ -220,12 +193,39 @@ func (sim *Simulator) dispatch(sm *SM) {
 // final memory drain. When Config.FastForward is set and every SM is
 // provably unable to act, the skipped ticks are credited in bulk instead
 // of executed — the statistics are bit-identical either way.
+//
+// Each cycle runs as a two-phase tick. Phase A ticks every SM — serially
+// or on the worker pool, per Config.SMWorkers — with all shared-state
+// effects staged per SM (outbox, write buffer, stat shard). Phase B, on
+// the main goroutine, commits each SM's staged effects in ascending
+// SM-index order and then lets the event queue deliver memory responses
+// at the top of the next iteration. Staging runs identically at every
+// worker count, so results are bit-identical regardless of SMWorkers.
 func (sim *Simulator) Run(maxCycles uint64) error {
 	if maxCycles == 0 {
 		maxCycles = 200_000_000
 	}
 	for _, sm := range sim.sms {
 		sim.dispatch(sm)
+	}
+	// The per-SM stat shards are folded into S exactly once, on every exit
+	// path, success or error (DecompMismatches stays shard-resident).
+	defer func() {
+		for _, sm := range sim.sms {
+			sim.S.AddShard(&sm.stat)
+		}
+	}()
+	workers := sim.Cfg.SMWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sim.sms) {
+		workers = len(sim.sms)
+	}
+	var pool *smPool
+	if workers > 1 {
+		pool = newSMPool(sim.sms, workers)
+		defer pool.stop()
 	}
 	ff := sim.Cfg.FastForward
 	idleStreak := 0
@@ -270,8 +270,15 @@ func (sim *Simulator) Run(maxCycles uint64) error {
 				continue
 			}
 		}
+		if pool != nil {
+			pool.tick(sim.cycle) // phase A, concurrent
+		} else {
+			for _, sm := range sim.sms {
+				sm.tick(sim.cycle)
+			}
+		}
 		for _, sm := range sim.sms {
-			sm.tick(sim.cycle)
+			sim.commit(sm) // phase B, fixed SM-index order
 		}
 	}
 	if sim.cycle >= maxCycles {
@@ -280,6 +287,24 @@ func (sim *Simulator) Run(maxCycles uint64) error {
 	sim.Sys.FinishStats(sim.cycle)
 	sim.S.L1Evictions = sim.l1Evictions()
 	return nil
+}
+
+// commit is phase B for one SM: flush its staged functional stores, replay
+// its outbox into the crossbar/Domain/event queue, and run any deferred
+// CTA dispatch. Called in ascending SM-index order — that fixed order is
+// the crossbar's port-arbitration order, and it reproduces the schedule of
+// a fully serial tick loop exactly.
+func (sim *Simulator) commit(sm *SM) {
+	if !sm.wbuf.Empty() {
+		sm.wbuf.Flush()
+	}
+	if !sm.outbox.Empty() {
+		sim.Sys.CommitOutbox(&sm.outbox)
+	}
+	if sm.wantDispatch {
+		sm.wantDispatch = false
+		sim.dispatch(sm)
+	}
 }
 
 // ffWake computes the fast-forward wake cycle: the earliest future cycle

@@ -94,6 +94,26 @@ type SM struct {
 
 	awc *core.Controller
 
+	// Two-phase tick state. inTick is true while tick() runs (phase A,
+	// possibly on a worker goroutine): shared-state operations are then
+	// staged into outbox/wbuf instead of applied, and the simulator
+	// commits them at the cycle barrier in SM-index order. Outside
+	// tick() — event callbacks delivered from the queue (phase B) — the
+	// same helpers apply operations directly.
+	inTick       bool
+	wantDispatch bool // CTA retirement requested a dispatch; run at commit
+	outbox       mem.Outbox
+	wbuf         *mem.WriteBuffer
+
+	// stat is this SM's shard of the run counters; folded into sim.S at
+	// the end of the run so phase-A workers never contend.
+	stat stats.Shard
+
+	// execPool recycles assist-warp execution contexts (registers +
+	// staging buffers) across triggers; the assist-warp request path is
+	// the simulator's dominant allocation source without it.
+	execPool []*core.Exec
+
 	// storeBuf holds pending store lines in age order (oldest first). It
 	// is bounded by storeBufCap, so identity/address lookups are linear
 	// scans over a short slice — cheaper than the map it replaces.
@@ -123,9 +143,9 @@ type SM struct {
 	// issued warps recorded in issuedBuf are re-placed at the back on the
 	// next tick, and orderDirty forces a full rebuild after warp validity
 	// changes (CTA placement/retirement). LRR rebuilds every tick.
-	order      []*warpCtx
-	orderDirty bool
-	issuedBuf  []*warpCtx
+	order       []*warpCtx
+	orderDirty  bool
+	issuedBuf   []*warpCtx
 	lineBuf     []uint64
 	awLineBuf   []uint64 // coalescing scratch for assist-warp accesses
 	lastGoodEnc compress.BDIEncoding
@@ -161,6 +181,108 @@ type SM struct {
 // can happen outside tick() must call it.
 func (sm *SM) touch() { sm.qValid = false }
 
+// --- Staged shared-state access (two-phase tick) ---
+//
+// Every touch of state shared across SMs — the crossbar, the event queue,
+// the compression Domain, the functional backing memory — goes through
+// these helpers. During tick() (phase A, concurrent across SMs) they
+// stage into the per-SM outbox/write buffer; in event contexts (phase B,
+// main goroutine only) they apply directly. Reads always overlay the SM's
+// own staged writes, so within a tick the SM observes its own effects
+// exactly as it would on a fully serial schedule.
+
+// sysReadLine requests a line from the memory system.
+func (sm *SM) sysReadLine(ln uint64, user any) {
+	if sm.inTick {
+		sm.outbox.ReadLine(ln, user)
+		return
+	}
+	sm.sim.Sys.ReadLine(sm.id, ln, user)
+}
+
+// sysWriteLine sends a line writeback toward L2.
+func (sm *SM) sysWriteLine(ln uint64) {
+	if sm.inTick {
+		sm.outbox.WriteLine(ln)
+		return
+	}
+	sm.sim.Sys.WriteLine(sm.id, ln)
+}
+
+// qAt schedules fn on the global event queue at absolute time at.
+func (sm *SM) qAt(at float64, fn func()) {
+	if sm.inTick {
+		sm.outbox.Event(at, fn)
+		return
+	}
+	sm.sim.Q.At(at, fn)
+}
+
+// domState returns the line's compression state, seeing this SM's staged
+// same-cycle Domain writes first.
+func (sm *SM) domState(ln uint64) compress.Compressed {
+	if st, ok := sm.outbox.StagedState(ln); ok {
+		return st
+	}
+	return sm.sim.Dom.State(ln)
+}
+
+// domSetCompressed records the line as stored compressed.
+func (sm *SM) domSetCompressed(ln uint64, st compress.Compressed) {
+	if sm.inTick {
+		sm.outbox.SetCompressed(ln, st)
+		return
+	}
+	sm.sim.Dom.SetCompressed(ln, st)
+}
+
+// domSetRaw records the line as stored uncompressed.
+func (sm *SM) domSetRaw(ln uint64) {
+	if sm.inTick {
+		sm.outbox.SetRaw(ln)
+		return
+	}
+	sm.sim.Dom.SetRaw(ln)
+}
+
+// domReadRaw copies the line's uncompressed truth into buf: the committed
+// bytes overlaid with this SM's staged functional stores.
+func (sm *SM) domReadRaw(ln uint64, buf []byte) {
+	sm.sim.Dom.ReadRaw(ln, buf)
+	sm.wbuf.OverlayLine(ln, buf)
+}
+
+// domCompressLine compresses the line's current (overlay-visible) bytes
+// with the domain algorithm and records the result. The compressed image
+// is computed here, in phase A, from a stable snapshot — not recomputed at
+// commit — so the result is independent of other SMs' same-cycle stores.
+func (sm *SM) domCompressLine(ln uint64) {
+	var line [compress.LineSize]byte
+	sm.domReadRaw(ln, line[:])
+	c, err := compress.Compress(sm.sim.Dom.Alg, line[:])
+	if err != nil {
+		panic("gpu: " + err.Error()) // impossible: line is LineSize
+	}
+	sm.domSetCompressed(ln, c)
+}
+
+// newAssistExec builds an assist-warp execution context, recycling a
+// pooled context (registers, staging buffers and all) when available.
+func (sm *SM) newAssistExec(rt *core.Routine) *core.Exec {
+	if n := len(sm.execPool); n > 0 {
+		ex := sm.execPool[n-1]
+		sm.execPool = sm.execPool[:n-1]
+		return core.ResetAssistExec(ex, rt)
+	}
+	return core.NewAssistExec(rt)
+}
+
+// releaseAssistExec returns a retired assist exec to the pool. The exec
+// must have no remaining readers.
+func (sm *SM) releaseAssistExec(ex *core.Exec) {
+	sm.execPool = append(sm.execPool, ex)
+}
+
 func newSM(id int, sim *Simulator) *SM {
 	cfg := sim.Cfg
 	sm := &SM{
@@ -169,7 +291,9 @@ func newSM(id int, sim *Simulator) *SM {
 		warps: make([]*warpCtx, cfg.MaxWarpsPerSM),
 		l1:    mem.NewCache(cfg.L1Size, cfg.L1Assoc, cfg.LineSize, 1, sim.Design.L1TagMult),
 		mshr:  mem.NewMSHR(cfg.L1MSHRs),
+		wbuf:  mem.NewWriteBuffer(sim.Mem),
 	}
+	sm.outbox.SM = id
 	for i := range sm.warps {
 		sm.warps[i] = &warpCtx{id: i}
 	}
@@ -296,7 +420,7 @@ func (sm *SM) placeCTA(ctaID int) {
 			mask = (1 << threadsLeft) - 1
 		}
 		ex := core.NewExec(k.Prog, mask)
-		ex.Mem = globalMem{sm.sim.Mem}
+		ex.Mem = sm.wbuf
 		ex.Shared = cta.shared
 		for lane := 0; lane < cfg.WarpSize; lane++ {
 			tid := placed*cfg.WarpSize + lane
@@ -361,12 +485,30 @@ func (sm *SM) retireCTAIfDone(cta *ctaCtx) {
 			break
 		}
 	}
+	// Dispatch pulls from the shared CTA counter; during a concurrent tick
+	// the request is deferred and the simulator runs it at the cycle
+	// barrier in SM-index order, reproducing the serial tick's dispatch
+	// order (a placed CTA cannot issue until the next tick either way).
+	if sm.inTick {
+		sm.wantDispatch = true
+		return
+	}
 	sm.sim.dispatch(sm)
 }
 
 // --- Per-cycle tick ---
 
+// tick runs one SM cycle (phase A of the two-phase tick). It may execute
+// on a worker goroutine: inTick routes every shared-state effect into the
+// SM's outbox/write buffer, and the simulator commits them at the cycle
+// barrier in SM-index order.
 func (sm *SM) tick(cycle uint64) {
+	sm.inTick = true
+	sm.tickCompute(cycle)
+	sm.inTick = false
+}
+
+func (sm *SM) tickCompute(cycle uint64) {
 	// Quiescence fast path: replay (or establish) a proven stall
 	// classification without touching the pipeline. Bit-identical to the
 	// full tick below — quiescent() guarantees the tick would be a pure
@@ -382,7 +524,7 @@ func (sm *SM) tick(cycle uint64) {
 			if cycle < sm.qHorizon {
 				sm.cycle = cycle
 				sched := sm.sim.Cfg.NumSchedulers
-				sm.sim.S.IssueSlots[sm.qKind] += uint64(sched)
+				sm.stat.IssueSlots[sm.qKind] += uint64(sched)
 				sm.awc.NoteIdleSlots(sched)
 				return
 			}
@@ -420,7 +562,7 @@ func (sm *SM) tick(cycle uint64) {
 			idle = false
 		}
 		sm.awc.NoteIssueSlot(kind == stats.Active)
-		sm.sim.S.IssueSlots[kind]++
+		sm.stat.IssueSlots[kind]++
 	}
 	sm.qTry = idle
 
@@ -801,8 +943,8 @@ func (sm *SM) issueRegular(w *warpCtx, in *isa.Instr) {
 	}
 	w.lastIssueCycle = sm.cycle
 	sm.issuedBuf = append(sm.issuedBuf, w)
-	sm.sim.S.WarpInstrs++
-	sm.sim.S.ThreadInstrs += uint64(popcount32(info.ExecMask))
+	sm.stat.WarpInstrs++
+	sm.stat.ThreadInstrs += uint64(popcount32(info.ExecMask))
 	sm.countClass(in)
 
 	switch in.Op.Class() {
@@ -887,7 +1029,7 @@ func (sm *SM) issueMemory(w *warpCtx, in *isa.Instr, info core.StepInfo) {
 			}
 			// Miss (or atomic, which bypasses L1).
 			req.linesPending++
-			sm.sim.S.L1Misses++
+			sm.stat.L1Misses++
 			sm.fetchOrReplay(req, ln)
 		}
 		if len(req.todo) > 0 {
@@ -912,12 +1054,12 @@ func (sm *SM) l1Lookup(ln uint64, req *loadReq) bool {
 	if !sm.l1.Lookup(ln, false) {
 		return false
 	}
-	sm.sim.S.L1Hits++
+	sm.stat.L1Hits++
 	lat := uint64(sm.sim.Cfg.L1Latency)
 	// Figure 13: L1-resident compressed lines pay decompression on every
 	// hit.
 	if sm.sim.Design.L1TagMult > 1 {
-		if st := sm.sim.Dom.State(ln); st.IsCompressed() && sm.l1.LineSizeOf(ln) < sm.sim.Cfg.LineSize {
+		if st := sm.domState(ln); st.IsCompressed() && sm.l1.LineSizeOf(ln) < sm.sim.Cfg.LineSize {
 			switch sm.sim.Design.Decomp {
 			case config.DecompHW:
 				d, _ := compress.HWLatency(sm.sim.Design.Alg)
@@ -942,7 +1084,7 @@ func (sm *SM) l1Lookup(ln uint64, req *loadReq) bool {
 func (sm *SM) fetchOrReplay(req *loadReq, ln uint64) {
 	if primary, ok := sm.mshr.Add(ln, req); ok {
 		if primary {
-			sm.sim.Sys.ReadLine(sm.id, ln, &fillCtx{kind: fillLoad, load: req})
+			sm.sysReadLine(ln, &fillCtx{kind: fillLoad, load: req})
 		}
 		return
 	}
@@ -962,7 +1104,7 @@ func (sm *SM) processReplays() {
 				req.todo = req.todo[1:]
 				sm.lsuFree = sm.cycle + 1
 				if primary {
-					sm.sim.Sys.ReadLine(sm.id, ln, &fillCtx{kind: fillLoad, load: req})
+					sm.sysReadLine(ln, &fillCtx{kind: fillLoad, load: req})
 				}
 				continue
 			}
@@ -988,8 +1130,8 @@ func (sm *SM) loadLineDone(req *loadReq) {
 	w.sb.ClearDsts(req.instr)
 	w.inFlight--
 	w.pendingLoads--
-	sm.sim.S.LoadCount++
-	sm.sim.S.LoadLatTotal += sm.cycle - req.issued
+	sm.stat.LoadCount++
+	sm.stat.LoadLatTotal += sm.cycle - req.issued
 }
 
 // coalesceInto merges per-lane addresses into unique cache lines using
@@ -1054,11 +1196,11 @@ func (sm *SM) evictOldestStore() {
 		}
 		se.released = true // abandon any queued compression chain
 		sm.storeBuf = append(sm.storeBuf[:i], sm.storeBuf[i+1:]...)
-		sm.sim.S.StoreBufferFlushes++
+		sm.stat.StoreBufferFlushes++
 		if sm.sim.Design.Scope == config.ScopeL2 {
-			sm.sim.Dom.SetRaw(se.lineAddr)
+			sm.domSetRaw(se.lineAddr)
 		}
-		sm.sim.Sys.WriteLine(sm.id, se.lineAddr)
+		sm.sysWriteLine(se.lineAddr)
 		return
 	}
 }
@@ -1084,9 +1226,9 @@ func (sm *SM) drainStores() {
 // line is compressed per the design and sent to L2.
 func (sm *SM) beginDrain(se *storeEntry) {
 	full := se.coverage == 0xFFFFFFFF
-	if !full && sm.sim.Design.Compressing() && sm.sim.Dom.State(se.lineAddr).IsCompressed() {
+	if !full && sm.sim.Design.Compressing() && sm.domState(se.lineAddr).IsCompressed() {
 		se.state = sbRMW
-		sm.sim.Sys.ReadLine(sm.id, se.lineAddr, &fillCtx{kind: fillRMW, se: se})
+		sm.sysReadLine(se.lineAddr, &fillCtx{kind: fillRMW, se: se})
 		return
 	}
 	sm.compressAndWrite(se)
@@ -1103,18 +1245,18 @@ func (sm *SM) compressAndWrite(se *storeEntry) {
 	}
 	switch design.Decomp {
 	case config.DecompIdeal:
-		sm.sim.Dom.CompressLine(se.lineAddr)
+		sm.domCompressLine(se.lineAddr)
 		sm.releaseStore(se)
 	case config.DecompHW:
 		se.state = sbCompress
 		_, lat := compress.HWLatency(design.Alg)
-		sm.sim.Q.At(float64(sm.cycle+uint64(lat)), func() {
-			sm.sim.Dom.CompressLine(se.lineAddr)
+		sm.qAt(float64(sm.cycle+uint64(lat)), func() {
+			sm.domCompressLine(se.lineAddr)
 			sm.releaseStore(se)
 		})
 	case config.DecompCABA:
 		if sm.compDisabled {
-			sm.sim.Dom.SetRaw(se.lineAddr)
+			sm.domSetRaw(se.lineAddr)
 			sm.releaseStore(se)
 			return
 		}
@@ -1130,7 +1272,7 @@ func (sm *SM) releaseStore(se *storeEntry) {
 	sm.touch()
 	se.released = true
 	sm.removeStore(se)
-	sm.sim.Sys.WriteLine(sm.id, se.lineAddr)
+	sm.sysWriteLine(se.lineAddr)
 }
 
 // --- CABA integration ---
@@ -1170,11 +1312,11 @@ func (sm *SM) beginCABACompression(se *storeEntry) {
 		// (Section 6.3): pick the oracle's best algorithm, then pay that
 		// algorithm's assist-warp cost.
 		var line [compress.LineSize]byte
-		sm.sim.Dom.ReadRaw(se.lineAddr, line[:])
+		sm.domReadRaw(se.lineAddr, line[:])
 		best, _ := compress.Compress(compress.AlgBest, line[:])
 		se.alg = best.Alg
 		if se.alg == compress.AlgNone {
-			sm.sim.Dom.SetRaw(se.lineAddr)
+			sm.domSetRaw(se.lineAddr)
 			sm.releaseStore(se)
 			return
 		}
@@ -1194,7 +1336,7 @@ func (sm *SM) stepCompressionChain(se *storeEntry) {
 		if sm.compFailStreak >= 3 {
 			sm.compDisabled = true
 		}
-		sm.sim.Dom.SetRaw(se.lineAddr)
+		sm.domSetRaw(se.lineAddr)
 		sm.releaseStore(se)
 		return
 	}
@@ -1206,17 +1348,17 @@ func (sm *SM) stepCompressionChain(se *storeEntry) {
 		if !sm.awc.CanTrigger(rt.Priority, se.warp) {
 			return false
 		}
-		ex := sm.sim.newAssistExec(rt)
-		sm.sim.Dom.ReadRaw(se.lineAddr, ex.StageIn[:compress.LineSize])
+		ex := sm.newAssistExec(rt)
+		sm.domReadRaw(se.lineAddr, ex.StageIn[:compress.LineSize])
 		e := sm.awc.Trigger(rt, se.warp, ex, se, func(done *core.Entry) {
 			sm.finishCompressionStep(se, done)
 		})
 		if e == nil {
-			sm.sim.releaseAssistExec(ex)
+			sm.releaseAssistExec(ex)
 			return false
 		}
 		se.state = sbCompress
-		sm.sim.S.AssistWarps++
+		sm.stat.AssistWarps++
 		return true
 	}
 	if !try() {
@@ -1259,8 +1401,8 @@ func (sm *SM) finishCompressionStep(se *storeEntry, e *core.Entry) {
 			st := compress.Compressed{Alg: alg, Enc: 0,
 				Data: append([]byte(nil), ex.StageOut[:size]...)}
 			sm.compFailStreak = 0
-			sm.sim.Dom.SetCompressed(se.lineAddr, st)
-			sm.sim.S.LinesCompressed++
+			sm.domSetCompressed(se.lineAddr, st)
+			sm.stat.LinesCompressed++
 			sm.releaseStore(se)
 			return
 		}
@@ -1276,8 +1418,8 @@ func (sm *SM) installCompressed(se *storeEntry, enc compress.BDIEncoding, ex *co
 	size := enc.CompressedSize()
 	st := compress.Compressed{Alg: compress.AlgBDI, Enc: uint8(enc),
 		Data: append([]byte(nil), ex.StageOut[:size]...)}
-	sm.sim.Dom.SetCompressed(se.lineAddr, st)
-	sm.sim.S.LinesCompressed++
+	sm.domSetCompressed(se.lineAddr, st)
+	sm.stat.LinesCompressed++
 	sm.releaseStore(se)
 }
 
@@ -1312,18 +1454,18 @@ func (sm *SM) triggerDecompAW(ln uint64, st compress.Compressed, warp int, done 
 		if host < 0 {
 			return false
 		}
-		ex := sm.sim.newAssistExec(rt)
+		ex := sm.newAssistExec(rt)
 		copy(ex.StageIn, st.Data)
 		e := sm.awc.Trigger(rt, host, ex, nil, func(fin *core.Entry) {
 			sm.verifyDecompression(ln, fin.Exec)
-			sm.sim.S.LinesDecompressed++
+			sm.stat.LinesDecompressed++
 			done()
 		})
 		if e == nil {
-			sm.sim.releaseAssistExec(ex)
+			sm.releaseAssistExec(ex)
 			return false
 		}
-		sm.sim.S.AssistWarps++
+		sm.stat.AssistWarps++
 		return true
 	}
 	if !try() {
@@ -1340,9 +1482,9 @@ func (sm *SM) verifyDecompression(ln uint64, ex *core.Exec) {
 		panic(fmt.Sprintf("gpu: decompression routine failed: %v", ex.Err))
 	}
 	var truth [compress.LineSize]byte
-	sm.sim.Dom.ReadRaw(ln, truth[:])
+	sm.domReadRaw(ln, truth[:])
 	if !bytes.Equal(ex.StageOut[:compress.LineSize], truth[:]) {
-		sm.sim.decompMismatches++
+		sm.stat.DecompMismatches++
 	}
 }
 
@@ -1377,7 +1519,7 @@ func (sm *SM) tryIssueAssist(e *core.Entry) (ok, dep, memS, compS bool) {
 	if e.Exec.Done {
 		e.Staged = 0 // discard over-staged slots past the routine's end
 	}
-	sm.sim.S.AssistInstrs++
+	sm.stat.AssistInstrs++
 	sm.countClass(in)
 
 	lat := uint64(sm.sim.Cfg.ALULatency)
@@ -1396,13 +1538,13 @@ func (sm *SM) tryIssueAssist(e *core.Entry) (ok, dep, memS, compS bool) {
 			// completion on the fill.
 			for _, ln := range coalesceInto(&sm.awLineBuf, &info.Addrs, info.ExecMask, sm.sim.Cfg.LineSize) {
 				if sm.l1.Lookup(ln, false) {
-					sm.sim.S.L1Hits++
+					sm.stat.L1Hits++
 					continue
 				}
-				sm.sim.S.L1Misses++
+				sm.stat.L1Misses++
 				primary, _ := sm.mshr.Add(ln, (*loadReq)(nil))
 				if primary {
-					sm.sim.Sys.ReadLine(sm.id, ln, &fillCtx{kind: fillAssist})
+					sm.sysReadLine(ln, &fillCtx{kind: fillAssist})
 				}
 			}
 		}
@@ -1418,13 +1560,13 @@ func (sm *SM) tryIssueAssist(e *core.Entry) (ok, dep, memS, compS bool) {
 func (sm *SM) countClass(in *isa.Instr) {
 	switch in.Op.Class() {
 	case isa.ClassALU:
-		sm.sim.S.ALUInstrs++
+		sm.stat.ALUInstrs++
 	case isa.ClassSFU:
-		sm.sim.S.SFUInstrs++
+		sm.stat.SFUInstrs++
 	case isa.ClassMem:
-		sm.sim.S.MemInstrs++
+		sm.stat.MemInstrs++
 	case isa.ClassCtrl:
-		sm.sim.S.CtrlInstrs++
+		sm.stat.CtrlInstrs++
 	}
 }
 
@@ -1434,7 +1576,7 @@ func (sm *SM) countClass(in *isa.Instr) {
 func (sm *SM) checkAssistDone(e *core.Entry) {
 	if !e.Killed && e.Done() {
 		sm.awc.Retire(e)
-		sm.sim.releaseAssistExec(e.Exec)
+		sm.releaseAssistExec(e.Exec)
 	}
 }
 
@@ -1486,7 +1628,7 @@ func (sm *SM) completeFill(ln uint64, ctx *fillCtx) {
 	case fillLoad:
 		size := sm.sim.Cfg.LineSize
 		if sm.sim.Design.L1TagMult > 1 {
-			if st := sm.sim.Dom.State(ln); st.IsCompressed() {
+			if st := sm.domState(ln); st.IsCompressed() {
 				size = st.Size()
 			}
 		}

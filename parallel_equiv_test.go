@@ -1,0 +1,109 @@
+package caba_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	caba "github.com/caba-sim/caba"
+)
+
+// TestParallelGoldenEquivalence is the parallel tick engine's contract:
+// SMWorkers must be invisible in the results. Every app×design pair below
+// runs at worker counts {1, 4, GOMAXPROCS} and every Result field — the
+// cycle count, the Figure-1 stall breakdown, bandwidth utilization,
+// energy, the decompression-mismatch counter, the fast-forward skip
+// counts, and every raw counter in Metrics — must match the serial run
+// exactly, not approximately.
+func TestParallelGoldenEquivalence(t *testing.T) {
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	pairs := []struct {
+		app    string
+		design caba.Design
+	}{
+		{"sssp", caba.Base},   // memory-bound, no compression machinery
+		{"PVC", caba.CABABDI}, // assist warps + cross-SM atomics
+		{"bfs", caba.HWBDI},   // hardware (de)compression latencies
+		{"TRA", caba.CABABDI}, // second CABA-BDI app, different access pattern
+		{"KM", caba.IdealBDI}, // zero-latency decompression design
+	}
+	for _, p := range pairs {
+		p := p
+		t.Run(fmt.Sprintf("%s_%s", p.app, p.design.Name), func(t *testing.T) {
+			t.Parallel()
+			run := func(workers int) *caba.Result {
+				t.Helper()
+				cfg := caba.QuickConfig()
+				cfg.Scale = 0.03
+				cfg.SMWorkers = workers
+				r, err := caba.Run(cfg, p.design, p.app, 1)
+				if err != nil {
+					t.Fatalf("SMWorkers=%d: %v", workers, err)
+				}
+				return r
+			}
+			serial := run(1)
+			for _, w := range workerCounts {
+				if w == 1 {
+					continue
+				}
+				par := run(w)
+				if serial.Cycles != par.Cycles {
+					t.Errorf("SMWorkers=%d: cycles diverge: serial %d, parallel %d", w, serial.Cycles, par.Cycles)
+				}
+				if serial.IPC != par.IPC {
+					t.Errorf("SMWorkers=%d: IPC diverges: %v != %v", w, serial.IPC, par.IPC)
+				}
+				if serial.BandwidthUtil != par.BandwidthUtil {
+					t.Errorf("SMWorkers=%d: bandwidth utilization diverges: %v != %v", w, serial.BandwidthUtil, par.BandwidthUtil)
+				}
+				if serial.CompressionRatio != par.CompressionRatio {
+					t.Errorf("SMWorkers=%d: compression ratio diverges: %v != %v", w, serial.CompressionRatio, par.CompressionRatio)
+				}
+				if serial.EnergyNJ != par.EnergyNJ || serial.DRAMEnergyNJ != par.DRAMEnergyNJ {
+					t.Errorf("SMWorkers=%d: energy diverges: total %v != %v, DRAM %v != %v",
+						w, serial.EnergyNJ, par.EnergyNJ, serial.DRAMEnergyNJ, par.DRAMEnergyNJ)
+				}
+				if serial.DecompMismatches != par.DecompMismatches {
+					t.Errorf("SMWorkers=%d: decompression mismatches diverge: %d != %d",
+						w, serial.DecompMismatches, par.DecompMismatches)
+				}
+				if serial.FFSkips != par.FFSkips || serial.FFCycles != par.FFCycles {
+					t.Errorf("SMWorkers=%d: fast-forward skips diverge: %d/%d != %d/%d",
+						w, serial.FFSkips, serial.FFCycles, par.FFSkips, par.FFCycles)
+				}
+				for _, d := range serial.Stats.Diff(par.Stats) {
+					t.Errorf("SMWorkers=%d: stats diverge: %s", w, d)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelFastForwardCompose checks the two engines together: the
+// fast-forward run at several worker counts must still match the plain
+// per-cycle serial run bit for bit.
+func TestParallelFastForwardCompose(t *testing.T) {
+	run := func(workers int, ff bool) *caba.Result {
+		t.Helper()
+		cfg := caba.QuickConfig()
+		cfg.Scale = 0.03
+		cfg.SMWorkers = workers
+		cfg.FastForward = ff
+		r, err := caba.Run(cfg, caba.CABABDI, "PVC", 1)
+		if err != nil {
+			t.Fatalf("SMWorkers=%d FastForward=%v: %v", workers, ff, err)
+		}
+		return r
+	}
+	base := run(1, false)
+	for _, w := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		got := run(w, true)
+		if base.Cycles != got.Cycles {
+			t.Errorf("SMWorkers=%d+FF: cycles diverge: %d != %d", w, base.Cycles, got.Cycles)
+		}
+		for _, d := range base.Stats.Diff(got.Stats) {
+			t.Errorf("SMWorkers=%d+FF: stats diverge: %s", w, d)
+		}
+	}
+}

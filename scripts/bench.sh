@@ -8,9 +8,16 @@ cd "$(dirname "$0")/.."
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
+# Preflight: benchmark numbers are only recorded from a tree that vets
+# clean and is race-free (the parallel tick engine makes -race load-bearing).
+go vet ./...
+go test -race ./...
+
 go test -run '^$' \
   -bench 'BenchmarkSimBasePVC$|BenchmarkSimCABAPVC$|BenchmarkSimBaseSSSP$|BenchmarkSimCABASSSP$|BenchmarkSimHotLoop$' \
   -benchtime 5x -benchmem . | tee "$tmp"
+go test -run '^$' -bench 'BenchmarkSimParallelPVC' \
+  -benchtime 5x -benchmem . | tee -a "$tmp"
 go test -run '^$' -bench 'BenchmarkQueue$' -benchmem ./internal/timing | tee -a "$tmp"
 
 awk '
