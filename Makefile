@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: build vet test race check bench
+# Decompression fuzz targets (one `go test -fuzz` invocation each: the Go
+# fuzzer accepts a single target per run).
+FUZZ_TARGETS = FuzzDecompressBDI FuzzDecompressFPC FuzzDecompressCPack
+FUZZTIME ?= 10s
+
+.PHONY: build vet test race fuzz check bench
 
 build:
 	$(GO) build ./...
@@ -14,8 +19,17 @@ test:
 race:
 	$(GO) test -race ./...
 
+# fuzz gives each decompressor a short seeded fuzzing pass: corrupted
+# payloads must error, never panic (the fault-injection framework feeds
+# them in at simulation time).
+fuzz:
+	@for t in $(FUZZ_TARGETS); do \
+		echo "fuzz $$t ($(FUZZTIME))"; \
+		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) ./internal/compress || exit 1; \
+	done
+
 # check is the tier-1 gate: everything must pass before a commit.
-check: build vet test race
+check: build vet test race fuzz
 
 # bench refreshes BENCH_sim.json with the simulator hot-loop and event
 # queue numbers (ns/op, B/op, allocs/op).

@@ -20,6 +20,8 @@
 package caba
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"github.com/caba-sim/caba/internal/compress"
@@ -117,6 +119,14 @@ type Result struct {
 	// longer matched the backing store (a later write raced the
 	// compressed copy); the parallel-equivalence tests assert it too.
 	DecompMismatches uint64
+	// FaultsInjected / FaultsDetected / FaultsRecovered summarize the
+	// fault-injection campaign (Config.Faults): faults placed, faults the
+	// integrity checks caught, and faults fully recovered (corrupted
+	// decompressions re-fetched raw, metadata misses re-read). All zero
+	// when injection is disabled.
+	FaultsInjected  uint64
+	FaultsDetected  uint64
+	FaultsRecovered uint64
 	// FFSkips / FFCycles report the fast-forward engine's clock jumps and
 	// the cycles they covered (observability; zero with FastForward off).
 	FFSkips  uint64
@@ -126,9 +136,27 @@ type Result struct {
 	Stats     *Metrics
 }
 
+// ErrInterrupted is wrapped into the error a run returns when it is
+// stopped early — by a cancelled context (RunContext/RunKernelContext)
+// or an explicit Simulator.Interrupt.
+var ErrInterrupted = gpu.ErrInterrupted
+
 // Run simulates one application under one design and returns the paper's
 // metrics. seed controls the synthetic data generator.
 func Run(cfg Config, design Design, appName string, seed int64) (*Result, error) {
+	return RunContext(context.Background(), cfg, design, appName, seed)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled or its
+// deadline passes, the simulation stops at the next interrupt poll and
+// returns an error wrapping both ctx.Err() and ErrInterrupted. No panic
+// escapes: internal invariant violations come back as errors.
+func RunContext(ctx context.Context, cfg Config, design Design, appName string, seed int64) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("caba: %s/%s: internal panic: %v", appName, design.Name, r)
+		}
+	}()
 	app, err := AppByName(appName)
 	if err != nil {
 		return nil, err
@@ -151,7 +179,7 @@ func Run(cfg Config, design Design, appName string, seed int64) (*Result, error)
 		return nil, err
 	}
 	inputRatio := inst.Prepare(sim, seed)
-	if err := sim.Run(inst.MaxCycles()); err != nil {
+	if err := runSim(ctx, sim, inst.MaxCycles()); err != nil {
 		return nil, fmt.Errorf("caba: %s/%s: %w", appName, design.Name, err)
 	}
 	return finishResult(appName, design, &cfg, sim, inputRatio), nil
@@ -160,6 +188,17 @@ func Run(cfg Config, design Design, appName string, seed int64) (*Result, error)
 // RunKernel simulates a custom kernel. prepare (optional) populates
 // memory and precompresses inputs before the run.
 func RunKernel(cfg Config, design Design, k *Kernel, prepare func(*Simulator)) (*Result, error) {
+	return RunKernelContext(context.Background(), cfg, design, k, prepare)
+}
+
+// RunKernelContext is RunKernel with cancellation, with the same
+// semantics as RunContext.
+func RunKernelContext(ctx context.Context, cfg Config, design Design, k *Kernel, prepare func(*Simulator)) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("caba: kernel %s/%s: internal panic: %v", k.Prog.Name, design.Name, r)
+		}
+	}()
 	sim, err := gpu.New(&cfg, design, k)
 	if err != nil {
 		return nil, err
@@ -167,10 +206,36 @@ func RunKernel(cfg Config, design Design, k *Kernel, prepare func(*Simulator)) (
 	if prepare != nil {
 		prepare(sim)
 	}
-	if err := sim.Run(0); err != nil {
+	if err := runSim(ctx, sim, 0); err != nil {
 		return nil, err
 	}
 	return finishResult(k.Prog.Name, design, &cfg, sim, 1), nil
+}
+
+// runSim drives sim.Run under ctx: a watcher goroutine requests an
+// interrupt when the context ends, and is always reaped before return
+// (no goroutine outlives the call).
+func runSim(ctx context.Context, sim *gpu.Simulator, maxCycles uint64) error {
+	if ctx == nil || ctx.Done() == nil {
+		return sim.Run(maxCycles)
+	}
+	finished := make(chan struct{})
+	watcher := make(chan struct{})
+	go func() {
+		defer close(watcher)
+		select {
+		case <-ctx.Done():
+			sim.Interrupt()
+		case <-finished:
+		}
+	}()
+	err := sim.Run(maxCycles)
+	close(finished)
+	<-watcher
+	if err != nil && errors.Is(err, gpu.ErrInterrupted) && ctx.Err() != nil {
+		return fmt.Errorf("%w (%w)", ctx.Err(), err)
+	}
+	return err
 }
 
 func finishResult(app string, design Design, cfg *Config, sim *gpu.Simulator, inputRatio float64) *Result {
@@ -189,6 +254,9 @@ func finishResult(app string, design Design, cfg *Config, sim *gpu.Simulator, in
 		MDHitRate:        sim.S.MDHitRate(),
 		InputRatio:       inputRatio,
 		DecompMismatches: sim.DecompMismatches(),
+		FaultsInjected:   sim.S.FaultsInjected,
+		FaultsDetected:   sim.S.FaultsDetected,
+		FaultsRecovered:  sim.S.FaultsRecovered,
 		Occupancy:        sim.Occupancy(),
 		Stats:            sim.S,
 	}

@@ -5,6 +5,13 @@
 //	experiments -table 1          # print the live Table 1 configuration
 //	experiments -scale 0.25       # bigger working sets (slower, stabler)
 //	experiments -full             # paper-scale working sets (slow)
+//	experiments -all -checkpoint runs.ckpt -run-timeout 10m -retries 1
+//	                              # hardened sweep: resumable, deadline-bounded
+//
+// With -checkpoint, completed runs persist as the sweep goes; rerunning
+// the same command resumes from where the previous invocation stopped.
+// Failed cells are reported together at the end while every figure still
+// renders its completed cells.
 package main
 
 import (
@@ -35,6 +42,11 @@ func realMain() int {
 	parallel := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	parallelism := flag.Int("parallelism", 0,
 		"total worker-goroutine budget: concurrent simulations x SM workers per simulation (0 = GOMAXPROCS)")
+	checkpoint := flag.String("checkpoint", "",
+		"JSONL file persisting completed runs; an interrupted sweep resumes from it (parameters must match)")
+	runTimeout := flag.Duration("run-timeout", 0,
+		"wall-clock deadline per simulation (0 = none); timed-out cells are reported and the sweep continues")
+	retries := flag.Int("retries", 0, "extra attempts per failed simulation, with exponential backoff")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -75,6 +87,9 @@ func realMain() int {
 	o.Seed = *seed
 	o.Parallel = *parallel
 	o.Parallelism = *parallelism
+	o.Checkpoint = *checkpoint
+	o.RunTimeout = *runTimeout
+	o.Retries = *retries
 
 	run := func(n int) error {
 		start := time.Now()

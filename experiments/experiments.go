@@ -6,12 +6,18 @@
 package experiments
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"math"
+	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
+	"time"
 
 	caba "github.com/caba-sim/caba"
 	"github.com/caba-sim/caba/internal/stats"
@@ -35,6 +41,26 @@ type Options struct {
 	Parallelism int
 	// Out receives the rendered tables (nil = discard).
 	Out io.Writer
+
+	// RunTimeout bounds each simulation's wall clock. A run that exceeds
+	// it is interrupted, reported as that cell's error, and retried when
+	// Retries allows. Zero disables the deadline.
+	RunTimeout time.Duration
+	// Retries re-attempts a failed run up to this many additional times
+	// before the cell is declared broken.
+	Retries int
+	// RetryBackoff is the delay before the first retry, doubling per
+	// attempt (default 100ms when Retries > 0).
+	RetryBackoff time.Duration
+	// Checkpoint, when non-empty, persists every completed run to this
+	// JSONL file as the sweep goes, and pre-loads it on start so an
+	// interrupted sweep resumes where it stopped. The file's header
+	// records Scale and Seed; resuming with different values is an error
+	// (the cached cells would not match the requested sweep).
+	Checkpoint string
+
+	// runHook replaces the simulation entry point in tests.
+	runHook func(ctx context.Context, cfg caba.Config, design caba.Design, app string, seed int64) (*caba.Result, error)
 }
 
 // Defaults returns the standard quick-run options.
@@ -98,10 +124,31 @@ type runKey struct {
 	bwScale float64
 }
 
+// String renders the key as the stable "app/design@bw" checkpoint form.
+func (k runKey) String() string {
+	return k.app + "/" + k.design + "@" + strconv.FormatFloat(k.bwScale, 'g', -1, 64) + "x"
+}
+
+func parseRunKey(s string) (runKey, error) {
+	slash := strings.Index(s, "/")
+	at := strings.LastIndex(s, "@")
+	if slash < 0 || at < slash || !strings.HasSuffix(s, "x") {
+		return runKey{}, fmt.Errorf("experiments: malformed run key %q", s)
+	}
+	bw, err := strconv.ParseFloat(s[at+1:len(s)-1], 64)
+	if err != nil {
+		return runKey{}, fmt.Errorf("experiments: malformed run key %q: %w", s, err)
+	}
+	return runKey{app: s[:slash], design: s[slash+1 : at], bwScale: bw}, nil
+}
+
 // sweep runs every (app, design, bw) combination on a bounded worker
-// pool. All failures are collected and returned together (errors.Join),
-// so one bad configuration reports every broken cell of the grid instead
-// of just the first one hit.
+// pool. Failures never abort the grid: every run is panic-isolated,
+// deadline-bounded (RunTimeout) and retried (Retries), and whatever
+// still fails becomes one joined error returned ALONGSIDE the completed
+// cells — callers render partial figures with holes rather than nothing.
+// With Checkpoint set, completed cells are persisted as they finish and
+// skipped on the next invocation.
 func (o *Options) sweep(apps []string, designs []caba.Design, bws []float64) (map[runKey]*caba.Result, error) {
 	if len(bws) == 0 {
 		bws = []float64{1.0}
@@ -110,26 +157,36 @@ func (o *Options) sweep(apps []string, designs []caba.Design, bws []float64) (ma
 		key    runKey
 		design caba.Design
 	}
-	jobs := make(chan job)
 	results := make(map[runKey]*caba.Result, len(apps)*len(designs)*len(bws))
+	ck, err := o.openCheckpoint(results)
+	if err != nil {
+		return nil, err
+	}
+	defer ck.close()
+	done := make(map[runKey]bool, len(results))
+	for k := range results {
+		done[k] = true
+	}
+
+	jobs := make(chan job)
 	var mu sync.Mutex
 	var errs []error
 	var wg sync.WaitGroup
-	sims, smWorkers := o.plan(len(apps) * len(designs) * len(bws))
+	sims, smWorkers := o.plan(len(apps)*len(designs)*len(bws) - len(results))
 	for w := 0; w < sims; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				cfg := o.cfg()
-				cfg.BWScale = j.key.bwScale
-				cfg.SMWorkers = smWorkers
-				res, err := caba.Run(cfg, j.design, j.key.app, o.Seed)
+				res, err := o.runOne(j.design, j.key, smWorkers)
 				mu.Lock()
 				if err != nil {
-					errs = append(errs, fmt.Errorf("%s/%s@%vx: %w", j.key.app, j.key.design, j.key.bwScale, err))
+					errs = append(errs, fmt.Errorf("%s: %w", j.key, err))
 				} else {
 					results[j.key] = res
+					if werr := ck.append(j.key, res); werr != nil {
+						errs = append(errs, werr)
+					}
 				}
 				mu.Unlock()
 			}
@@ -138,16 +195,158 @@ func (o *Options) sweep(apps []string, designs []caba.Design, bws []float64) (ma
 	for _, a := range apps {
 		for _, d := range designs {
 			for _, bw := range bws {
-				jobs <- job{runKey{a, d.Name, bw}, d}
+				key := runKey{a, d.Name, bw}
+				if done[key] {
+					continue
+				}
+				jobs <- job{key, d}
 			}
 		}
 	}
 	close(jobs)
 	wg.Wait()
-	if err := errors.Join(errs...); err != nil {
-		return nil, err
+	return results, errors.Join(errs...)
+}
+
+// runOne executes a single grid cell with retry-with-backoff around the
+// panic-isolated, deadline-bounded attempt.
+func (o *Options) runOne(design caba.Design, key runKey, smWorkers int) (*caba.Result, error) {
+	backoff := o.RetryBackoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
 	}
-	return results, nil
+	var res *caba.Result
+	var err error
+	for attempt := 0; ; attempt++ {
+		res, err = o.attemptOne(design, key, smWorkers)
+		if err == nil || attempt >= o.Retries {
+			return res, err
+		}
+		time.Sleep(backoff << attempt)
+	}
+}
+
+// attemptOne makes one panic-isolated, deadline-bounded simulation
+// attempt. The recover here is the sweep's own safety net: the caba entry
+// points already convert internal panics to errors, and this guard keeps
+// a worker goroutine alive even if the conversion itself has a bug (or a
+// test runHook panics).
+func (o *Options) attemptOne(design caba.Design, key runKey, smWorkers int) (res *caba.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("experiments: run panicked: %v", r)
+		}
+	}()
+	ctx := context.Background()
+	if o.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.RunTimeout)
+		defer cancel()
+	}
+	cfg := o.cfg()
+	cfg.BWScale = key.bwScale
+	cfg.SMWorkers = smWorkers
+	run := o.runHook
+	if run == nil {
+		run = func(ctx context.Context, cfg caba.Config, design caba.Design, app string, seed int64) (*caba.Result, error) {
+			return caba.RunContext(ctx, cfg, design, app, seed)
+		}
+	}
+	return run(ctx, cfg, design, key.app, o.Seed)
+}
+
+// --- Sweep checkpointing ---
+
+// ckMeta is the checkpoint's header line: the sweep parameters the cached
+// cells depend on.
+type ckMeta struct {
+	Scale float64 `json:"scale"`
+	Seed  int64   `json:"seed"`
+}
+
+// ckLine is one JSONL checkpoint record: the header (first line) carries
+// Meta, every other line one completed cell.
+type ckLine struct {
+	Meta   *ckMeta      `json:"meta,omitempty"`
+	Key    string       `json:"key,omitempty"`
+	Result *caba.Result `json:"result,omitempty"`
+}
+
+// checkpoint appends completed cells to the JSONL file. A nil receiver
+// (no Checkpoint configured) is a no-op on every method.
+type checkpoint struct {
+	f   *os.File
+	enc *json.Encoder
+}
+
+// openCheckpoint loads a prior checkpoint (if any) into results and
+// returns an open appender. A header mismatch (different Scale/Seed) is
+// an error: those cells belong to a different sweep.
+func (o *Options) openCheckpoint(results map[runKey]*caba.Result) (*checkpoint, error) {
+	if o.Checkpoint == "" {
+		return nil, nil
+	}
+	meta := ckMeta{Scale: o.Scale, Seed: o.Seed}
+	if raw, err := os.ReadFile(o.Checkpoint); err == nil && len(raw) > 0 {
+		dec := json.NewDecoder(strings.NewReader(string(raw)))
+		var header ckLine
+		if err := dec.Decode(&header); err != nil || header.Meta == nil {
+			return nil, fmt.Errorf("experiments: checkpoint %s: missing or malformed header", o.Checkpoint)
+		}
+		if *header.Meta != meta {
+			return nil, fmt.Errorf("experiments: checkpoint %s was written for scale=%v seed=%d, this sweep uses scale=%v seed=%d — delete it or match the parameters",
+				o.Checkpoint, header.Meta.Scale, header.Meta.Seed, meta.Scale, meta.Seed)
+		}
+		for {
+			var line ckLine
+			if err := dec.Decode(&line); err != nil {
+				// A torn final line (killed mid-write) is expected on
+				// resume; everything before it is intact JSONL.
+				break
+			}
+			if line.Key == "" || line.Result == nil {
+				continue
+			}
+			key, err := parseRunKey(line.Key)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: checkpoint %s: %w", o.Checkpoint, err)
+			}
+			results[key] = line.Result
+		}
+		f, err := os.OpenFile(o.Checkpoint, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: checkpoint: %w", err)
+		}
+		return &checkpoint{f: f, enc: json.NewEncoder(f)}, nil
+	} else if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("experiments: checkpoint: %w", err)
+	}
+	f, err := os.OpenFile(o.Checkpoint, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: checkpoint: %w", err)
+	}
+	ck := &checkpoint{f: f, enc: json.NewEncoder(f)}
+	if err := ck.enc.Encode(ckLine{Meta: &meta}); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("experiments: checkpoint: %w", err)
+	}
+	return ck, nil
+}
+
+func (ck *checkpoint) append(key runKey, res *caba.Result) error {
+	if ck == nil {
+		return nil
+	}
+	if err := ck.enc.Encode(ckLine{Key: key.String(), Result: res}); err != nil {
+		return fmt.Errorf("experiments: checkpoint write: %w", err)
+	}
+	return nil
+}
+
+func (ck *checkpoint) close() {
+	if ck != nil {
+		ck.f.Close()
+	}
 }
 
 // appNames extracts names from descriptors.

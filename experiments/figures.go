@@ -31,14 +31,13 @@ type Fig1Result struct {
 	MemDepFraction2x float64
 }
 
-// Fig1 reproduces Figure 1.
+// Fig1 reproduces Figure 1. When some grid cells failed, the returned
+// error is non-nil but the figure still carries every completed row (the
+// broken cells are simply absent).
 func Fig1(o Options) (*Fig1Result, error) {
 	apps := Fig1Suite()
 	bws := []float64{0.5, 1.0, 2.0}
-	results, err := o.sweep(apps, []caba.Design{caba.Base}, bws)
-	if err != nil {
-		return nil, err
-	}
+	results, sweepErr := o.sweep(apps, []caba.Design{caba.Base}, bws)
 	out := o.out()
 	fmt.Fprintf(out, "Figure 1: issue-cycle breakdown (Base design)\n")
 	fmt.Fprintf(out, "%-6s %-5s %8s %8s %8s %8s %8s\n", "app", "bw", "active", "comp", "mem", "dep", "idle")
@@ -48,6 +47,9 @@ func Fig1(o Options) (*Fig1Result, error) {
 		app := workloads.ByName(name)
 		for _, bw := range bws {
 			r := results[runKey{name, caba.Base.Name, bw}]
+			if r == nil {
+				continue
+			}
 			br := breakdownOf(r)
 			res.Rows = append(res.Rows, Fig1Row{App: name, MemoryBound: app.MemoryBound, BWScale: bw, Breakdown: br})
 			fmt.Fprintf(out, "%-6s %4.1fx %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n",
@@ -68,7 +70,7 @@ func Fig1(o Options) (*Fig1Result, error) {
 	res.MemDepFraction2x = mean(memdep2x)
 	fmt.Fprintf(out, "memory-bound apps: mem+dep stalls %.0f%% at 1x (paper 61%%), %.0f%% at 2x (paper 51%%)\n",
 		100*res.MemDepFraction1x, 100*res.MemDepFraction2x)
-	return res, nil
+	return res, sweepErr
 }
 
 // --- Figure 2: statically unallocated registers ---
@@ -162,10 +164,7 @@ func Study789(o Options) (*StudyResult, error) {
 
 func study789(o Options) (*StudyResult, error) {
 	apps := CompressSuite()
-	results, err := o.sweep(apps, study789Designs, nil)
-	if err != nil {
-		return nil, err
-	}
+	results, sweepErr := o.sweep(apps, study789Designs, nil)
 	study := &StudyResult{}
 	var mdRates, dramSave []float64
 	for _, d := range study789Designs {
@@ -179,6 +178,9 @@ func study789(o Options) (*StudyResult, error) {
 		for _, app := range apps {
 			base := results[runKey{app, caba.Base.Name, 1.0}]
 			r := results[runKey{app, d.Name, 1.0}]
+			if base == nil || r == nil {
+				continue
+			}
 			speedup := r.IPC / base.IPC
 			m.Speedup[app] = speedup
 			m.BWUtil[app] = r.BandwidthUtil
@@ -206,7 +208,7 @@ func study789(o Options) (*StudyResult, error) {
 	}
 	study.MDHitRate = mean(mdRates)
 	study.DRAMEnergyReduction = mean(dramSave)
-	return study, nil
+	return study, sweepErr
 }
 
 // Metric selects what a study figure reports.
@@ -280,41 +282,41 @@ func renderStudy(o Options, s *StudyResult, metric string) {
 // 2.8% of Ideal, 9.9% over HW-BDI-Mem).
 func Fig7(o Options) (*StudyResult, error) {
 	s, err := Study789(o)
-	if err != nil {
+	if s == nil {
 		return nil, err
 	}
 	fmt.Fprintf(o.out(), "Figure 7: normalized performance (speedup vs Base)\n")
 	renderStudy(o, s, "speedup")
 	fmt.Fprintf(o.out(), "CABA-BDI mean speedup %.2fx (paper 1.417x), Ideal %.2fx, HW-BDI-Mem %.2fx, HW-BDI %.2fx\n",
 		s.CABASpeedup(), s.IdealSpeedup(), s.HWMemSpeedup(), s.HWSpeedup())
-	return s, nil
+	return s, err
 }
 
 // Fig8 reproduces memory bandwidth utilization (paper: 53.6% -> 35.6%).
 func Fig8(o Options) (*StudyResult, error) {
 	s, err := Study789(o)
-	if err != nil {
+	if s == nil {
 		return nil, err
 	}
 	fmt.Fprintf(o.out(), "Figure 8: DRAM bandwidth utilization\n")
 	renderStudy(o, s, "bw")
 	fmt.Fprintf(o.out(), "Base %.1f%% -> CABA-BDI %.1f%% (paper: 53.6%% -> 35.6%%); CABA MD-cache hit rate %.0f%% (paper ~85%%)\n",
 		100*s.BaseBWUtil(), 100*s.CABABWUtil(), 100*s.MDHitRate)
-	return s, nil
+	return s, err
 }
 
 // Fig9 reproduces normalized energy (paper: CABA-BDI -22.2% vs Base,
 // DRAM power -29.5%).
 func Fig9(o Options) (*StudyResult, error) {
 	s, err := Study789(o)
-	if err != nil {
+	if s == nil {
 		return nil, err
 	}
 	fmt.Fprintf(o.out(), "Figure 9: normalized energy (vs Base)\n")
 	renderStudy(o, s, "energy")
 	fmt.Fprintf(o.out(), "CABA-BDI energy %.2fx of Base (paper 0.78x); DRAM energy -%.0f%% (paper -29.5%%)\n",
 		s.CABAEnergy(), 100*s.DRAMEnergyReduction)
-	return s, nil
+	return s, err
 }
 
 // --- Figures 10 & 11: algorithm comparison ---
@@ -336,10 +338,7 @@ var algoDesigns = []caba.Design{caba.CABAFPC, caba.CABABDI, caba.CABACPack, caba
 func Fig10and11(o Options) (*AlgoResult, error) {
 	apps := CompressSuite()
 	designs := append([]caba.Design{caba.Base}, algoDesigns...)
-	results, err := o.sweep(apps, designs, nil)
-	if err != nil {
-		return nil, err
-	}
+	results, sweepErr := o.sweep(apps, designs, nil)
 	res := &AlgoResult{
 		Speedup:     map[string]map[string]float64{},
 		Ratio:       map[string]map[string]float64{},
@@ -353,6 +352,9 @@ func Fig10and11(o Options) (*AlgoResult, error) {
 		for _, app := range apps {
 			base := results[runKey{app, caba.Base.Name, 1.0}]
 			r := results[runKey{app, d.Name, 1.0}]
+			if base == nil || r == nil {
+				continue
+			}
 			res.Speedup[d.Name][app] = r.IPC / base.IPC
 			res.Ratio[d.Name][app] = r.CompressionRatio
 			sp = append(sp, r.IPC/base.IPC)
@@ -378,7 +380,7 @@ func Fig10and11(o Options) (*AlgoResult, error) {
 	fmt.Fprintf(out, "means: FPC %.2fx (paper 1.207x), BDI %.2fx (paper 1.417x), C-Pack %.2fx (paper 1.352x), Best %.2fx\n",
 		res.MeanSpeedup[caba.CABAFPC.Name], res.MeanSpeedup[caba.CABABDI.Name],
 		res.MeanSpeedup[caba.CABACPack.Name], res.MeanSpeedup[caba.CABABest.Name])
-	return res, nil
+	return res, sweepErr
 }
 
 // --- Figure 12: bandwidth sensitivity ---
@@ -394,10 +396,7 @@ type Fig12Result struct {
 func Fig12(o Options) (*Fig12Result, error) {
 	apps := CompressSuite()
 	bws := []float64{0.5, 1.0, 2.0}
-	results, err := o.sweep(apps, []caba.Design{caba.Base, caba.CABABDI}, bws)
-	if err != nil {
-		return nil, err
-	}
+	results, sweepErr := o.sweep(apps, []caba.Design{caba.Base, caba.CABABDI}, bws)
 	res := &Fig12Result{Mean: map[string]map[float64]float64{
 		caba.Base.Name:    {},
 		caba.CABABDI.Name: {},
@@ -410,13 +409,16 @@ func Fig12(o Options) (*Fig12Result, error) {
 			for _, app := range apps {
 				ref := results[runKey{app, caba.Base.Name, 1.0}]
 				r := results[runKey{app, d.Name, bw}]
+				if ref == nil || r == nil {
+					continue
+				}
 				sp = append(sp, r.IPC/ref.IPC)
 			}
 			res.Mean[d.Name][bw] = geomean(sp)
 			fmt.Fprintf(out, "%4.1fx-%-9s %.2f\n", bw, d.Name, res.Mean[d.Name][bw])
 		}
 	}
-	return res, nil
+	return res, sweepErr
 }
 
 // --- Figure 13: cache compression ---
@@ -435,10 +437,7 @@ func Fig13(o Options) (*Fig13Result, error) {
 		caba.CacheCompressed("L1", 2), caba.CacheCompressed("L1", 4),
 		caba.CacheCompressed("L2", 2), caba.CacheCompressed("L2", 4),
 	}
-	results, err := o.sweep(apps, designs, nil)
-	if err != nil {
-		return nil, err
-	}
+	results, sweepErr := o.sweep(apps, designs, nil)
 	res := &Fig13Result{Speedup: map[string]map[string]float64{}, MeanSpeedup: map[string]float64{}}
 	out := o.out()
 	fmt.Fprintf(out, "Figure 13: cache compression with CABA (speedup vs CABA-BDI)\n")
@@ -455,6 +454,10 @@ func Fig13(o Options) (*Fig13Result, error) {
 		fmt.Fprintf(out, "%-6s", app)
 		for _, d := range designs[1:] {
 			r := results[runKey{app, d.Name, 1.0}]
+			if ref == nil || r == nil {
+				fmt.Fprintf(out, " %12s", "-")
+				continue
+			}
 			sp := r.IPC / ref.IPC
 			res.Speedup[d.Name][app] = sp
 			fmt.Fprintf(out, " %12.2f", sp)
@@ -464,7 +467,9 @@ func Fig13(o Options) (*Fig13Result, error) {
 	for _, d := range designs[1:] {
 		var sp []float64
 		for _, app := range apps {
-			sp = append(sp, res.Speedup[d.Name][app])
+			if v, ok := res.Speedup[d.Name][app]; ok {
+				sp = append(sp, v)
+			}
 		}
 		res.MeanSpeedup[d.Name] = geomean(sp)
 	}
@@ -473,7 +478,7 @@ func Fig13(o Options) (*Fig13Result, error) {
 		fmt.Fprintf(out, " %s %.2f", d.Name, res.MeanSpeedup[d.Name])
 	}
 	fmt.Fprintln(out)
-	return res, nil
+	return res, sweepErr
 }
 
 // Table1 prints the live simulated-system configuration.

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	caba "github.com/caba-sim/caba"
+)
+
+// fakeResult builds a minimal distinguishable Result for hook-driven
+// sweep tests.
+func fakeResult(app, design string) *caba.Result {
+	return &caba.Result{App: app, Design: design, Cycles: 1, IPC: float64(len(app) + len(design))}
+}
+
+func TestRunKeyRoundTrip(t *testing.T) {
+	for _, k := range []runKey{
+		{"PVC", "CABA-BDI", 1},
+		{"bfs2", "Base", 0.5},
+		{"a", "d@x", 2},
+	} {
+		got, err := parseRunKey(k.String())
+		if err != nil {
+			t.Fatalf("parse(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Errorf("round trip %q: got %+v, want %+v", k.String(), got, k)
+		}
+	}
+	for _, bad := range []string{"", "noslash@1x", "a/b@x", "a/b@1"} {
+		if _, err := parseRunKey(bad); err == nil {
+			t.Errorf("parse(%q) unexpectedly succeeded", bad)
+		}
+	}
+}
+
+// TestSweepPartialResults: one broken cell must not wipe out the
+// completed cells — sweep returns both the survivors and a joined error
+// naming the failure.
+func TestSweepPartialResults(t *testing.T) {
+	o := Options{Scale: 0.01, Seed: 1, Parallel: 2, Out: io.Discard}
+	o.runHook = func(_ context.Context, _ caba.Config, design caba.Design, app string, _ int64) (*caba.Result, error) {
+		if app == "PVC" && design.Name == caba.CABABDI.Name {
+			return nil, fmt.Errorf("synthetic cell failure")
+		}
+		return fakeResult(app, design.Name), nil
+	}
+	res, err := o.sweep([]string{"PVC", "SCP"}, []caba.Design{caba.Base, caba.CABABDI}, nil)
+	if err == nil || !strings.Contains(err.Error(), "synthetic cell failure") {
+		t.Fatalf("err = %v, want the broken cell's failure", err)
+	}
+	if !strings.Contains(err.Error(), "PVC/CABA-BDI@1x") {
+		t.Errorf("err = %v, want it to name the failed cell", err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("partial results = %d cells, want the 3 that succeeded", len(res))
+	}
+	if res[runKey{"PVC", caba.CABABDI.Name, 1}] != nil {
+		t.Error("failed cell must be absent from results")
+	}
+}
+
+// TestSweepPanicRecovery: a panicking run is contained to its cell; the
+// worker pool survives and the panic surfaces as that cell's error.
+func TestSweepPanicRecovery(t *testing.T) {
+	o := Options{Scale: 0.01, Seed: 1, Parallel: 1, Out: io.Discard}
+	o.runHook = func(_ context.Context, _ caba.Config, _ caba.Design, app string, _ int64) (*caba.Result, error) {
+		if app == "PVC" {
+			panic("synthetic run panic")
+		}
+		return fakeResult(app, "Base"), nil
+	}
+	res, err := o.sweep([]string{"PVC", "SCP", "IIX"}, []caba.Design{caba.Base}, nil)
+	if err == nil || !strings.Contains(err.Error(), "synthetic run panic") {
+		t.Fatalf("err = %v, want the recovered panic", err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("results = %d cells, want the 2 non-panicking ones", len(res))
+	}
+}
+
+// TestSweepTimeout: RunTimeout cancels the per-run context; a run that
+// honors it errors out while fast runs complete.
+func TestSweepTimeout(t *testing.T) {
+	o := Options{Scale: 0.01, Seed: 1, Parallel: 2, Out: io.Discard,
+		RunTimeout: 10 * time.Millisecond}
+	o.runHook = func(ctx context.Context, _ caba.Config, _ caba.Design, app string, _ int64) (*caba.Result, error) {
+		if app == "PVC" {
+			<-ctx.Done()
+			return nil, fmt.Errorf("run aborted: %w", ctx.Err())
+		}
+		if _, ok := ctx.Deadline(); !ok {
+			return nil, fmt.Errorf("missing deadline")
+		}
+		return fakeResult(app, "Base"), nil
+	}
+	res, err := o.sweep([]string{"PVC", "SCP"}, []caba.Design{caba.Base}, nil)
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("results = %d, want the fast cell only", len(res))
+	}
+}
+
+// TestSweepRetry: a transiently failing run succeeds within the retry
+// budget and does not surface an error.
+func TestSweepRetry(t *testing.T) {
+	var calls atomic.Int64
+	o := Options{Scale: 0.01, Seed: 1, Parallel: 1, Out: io.Discard,
+		Retries: 2, RetryBackoff: time.Millisecond}
+	o.runHook = func(_ context.Context, _ caba.Config, _ caba.Design, app string, _ int64) (*caba.Result, error) {
+		if calls.Add(1) <= 2 {
+			return nil, fmt.Errorf("transient failure %d", calls.Load())
+		}
+		return fakeResult(app, "Base"), nil
+	}
+	res, err := o.sweep([]string{"PVC"}, []caba.Design{caba.Base}, nil)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if len(res) != 1 || calls.Load() != 3 {
+		t.Fatalf("results = %d, calls = %d; want 1 result after 3 attempts", len(res), calls.Load())
+	}
+}
+
+// TestSweepCheckpointResume: an interrupted sweep leaves a checkpoint; a
+// second invocation re-runs only the missing cells and still returns the
+// full grid. A checkpoint from different sweep parameters is rejected.
+func TestSweepCheckpointResume(t *testing.T) {
+	ckPath := filepath.Join(t.TempDir(), "sweep.ckpt")
+	apps := []string{"PVC", "SCP", "IIX"}
+	designs := []caba.Design{caba.Base, caba.CABABDI}
+
+	// First pass: one cell fails, the rest land in the checkpoint.
+	o := Options{Scale: 0.01, Seed: 7, Parallel: 1, Out: io.Discard, Checkpoint: ckPath}
+	o.runHook = func(_ context.Context, _ caba.Config, design caba.Design, app string, _ int64) (*caba.Result, error) {
+		if app == "IIX" && design.Name == caba.CABABDI.Name {
+			return nil, fmt.Errorf("first-pass failure")
+		}
+		return fakeResult(app, design.Name), nil
+	}
+	res, err := o.sweep(apps, designs, nil)
+	if err == nil || len(res) != 5 {
+		t.Fatalf("first pass: err=%v results=%d, want 1 failure and 5 cells", err, len(res))
+	}
+
+	// Second pass: only the missing cell may run.
+	var reruns []string
+	o.runHook = func(_ context.Context, _ caba.Config, design caba.Design, app string, _ int64) (*caba.Result, error) {
+		reruns = append(reruns, app+"/"+design.Name)
+		return fakeResult(app, design.Name), nil
+	}
+	res, err = o.sweep(apps, designs, nil)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if len(res) != 6 {
+		t.Fatalf("resume results = %d, want the full grid", len(res))
+	}
+	if len(reruns) != 1 || reruns[0] != "IIX/CABA-BDI" {
+		t.Fatalf("resume reran %v, want only the missing cell", reruns)
+	}
+	for _, app := range apps {
+		for _, d := range designs {
+			r := res[runKey{app, d.Name, 1}]
+			if r == nil || r.App != app || r.Design != d.Name {
+				t.Fatalf("cell %s/%s missing or mislabeled after resume: %+v", app, d.Name, r)
+			}
+		}
+	}
+
+	// Mismatched parameters must refuse the stale checkpoint.
+	bad := Options{Scale: 0.02, Seed: 7, Out: io.Discard, Checkpoint: ckPath}
+	bad.runHook = o.runHook
+	if _, err := bad.sweep(apps, designs, nil); err == nil || !strings.Contains(err.Error(), "checkpoint") {
+		t.Fatalf("mismatched checkpoint: err = %v, want rejection", err)
+	}
+}

@@ -97,8 +97,15 @@ var ErrBadLine = errors.New("compress: line must be exactly LineSize bytes")
 // Compress compresses line with the given algorithm. A result with
 // Alg == AlgNone means the line did not benefit and is stored raw (the
 // returned Data is nil in that case; callers keep the original line).
-// Lines must be exactly LineSize bytes.
-func Compress(alg AlgID, line []byte) (Compressed, error) {
+// Lines must be exactly LineSize bytes. Internal panics (invariant
+// violations in an encoder) are converted to errors; Compress never
+// panics on any input.
+func Compress(alg AlgID, line []byte) (c Compressed, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			c, err = Compressed{}, fmt.Errorf("compress: internal panic compressing with %v: %v", alg, r)
+		}
+	}()
 	if len(line) != LineSize {
 		return Compressed{}, ErrBadLine
 	}
@@ -108,19 +115,25 @@ func Compress(alg AlgID, line []byte) (Compressed, error) {
 	case AlgBDI:
 		return bdiCompress(line), nil
 	case AlgFPC:
-		return fpcCompress(line), nil
+		return fpcCompress(line)
 	case AlgCPack:
-		return cpackCompress(line), nil
+		return cpackCompress(line)
 	case AlgBest:
-		return bestCompress(line), nil
+		return bestCompress(line)
 	}
 	return Compressed{}, fmt.Errorf("compress: unknown algorithm %d", alg)
 }
 
 // Decompress expands c into out, which must be LineSize bytes.
 // Decompressing an AlgNone line is an error: the caller already has the
-// raw bytes.
-func Decompress(c Compressed, out []byte) error {
+// raw bytes. Arbitrary (including corrupted or adversarial) payloads are
+// safe: malformed input yields an error, never a panic.
+func Decompress(c Compressed, out []byte) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("compress: internal panic decompressing %v payload: %v", c.Alg, r)
+		}
+	}()
 	if len(out) != LineSize {
 		return ErrBadLine
 	}
@@ -137,16 +150,19 @@ func Decompress(c Compressed, out []byte) error {
 
 // bestCompress picks the smallest of the three algorithms for the line,
 // modeling the CABA-BestOfAll idealized design (Section 6.3).
-func bestCompress(line []byte) Compressed {
+func bestCompress(line []byte) (Compressed, error) {
 	best := Compressed{Alg: AlgNone}
 	bestSize := LineSize
 	for _, alg := range [...]AlgID{AlgBDI, AlgFPC, AlgCPack} {
-		c, _ := Compress(alg, line)
+		c, err := Compress(alg, line)
+		if err != nil {
+			return Compressed{}, err
+		}
 		if c.IsCompressed() && c.Size() < bestSize {
 			best, bestSize = c, c.Size()
 		}
 	}
-	return best
+	return best, nil
 }
 
 // Ratio accumulates the paper's compression-ratio metric: the ratio of

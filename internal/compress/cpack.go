@@ -71,7 +71,7 @@ func (d *cpackDict) match(w uint32) (int, int) {
 	return bestPat, bestIdx
 }
 
-func cpackCompress(line []byte) Compressed {
+func cpackCompress(line []byte) (Compressed, error) {
 	var dict cpackDict
 	var cw, dw bitWriter
 	for i := 0; i < cpackWords; i++ {
@@ -94,16 +94,16 @@ func cpackCompress(line []byte) Compressed {
 	}
 	size := cpackDataStart + (dw.bitLen()+7)/8
 	if size >= LineSize {
-		return Compressed{Alg: AlgNone}
+		return Compressed{Alg: AlgNone}, nil
 	}
 	data := make([]byte, cpackDataStart, size)
 	data[0] = 0
 	copy(data[1:], cw.bytes())
 	data = append(data, dw.bytes()...)
 	if len(data) != size {
-		panic("compress: cpack size accounting bug")
+		return Compressed{}, fmt.Errorf("compress: C-Pack size accounting mismatch: emitted %d bytes, computed %d", len(data), size)
 	}
-	return Compressed{Alg: AlgCPack, Enc: 0, Data: data}
+	return Compressed{Alg: AlgCPack, Enc: 0, Data: data}, nil
 }
 
 func cpackDecompress(data, out []byte) error {

@@ -68,7 +68,7 @@ func fpcClassify(w uint32) int {
 	return fpcRaw
 }
 
-func fpcCompress(line []byte) Compressed {
+func fpcCompress(line []byte) (Compressed, error) {
 	codes := make([]int, fpcWords)
 	bits := uint(0)
 	for i := 0; i < fpcWords; i++ {
@@ -78,7 +78,7 @@ func fpcCompress(line []byte) Compressed {
 	}
 	size := 1 + (fpcWords*3+7)/8 + int(bits+7)/8
 	if size >= LineSize {
-		return Compressed{Alg: AlgNone}
+		return Compressed{Alg: AlgNone}, nil
 	}
 	var cw, dw bitWriter
 	for i := 0; i < fpcWords; i++ {
@@ -110,9 +110,9 @@ func fpcCompress(line []byte) Compressed {
 	data = append(data, cw.bytes()...)
 	data = append(data, dw.bytes()...)
 	if len(data) != size {
-		panic("compress: fpc size accounting bug")
+		return Compressed{}, fmt.Errorf("compress: FPC size accounting mismatch: emitted %d bytes, computed %d", len(data), size)
 	}
-	return Compressed{Alg: AlgFPC, Enc: 0, Data: data}
+	return Compressed{Alg: AlgFPC, Enc: 0, Data: data}, nil
 }
 
 func fpcDecompress(data, out []byte) error {

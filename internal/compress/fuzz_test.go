@@ -1,0 +1,97 @@
+package compress
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The fuzz targets assert the decompression error surface: arbitrary
+// payload bytes — including truncated, oversized, and bit-flipped
+// streams — must produce either a successful decode or a structured
+// error, never a panic (the fault-injection framework feeds corrupted
+// payloads straight into these decoders). When the input happens to be a
+// full line, they additionally check the compress/decompress round trip.
+
+// fuzzSeeds are line payloads that exercise every encoder path.
+func fuzzSeeds() [][]byte {
+	zeros := make([]byte, LineSize)
+	repeat := make([]byte, LineSize)
+	for off := 0; off < LineSize; off += 8 {
+		copy(repeat[off:], []byte{0xEF, 0xBE, 0xAD, 0xDE, 0, 0, 0, 0})
+	}
+	deltas := make([]byte, LineSize)
+	for i := 0; i < LineSize/4; i++ {
+		deltas[i*4] = byte(0x40 + i)
+		deltas[i*4+1] = 0x10
+	}
+	ramp := make([]byte, LineSize)
+	for i := range ramp {
+		ramp[i] = byte(i * 7)
+	}
+	return [][]byte{zeros, repeat, deltas, ramp}
+}
+
+// fuzzDecompress drives one algorithm's decoder with an arbitrary
+// payload, then checks the round trip when the payload is a whole line.
+func fuzzDecompress(t *testing.T, alg AlgID, enc uint8, data []byte) {
+	t.Helper()
+	var out [LineSize]byte
+	// Must not panic regardless of payload; errors are fine.
+	_ = Decompress(Compressed{Alg: alg, Enc: enc, Data: data}, out[:])
+
+	if len(data) != LineSize {
+		return
+	}
+	c, err := Compress(alg, data)
+	if err != nil {
+		t.Fatalf("Compress(%v) on a full line: %v", alg, err)
+	}
+	if !c.IsCompressed() {
+		return
+	}
+	if err := Decompress(c, out[:]); err != nil {
+		t.Fatalf("Decompress(%v) of own output: %v", alg, err)
+	}
+	if !bytes.Equal(out[:], data) {
+		t.Fatalf("%v round trip mismatch:\n in  %x\n out %x", alg, data, out)
+	}
+}
+
+func FuzzDecompressBDI(f *testing.F) {
+	for _, line := range fuzzSeeds() {
+		if c, err := Compress(AlgBDI, line); err == nil && c.IsCompressed() {
+			f.Add(c.Enc, c.Data)
+		}
+		f.Add(uint8(0), line)
+	}
+	f.Add(uint8(BDIRepeat), []byte{byte(BDIRepeat), 1, 2, 3})
+	f.Fuzz(func(t *testing.T, enc uint8, data []byte) {
+		fuzzDecompress(t, AlgBDI, enc, data)
+	})
+}
+
+func FuzzDecompressFPC(f *testing.F) {
+	for _, line := range fuzzSeeds() {
+		if c, err := Compress(AlgFPC, line); err == nil && c.IsCompressed() {
+			f.Add(c.Data)
+		}
+		f.Add(line)
+	}
+	f.Add([]byte{0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzDecompress(t, AlgFPC, 0, data)
+	})
+}
+
+func FuzzDecompressCPack(f *testing.F) {
+	for _, line := range fuzzSeeds() {
+		if c, err := Compress(AlgCPack, line); err == nil && c.IsCompressed() {
+			f.Add(c.Data)
+		}
+		f.Add(line)
+	}
+	f.Add([]byte{0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzDecompress(t, AlgCPack, 0, data)
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"github.com/caba-sim/caba/internal/compress"
+	"github.com/caba-sim/caba/internal/faults"
 )
 
 // SchedPolicy selects the warp scheduling policy.
@@ -118,6 +119,17 @@ type Config struct {
 	// classifier in bulk. Statistics are bit-identical to per-cycle
 	// ticking; only wall-clock time changes.
 	FastForward bool
+
+	// WedgeLimit bounds how many consecutive idle drain cycles the
+	// simulator tolerates before declaring the memory system wedged and
+	// returning a structured error instead of spinning to the cycle cap.
+	// 0 selects the default of 10,000,000 cycles.
+	WedgeLimit uint64
+
+	// Faults configures deterministic fault injection (zero value =
+	// disabled). Same seed + same rates produce bit-identical fault
+	// sites and statistics at every SMWorkers setting.
+	Faults faults.Config
 }
 
 // Baseline returns the paper's Table 1 configuration.
@@ -159,6 +171,7 @@ func Baseline() Config {
 		MDLinesPerEntry: 128,
 		Scale:           1.0,
 		FastForward:     true,
+		WedgeLimit:      10_000_000,
 	}
 }
 
@@ -203,6 +216,9 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: NumSchedulers must be positive")
 	case c.SMWorkers < 0:
 		return fmt.Errorf("config: SMWorkers must be non-negative (0 = GOMAXPROCS)")
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return fmt.Errorf("config: %w", err)
 	}
 	return nil
 }

@@ -64,6 +64,9 @@ const (
 	RtMemoLookup RoutineID = 0x40
 	RtMemoUpdate RoutineID = 0x41
 	RtPrefetch   RoutineID = 0x42
+	// RtECCCheck folds a decompressed line into a warp-wide XOR checksum
+	// (fault-injection recovery support).
+	RtECCCheck RoutineID = 0x43
 )
 
 // BDICompTestOrder is the sequence of encodings a CABA compression pass
@@ -120,6 +123,8 @@ func BuildLibrary() *Store {
 	mustPreload(memoLookupRoutine())
 	mustPreload(memoUpdateRoutine())
 	mustPreload(prefetchRoutine())
+	// Fault-recovery support.
+	mustPreload(eccCheckRoutine())
 	return s
 }
 

@@ -73,3 +73,28 @@ func prefetchRoutine() *Routine {
 	return &Routine{ID: RtPrefetch, Name: "caba.prefetch",
 		Prog: b.MustBuild(), Priority: PriLow, ActiveMask: maskFor(PrefetchDegree)}
 }
+
+// eccCheckRoutine folds the 128-byte line in Exec.StageIn into a single
+// warp-wide XOR checksum: lane k loads word k, then a shfl butterfly
+// (offsets 16, 8, 4, 2, 1) XOR-reduces across the warp, leaving the
+// checksum in every lane's accumulator and the live-out in lane 0's r0.
+// The SM uses it as the timing model for the ECC-style integrity pass an
+// assist warp runs over a freshly decompressed line before releasing it
+// to the parent warp. High priority: the parent load is blocked on it,
+// like decompression itself.
+func eccCheckRoutine() *Routine {
+	b := isa.NewBuilder("ecc.check")
+	r := isa.R
+	b.Mov(r(4), isa.RegLane).
+		MulI(r(5), r(4), 4).
+		LdStage(r(6), r(5), 0, 4) // word k
+	for _, off := range [...]int64{16, 8, 4, 2, 1} {
+		b.XorI(r(7), r(4), off). // partner lane = lane ^ off
+						Shfl(r(8), r(6), r(7)).
+						Xor(r(6), r(6), r(8))
+	}
+	b.Mov(r(0), r(6)).
+		Exit()
+	return &Routine{ID: RtECCCheck, Name: "ecc.check",
+		Prog: b.MustBuild(), Priority: PriHigh, ActiveMask: FullMask}
+}

@@ -1,0 +1,122 @@
+package faults
+
+import "testing"
+
+func TestNilInjectorNeverInjects(t *testing.T) {
+	var inj *Injector
+	if inj != New(Config{}) {
+		t.Fatal("disabled config must yield a nil injector")
+	}
+	if inj.BitFlip() || inj.MDCorrupt() || inj.RespDrop() {
+		t.Fatal("nil injector injected")
+	}
+	if _, ok := inj.RespDelay(); ok {
+		t.Fatal("nil injector delayed")
+	}
+}
+
+func TestDeterministicDecisionSequence(t *testing.T) {
+	cfg := Config{Seed: 42, BitFlipRate: 0.3, MDCorruptRate: 0.1,
+		ResponseDropRate: 0.05, ResponseDelayRate: 0.2}
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 10_000; i++ {
+		if a.BitFlip() != b.BitFlip() {
+			t.Fatalf("BitFlip diverged at draw %d", i)
+		}
+		if a.MDCorrupt() != b.MDCorrupt() {
+			t.Fatalf("MDCorrupt diverged at draw %d", i)
+		}
+		if a.RespDrop() != b.RespDrop() {
+			t.Fatalf("RespDrop diverged at draw %d", i)
+		}
+		da, oka := a.RespDelay()
+		db, okb := b.RespDelay()
+		if oka != okb || da != db {
+			t.Fatalf("RespDelay diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSiteStreamsIndependent(t *testing.T) {
+	// Drawing from one site must not perturb another site's sequence.
+	cfg := Config{Seed: 7, BitFlipRate: 0.5, MDCorruptRate: 0.5}
+	a, b := New(cfg), New(cfg)
+	var seqA, seqB []bool
+	for i := 0; i < 1000; i++ {
+		seqA = append(seqA, a.BitFlip())
+	}
+	for i := 0; i < 1000; i++ {
+		b.MDCorrupt() // interleave draws from the other site
+		seqB = append(seqB, b.BitFlip())
+	}
+	for i := range seqA {
+		if seqA[i] != seqB[i] {
+			t.Fatalf("BitFlip stream perturbed by MDCorrupt draws at %d", i)
+		}
+	}
+}
+
+func TestRateExtremes(t *testing.T) {
+	always := New(Config{Seed: 1, ResponseDropRate: 1})
+	never := New(Config{Seed: 1, ResponseDropRate: 1}) // other rates zero
+	for i := 0; i < 1000; i++ {
+		if !always.RespDrop() {
+			t.Fatal("rate 1 must always inject")
+		}
+		if never.BitFlip() || never.MDCorrupt() {
+			t.Fatal("rate 0 must never inject")
+		}
+	}
+}
+
+func TestCorruptFlipsExactlyOneBit(t *testing.T) {
+	inj := New(Config{Seed: 3, BitFlipRate: 1})
+	orig := make([]byte, 37)
+	for i := range orig {
+		orig[i] = byte(i * 17)
+	}
+	out := inj.Corrupt(orig)
+	if len(out) != len(orig) {
+		t.Fatalf("length changed: %d != %d", len(out), len(orig))
+	}
+	diff := 0
+	for i := range orig {
+		x := orig[i] ^ out[i]
+		for ; x != 0; x &= x - 1 {
+			diff++
+		}
+		if orig[i] != byte(i*17) {
+			t.Fatal("Corrupt modified its input")
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("flipped %d bits, want exactly 1", diff)
+	}
+	if got := inj.Corrupt(nil); len(got) != 0 {
+		t.Fatal("empty input must stay empty")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Config{Seed: 1, BitFlipRate: 0.5, ResponseDelayCycles: 10}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Config{
+		{BitFlipRate: -0.1},
+		{MDCorruptRate: 1.5},
+		{ResponseDropRate: 2},
+		{ResponseDelayRate: -1},
+		{ResponseDelayCycles: -5},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("%+v: expected validation error", bad)
+		}
+	}
+	if (Config{}).Enabled() {
+		t.Fatal("zero config must be disabled")
+	}
+	if !(Config{ResponseDelayRate: 0.1}).Enabled() {
+		t.Fatal("non-zero rate must enable")
+	}
+}

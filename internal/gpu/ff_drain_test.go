@@ -67,13 +67,10 @@ func TestDrainPhaseEquivalence(t *testing.T) {
 // including when fast-forward wants to skip a window that straddles the
 // firing cycle.
 func TestWedgeDetectorEquivalence(t *testing.T) {
-	old := wedgeLimit
-	wedgeLimit = 500
-	defer func() { wedgeLimit = old }()
-
 	// The dummy event parks far beyond the wedge horizon so Q.Len() stays
 	// non-zero while every SM idles.
 	prep := func(sim *Simulator) {
+		sim.Cfg.WedgeLimit = 500
 		sim.Q.At(1_000_000, func() {})
 	}
 	slow, fast, serr, ferr := runBothModes(t, vecScaleKernel(), 2, 64,

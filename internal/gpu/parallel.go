@@ -40,7 +40,7 @@ func (p *smPool) runWorker(w int, ch chan uint64) {
 	stride := len(p.work)
 	for cycle := range ch {
 		for i := w; i < len(p.sms); i += stride {
-			p.sms[i].tick(cycle)
+			p.sms[i].tickSafe(cycle)
 		}
 		if p.pending.Add(-1) == 0 {
 			p.done <- struct{}{}

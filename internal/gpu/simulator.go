@@ -1,9 +1,11 @@
 package gpu
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
+	"sync/atomic"
 
 	"github.com/caba-sim/caba/internal/compress"
 	"github.com/caba-sim/caba/internal/config"
@@ -13,10 +15,13 @@ import (
 	"github.com/caba-sim/caba/internal/timing"
 )
 
-// wedgeLimit is the number of consecutive fully-idle drain cycles after
-// which Run declares the simulation wedged. A variable so tests can lower
-// it to exercise the detector.
-var wedgeLimit = 10_000_000
+// defaultWedgeLimit is the consecutive-idle-drain-cycle budget used when
+// Config.WedgeLimit is zero.
+const defaultWedgeLimit = 10_000_000
+
+// ErrInterrupted is wrapped by Run's error when Interrupt() stopped the
+// simulation before completion.
+var ErrInterrupted = errors.New("interrupted")
 
 // Simulator is one GPU: cores, CABA framework, and the memory system, run
 // against one kernel under one design.
@@ -46,11 +51,22 @@ type Simulator struct {
 	ffSkips  uint64
 	ffCycles uint64
 
+	// interrupted is set asynchronously by Interrupt(); Run polls it and
+	// returns an ErrInterrupted-wrapping error. It is the only simulator
+	// state another goroutine may touch during Run.
+	interrupted atomic.Bool
+
 	// Debug instrumentation (enabled by tests).
 	dbgFetch    map[uint64]uint64
 	dbgFetchLat uint64
 	dbgFetchN   uint64
 }
+
+// Interrupt asks a running Run to stop at the next poll point (every few
+// thousand loop iterations). Safe to call from any goroutine; caba's
+// context-aware entry points use it to implement deadlines without
+// leaking the simulation goroutine.
+func (sim *Simulator) Interrupt() { sim.interrupted.Store(true) }
 
 // sharedLibrary is built once: routines are immutable.
 var sharedLibrary = core.BuildLibrary()
@@ -201,7 +217,7 @@ func (sim *Simulator) dispatch(sm *SM) {
 // SM-index order and then lets the event queue deliver memory responses
 // at the top of the next iteration. Staging runs identically at every
 // worker count, so results are bit-identical regardless of SMWorkers.
-func (sim *Simulator) Run(maxCycles uint64) error {
+func (sim *Simulator) Run(maxCycles uint64) (err error) {
 	if maxCycles == 0 {
 		maxCycles = 200_000_000
 	}
@@ -209,12 +225,26 @@ func (sim *Simulator) Run(maxCycles uint64) error {
 		sim.dispatch(sm)
 	}
 	// The per-SM stat shards are folded into S exactly once, on every exit
-	// path, success or error (DecompMismatches stays shard-resident).
+	// path — success, error, or recovered panic (DecompMismatches stays
+	// shard-resident). Declared before the recover defer so the fold still
+	// runs while a panic unwinds.
 	defer func() {
 		for _, sm := range sim.sms {
 			sim.S.AddShard(&sm.stat)
 		}
 	}()
+	// Backstop for main-goroutine panics (event callbacks, commit): a
+	// simulator bug must surface as a structured error, never escape
+	// caba.Run. Worker-goroutine panics are caught by tickSafe.
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("gpu: internal panic at cycle %d: %v", sim.cycle, r)
+		}
+	}()
+	wedgeLimit := int(sim.Cfg.WedgeLimit)
+	if wedgeLimit <= 0 {
+		wedgeLimit = defaultWedgeLimit
+	}
 	workers := sim.Cfg.SMWorkers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -229,8 +259,16 @@ func (sim *Simulator) Run(maxCycles uint64) error {
 	}
 	ff := sim.Cfg.FastForward
 	idleStreak := 0
+	iter := 0
 	for sim.cycle = 0; sim.cycle < maxCycles; sim.cycle++ {
 		sim.Q.RunUntil(float64(sim.cycle))
+		if err := sim.firstFatal(); err != nil {
+			return err
+		}
+		iter++
+		if iter&1023 == 0 && sim.interrupted.Load() {
+			return fmt.Errorf("gpu: %w at cycle %d", ErrInterrupted, sim.cycle)
+		}
 		busy := false
 		for _, sm := range sim.sms {
 			if sm.hasWork() {
@@ -249,6 +287,18 @@ func (sim *Simulator) Run(maxCycles uint64) error {
 			}
 		} else {
 			idleStreak = 0
+		}
+		// Mid-run deadlock detection, only armed under fault injection
+		// (the only source of lost responses): if SMs still hold work but
+		// the event queue and memory system are empty and no SM can ever
+		// act again on its own, the hang is converted into a structured
+		// wedge error at the first such cycle — identical with
+		// fast-forward on or off and at every SMWorkers setting.
+		if sim.Sys.Inj != nil && busy && sim.Q.Len() == 0 && sim.Sys.Drained() &&
+			sim.allWedged() {
+			return fmt.Errorf(
+				"gpu: wedged at cycle %d: %d memory responses dropped by fault injection, warps stalled forever",
+				sim.cycle, sim.S.ResponsesDropped)
 		}
 		if ff {
 			if wake, ok := sim.ffWake(maxCycles); ok {
@@ -274,19 +324,58 @@ func (sim *Simulator) Run(maxCycles uint64) error {
 			pool.tick(sim.cycle) // phase A, concurrent
 		} else {
 			for _, sm := range sim.sms {
-				sm.tick(sim.cycle)
+				sm.tickSafe(sim.cycle)
 			}
 		}
 		for _, sm := range sim.sms {
 			sim.commit(sm) // phase B, fixed SM-index order
 		}
+		if err := sim.firstFatal(); err != nil {
+			return err
+		}
 	}
 	if sim.cycle >= maxCycles {
 		return fmt.Errorf("gpu: exceeded %d cycles (deadlock or runaway kernel)", maxCycles)
 	}
+	if err := sim.firstFatal(); err != nil {
+		return err
+	}
 	sim.Sys.FinishStats(sim.cycle)
 	sim.S.L1Evictions = sim.l1Evictions()
 	return nil
+}
+
+// firstFatal returns the lowest-indexed SM's recorded fatal error, if any.
+// The fixed scan order keeps the surfaced error identical at every
+// SMWorkers setting.
+func (sim *Simulator) firstFatal() error {
+	for _, sm := range sim.sms {
+		if sm.fatal != nil {
+			return sm.fatal
+		}
+	}
+	return nil
+}
+
+// allWedged reports whether every SM is quiescent with no self-wake
+// horizon — i.e. nothing in the machine can ever act again without a
+// memory-system event, and the caller has established that no events are
+// pending. It seeds the per-SM quiescence caches exactly as ffWake does.
+func (sim *Simulator) allWedged() bool {
+	for _, sm := range sim.sms {
+		if !sm.qValid || sim.cycle >= sm.qHorizon {
+			kind, horizon, ok := sm.quiescent(sim.cycle)
+			if !ok {
+				sm.qValid = false
+				return false
+			}
+			sm.qValid, sm.qKind, sm.qHorizon = true, kind, horizon
+		}
+		if sm.qHorizon != ^uint64(0) {
+			return false
+		}
+	}
+	return true
 }
 
 // commit is phase B for one SM: flush its staged functional stores, replay

@@ -50,7 +50,8 @@ type fillKind uint8
 const (
 	fillLoad fillKind = iota
 	fillRMW
-	fillAssist // global load issued by an assist warp (e.g. prefetch)
+	fillAssist  // global load issued by an assist warp (e.g. prefetch)
+	fillRefetch // fault-recovery refetch of an uncompressed line
 )
 
 type fillCtx struct {
@@ -59,6 +60,7 @@ type fillCtx struct {
 	se    *storeEntry
 	aw    *core.Entry
 	instr *isa.Instr
+	after func() // fillRefetch continuation
 }
 
 // wbKind tags a pipeline writeback record.
@@ -174,12 +176,40 @@ type SM struct {
 	// for the extra scan.
 	qTry bool
 
+	// fatal is the SM's first unrecoverable error (an internal invariant
+	// violation that used to panic). The run loop scans it every cycle
+	// and surfaces it as a structured error from Run.
+	fatal error
+
 	cycle uint64
 }
 
 // touch invalidates the quiescence cache; every mutation of SM state that
 // can happen outside tick() must call it.
 func (sm *SM) touch() { sm.qValid = false }
+
+// fail records the SM's first fatal error; later errors are dropped so
+// the surfaced error is the root cause.
+func (sm *SM) fail(err error) {
+	if sm.fatal == nil {
+		sm.fatal = err
+	}
+	sm.touch()
+}
+
+// tickSafe runs one tick with a panic backstop: a panic on a phase-A
+// worker goroutine cannot be recovered by Run's own defer, so it is
+// converted here into the SM's fatal error and surfaced at the cycle
+// barrier.
+func (sm *SM) tickSafe(cycle uint64) {
+	defer func() {
+		if r := recover(); r != nil {
+			sm.inTick = false
+			sm.fail(fmt.Errorf("gpu: sm%d: internal panic at cycle %d: %v", sm.id, cycle, r))
+		}
+	}()
+	sm.tick(cycle)
+}
 
 // --- Staged shared-state access (two-phase tick) ---
 //
@@ -198,6 +228,16 @@ func (sm *SM) sysReadLine(ln uint64, user any) {
 		return
 	}
 	sm.sim.Sys.ReadLine(sm.id, ln, user)
+}
+
+// sysReadLineRaw requests the uncompressed copy of a line (fault
+// recovery).
+func (sm *SM) sysReadLineRaw(ln uint64, user any) {
+	if sm.inTick {
+		sm.outbox.ReadLineRaw(ln, user)
+		return
+	}
+	sm.sim.Sys.ReadLineRaw(sm.id, ln, user)
 }
 
 // sysWriteLine sends a line writeback toward L2.
@@ -261,7 +301,8 @@ func (sm *SM) domCompressLine(ln uint64) {
 	sm.domReadRaw(ln, line[:])
 	c, err := compress.Compress(sm.sim.Dom.Alg, line[:])
 	if err != nil {
-		panic("gpu: " + err.Error()) // impossible: line is LineSize
+		sm.fail(fmt.Errorf("gpu: %w", err)) // impossible: line is LineSize
+		return
 	}
 	sm.domSetCompressed(ln, c)
 }
@@ -939,7 +980,10 @@ func (sm *SM) issueRegular(w *warpCtx, in *isa.Instr) {
 		return
 	}
 	if w.exec.Err != nil {
-		panic(fmt.Sprintf("gpu: sm%d warp %d: %v", sm.id, w.id, w.exec.Err))
+		// A kernel-program fault (e.g. an out-of-range shared store) kills
+		// the run with a structured error instead of a process panic.
+		sm.fail(fmt.Errorf("gpu: sm%d warp %d: %w", sm.id, w.id, w.exec.Err))
+		return
 	}
 	w.lastIssueCycle = sm.cycle
 	sm.issuedBuf = append(sm.issuedBuf, w)
@@ -1068,7 +1112,8 @@ func (sm *SM) l1Lookup(ln uint64, req *loadReq) bool {
 				// Run the decompression assist warp before the hit
 				// completes.
 				req.linesPending++
-				sm.triggerDecompAW(ln, st, req.warp.id, func() { sm.loadLineDone(req) })
+				// L1-resident lines were checked on fill; never injected.
+				sm.triggerDecompAW(ln, st, req.warp.id, false, func() { sm.loadLineDone(req) })
 				return true
 			}
 		}
@@ -1372,6 +1417,12 @@ func (sm *SM) finishCompressionStep(se *storeEntry, e *core.Entry) {
 	if se.released {
 		return // the buffer overflowed and released this line raw
 	}
+	if e.Exec.Err != nil {
+		// Compression routines run on uncorrupted staging input, so an
+		// error here is a simulator bug, not an injected fault.
+		sm.fail(fmt.Errorf("gpu: assist warp %s: %w", e.Routine.Name, e.Exec.Err))
+		return
+	}
 	ex := e.Exec
 	id := se.chain[se.chainPos]
 	switch {
@@ -1423,44 +1474,75 @@ func (sm *SM) installCompressed(se *storeEntry, enc compress.BDIEncoding, ex *co
 	sm.releaseStore(se)
 }
 
+// decompCtx tracks one in-flight decompression through the fault-aware
+// completion chain: the line, the parent warp (for check-slot borrowing),
+// whether this fill was corrupted by the campaign, the decompressed image
+// awaiting its ECC check, and the fill continuation. Allocated only when
+// injection is active, so the zero-fault fill path stays allocation-free.
+type decompCtx struct {
+	ln       uint64
+	warp     int
+	injected bool
+	done     func()
+	buf      [compress.LineSize]byte
+}
+
+// findAssistHost returns a warp slot that can accept a trigger at the
+// given priority, preferring the parent warp; when it is busy (e.g. a
+// divergent load needing several lines decompressed), any other warp's
+// slot is borrowed — the AWT is a centralized per-SM structure
+// (Section 3.3), and the parent's dependents are already held by the
+// load's scoreboard entry. Returns -1 when every slot is busy.
+func (sm *SM) findAssistHost(pri core.Priority, warp int) int {
+	if sm.awc.CanTrigger(pri, warp) {
+		return warp
+	}
+	n := len(sm.warps)
+	for i := 1; i < n; i++ {
+		cand := (warp + i) % n
+		if sm.awc.CanTrigger(pri, cand) {
+			return cand
+		}
+	}
+	return -1
+}
+
 // triggerDecompAW starts (or queues) a high-priority decompression assist
 // warp for a line arriving compressed; done runs when it finishes.
-func (sm *SM) triggerDecompAW(ln uint64, st compress.Compressed, warp int, done func()) {
+// injected marks a fill the fault campaign corrupted, which routes the
+// completion through detection and recovery instead of delivering garbage.
+func (sm *SM) triggerDecompAW(ln uint64, st compress.Compressed, warp int, injected bool, done func()) {
 	sm.touch()
 	id, err := core.DecompRoutineID(st)
 	if err != nil {
-		panic("gpu: " + err.Error())
+		sm.fail(fmt.Errorf("gpu: %w", err))
+		return
 	}
 	rt := sm.sim.AWS.MustGet(id)
+	var dc *decompCtx
+	if sm.sim.Sys.Inj != nil {
+		dc = &decompCtx{ln: ln, warp: warp, injected: injected, done: done}
+	}
 	try := func() bool {
-		// Prefer the parent warp's AWT slot; when it is busy (e.g. a
-		// divergent load needing several lines decompressed), borrow any
-		// other warp's slot — the AWT is a centralized per-SM structure
-		// (Section 3.3), and the parent's dependents are already held by
-		// the load's scoreboard entry.
-		host := -1
-		if sm.awc.CanTrigger(rt.Priority, warp) {
-			host = warp
-		} else {
-			n := len(sm.warps)
-			for i := 1; i < n; i++ {
-				cand := (warp + i) % n
-				if sm.awc.CanTrigger(rt.Priority, cand) {
-					host = cand
-					break
-				}
-			}
-		}
+		host := sm.findAssistHost(rt.Priority, warp)
 		if host < 0 {
 			return false
 		}
 		ex := sm.newAssistExec(rt)
 		copy(ex.StageIn, st.Data)
-		e := sm.awc.Trigger(rt, host, ex, nil, func(fin *core.Entry) {
+		var user any
+		onDone := func(fin *core.Entry) {
+			// Injection disabled: verify against the backing store and
+			// complete — exactly the pre-fault-framework flow.
 			sm.verifyDecompression(ln, fin.Exec)
 			sm.stat.LinesDecompressed++
 			done()
-		})
+		}
+		if dc != nil {
+			user = dc
+			onDone = func(fin *core.Entry) { sm.finishDecompression(dc, fin.Exec) }
+		}
+		e := sm.awc.Trigger(rt, host, ex, user, onDone)
 		if e == nil {
 			sm.releaseAssistExec(ex)
 			return false
@@ -1479,13 +1561,95 @@ func (sm *SM) triggerDecompAW(ln uint64, st compress.Compressed, warp int, done 
 // (routine errors) are fatal; mismatches are tolerated but counted.
 func (sm *SM) verifyDecompression(ln uint64, ex *core.Exec) {
 	if ex.Err != nil {
-		panic(fmt.Sprintf("gpu: decompression routine failed: %v", ex.Err))
+		sm.fail(fmt.Errorf("gpu: decompression routine failed: %w", ex.Err))
+		return
 	}
 	var truth [compress.LineSize]byte
 	sm.domReadRaw(ln, truth[:])
 	if !bytes.Equal(ex.StageOut[:compress.LineSize], truth[:]) {
 		sm.stat.DecompMismatches++
 	}
+}
+
+// finishDecompression is the completion path while fault injection is
+// active. A routine error on an injected fill is a detected fault that
+// triggers the raw refetch; otherwise the decompressed image is handed to
+// the ECC-style check assist warp before the fill's waiters resume.
+func (sm *SM) finishDecompression(dc *decompCtx, ex *core.Exec) {
+	if ex.Err != nil {
+		if dc.injected {
+			// The corrupted payload tripped the routine itself (e.g. an
+			// out-of-range stage store from a mangled size field).
+			sm.stat.FaultsDetected++
+			sm.refetchRaw(dc.ln, dc.done)
+			return
+		}
+		sm.fail(fmt.Errorf("gpu: decompression routine failed: %w", ex.Err))
+		return
+	}
+	sm.stat.LinesDecompressed++
+	copy(dc.buf[:], ex.StageOut[:compress.LineSize])
+	sm.startECCCheck(dc)
+}
+
+// startECCCheck triggers the RtECCCheck assist warp over the decompressed
+// image. The routine charges the realistic warp-wide checksum cost
+// (staging loads + shuffle reduction); the pass/fail decision compares
+// the image against the backing store when the routine completes.
+func (sm *SM) startECCCheck(dc *decompCtx) {
+	rt := sm.sim.AWS.MustGet(core.RtECCCheck)
+	try := func() bool {
+		host := sm.findAssistHost(rt.Priority, dc.warp)
+		if host < 0 {
+			return false
+		}
+		ex := sm.newAssistExec(rt)
+		copy(ex.StageIn, dc.buf[:])
+		e := sm.awc.Trigger(rt, host, ex, dc, func(fin *core.Entry) {
+			sm.finishECCCheck(dc, fin.Exec)
+		})
+		if e == nil {
+			sm.releaseAssistExec(ex)
+			return false
+		}
+		sm.stat.AssistWarps++
+		return true
+	}
+	if !try() {
+		sm.decompRetry = append(sm.decompRetry, try)
+	}
+}
+
+// finishECCCheck resolves the check: a clean image completes the fill; a
+// corrupted injected image triggers the raw refetch; a mismatch without
+// injection is the same benign compress-vs-write race the zero-fault
+// verifier tolerates.
+func (sm *SM) finishECCCheck(dc *decompCtx, ex *core.Exec) {
+	if ex.Err != nil {
+		sm.fail(fmt.Errorf("gpu: ECC check routine failed: %w", ex.Err))
+		return
+	}
+	var truth [compress.LineSize]byte
+	sm.domReadRaw(dc.ln, truth[:])
+	if bytes.Equal(dc.buf[:], truth[:]) {
+		dc.done()
+		return
+	}
+	if dc.injected {
+		sm.stat.FaultsDetected++
+		sm.refetchRaw(dc.ln, dc.done)
+		return
+	}
+	sm.stat.DecompMismatches++
+	dc.done()
+}
+
+// refetchRaw fetches the uncompressed copy of a detected-corrupt line
+// instead of propagating garbage to the waiters; after runs when the
+// clean copy arrives (counted then as the recovery).
+func (sm *SM) refetchRaw(ln uint64, after func()) {
+	sm.touch()
+	sm.sysReadLineRaw(ln, &fillCtx{kind: fillRefetch, after: after})
 }
 
 // --- Assist-warp instruction issue ---
@@ -1512,9 +1676,11 @@ func (sm *SM) tryIssueAssist(e *core.Entry) (ok, dep, memS, compS bool) {
 	if !stepped {
 		return false, false, false, false
 	}
-	if e.Exec.Err != nil {
-		panic(fmt.Sprintf("gpu: assist warp %s: %v", e.Routine.Name, e.Exec.Err))
-	}
+	// A routine error (e.g. an out-of-range stage store while chewing on a
+	// corrupted payload) marks the exec Done; the entry drains through the
+	// normal writeback path and its completion callback sees Exec.Err —
+	// the fault-detection path for injected corruption, a fatal error
+	// otherwise. No special handling is needed here.
 	e.Staged--
 	if e.Exec.Done {
 		e.Staged = 0 // discard over-staged slots past the routine's end
@@ -1586,6 +1752,13 @@ func (sm *SM) checkAssistDone(e *core.Entry) {
 func (sm *SM) onFill(ln uint64, user any) {
 	sm.touch()
 	ctx := user.(*fillCtx)
+	if ctx.kind == fillRefetch {
+		// The uncompressed recovery copy arrived: the fault is repaired
+		// and the original fill's continuation resumes with clean data.
+		sm.stat.FaultsRecovered++
+		ctx.after()
+		return
+	}
 	if sm.sim.dbgFetch != nil && ctx.kind == fillLoad {
 		if t0, ok := sm.sim.dbgFetch[ln]; ok {
 			sm.sim.dbgFetchLat += sm.cycle - t0
@@ -1601,11 +1774,33 @@ func (sm *SM) onFill(ln uint64, user any) {
 		proceed()
 		return
 	}
+	// Bit-flip injection site: a compressed payload arriving at the SM may
+	// have one bit flipped in its in-flight copy — the Domain's backing
+	// copy stays intact, modeling a DRAM/bus transfer error. Only
+	// decompressing designs are exposed; the ideal decompressor is an
+	// oracle and reads the backing truth directly.
+	injected := false
+	if inj := sm.sim.Sys.Inj; inj != nil && len(st.Data) > 0 &&
+		(sm.sim.Design.Decomp == config.DecompHW || sm.sim.Design.Decomp == config.DecompCABA) &&
+		inj.BitFlip() {
+		injected = true
+		sm.stat.FaultsInjected++
+		st.Data = inj.Corrupt(st.Data)
+	}
 	switch sm.sim.Design.Decomp {
 	case config.DecompIdeal:
 		proceed()
 	case config.DecompHW:
 		d, _ := compress.HWLatency(sm.sim.Design.Alg)
+		if injected {
+			// The dedicated decompressor's output check catches the flip
+			// after the decompression latency and refetches the raw line.
+			sm.sim.Q.After(float64(d), func() {
+				sm.stat.FaultsDetected++
+				sm.refetchRaw(ln, proceed)
+			})
+			return
+		}
 		sm.sim.Q.After(float64(d), proceed)
 	case config.DecompCABA:
 		warp := 0
@@ -1615,7 +1810,7 @@ func (sm *SM) onFill(ln uint64, user any) {
 		case ctx.kind == fillRMW && ctx.se != nil:
 			warp = ctx.se.warp
 		}
-		sm.triggerDecompAW(ln, st, warp, proceed)
+		sm.triggerDecompAW(ln, st, warp, injected, proceed)
 	default:
 		proceed()
 	}

@@ -2,6 +2,7 @@ package mem
 
 import (
 	"github.com/caba-sim/caba/internal/config"
+	"github.com/caba-sim/caba/internal/faults"
 	"github.com/caba-sim/caba/internal/stats"
 	"github.com/caba-sim/caba/internal/timing"
 )
@@ -64,7 +65,8 @@ type Channel struct {
 	cfg *config.Config
 	q   *timing.Queue
 	s   *stats.Sim
-	md  *MDCache // nil when the design stores DRAM data raw
+	md  *MDCache         // nil when the design stores DRAM data raw
+	inj *faults.Injector // nil when fault injection is disabled
 
 	coresPerMem    float64 // core cycles per memory cycle (bandwidth-scaled)
 	coresPerMemLat float64 // core cycles per memory cycle for latency terms
@@ -82,13 +84,14 @@ type bank struct {
 }
 
 // NewChannel builds memory channel id.
-func NewChannel(id int, cfg *config.Config, q *timing.Queue, s *stats.Sim, md *MDCache) *Channel {
+func NewChannel(id int, cfg *config.Config, q *timing.Queue, s *stats.Sim, md *MDCache, inj *faults.Injector) *Channel {
 	ch := &Channel{
 		id:  id,
 		cfg: cfg,
 		q:   q,
 		s:   s,
 		md:  md,
+		inj: inj,
 		// BWScale stretches/shrinks only the data-bus occupancy per burst
 		// (narrower/wider bus), leaving array timings unchanged — the
 		// paper's sensitivity study varies peak bandwidth, not latency.
@@ -129,6 +132,17 @@ func (ch *Channel) Enqueue(lineAddr uint64, write bool, bursts int, done func())
 			ch.s.MDMisses++
 		} else {
 			ch.s.MDHits++
+		}
+		if !r.mdMiss && ch.inj.MDCorrupt() {
+			// MD-corruption injection site: the cached metadata entry is
+			// bad. The MD cache's ECC detects it, and the channel recovers
+			// by refetching the metadata from the DRAM region — the same
+			// extra burst a miss costs — so a wrong burst count never
+			// reaches the scheduler.
+			r.mdMiss = true
+			ch.s.FaultsInjected++
+			ch.s.FaultsDetected++
+			ch.s.FaultsRecovered++
 		}
 	}
 	ch.queue = append(ch.queue, r)

@@ -357,7 +357,7 @@ func testChannel(md bool) (*Channel, *timing.Queue, *stats.Sim) {
 	}
 	// Note: cfg escapes; take a stable copy.
 	c := cfg
-	return NewChannel(0, &c, q, s, mdc), q, s
+	return NewChannel(0, &c, q, s, mdc, nil), q, s
 }
 
 func TestChannelBurstAccounting(t *testing.T) {

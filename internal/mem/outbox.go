@@ -30,6 +30,7 @@ type opKind uint8
 
 const (
 	opReadLine opKind = iota
+	opReadLineRaw
 	opWriteLine
 	opEvent
 	opSetCompressed
@@ -51,6 +52,11 @@ func (ob *Outbox) Empty() bool { return len(ob.ops) == 0 }
 // ReadLine stages a line request on behalf of the owning SM.
 func (ob *Outbox) ReadLine(line uint64, user any) {
 	ob.ops = append(ob.ops, stagedOp{kind: opReadLine, line: line, user: user})
+}
+
+// ReadLineRaw stages a fault-recovery refetch of the uncompressed line.
+func (ob *Outbox) ReadLineRaw(line uint64, user any) {
+	ob.ops = append(ob.ops, stagedOp{kind: opReadLineRaw, line: line, user: user})
 }
 
 // WriteLine stages a line writeback toward L2.
@@ -107,6 +113,8 @@ func (sys *System) CommitOutbox(ob *Outbox) {
 		switch op.kind {
 		case opReadLine:
 			sys.ReadLine(ob.SM, op.line, op.user)
+		case opReadLineRaw:
+			sys.ReadLineRaw(ob.SM, op.line, op.user)
 		case opWriteLine:
 			sys.WriteLine(ob.SM, op.line)
 		case opEvent:

@@ -33,7 +33,7 @@ func newPartition(id int, sys *System) *Partition {
 		cache: NewCache(cfg.L2Size/cfg.NumChannels, cfg.L2Assoc, cfg.LineSize,
 			cfg.NumChannels, sys.Design.L2TagMult),
 		mshr: NewMSHR(0),
-		ch:   NewChannel(id, cfg, sys.Q, sys.S, md),
+		ch:   NewChannel(id, cfg, sys.Q, sys.S, md, sys.Inj),
 	}
 }
 
@@ -142,10 +142,56 @@ func (p *Partition) writebacks(evs []Evicted) {
 	}
 }
 
-// respond sends the line back across the interconnect to the SM.
+// respond sends the line back across the interconnect to the SM. This is
+// the response-fault injection site: a dropped response never reaches the
+// SM (the waiting warp wedges and the simulator's wedge detector turns
+// the hang into a structured error); a delayed response is held for the
+// configured number of cycles and then delivered normally (a transient
+// link fault recovered by retry).
 func (p *Partition) respond(sm int, lineAddr uint64, user any) {
+	if p.sys.Inj.RespDrop() {
+		p.sys.S.FaultsInjected++
+		p.sys.S.ResponsesDropped++
+		return
+	}
 	flits := p.sys.respFlits(lineAddr)
-	p.sys.X.FromPartition(p.id, flits, func() {
+	send := func() {
+		p.sys.X.FromPartition(p.id, flits, func() {
+			p.sys.OnFill(sm, lineAddr, user)
+		})
+	}
+	if d, ok := p.sys.Inj.RespDelay(); ok {
+		p.sys.S.FaultsInjected++
+		p.sys.S.ResponsesDelayed++
+		p.sys.Q.After(float64(d), send)
+		return
+	}
+	send()
+}
+
+// handleReadRaw serves a fault-recovery refetch of the uncompressed line.
+// It reuses the L2 lookup timing but bypasses the MSHR (no merging with
+// compressed waiters) and skips the compression-ratio accounting: the
+// recovery transfer is overhead, not part of the campaign's compressed
+// traffic.
+func (p *Partition) handleReadRaw(sm int, lineAddr uint64, user any) {
+	p.sys.Q.After(float64(p.sys.Cfg.L2Latency), func() {
+		if p.cache.Lookup(lineAddr, false) {
+			p.sys.S.L2Hits++
+			p.respondRaw(sm, lineAddr, user)
+			return
+		}
+		p.sys.S.L2Misses++
+		p.ch.Enqueue(lineAddr, false, compress.MaxBursts, func() {
+			p.respondRaw(sm, lineAddr, user)
+		})
+	})
+}
+
+// respondRaw returns the uncompressed line at full-line flit cost, with no
+// fault injection (the recovery channel is protected).
+func (p *Partition) respondRaw(sm int, lineAddr uint64, user any) {
+	p.sys.X.FromPartition(p.id, p.sys.rawFlits(), func() {
 		p.sys.OnFill(sm, lineAddr, user)
 	})
 }

@@ -3,6 +3,7 @@ package mem
 import (
 	"github.com/caba-sim/caba/internal/compress"
 	"github.com/caba-sim/caba/internal/config"
+	"github.com/caba-sim/caba/internal/faults"
 	"github.com/caba-sim/caba/internal/stats"
 	"github.com/caba-sim/caba/internal/timing"
 )
@@ -19,6 +20,13 @@ type System struct {
 	X      *Xbar
 	parts  []*Partition
 
+	// Inj draws deterministic fault-injection decisions; nil when the
+	// campaign is disabled. Every site that consults it runs on the main
+	// goroutine (event delivery / phase-B commit), so the decision
+	// sequence — and therefore every injected fault — is identical at
+	// every SMWorkers setting.
+	Inj *faults.Injector
+
 	// OnFill is invoked (at SM arrival time) for every completed ReadLine.
 	OnFill func(sm int, lineAddr uint64, user any)
 }
@@ -32,6 +40,7 @@ func NewSystem(cfg *config.Config, design config.Design, q *timing.Queue, s *sta
 		S:      s,
 		Dom:    dom,
 		X:      NewXbar(q, s, cfg.NumChannels, 8),
+		Inj:    faults.New(cfg.Faults),
 	}
 	sys.parts = make([]*Partition, cfg.NumChannels)
 	for i := range sys.parts {
@@ -52,6 +61,20 @@ func (sys *System) ReadLine(sm int, lineAddr uint64, user any) {
 	// A read request is a single control flit.
 	sys.X.ToPartition(p, 1, func() {
 		sys.parts[p].handleRead(sm, lineAddr, user)
+	})
+}
+
+// ReadLineRaw requests the uncompressed copy of a line — the
+// fault-recovery refetch path after a detected decompression corruption.
+// The request bypasses the MSHR (recovery is rare and must not merge with
+// compressed-line waiters whose fills carry the corrupt payload) and the
+// response always charges full-line flits, so recovery costs real
+// bandwidth. The recovery channel itself is assumed protected: no faults
+// are injected on it, otherwise a hot campaign could livelock recovery.
+func (sys *System) ReadLineRaw(sm int, lineAddr uint64, user any) {
+	p := sys.PartitionOf(lineAddr)
+	sys.X.ToPartition(p, 1, func() {
+		sys.parts[p].handleReadRaw(sm, lineAddr, user)
 	})
 }
 
@@ -84,6 +107,11 @@ func (sys *System) payloadFlits(lineAddr uint64) int {
 // respFlits is the response packet size: header + payload.
 func (sys *System) respFlits(lineAddr uint64) int {
 	return 1 + sys.payloadFlits(lineAddr)
+}
+
+// rawFlits is the response packet size for an uncompressed line.
+func (sys *System) rawFlits() int {
+	return 1 + (sys.Cfg.LineSize+sys.Cfg.FlitSize-1)/sys.Cfg.FlitSize
 }
 
 // ArrivesCompressed reports the compression state a line has when it

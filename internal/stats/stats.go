@@ -90,6 +90,13 @@ type Sim struct {
 	// MD cache (Section 4.3.2).
 	MDHits, MDMisses uint64
 
+	// Fault injection (internal/faults). Zero when injection is disabled.
+	FaultsInjected   uint64 // faults the campaign actually placed
+	FaultsDetected   uint64 // faults caught by a check (ECC assist warp, MD ECC, routine error)
+	FaultsRecovered  uint64 // detected faults repaired (raw re-fetch or metadata refetch)
+	ResponsesDropped uint64 // read responses lost to injection (unrecoverable)
+	ResponsesDelayed uint64 // read responses held and redelivered late
+
 	// Occupancy / registers (Figure 2).
 	RegsPerThread     int
 	ThreadsPerSM      int // resident threads at steady state
@@ -215,6 +222,14 @@ type Shard struct {
 	LoadCount    uint64
 	LoadLatTotal uint64
 
+	// Fault counters for injection/detection/recovery events that happen
+	// on the SM fill path (phase-B commit or event delivery, so in
+	// practice main-goroutine only, but shard-resident to keep every SM
+	// counter on one write path).
+	FaultsInjected  uint64
+	FaultsDetected  uint64
+	FaultsRecovered uint64
+
 	// DecompMismatches mirrors the simulator's racing-write counter; it is
 	// not a Sim field, so AddShard leaves it to the caller.
 	DecompMismatches uint64
@@ -241,6 +256,9 @@ func (s *Sim) AddShard(sh *Shard) {
 	s.LinesDecompressed += sh.LinesDecompressed
 	s.LoadCount += sh.LoadCount
 	s.LoadLatTotal += sh.LoadLatTotal
+	s.FaultsInjected += sh.FaultsInjected
+	s.FaultsDetected += sh.FaultsDetected
+	s.FaultsRecovered += sh.FaultsRecovered
 }
 
 // Diff compares every field of two runs and returns a human-readable

@@ -9,9 +9,12 @@ tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
 # Preflight: benchmark numbers are only recorded from a tree that vets
-# clean and is race-free (the parallel tick engine makes -race load-bearing).
+# clean, is race-free (the parallel tick engine makes -race load-bearing),
+# and whose zero-fault runs are still bit-identical to the recorded golden
+# statistics (the fault-injection hooks must cost nothing when disabled).
 go vet ./...
 go test -race ./...
+go test -run 'TestZeroFaultGolden' .
 
 go test -run '^$' \
   -bench 'BenchmarkSimBasePVC$|BenchmarkSimCABAPVC$|BenchmarkSimBaseSSSP$|BenchmarkSimCABASSSP$|BenchmarkSimHotLoop$' \
