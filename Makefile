@@ -1,11 +1,21 @@
 GO ?= go
 
-# Decompression fuzz targets (one `go test -fuzz` invocation each: the Go
-# fuzzer accepts a single target per run).
-FUZZ_TARGETS = FuzzDecompressBDI FuzzDecompressFPC FuzzDecompressCPack
+# Fuzz targets as NAME:PACKAGE pairs (one `go test -fuzz` invocation
+# each: the Go fuzzer accepts a single target per run). The decompressors
+# must error on corrupted payloads, never panic (the fault-injection
+# framework feeds them in at simulation time); the snapshot container and
+# the full simulator-state loader must survive arbitrary blobs the same
+# way (checkpoint files live on disk between runs and are untrusted).
+FUZZ_TARGETS = \
+	FuzzDecompressBDI:./internal/compress \
+	FuzzDecompressFPC:./internal/compress \
+	FuzzDecompressCPack:./internal/compress \
+	FuzzOpen:./internal/snapshot \
+	FuzzReader:./internal/snapshot \
+	FuzzSnapshotLoad:./internal/gpu
 FUZZTIME ?= 10s
 
-.PHONY: build vet test race fuzz check bench
+.PHONY: build vet test race fuzz snapshot-check check bench
 
 build:
 	$(GO) build ./...
@@ -19,17 +29,23 @@ test:
 race:
 	$(GO) test -race ./...
 
-# fuzz gives each decompressor a short seeded fuzzing pass: corrupted
-# payloads must error, never panic (the fault-injection framework feeds
-# them in at simulation time).
 fuzz:
 	@for t in $(FUZZ_TARGETS); do \
-		echo "fuzz $$t ($(FUZZTIME))"; \
-		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) ./internal/compress || exit 1; \
+		name=$${t%%:*}; pkg=$${t#*:}; \
+		echo "fuzz $$name ($(FUZZTIME)) in $$pkg"; \
+		$(GO) test -run '^$$' -fuzz "^$$name$$" -fuzztime $(FUZZTIME) "$$pkg" || exit 1; \
 	done
 
+# snapshot-check proves the checkpoint/restore guarantee in isolation:
+# run → save → load → run is bit-identical to an uninterrupted run at
+# every worker count, the invariant auditor stays quiet on clean runs,
+# and malformed blobs surface structured errors instead of panicking.
+snapshot-check:
+	$(GO) test ./internal/snapshot
+	$(GO) test -run 'Snapshot|Audit|Wedge|Checkpoint' ./internal/gpu ./experiments .
+
 # check is the tier-1 gate: everything must pass before a commit.
-check: build vet test race fuzz
+check: build vet snapshot-check test race fuzz
 
 # bench refreshes BENCH_sim.json with the simulator hot-loop and event
 # queue numbers (ns/op, B/op, allocs/op).

@@ -23,13 +23,17 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"strings"
 
+	"github.com/caba-sim/caba/internal/audit"
 	"github.com/caba-sim/caba/internal/compress"
 	"github.com/caba-sim/caba/internal/config"
 	"github.com/caba-sim/caba/internal/core"
 	"github.com/caba-sim/caba/internal/energy"
 	"github.com/caba-sim/caba/internal/gpu"
 	"github.com/caba-sim/caba/internal/isa"
+	"github.com/caba-sim/caba/internal/snapshot"
 	"github.com/caba-sim/caba/internal/stats"
 	"github.com/caba-sim/caba/internal/workloads"
 )
@@ -141,6 +145,25 @@ type Result struct {
 // or an explicit Simulator.Interrupt.
 var ErrInterrupted = gpu.ErrInterrupted
 
+// WedgeError is the structured report of a hung simulation (warps or the
+// final memory drain that can never make progress again). Match it with
+// errors.As; under fault injection a wedge is a deterministic outcome, so
+// retrying the same cell reproduces it.
+type WedgeError = gpu.WedgeError
+
+// InvariantViolation is the runtime auditor's failure report
+// (Config.AuditEvery), naming the broken invariant, the cycle, the SM and
+// the recent flight-recorder trail. Match it with errors.As.
+type InvariantViolation = audit.Violation
+
+// FlightRecord is one flight-recorder event (Config.FlightRecorderDepth).
+type FlightRecord = audit.Record
+
+// SnapshotError is the structured report for a checkpoint blob that
+// cannot be decoded (truncation, corruption, version or configuration
+// skew). Match it with errors.As.
+type SnapshotError = snapshot.FormatError
+
 // Run simulates one application under one design and returns the paper's
 // metrics. seed controls the synthetic data generator.
 func Run(cfg Config, design Design, appName string, seed int64) (*Result, error) {
@@ -157,32 +180,135 @@ func RunContext(ctx context.Context, cfg Config, design Design, appName string, 
 			res, err = nil, fmt.Errorf("caba: %s/%s: internal panic: %v", appName, design.Name, r)
 		}
 	}()
-	app, err := AppByName(appName)
+	sim, design, inputRatio, maxCycles, err := prepareApp(&cfg, design, appName, seed)
 	if err != nil {
 		return nil, err
 	}
-	// Static profiling gate (Section 4.3.1): applications that are not
-	// bandwidth-limited have CABA-based compression disabled — they keep
-	// the design label but run without assist warps, so they see neither
-	// benefit nor degradation.
+	if err := runSim(ctx, sim, maxCycles); err != nil {
+		return nil, fmt.Errorf("caba: %s/%s: %w", appName, design.Name, err)
+	}
+	return finishResult(appName, design, &cfg, sim, inputRatio), nil
+}
+
+// prepareApp builds and prepares the simulator for one application run:
+// it applies the static profiling gate (Section 4.3.1 — non-memory-bound
+// applications keep the design label but run without assist warps),
+// instantiates the workload and fills memory. Returns the simulator, the
+// effective design, the input compression ratio and the cycle budget.
+func prepareApp(cfg *Config, design Design, appName string, seed int64) (*gpu.Simulator, Design, float64, uint64, error) {
+	app, err := AppByName(appName)
+	if err != nil {
+		return nil, design, 0, 0, err
+	}
 	if design.Decomp == config.DecompCABA && !app.MemoryBound {
 		name := design.Name
 		design = config.DesignBase
 		design.Name = name
 	}
-	inst, err := app.Instantiate(&cfg)
+	inst, err := app.Instantiate(cfg)
 	if err != nil {
-		return nil, err
+		return nil, design, 0, 0, err
 	}
-	sim, err := gpu.New(&cfg, design, inst.Kernel)
+	sim, err := gpu.New(cfg, design, inst.Kernel)
 	if err != nil {
-		return nil, err
+		return nil, design, 0, 0, err
 	}
 	inputRatio := inst.Prepare(sim, seed)
-	if err := runSim(ctx, sim, inst.MaxCycles()); err != nil {
-		return nil, fmt.Errorf("caba: %s/%s: %w", appName, design.Name, err)
+	return sim, design, inputRatio, inst.MaxCycles(), nil
+}
+
+// RunCheckpointed is RunContext plus durable mid-run checkpoints: every
+// cfg.CheckpointEvery cycles the complete simulator state is saved to
+// ckptPath (written atomically via a temp file and rename), and when
+// ckptPath already holds a snapshot from an earlier killed, interrupted
+// or crashed invocation, the run resumes from it mid-flight instead of
+// starting over — the resumed run is bit-identical to an uninterrupted
+// one, including across changes to SMWorkers and FastForward.
+//
+// On success the checkpoint (and any stale crash report) is removed. On
+// failure the last checkpoint is kept for postmortem resumption and a
+// crash report — the error, a one-line repro, and the flight-recorder
+// trail when Config.FlightRecorderDepth is set — is written to
+// ckptPath+".crash".
+//
+// A resume snapshot that no longer decodes (torn file, version skew,
+// different simulated configuration) does not brick the run: it is
+// deleted and the run starts from cycle zero.
+func RunCheckpointed(ctx context.Context, cfg Config, design Design, appName string, seed int64, ckptPath string) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("caba: %s/%s: internal panic: %v", appName, design.Name, r)
+		}
+	}()
+	sim, design, inputRatio, maxCycles, err := prepareApp(&cfg, design, appName, seed)
+	if err != nil {
+		return nil, err
 	}
+	if blob, rerr := os.ReadFile(ckptPath); rerr == nil {
+		if lerr := sim.LoadState(blob); lerr != nil {
+			os.Remove(ckptPath)
+		}
+	}
+	if cfg.CheckpointEvery > 0 {
+		sim.OnCheckpoint = func(cycle uint64, blob []byte) error {
+			return writeFileAtomic(ckptPath, blob)
+		}
+	}
+	if err := runSim(ctx, sim, maxCycles); err != nil {
+		err = fmt.Errorf("caba: %s/%s: %w", appName, design.Name, err)
+		repro := fmt.Sprintf("app=%s design=%s seed=%d scale=%g smworkers=%d fastforward=%v checkpoint_every=%d resume=%s",
+			appName, design.Name, seed, cfg.Scale, cfg.SMWorkers, cfg.FastForward, cfg.CheckpointEvery, ckptPath)
+		writeCrashReport(ckptPath+".crash", repro, err, sim)
+		return nil, err
+	}
+	os.Remove(ckptPath)
+	os.Remove(ckptPath + ".crash")
 	return finishResult(appName, design, &cfg, sim, inputRatio), nil
+}
+
+// writeFileAtomic persists blob so that a crash mid-write can never leave
+// a torn file at path: write to a sibling temp file, fsync, rename.
+func writeFileAtomic(path string, blob []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(blob); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// writeCrashReport writes the postmortem file for a failed checkpointed
+// run: the error, a one-line repro, and the flight-recorder trail. Best
+// effort — the report must never mask the run's own error.
+func writeCrashReport(path, repro string, runErr error, sim *gpu.Simulator) {
+	var b strings.Builder
+	b.WriteString("caba crash report\n")
+	fmt.Fprintf(&b, "repro: %s\n", repro)
+	fmt.Fprintf(&b, "error: %v\n", runErr)
+	trail := sim.FlightRecord()
+	var we *WedgeError
+	if errors.As(runErr, &we) && len(we.Trail) > 0 {
+		trail = we.Trail
+	}
+	if len(trail) == 0 {
+		b.WriteString("flight record: disabled (set Config.FlightRecorderDepth)\n")
+	} else {
+		b.WriteString("flight record (oldest first):\n")
+		for _, rec := range trail {
+			fmt.Fprintf(&b, "  %s\n", rec.String())
+		}
+	}
+	_ = writeFileAtomic(path, []byte(b.String()))
 }
 
 // RunKernel simulates a custom kernel. prepare (optional) populates

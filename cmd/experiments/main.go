@@ -43,7 +43,9 @@ func realMain() int {
 	parallelism := flag.Int("parallelism", 0,
 		"total worker-goroutine budget: concurrent simulations x SM workers per simulation (0 = GOMAXPROCS)")
 	checkpoint := flag.String("checkpoint", "",
-		"JSONL file persisting completed runs; an interrupted sweep resumes from it (parameters must match)")
+		"JSONL file persisting completed runs; an interrupted sweep resumes from it (parameters must match), and in-flight cells snapshot mid-run state under <file>.d/ for bit-identical resume")
+	checkpointEvery := flag.Uint64("checkpoint-every", 0,
+		"mid-run snapshot cadence in simulated cycles (0 = default; needs -checkpoint)")
 	runTimeout := flag.Duration("run-timeout", 0,
 		"wall-clock deadline per simulation (0 = none); timed-out cells are reported and the sweep continues")
 	retries := flag.Int("retries", 0, "extra attempts per failed simulation, with exponential backoff")
@@ -88,6 +90,7 @@ func realMain() int {
 	o.Parallel = *parallel
 	o.Parallelism = *parallelism
 	o.Checkpoint = *checkpoint
+	o.CheckpointEvery = *checkpointEvery
 	o.RunTimeout = *runTimeout
 	o.Retries = *retries
 

@@ -13,6 +13,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -57,7 +58,18 @@ type Options struct {
 	// interrupted sweep resumes where it stopped. The file's header
 	// records Scale and Seed; resuming with different values is an error
 	// (the cached cells would not match the requested sweep).
+	//
+	// It also enables mid-run cell snapshots: each in-flight simulation
+	// checkpoints its complete state every CheckpointEvery cycles into
+	// <Checkpoint>.d/<cell>.ckpt, so a cell that is killed, times out or
+	// crashes resumes from its last snapshot on the next sweep instead of
+	// restarting from cycle zero — and converges to the bit-identical
+	// result an uninterrupted run produces.
 	Checkpoint string
+	// CheckpointEvery is the mid-run snapshot cadence in simulated cycles
+	// (0 = a default suited to quick-scale runs). Only meaningful with
+	// Checkpoint set.
+	CheckpointEvery uint64
 
 	// runHook replaces the simulation entry point in tests.
 	runHook func(ctx context.Context, cfg caba.Config, design caba.Design, app string, seed int64) (*caba.Result, error)
@@ -219,7 +231,11 @@ func (o *Options) runOne(design caba.Design, key runKey, smWorkers int) (*caba.R
 	var err error
 	for attempt := 0; ; attempt++ {
 		res, err = o.attemptOne(design, key, smWorkers)
-		if err == nil || attempt >= o.Retries {
+		// A wedge is a deterministic outcome of the cell's fault stream,
+		// not a transient failure: retrying replays the exact same wedge,
+		// so it is reported immediately with its retry budget unspent.
+		var we *caba.WedgeError
+		if err == nil || attempt >= o.Retries || errors.As(err, &we) {
 			return res, err
 		}
 		time.Sleep(backoff << attempt)
@@ -249,10 +265,45 @@ func (o *Options) attemptOne(design caba.Design, key runKey, smWorkers int) (res
 	run := o.runHook
 	if run == nil {
 		run = func(ctx context.Context, cfg caba.Config, design caba.Design, app string, seed int64) (*caba.Result, error) {
+			if path := o.cellCheckpointPath(key); path != "" {
+				cfg.CheckpointEvery = o.CheckpointEvery
+				if cfg.CheckpointEvery == 0 {
+					cfg.CheckpointEvery = defaultCellCheckpointEvery
+				}
+				return caba.RunCheckpointed(ctx, cfg, design, app, seed, path)
+			}
 			return caba.RunContext(ctx, cfg, design, app, seed)
 		}
 	}
 	return run(ctx, cfg, design, key.app, o.Seed)
+}
+
+// defaultCellCheckpointEvery is the mid-run snapshot cadence when the
+// sweep enables cell checkpointing without choosing one: frequent enough
+// that a killed quick-scale cell loses little work, sparse enough that
+// serialization stays a rounding error next to simulation.
+const defaultCellCheckpointEvery = 100_000
+
+// cellCheckpointPath returns the mid-run snapshot file for one grid cell
+// ("" when sweep checkpointing is off, or the snapshot directory cannot
+// be created — the cell then just runs without mid-run resume).
+func (o *Options) cellCheckpointPath(key runKey) string {
+	if o.Checkpoint == "" {
+		return ""
+	}
+	dir := o.Checkpoint + ".d"
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return ""
+	}
+	name := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-', r == '_':
+			return r
+		}
+		return '_'
+	}, key.String())
+	return filepath.Join(dir, name+".ckpt")
 }
 
 // --- Sweep checkpointing ---

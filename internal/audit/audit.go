@@ -1,0 +1,64 @@
+// Package audit defines the structured diagnostics produced by the
+// simulator's runtime invariant auditor and crash flight recorder. The
+// auditor (gpu.Simulator.Audit, scheduled by Config.AuditEvery) walks the
+// machine's bookkeeping — MSHR allocation balance, scoreboard/in-flight
+// consistency, SIMT stack bounds, writeback-ring conservation — and fails
+// fast with a Violation naming the invariant, the cycle and the SM,
+// instead of letting corrupted state surface later as a wedge or silently
+// wrong statistics. The flight recorder (Config.FlightRecorderDepth)
+// keeps a short ring of recent notable events per SM; wedges, panics and
+// violations attach the merged trail for postmortems.
+package audit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Record is one flight-recorder event.
+type Record struct {
+	Cycle uint64
+	SM    int // -1 for simulator-level events
+	Event string
+	Line  uint64 // line address when relevant, else 0
+}
+
+// String formats a record for a postmortem dump.
+func (rec Record) String() string {
+	sm := "sim"
+	if rec.SM >= 0 {
+		sm = fmt.Sprintf("sm%d", rec.SM)
+	}
+	if rec.Line != 0 {
+		return fmt.Sprintf("cycle %d %s: %s line %#x", rec.Cycle, sm, rec.Event, rec.Line)
+	}
+	return fmt.Sprintf("cycle %d %s: %s", rec.Cycle, sm, rec.Event)
+}
+
+// Violation is one failed invariant, with enough context to localize the
+// corruption: which invariant, where, when, and the recent event trail if
+// the flight recorder was on.
+type Violation struct {
+	Invariant string // short invariant name, e.g. "mshr-waiters"
+	Cycle     uint64
+	SM        int // -1 when not SM-specific
+	Detail    string
+	Records   []Record
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "audit: invariant %s violated at cycle %d", v.Invariant, v.Cycle)
+	if v.SM >= 0 {
+		fmt.Fprintf(&b, " on SM %d", v.SM)
+	}
+	fmt.Fprintf(&b, ": %s", v.Detail)
+	if len(v.Records) > 0 {
+		fmt.Fprintf(&b, "\nrecent events:")
+		for _, rec := range v.Records {
+			fmt.Fprintf(&b, "\n  %s", rec.String())
+		}
+	}
+	return b.String()
+}

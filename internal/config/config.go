@@ -130,6 +130,26 @@ type Config struct {
 	// disabled). Same seed + same rates produce bit-identical fault
 	// sites and statistics at every SMWorkers setting.
 	Faults faults.Config
+
+	// CheckpointEvery takes a full simulator snapshot every N cycles and
+	// hands it to the run's checkpoint sink (Simulator.OnCheckpoint /
+	// caba's checkpoint file). 0 disables periodic checkpointing and adds
+	// zero overhead to the run. Restoring a snapshot and running to
+	// completion is bit-identical to the uninterrupted run.
+	CheckpointEvery uint64
+
+	// AuditEvery runs the runtime invariant auditor every N cycles,
+	// turning internal-state corruption (MSHR leaks, scoreboard drift,
+	// ring-conservation violations) into a structured error at the first
+	// audited cycle instead of a downstream wedge or silent bad
+	// statistics. 0 disables auditing and adds zero overhead.
+	AuditEvery uint64
+
+	// FlightRecorderDepth keeps the last N notable events per SM (plus a
+	// simulator-level ring) for crash postmortems: wedge errors, audit
+	// violations and panics attach the merged recent-event trail. 0
+	// disables recording and adds zero overhead.
+	FlightRecorderDepth int
 }
 
 // Baseline returns the paper's Table 1 configuration.
@@ -216,6 +236,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: NumSchedulers must be positive")
 	case c.SMWorkers < 0:
 		return fmt.Errorf("config: SMWorkers must be non-negative (0 = GOMAXPROCS)")
+	case c.FlightRecorderDepth < 0:
+		return fmt.Errorf("config: FlightRecorderDepth must be non-negative")
 	}
 	if err := c.Faults.Validate(); err != nil {
 		return fmt.Errorf("config: %w", err)

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"github.com/caba-sim/caba/internal/isa"
+	"github.com/caba-sim/caba/internal/snapshot"
+)
+
+// Serialization of the CABA framework's architectural state: warp
+// execution contexts (Exec) and the Assist Warp Controller with its live
+// AWT entries. Opaque owner state (Entry.User, Entry.OnComplete) is
+// round-tripped through caller-supplied codecs, since only the GPU core
+// knows how to encode its payloads and reattach completion callbacks.
+
+// maxSnapLen bounds decoded collection lengths; every real collection here
+// is far smaller, so a larger claim is always corruption.
+const maxSnapLen = 1 << 20
+
+// Bits exposes the scoreboard's raw bitsets for serialization.
+func (m *RegMask) Bits() (g [4]uint64, p uint8) { return m.g, m.p }
+
+// SetBits restores the scoreboard from its raw bitsets.
+func (m *RegMask) SetBits(g [4]uint64, p uint8) { m.g, m.p = g, p }
+
+// StackDepth returns the SIMT divergence-stack depth (invariant audits
+// bound it by the program length).
+func (e *Exec) StackDepth() int { return len(e.stack) }
+
+// Save serializes the execution context. Program identity is the caller's
+// responsibility (a warp's program comes from the kernel, an assist
+// warp's from its routine). includeBufs also serializes the staging
+// buffers and the Shared view — set for assist warps, whose Exec owns all
+// three; regular warps stage nothing and share the CTA's memory, which
+// the SM serializes once per CTA.
+func (e *Exec) Save(w *snapshot.Writer, includeBufs bool) {
+	w.Int(e.PC)
+	w.Int(e.rpc)
+	w.U32(e.Active)
+	w.U32(e.launch)
+	w.U32(e.exited)
+	w.Len(len(e.stack))
+	for _, f := range e.stack {
+		w.Int(f.pc)
+		w.Int(f.rpc)
+		w.U32(f.mask)
+	}
+	w.Len(len(e.regBack))
+	for _, v := range e.regBack {
+		w.U64(v)
+	}
+	for lane := range e.Preds {
+		var bits uint8
+		for p := 0; p < isa.NumPredRegs; p++ {
+			if e.Preds[lane][p] {
+				bits |= 1 << p
+			}
+		}
+		w.U8(bits)
+	}
+	for lane := range e.Special {
+		for _, v := range e.Special[lane] {
+			w.U64(v)
+		}
+	}
+	if includeBufs {
+		w.Bytes(e.StageIn)
+		w.Bytes(e.StageOut)
+		w.Bytes(e.Shared)
+	}
+	w.Bool(e.Done)
+	w.Bool(e.AtBarrier)
+	if e.Err != nil {
+		w.Bool(true)
+		w.String(e.Err.Error())
+	} else {
+		w.Bool(false)
+	}
+	w.U64(e.Executed)
+}
+
+// Load restores the execution context for prog, mirroring Save. The
+// caller sets Mem and (for regular warps) Shared afterwards.
+func (e *Exec) Load(r *snapshot.Reader, prog *isa.Program, includeBufs bool) error {
+	e.Reset(prog, 0)
+	e.PC = r.Int()
+	e.rpc = r.Int()
+	e.Active = r.U32()
+	e.launch = r.U32()
+	e.exited = r.U32()
+	n := r.Len(maxSnapLen)
+	for i := 0; i < n; i++ {
+		e.stack = append(e.stack, pathFrame{pc: r.Int(), rpc: r.Int(), mask: r.U32()})
+	}
+	nr := r.Len(maxSnapLen)
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if nr != len(e.regBack) {
+		return &snapshot.FormatError{Off: -1,
+			Msg: "register file size mismatch (wrong program?)"}
+	}
+	for i := range e.regBack {
+		e.regBack[i] = r.U64()
+	}
+	for lane := range e.Preds {
+		bits := r.U8()
+		for p := 0; p < isa.NumPredRegs; p++ {
+			e.Preds[lane][p] = bits&(1<<p) != 0
+		}
+	}
+	for lane := range e.Special {
+		for s := range e.Special[lane] {
+			e.Special[lane][s] = r.U64()
+		}
+	}
+	if includeBufs {
+		e.StageIn = append(e.StageIn[:0], r.Bytes(maxSnapLen)...)
+		e.StageOut = append(e.StageOut[:0], r.Bytes(maxSnapLen)...)
+		e.Shared = append(e.Shared[:0], r.Bytes(maxSnapLen)...)
+	}
+	e.Done = r.Bool()
+	e.AtBarrier = r.Bool()
+	if r.Bool() {
+		e.Err = &execErr{msg: r.String(maxSnapLen)}
+	}
+	e.Executed = r.U64()
+	if e.PC < 0 || e.PC > len(prog.Code) || e.rpc < 0 || e.rpc > len(prog.Code) {
+		return &snapshot.FormatError{Off: -1, Msg: "PC out of program range"}
+	}
+	return r.Err()
+}
+
+// execErr is a restored execution error: only the message survives a
+// snapshot round trip (the wrap chain does not), which is all the
+// simulator's error reporting consumes.
+type execErr struct{ msg string }
+
+func (e *execErr) Error() string { return e.msg }
+
+// Save serializes the controller and its AWT entries. encEntry encodes
+// each entry's opaque User payload (OnComplete is rebuilt from it on
+// load). Entries are written in AWT order, which is also trigger order
+// for the low-priority partition, so Load rebuilds highByWarp and lowList
+// exactly.
+func (c *Controller) Save(w *snapshot.Writer, encEntry func(*snapshot.Writer, *Entry) error) error {
+	w.Int(c.rr)
+	var bits uint64
+	for i, b := range c.window {
+		if b {
+			bits |= 1 << i
+		}
+	}
+	w.U64(bits)
+	w.Int(c.windowPos)
+	w.Int(c.windowBusy)
+	w.U64(c.Triggered)
+	w.U64(c.KilledCount)
+	w.U64(c.DeployedIns)
+	w.Len(len(c.entries))
+	for _, e := range c.entries {
+		w.U64(uint64(e.Routine.ID))
+		w.Int(e.Warp)
+		w.Int(e.Staged)
+		w.Int(e.Outstanding)
+		g, p := e.SB.Bits()
+		for _, v := range g {
+			w.U64(v)
+		}
+		w.U8(p)
+		w.Bool(e.Killed)
+		e.Exec.Save(w, true)
+		if err := encEntry(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load restores the controller. decEntry decodes each entry's User
+// payload and must set OnComplete; the entry's Routine, Warp and Exec are
+// already populated when it runs.
+func (c *Controller) Load(r *snapshot.Reader, decEntry func(*snapshot.Reader, *Entry) error) error {
+	c.rr = r.Int()
+	bits := r.U64()
+	for i := range c.window {
+		c.window[i] = bits&(1<<i) != 0
+	}
+	c.windowPos = r.Int()
+	c.windowBusy = r.Int()
+	c.Triggered = r.U64()
+	c.KilledCount = r.U64()
+	c.DeployedIns = r.U64()
+	n := r.Len(maxSnapLen)
+	if r.Err() != nil {
+		return r.Err()
+	}
+	c.entries = c.entries[:0]
+	c.lowList = c.lowList[:0]
+	clear(c.highByWarp)
+	for i := 0; i < n; i++ {
+		id := RoutineID(r.U64())
+		rt, ok := c.Store.Get(id)
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if !ok {
+			return &snapshot.FormatError{Off: -1, Msg: "unknown assist routine id"}
+		}
+		e := &Entry{Routine: rt, Warp: r.Int(), Staged: r.Int(), Outstanding: r.Int()}
+		var g [4]uint64
+		for j := range g {
+			g[j] = r.U64()
+		}
+		e.SB.SetBits(g, r.U8())
+		e.Killed = r.Bool()
+		e.Exec = NewAssistExec(rt)
+		if err := e.Exec.Load(r, rt.Prog, true); err != nil {
+			return err
+		}
+		if err := decEntry(r, e); err != nil {
+			return err
+		}
+		c.entries = append(c.entries, e)
+		if rt.Priority == PriHigh {
+			c.highByWarp[e.Warp] = e
+		} else {
+			c.lowList = append(c.lowList, e)
+		}
+	}
+	return r.Err()
+}

@@ -178,6 +178,34 @@ func (inj *Injector) RespDrop() bool {
 	return inj.roll(SiteRespDrop, inj.cfg.ResponseDropRate)
 }
 
+// SaveStreams returns the per-site stream positions for checkpointing.
+// Nil injectors return nil (a disabled campaign has no stream state).
+func (inj *Injector) SaveStreams() []uint64 {
+	if inj == nil {
+		return nil
+	}
+	out := make([]uint64, numSites)
+	copy(out, inj.streams[:])
+	return out
+}
+
+// LoadStreams restores stream positions previously captured by
+// SaveStreams. The site count is part of the snapshot format: a mismatch
+// means the blob came from an incompatible build.
+func (inj *Injector) LoadStreams(s []uint64) error {
+	if inj == nil {
+		if len(s) != 0 {
+			return fmt.Errorf("faults: snapshot has %d fault streams but injection is disabled", len(s))
+		}
+		return nil
+	}
+	if len(s) != int(numSites) {
+		return fmt.Errorf("faults: snapshot has %d fault streams, want %d", len(s), numSites)
+	}
+	copy(inj.streams[:], s)
+	return nil
+}
+
 // RespDelay decides whether the current read response is held, returning
 // the hold time in core cycles.
 func (inj *Injector) RespDelay() (cycles int, delayed bool) {

@@ -56,6 +56,30 @@ type Simulator struct {
 	// state another goroutine may touch during Run.
 	interrupted atomic.Bool
 
+	// OnCheckpoint receives the sealed snapshot blob at every
+	// Config.CheckpointEvery boundary (the hook owns persistence; a nil
+	// hook disables checkpointing). An error aborts the run.
+	OnCheckpoint func(cycle uint64, blob []byte) error
+
+	// idleStreak is the drain-phase wedge counter. It is a field (not a
+	// Run local) because it is part of the architectural state a snapshot
+	// must carry for bit-identical resume across a checkpoint taken
+	// during the final memory drain.
+	idleStreak int
+	// restored marks a simulator populated by LoadState: Run then resumes
+	// from the snapshot cycle instead of dispatching the grid from zero.
+	restored bool
+	// Maintenance schedule (checkpoints and invariant audits). nextMaint
+	// is min(nextCkpt, nextAudit) so the run loop pays a single compare
+	// per iteration; all three are ^uint64(0) when the knobs are off.
+	nextCkpt  uint64
+	nextAudit uint64
+	nextMaint uint64
+
+	// frSim is the simulator-level flight-recorder ring (nil when
+	// Config.FlightRecorderDepth is zero).
+	frSim *flightRing
+
 	// Debug instrumentation (enabled by tests).
 	dbgFetch    map[uint64]uint64
 	dbgFetchLat uint64
@@ -90,6 +114,7 @@ func New(cfg *config.Config, design config.Design, k *Kernel) (*Simulator, error
 		Mem:    mem.NewMemory(),
 		AWS:    sharedLibrary,
 	}
+	sim.frSim = newFlightRing(cfg.FlightRecorderDepth)
 	sim.Dom = mem.NewDomain(sim.Mem, design.Alg)
 	sim.Sys = mem.NewSystem(cfg, design, sim.Q, sim.S, sim.Dom)
 	sim.Sys.OnFill = func(smID int, lineAddr uint64, user any) {
@@ -221,8 +246,15 @@ func (sim *Simulator) Run(maxCycles uint64) (err error) {
 	if maxCycles == 0 {
 		maxCycles = 200_000_000
 	}
-	for _, sm := range sim.sms {
-		sim.dispatch(sm)
+	start := uint64(0)
+	if sim.restored {
+		// State came from LoadState: the grid is already (partially)
+		// dispatched and the clock resumes at the snapshot cycle.
+		start = sim.cycle
+	} else {
+		for _, sm := range sim.sms {
+			sim.dispatch(sm)
+		}
 	}
 	// The per-SM stat shards are folded into S exactly once, on every exit
 	// path — success, error, or recovered panic (DecompMismatches stays
@@ -258,9 +290,29 @@ func (sim *Simulator) Run(maxCycles uint64) (err error) {
 		defer pool.stop()
 	}
 	ff := sim.Cfg.FastForward
-	idleStreak := 0
+	if !sim.restored {
+		sim.idleStreak = 0
+	}
+	const never = ^uint64(0)
+	sim.nextCkpt, sim.nextAudit = never, never
+	if sim.Cfg.CheckpointEvery > 0 && sim.OnCheckpoint != nil {
+		sim.nextCkpt = start + sim.Cfg.CheckpointEvery
+	}
+	if sim.Cfg.AuditEvery > 0 {
+		sim.nextAudit = start + sim.Cfg.AuditEvery
+	}
+	sim.nextMaint = min(sim.nextCkpt, sim.nextAudit)
 	iter := 0
-	for sim.cycle = 0; sim.cycle < maxCycles; sim.cycle++ {
+	for sim.cycle = start; sim.cycle < maxCycles; sim.cycle++ {
+		// Maintenance runs before this cycle's events are delivered, so a
+		// snapshot taken here restores to exactly this loop position. A
+		// fast-forward jump that crosses a boundary lands the work at the
+		// wake cycle; with both knobs at zero this is one dead compare.
+		if sim.cycle >= sim.nextMaint {
+			if err := sim.maintain(); err != nil {
+				return err
+			}
+		}
 		sim.Q.RunUntil(float64(sim.cycle))
 		if err := sim.firstFatal(); err != nil {
 			return err
@@ -281,12 +333,12 @@ func (sim *Simulator) Run(maxCycles uint64) (err error) {
 			if sim.Q.Len() == 0 && sim.Sys.Drained() {
 				break
 			}
-			idleStreak++
-			if idleStreak > wedgeLimit {
-				return fmt.Errorf("gpu: wedged waiting for memory drain at cycle %d", sim.cycle)
+			sim.idleStreak++
+			if sim.idleStreak > wedgeLimit {
+				return sim.wedged(&WedgeError{Cycle: sim.cycle, Drain: true})
 			}
 		} else {
-			idleStreak = 0
+			sim.idleStreak = 0
 		}
 		// Mid-run deadlock detection, only armed under fault injection
 		// (the only source of lost responses): if SMs still hold work but
@@ -296,25 +348,32 @@ func (sim *Simulator) Run(maxCycles uint64) (err error) {
 		// fast-forward on or off and at every SMWorkers setting.
 		if sim.Sys.Inj != nil && busy && sim.Q.Len() == 0 && sim.Sys.Drained() &&
 			sim.allWedged() {
-			return fmt.Errorf(
-				"gpu: wedged at cycle %d: %d memory responses dropped by fault injection, warps stalled forever",
-				sim.cycle, sim.S.ResponsesDropped)
+			return sim.wedged(&WedgeError{Cycle: sim.cycle,
+				Dropped: sim.S.ResponsesDropped})
 		}
 		if ff {
 			if wake, ok := sim.ffWake(maxCycles); ok {
 				skip := wake - sim.cycle // ticks credited: cycle .. wake-1
-				if drainIdle && idleStreak+int(skip-1) > wedgeLimit {
+				if drainIdle && sim.idleStreak+int(skip-1) > wedgeLimit {
 					// The wedge detector would fire inside the window:
 					// credit exactly up to its firing cycle so the error
 					// reports the same cycle as per-cycle ticking.
-					fire := sim.cycle + uint64(wedgeLimit-idleStreak) + 1
+					fire := sim.cycle + uint64(wedgeLimit-sim.idleStreak) + 1
 					sim.creditSkip(fire-sim.cycle, fire)
 					sim.cycle = fire
-					return fmt.Errorf("gpu: wedged waiting for memory drain at cycle %d", sim.cycle)
+					return sim.wedged(&WedgeError{Cycle: sim.cycle, Drain: true})
 				}
 				sim.creditSkip(skip, wake)
 				if drainIdle {
-					idleStreak += int(skip - 1)
+					sim.idleStreak += int(skip - 1)
+				}
+				// A fast-forward jump can cover millions of cycles in one
+				// iteration, so the interrupt flag is checked per jump —
+				// context cancellation stays prompt even mid-skip.
+				if sim.interrupted.Load() {
+					sim.cycle = wake
+					sim.record("interrupted during fast-forward skip", 0)
+					return fmt.Errorf("gpu: %w at cycle %d", ErrInterrupted, sim.cycle)
 				}
 				sim.cycle = wake - 1 // loop increment resumes at wake
 				continue
@@ -343,6 +402,45 @@ func (sim *Simulator) Run(maxCycles uint64) (err error) {
 	sim.Sys.FinishStats(sim.cycle)
 	sim.S.L1Evictions = sim.l1Evictions()
 	return nil
+}
+
+// maintain performs the scheduled maintenance due at the current cycle:
+// the invariant audit, then the checkpoint (so a checkpoint is only taken
+// from audited-clean state when both fire together). Neither mutates
+// simulated state, so cadence never affects results. FF jumps may cross
+// several boundaries at once; each duty fires once, at the wake cycle.
+func (sim *Simulator) maintain() error {
+	if sim.cycle >= sim.nextAudit {
+		if err := sim.Audit(); err != nil {
+			return err
+		}
+		sim.record("audit passed", 0)
+		for sim.nextAudit <= sim.cycle {
+			sim.nextAudit += sim.Cfg.AuditEvery
+		}
+	}
+	if sim.cycle >= sim.nextCkpt {
+		blob, err := sim.SaveState()
+		if err != nil {
+			return err
+		}
+		if err := sim.OnCheckpoint(sim.cycle, blob); err != nil {
+			return fmt.Errorf("gpu: checkpoint at cycle %d: %w", sim.cycle, err)
+		}
+		sim.record("checkpoint saved", 0)
+		for sim.nextCkpt <= sim.cycle {
+			sim.nextCkpt += sim.Cfg.CheckpointEvery
+		}
+	}
+	sim.nextMaint = min(sim.nextCkpt, sim.nextAudit)
+	return nil
+}
+
+// wedged attaches the flight-recorder trail to a wedge error.
+func (sim *Simulator) wedged(we *WedgeError) error {
+	sim.record("wedge detected", 0)
+	we.Trail = sim.FlightRecord()
+	return we
 }
 
 // firstFatal returns the lowest-indexed SM's recorded fatal error, if any.

@@ -10,6 +10,7 @@ import (
 	"github.com/caba-sim/caba/internal/isa"
 	"github.com/caba-sim/caba/internal/mem"
 	"github.com/caba-sim/caba/internal/stats"
+	"github.com/caba-sim/caba/internal/timing"
 )
 
 // Store-buffer tuning: the dedicated L1 sets / shared-memory space used to
@@ -58,9 +59,7 @@ type fillCtx struct {
 	kind  fillKind
 	load  *loadReq
 	se    *storeEntry
-	aw    *core.Entry
-	instr *isa.Instr
-	after func() // fillRefetch continuation
+	after cont // fillRefetch continuation
 }
 
 // wbKind tags a pipeline writeback record.
@@ -129,7 +128,7 @@ type SM struct {
 	wbPending int
 
 	// Retry queues for assist-warp triggers that found the AWT/AWB full.
-	decompRetry []func() bool
+	decompRetry []pendingTrigger
 	// replayQ holds loads whose coalesced lines overflowed the MSHR.
 	replayQ []*loadReq
 
@@ -180,6 +179,10 @@ type SM struct {
 	// violation that used to panic). The run loop scans it every cycle
 	// and surfaces it as a structured error from Run.
 	fatal error
+
+	// fr is this SM's flight-recorder ring (nil when the recorder is
+	// off). Only this SM writes it, even during phase-A worker ticks.
+	fr *flightRing
 
 	cycle uint64
 }
@@ -249,13 +252,13 @@ func (sm *SM) sysWriteLine(ln uint64) {
 	sm.sim.Sys.WriteLine(sm.id, ln)
 }
 
-// qAt schedules fn on the global event queue at absolute time at.
-func (sm *SM) qAt(at float64, fn func()) {
+// qAt schedules act on the global event queue at absolute time at.
+func (sm *SM) qAt(at float64, act timing.Action) {
 	if sm.inTick {
-		sm.outbox.Event(at, fn)
+		sm.outbox.Event(at, act)
 		return
 	}
-	sm.sim.Q.At(at, fn)
+	sm.sim.Q.Push(at, act)
 }
 
 // domState returns the line's compression state, seeing this SM's staged
@@ -333,6 +336,7 @@ func newSM(id int, sim *Simulator) *SM {
 		l1:    mem.NewCache(cfg.L1Size, cfg.L1Assoc, cfg.LineSize, 1, sim.Design.L1TagMult),
 		mshr:  mem.NewMSHR(cfg.L1MSHRs),
 		wbuf:  mem.NewWriteBuffer(sim.Mem),
+		fr:    newFlightRing(cfg.FlightRecorderDepth),
 	}
 	sm.outbox.SM = id
 	for i := range sm.warps {
@@ -490,6 +494,9 @@ func (sm *SM) placeCTA(ctaID int) {
 	}
 	cta.liveWarps = warpsNeeded
 	sm.ctas = append(sm.ctas, cta)
+	if sm.fr != nil {
+		sm.record(fmt.Sprintf("CTA %d placed (%d warps)", ctaID, warpsNeeded), 0)
+	}
 }
 
 // freeWarps reports how many warp slots are free.
@@ -525,6 +532,9 @@ func (sm *SM) retireCTAIfDone(cta *ctaCtx) {
 			sm.ctas = append(sm.ctas[:i], sm.ctas[i+1:]...)
 			break
 		}
+	}
+	if sm.fr != nil {
+		sm.record(fmt.Sprintf("CTA %d retired", cta.id), 0)
 	}
 	// Dispatch pulls from the shared CTA counter; during a concurrent tick
 	// the request is deferred and the simulator runs it at the cycle
@@ -584,9 +594,9 @@ func (sm *SM) tickCompute(cycle uint64) {
 	// Retry assist-warp triggers that previously found structures full.
 	if len(sm.decompRetry) > 0 {
 		kept := sm.decompRetry[:0]
-		for _, try := range sm.decompRetry {
-			if !try() {
-				kept = append(kept, try)
+		for i := range sm.decompRetry {
+			if !sm.runTrigger(&sm.decompRetry[i]) {
+				kept = append(kept, sm.decompRetry[i])
 			}
 		}
 		sm.decompRetry = kept
@@ -1113,7 +1123,7 @@ func (sm *SM) l1Lookup(ln uint64, req *loadReq) bool {
 				// completes.
 				req.linesPending++
 				// L1-resident lines were checked on fill; never injected.
-				sm.triggerDecompAW(ln, st, req.warp.id, false, func() { sm.loadLineDone(req) })
+				sm.triggerDecompAW(ln, st, req.warp.id, false, cont{kind: contLoadLineDone, req: req})
 				return true
 			}
 		}
@@ -1295,10 +1305,7 @@ func (sm *SM) compressAndWrite(se *storeEntry) {
 	case config.DecompHW:
 		se.state = sbCompress
 		_, lat := compress.HWLatency(design.Alg)
-		sm.qAt(float64(sm.cycle+uint64(lat)), func() {
-			sm.domCompressLine(se.lineAddr)
-			sm.releaseStore(se)
-		})
+		sm.qAt(float64(sm.cycle+uint64(lat)), actHWCompress{sm: sm, se: se})
 	case config.DecompCABA:
 		if sm.compDisabled {
 			sm.domSetRaw(se.lineAddr)
@@ -1385,31 +1392,58 @@ func (sm *SM) stepCompressionChain(se *storeEntry) {
 		sm.releaseStore(se)
 		return
 	}
-	rt := sm.sim.AWS.MustGet(se.chain[se.chainPos])
-	try := func() bool {
-		if se.released {
-			return true // overflow released the line raw; drop the chain
-		}
-		if !sm.awc.CanTrigger(rt.Priority, se.warp) {
-			return false
-		}
-		ex := sm.newAssistExec(rt)
-		sm.domReadRaw(se.lineAddr, ex.StageIn[:compress.LineSize])
-		e := sm.awc.Trigger(rt, se.warp, ex, se, func(done *core.Entry) {
-			sm.finishCompressionStep(se, done)
-		})
-		if e == nil {
-			sm.releaseAssistExec(ex)
-			return false
-		}
-		se.state = sbCompress
-		sm.stat.AssistWarps++
-		return true
-	}
-	if !try() {
+	if !sm.tryCompressStep(se) {
 		se.state = sbQueued
-		sm.decompRetry = append(sm.decompRetry, try)
+		sm.decompRetry = append(sm.decompRetry, pendingTrigger{kind: pendCompress, se: se})
 	}
+}
+
+// tryCompressStep triggers the current compression-chain routine for se;
+// true means the trigger landed (or the entry was already released raw by
+// a buffer overflow, which drops the chain).
+func (sm *SM) tryCompressStep(se *storeEntry) bool {
+	if se.released {
+		return true // overflow released the line raw; drop the chain
+	}
+	rt := sm.sim.AWS.MustGet(se.chain[se.chainPos])
+	if !sm.awc.CanTrigger(rt.Priority, se.warp) {
+		return false
+	}
+	ex := sm.newAssistExec(rt)
+	sm.domReadRaw(se.lineAddr, ex.StageIn[:compress.LineSize])
+	e := sm.awc.Trigger(rt, se.warp, ex, se, sm.assistOnComplete(se, rt.ID))
+	if e == nil {
+		sm.releaseAssistExec(ex)
+		return false
+	}
+	se.state = sbCompress
+	sm.stat.AssistWarps++
+	return true
+}
+
+// assistOnComplete derives an assist warp's completion callback from its
+// opaque User payload and routine. Keeping the mapping total on the User
+// type (rather than capturing ad-hoc closures) is what lets snapshot
+// restore reattach callbacks to deserialized AWT entries.
+func (sm *SM) assistOnComplete(user any, rtID core.RoutineID) func(*core.Entry) {
+	switch u := user.(type) {
+	case *storeEntry:
+		return func(done *core.Entry) { sm.finishCompressionStep(u, done) }
+	case *decompCtx:
+		if rtID == core.RtECCCheck {
+			return func(fin *core.Entry) { sm.finishECCCheck(u, fin.Exec) }
+		}
+		return func(fin *core.Entry) { sm.finishDecompression(u, fin.Exec) }
+	case *decompPlain:
+		return func(fin *core.Entry) {
+			// Injection disabled: verify against the backing store and
+			// complete — exactly the pre-fault-framework flow.
+			sm.verifyDecompression(u.ln, fin.Exec)
+			sm.stat.LinesDecompressed++
+			sm.runCont(u.done)
+		}
+	}
+	return nil
 }
 
 // finishCompressionStep consumes one routine's result.
@@ -1483,7 +1517,7 @@ type decompCtx struct {
 	ln       uint64
 	warp     int
 	injected bool
-	done     func()
+	done     cont
 	buf      [compress.LineSize]byte
 }
 
@@ -1511,48 +1545,47 @@ func (sm *SM) findAssistHost(pri core.Priority, warp int) int {
 // warp for a line arriving compressed; done runs when it finishes.
 // injected marks a fill the fault campaign corrupted, which routes the
 // completion through detection and recovery instead of delivering garbage.
-func (sm *SM) triggerDecompAW(ln uint64, st compress.Compressed, warp int, injected bool, done func()) {
+func (sm *SM) triggerDecompAW(ln uint64, st compress.Compressed, warp int, injected bool, done cont) {
 	sm.touch()
-	id, err := core.DecompRoutineID(st)
-	if err != nil {
+	if _, err := core.DecompRoutineID(st); err != nil {
 		sm.fail(fmt.Errorf("gpu: %w", err))
 		return
 	}
-	rt := sm.sim.AWS.MustGet(id)
 	var dc *decompCtx
 	if sm.sim.Sys.Inj != nil {
 		dc = &decompCtx{ln: ln, warp: warp, injected: injected, done: done}
 	}
-	try := func() bool {
-		host := sm.findAssistHost(rt.Priority, warp)
-		if host < 0 {
-			return false
-		}
-		ex := sm.newAssistExec(rt)
-		copy(ex.StageIn, st.Data)
-		var user any
-		onDone := func(fin *core.Entry) {
-			// Injection disabled: verify against the backing store and
-			// complete — exactly the pre-fault-framework flow.
-			sm.verifyDecompression(ln, fin.Exec)
-			sm.stat.LinesDecompressed++
-			done()
-		}
-		if dc != nil {
-			user = dc
-			onDone = func(fin *core.Entry) { sm.finishDecompression(dc, fin.Exec) }
-		}
-		e := sm.awc.Trigger(rt, host, ex, user, onDone)
-		if e == nil {
-			sm.releaseAssistExec(ex)
-			return false
-		}
-		sm.stat.AssistWarps++
-		return true
+	sm.record("decompression assist warp triggered", ln)
+	pt := pendingTrigger{kind: pendDecomp, ln: ln, st: st, warp: warp, done: done, dc: dc}
+	if !sm.tryDecompTrigger(&pt) {
+		sm.decompRetry = append(sm.decompRetry, pt)
 	}
-	if !try() {
-		sm.decompRetry = append(sm.decompRetry, try)
+}
+
+// tryDecompTrigger triggers the decompression assist warp for a queued
+// fill; false means the AWT had no slot and the trigger must retry.
+func (sm *SM) tryDecompTrigger(pt *pendingTrigger) bool {
+	id, _ := core.DecompRoutineID(pt.st) // validated at trigger time
+	rt := sm.sim.AWS.MustGet(id)
+	host := sm.findAssistHost(rt.Priority, pt.warp)
+	if host < 0 {
+		return false
 	}
+	ex := sm.newAssistExec(rt)
+	copy(ex.StageIn, pt.st.Data)
+	var user any
+	if pt.dc != nil {
+		user = pt.dc
+	} else {
+		user = &decompPlain{ln: pt.ln, done: pt.done}
+	}
+	e := sm.awc.Trigger(rt, host, ex, user, sm.assistOnComplete(user, id))
+	if e == nil {
+		sm.releaseAssistExec(ex)
+		return false
+	}
+	sm.stat.AssistWarps++
+	return true
 }
 
 // verifyDecompression checks the assist warp's output against the backing
@@ -1597,27 +1630,28 @@ func (sm *SM) finishDecompression(dc *decompCtx, ex *core.Exec) {
 // (staging loads + shuffle reduction); the pass/fail decision compares
 // the image against the backing store when the routine completes.
 func (sm *SM) startECCCheck(dc *decompCtx) {
+	if !sm.tryECC(dc) {
+		sm.decompRetry = append(sm.decompRetry, pendingTrigger{kind: pendECC, dc: dc})
+	}
+}
+
+// tryECC triggers the ECC-check assist warp over dc's decompressed image;
+// false means no AWT slot was available.
+func (sm *SM) tryECC(dc *decompCtx) bool {
 	rt := sm.sim.AWS.MustGet(core.RtECCCheck)
-	try := func() bool {
-		host := sm.findAssistHost(rt.Priority, dc.warp)
-		if host < 0 {
-			return false
-		}
-		ex := sm.newAssistExec(rt)
-		copy(ex.StageIn, dc.buf[:])
-		e := sm.awc.Trigger(rt, host, ex, dc, func(fin *core.Entry) {
-			sm.finishECCCheck(dc, fin.Exec)
-		})
-		if e == nil {
-			sm.releaseAssistExec(ex)
-			return false
-		}
-		sm.stat.AssistWarps++
-		return true
+	host := sm.findAssistHost(rt.Priority, dc.warp)
+	if host < 0 {
+		return false
 	}
-	if !try() {
-		sm.decompRetry = append(sm.decompRetry, try)
+	ex := sm.newAssistExec(rt)
+	copy(ex.StageIn, dc.buf[:])
+	e := sm.awc.Trigger(rt, host, ex, dc, sm.assistOnComplete(dc, core.RtECCCheck))
+	if e == nil {
+		sm.releaseAssistExec(ex)
+		return false
 	}
+	sm.stat.AssistWarps++
+	return true
 }
 
 // finishECCCheck resolves the check: a clean image completes the fill; a
@@ -1632,7 +1666,7 @@ func (sm *SM) finishECCCheck(dc *decompCtx, ex *core.Exec) {
 	var truth [compress.LineSize]byte
 	sm.domReadRaw(dc.ln, truth[:])
 	if bytes.Equal(dc.buf[:], truth[:]) {
-		dc.done()
+		sm.runCont(dc.done)
 		return
 	}
 	if dc.injected {
@@ -1641,14 +1675,15 @@ func (sm *SM) finishECCCheck(dc *decompCtx, ex *core.Exec) {
 		return
 	}
 	sm.stat.DecompMismatches++
-	dc.done()
+	sm.runCont(dc.done)
 }
 
 // refetchRaw fetches the uncompressed copy of a detected-corrupt line
 // instead of propagating garbage to the waiters; after runs when the
 // clean copy arrives (counted then as the recovery).
-func (sm *SM) refetchRaw(ln uint64, after func()) {
+func (sm *SM) refetchRaw(ln uint64, after cont) {
 	sm.touch()
+	sm.record("fault detected; refetching raw line", ln)
 	sm.sysReadLineRaw(ln, &fillCtx{kind: fillRefetch, after: after})
 }
 
@@ -1751,12 +1786,13 @@ func (sm *SM) checkAssistDone(e *core.Entry) {
 // onFill handles a line arriving from the memory system.
 func (sm *SM) onFill(ln uint64, user any) {
 	sm.touch()
+	sm.record("fill delivered", ln)
 	ctx := user.(*fillCtx)
 	if ctx.kind == fillRefetch {
 		// The uncompressed recovery copy arrived: the fault is repaired
 		// and the original fill's continuation resumes with clean data.
 		sm.stat.FaultsRecovered++
-		ctx.after()
+		sm.runCont(ctx.after)
 		return
 	}
 	if sm.sim.dbgFetch != nil && ctx.kind == fillLoad {
@@ -1767,11 +1803,9 @@ func (sm *SM) onFill(ln uint64, user any) {
 		}
 	}
 	st := sm.sim.Sys.ArrivesCompressed(ln)
-	proceed := func() {
-		sm.completeFill(ln, ctx)
-	}
+	proceed := cont{kind: contCompleteFill, ln: ln, fill: ctx}
 	if !st.IsCompressed() {
-		proceed()
+		sm.runCont(proceed)
 		return
 	}
 	// Bit-flip injection site: a compressed payload arriving at the SM may
@@ -1789,19 +1823,16 @@ func (sm *SM) onFill(ln uint64, user any) {
 	}
 	switch sm.sim.Design.Decomp {
 	case config.DecompIdeal:
-		proceed()
+		sm.runCont(proceed)
 	case config.DecompHW:
 		d, _ := compress.HWLatency(sm.sim.Design.Alg)
 		if injected {
 			// The dedicated decompressor's output check catches the flip
 			// after the decompression latency and refetches the raw line.
-			sm.sim.Q.After(float64(d), func() {
-				sm.stat.FaultsDetected++
-				sm.refetchRaw(ln, proceed)
-			})
+			sm.sim.Q.Push(sm.sim.Q.Now()+float64(d), actHWDetect{sm: sm, ln: ln, fill: ctx})
 			return
 		}
-		sm.sim.Q.After(float64(d), proceed)
+		sm.sim.Q.Push(sm.sim.Q.Now()+float64(d), actCompleteFill{sm: sm, ln: ln, fill: ctx})
 	case config.DecompCABA:
 		warp := 0
 		switch {
@@ -1812,7 +1843,7 @@ func (sm *SM) onFill(ln uint64, user any) {
 		}
 		sm.triggerDecompAW(ln, st, warp, injected, proceed)
 	default:
-		proceed()
+		sm.runCont(proceed)
 	}
 }
 

@@ -1,0 +1,37 @@
+package gpu
+
+import (
+	"fmt"
+
+	"github.com/caba-sim/caba/internal/audit"
+)
+
+// WedgeError is Run's structured report of a hung simulation: warps (or
+// the final memory drain) that can never make progress again, detected by
+// the wedge counter or the mid-run deadlock scan. Under fault injection a
+// wedge is the expected terminal outcome of a dropped response — callers
+// match it with errors.As to classify the run (the sweep runner treats
+// wedges as deterministic outcomes and never retries them).
+type WedgeError struct {
+	// Cycle is when the wedge was detected (for the drain detector, after
+	// the full wedge-limit budget of idle cycles).
+	Cycle uint64
+	// Dropped is the number of memory responses dropped by fault
+	// injection at detection time; zero for the drain-phase detector.
+	Dropped uint64
+	// Drain marks a wedge during the final memory drain (no runnable
+	// warps left) rather than a mid-run warp deadlock.
+	Drain bool
+	// Trail is the flight-recorder trail at detection, when enabled.
+	Trail []audit.Record
+}
+
+// Error keeps the exact legacy message text for both wedge classes.
+func (e *WedgeError) Error() string {
+	if e.Drain {
+		return fmt.Sprintf("gpu: wedged waiting for memory drain at cycle %d", e.Cycle)
+	}
+	return fmt.Sprintf(
+		"gpu: wedged at cycle %d: %d memory responses dropped by fault injection, warps stalled forever",
+		e.Cycle, e.Dropped)
+}

@@ -1,0 +1,204 @@
+package mem
+
+import (
+	"github.com/caba-sim/caba/internal/compress"
+	"github.com/caba-sim/caba/internal/timing"
+)
+
+// The memory system's pending work lives on the event queue as typed
+// actions so snapshot/restore can serialize the heap. Each action holds
+// live pointers for execution and is encoded by stable identity (partition
+// or channel index) plus its value fields; the opaque `user` payload is
+// owned by the GPU core and round-trips through the System's Codec.
+
+// actArriveRead delivers a read-request packet at its partition (the
+// crossbar traversal endpoint); the L2 lookup is a second stage.
+type actArriveRead struct {
+	p    *Partition
+	sm   int
+	ln   uint64
+	user any
+}
+
+// Run schedules the L2 tag lookup after the hit latency.
+func (a actArriveRead) Run() { a.p.handleRead(a.sm, a.ln, a.user) }
+
+// actReadL2 is the L2 lookup stage of a read: hit responds, miss allocates
+// an MSHR entry and fetches from DRAM.
+type actReadL2 struct {
+	p    *Partition
+	sm   int
+	ln   uint64
+	user any
+}
+
+// Run performs the lookup.
+func (a actReadL2) Run() {
+	p := a.p
+	if p.cache.Lookup(a.ln, false) {
+		p.sys.S.L2Hits++
+		p.respond(a.sm, a.ln, a.user)
+		return
+	}
+	p.sys.S.L2Misses++
+	primary, _ := p.mshr.Add(a.ln, readWaiter{sm: a.sm, user: a.user})
+	if !primary {
+		return
+	}
+	p.fetch(a.ln)
+}
+
+// actArriveReadRaw delivers a fault-recovery raw-read request packet.
+type actArriveReadRaw struct {
+	p    *Partition
+	sm   int
+	ln   uint64
+	user any
+}
+
+// Run schedules the L2 lookup stage.
+func (a actArriveReadRaw) Run() { a.p.handleReadRaw(a.sm, a.ln, a.user) }
+
+// actReadRawL2 is the L2 lookup stage of a raw read (MSHR bypassed).
+type actReadRawL2 struct {
+	p    *Partition
+	sm   int
+	ln   uint64
+	user any
+}
+
+// Run performs the lookup.
+func (a actReadRawL2) Run() {
+	p := a.p
+	if p.cache.Lookup(a.ln, false) {
+		p.sys.S.L2Hits++
+		p.respondRaw(a.sm, a.ln, a.user)
+		return
+	}
+	p.sys.S.L2Misses++
+	p.ch.Enqueue(a.ln, false, compress.MaxBursts,
+		actRespondRaw{p: p, sm: a.sm, ln: a.ln, user: a.user})
+}
+
+// actRespondRaw completes a raw DRAM read and sends the uncompressed line
+// back to the SM.
+type actRespondRaw struct {
+	p    *Partition
+	sm   int
+	ln   uint64
+	user any
+}
+
+// Run sends the response.
+func (a actRespondRaw) Run() { a.p.respondRaw(a.sm, a.ln, a.user) }
+
+// actArriveWrite delivers a full-line write packet at its partition.
+type actArriveWrite struct {
+	p  *Partition
+	ln uint64
+}
+
+// Run schedules the L2 write stage.
+func (a actArriveWrite) Run() { a.p.handleWrite(a.ln) }
+
+// actWriteL2 is the L2 stage of a write: insert (allocate-on-write) and
+// push out any evicted dirty lines.
+type actWriteL2 struct {
+	p  *Partition
+	ln uint64
+}
+
+// Run performs the insert.
+func (a actWriteL2) Run() {
+	p := a.p
+	if p.cache.Lookup(a.ln, true) {
+		p.sys.S.L2Hits++
+		// Size may have changed if the line recompressed differently.
+		p.writebacks(p.cache.Insert(a.ln, p.residentSize(a.ln), true))
+		return
+	}
+	p.sys.S.L2Misses++
+	p.writebacks(p.cache.Insert(a.ln, p.residentSize(a.ln), true))
+}
+
+// actFillDRAM completes a DRAM read for a missing L2 line.
+type actFillDRAM struct {
+	p  *Partition
+	ln uint64
+}
+
+// Run installs the line (possibly after HW decompression latency).
+func (a actFillDRAM) Run() { a.p.fill(a.ln) }
+
+// actDeliverFill installs a filled line into L2 and wakes its MSHR
+// waiters.
+type actDeliverFill struct {
+	p  *Partition
+	ln uint64
+}
+
+// Run installs and responds.
+func (a actDeliverFill) Run() {
+	p := a.p
+	evs := p.cache.Insert(a.ln, p.residentSize(a.ln), false)
+	p.writebacks(evs)
+	for _, w := range p.mshr.Complete(a.ln) {
+		wt := w.(readWaiter)
+		p.respond(wt.sm, a.ln, wt.user)
+	}
+}
+
+// actWBIssue issues an evicted dirty line's DRAM write (possibly delayed
+// by the HW compressor's latency for ScopeMemory designs).
+type actWBIssue struct {
+	p  *Partition
+	ln uint64
+}
+
+// Run computes the burst count at issue time and enqueues the write.
+func (a actWBIssue) Run() {
+	p := a.p
+	bursts := compress.MaxBursts
+	if p.sys.Design.Compressing() {
+		st := p.sys.Dom.State(a.ln)
+		bursts = st.Bursts()
+		p.sys.S.Ratio.Add(st)
+	}
+	p.ch.Enqueue(a.ln, true, bursts, timing.Nop{})
+}
+
+// actRespSend sends a (possibly fault-delayed) read response across the
+// interconnect. The flit count was computed at respond time, before the
+// delay, so a metadata update during the delay cannot change the packet.
+type actRespSend struct {
+	p     *Partition
+	sm    int
+	ln    uint64
+	flits int
+	user  any
+}
+
+// Run pushes the packet onto the response crossbar.
+func (a actRespSend) Run() {
+	a.p.sys.X.FromPartition(a.p.id, a.flits,
+		actFill{p: a.p, sm: a.sm, ln: a.ln, user: a.user})
+}
+
+// actFill delivers a response packet at its SM (the OnFill upcall).
+type actFill struct {
+	p    *Partition
+	sm   int
+	ln   uint64
+	user any
+}
+
+// Run invokes the SM fill handler.
+func (a actFill) Run() { a.p.sys.OnFill(a.sm, a.ln, a.user) }
+
+// actServe frees the DRAM data bus and picks the channel's next request.
+type actServe struct {
+	ch *Channel
+}
+
+// Run continues FR-FCFS service.
+func (a actServe) Run() { a.ch.serveNext() }

@@ -52,7 +52,7 @@ type dramReq struct {
 	bursts   int
 	arrival  float64
 	mdMiss   bool
-	done     func()
+	done     timing.Action
 }
 
 // Channel models one GDDR5 memory controller + device: banked timing with
@@ -115,8 +115,14 @@ func (ch *Channel) bankAndRow(lineAddr uint64) (int, int64) {
 	return b, row
 }
 
-// Enqueue adds a request; done runs when its last burst leaves the bus.
-func (ch *Channel) Enqueue(lineAddr uint64, write bool, bursts int, done func()) {
+// Enqueue adds a request; done runs when its last burst leaves the bus
+// (plus the CAS latency). Pass timing.Nop for fire-and-forget writes: the
+// completion event is scheduled either way, keeping the event sequence —
+// and hence the golden statistics — independent of who waits.
+func (ch *Channel) Enqueue(lineAddr uint64, write bool, bursts int, done timing.Action) {
+	if done == nil {
+		done = timing.Nop{}
+	}
 	r := &dramReq{
 		lineAddr: lineAddr,
 		write:    write,
@@ -226,14 +232,10 @@ func (ch *Channel) serveNext() {
 
 	// The requester sees the CAS latency on top of the data transfer.
 	respond := end + float64(t.TCL)*ch.coresPerMemLat
-	ch.q.At(respond, func() {
-		if r.done != nil {
-			r.done()
-		}
-	})
+	ch.q.Push(respond, r.done)
 	// The bus frees at `end`: pick the next request then (or now if the
 	// queue builds earlier — Enqueue restarts an idle channel).
-	ch.q.At(end, func() { ch.serveNext() })
+	ch.q.Push(end, actServe{ch: ch})
 }
 
 // QueueDepth returns the number of waiting requests (excluding the one in

@@ -2,6 +2,7 @@ package mem
 
 import (
 	"github.com/caba-sim/caba/internal/compress"
+	"github.com/caba-sim/caba/internal/timing"
 )
 
 // Outbox collects one SM's outbound shared-state operations during the
@@ -42,7 +43,7 @@ type stagedOp struct {
 	line uint64
 	user any
 	at   float64
-	fn   func()
+	act  timing.Action
 	st   compress.Compressed
 }
 
@@ -64,11 +65,11 @@ func (ob *Outbox) WriteLine(line uint64) {
 	ob.ops = append(ob.ops, stagedOp{kind: opWriteLine, line: line})
 }
 
-// Event stages a timed callback (Queue.At) for the commit phase. at is an
+// Event stages a timed action (Queue.Push) for the commit phase. at is an
 // absolute time; times at or before the commit cycle fire on the next
-// queue run, matching Queue.At's clamping on the direct path.
-func (ob *Outbox) Event(at float64, fn func()) {
-	ob.ops = append(ob.ops, stagedOp{kind: opEvent, at: at, fn: fn})
+// queue run, matching Queue.Push's clamping on the direct path.
+func (ob *Outbox) Event(at float64, act timing.Action) {
+	ob.ops = append(ob.ops, stagedOp{kind: opEvent, at: at, act: act})
 }
 
 // SetCompressed stages a Domain compression-state update.
@@ -118,13 +119,13 @@ func (sys *System) CommitOutbox(ob *Outbox) {
 		case opWriteLine:
 			sys.WriteLine(ob.SM, op.line)
 		case opEvent:
-			sys.Q.At(op.at, op.fn)
+			sys.Q.Push(op.at, op.act)
 		case opSetCompressed:
 			sys.Dom.SetCompressed(op.line, op.st)
 		case opSetRaw:
 			sys.Dom.SetRaw(op.line)
 		}
-		*op = stagedOp{} // drop user/fn references for the collector
+		*op = stagedOp{} // drop user/action references for the collector
 	}
 	ob.ops = ob.ops[:0]
 	if len(ob.dom) > 0 {

@@ -39,19 +39,8 @@ func newPartition(id int, sys *System) *Partition {
 
 // handleRead runs when a read request packet arrives at the partition.
 func (p *Partition) handleRead(sm int, lineAddr uint64, user any) {
-	p.sys.Q.After(float64(p.sys.Cfg.L2Latency), func() {
-		if p.cache.Lookup(lineAddr, false) {
-			p.sys.S.L2Hits++
-			p.respond(sm, lineAddr, user)
-			return
-		}
-		p.sys.S.L2Misses++
-		primary, _ := p.mshr.Add(lineAddr, readWaiter{sm: sm, user: user})
-		if !primary {
-			return
-		}
-		p.fetch(lineAddr)
-	})
+	p.sys.Q.Push(p.sys.Q.Now()+float64(p.sys.Cfg.L2Latency),
+		actReadL2{p: p, sm: sm, ln: lineAddr, user: user})
 }
 
 // fetch issues the DRAM read for a missing line.
@@ -62,27 +51,20 @@ func (p *Partition) fetch(lineAddr uint64) {
 		bursts = st.Bursts()
 		p.sys.S.Ratio.Add(st)
 	}
-	p.ch.Enqueue(lineAddr, false, bursts, func() { p.fill(lineAddr) })
+	p.ch.Enqueue(lineAddr, false, bursts, actFillDRAM{p: p, ln: lineAddr})
 }
 
 // fill installs a line arriving from DRAM and wakes its waiters.
 func (p *Partition) fill(lineAddr uint64) {
-	deliver := func() {
-		evs := p.cache.Insert(lineAddr, p.residentSize(lineAddr), false)
-		p.writebacks(evs)
-		for _, w := range p.mshr.Complete(lineAddr) {
-			wt := w.(readWaiter)
-			p.respond(wt.sm, lineAddr, wt.user)
-		}
-	}
+	deliver := actDeliverFill{p: p, ln: lineAddr}
 	if p.sys.Design.Scope == config.ScopeMemory && p.sys.Design.Decomp == config.DecompHW {
 		// Dedicated logic at the MC decompresses before the line enters
 		// L2 (HW-BDI-Mem): fixed-latency, off the core.
 		d, _ := compress.HWLatency(p.sys.Design.Alg)
-		p.sys.Q.After(float64(d), deliver)
+		p.sys.Q.Push(p.sys.Q.Now()+float64(d), deliver)
 		return
 	}
-	deliver()
+	deliver.Run()
 }
 
 // residentSize is the L2 slot size the line occupies: its compressed size
@@ -99,16 +81,8 @@ func (p *Partition) residentSize(lineAddr uint64) int {
 
 // handleWrite runs when a full-line write packet arrives.
 func (p *Partition) handleWrite(lineAddr uint64) {
-	p.sys.Q.After(float64(p.sys.Cfg.L2Latency), func() {
-		if p.cache.Lookup(lineAddr, true) {
-			p.sys.S.L2Hits++
-			// Size may have changed if the line recompressed differently.
-			p.writebacks(p.cache.Insert(lineAddr, p.residentSize(lineAddr), true))
-			return
-		}
-		p.sys.S.L2Misses++
-		p.writebacks(p.cache.Insert(lineAddr, p.residentSize(lineAddr), true))
-	})
+	p.sys.Q.Push(p.sys.Q.Now()+float64(p.sys.Cfg.L2Latency),
+		actWriteL2{p: p, ln: lineAddr})
 }
 
 // writebacks sends evicted dirty lines to DRAM.
@@ -118,27 +92,17 @@ func (p *Partition) writebacks(evs []Evicted) {
 			continue
 		}
 		p.sys.S.L2Evictions++
-		lineAddr := ev.LineAddr
-		issue := func() {
-			bursts := compress.MaxBursts
-			if p.sys.Design.Compressing() {
-				st := p.sys.Dom.State(lineAddr)
-				bursts = st.Bursts()
-				p.sys.S.Ratio.Add(st)
-			}
-			p.ch.Enqueue(lineAddr, true, bursts, nil)
-		}
+		issue := actWBIssue{p: p, ln: ev.LineAddr}
 		if p.sys.Design.Scope == config.ScopeMemory {
 			// HW-BDI-Mem compresses at the MC on the way out.
-			st := p.sys.Dom.CompressLine(lineAddr)
+			p.sys.Dom.CompressLine(ev.LineAddr)
 			if p.sys.Design.Decomp == config.DecompHW {
 				_, c := compress.HWLatency(p.sys.Design.Alg)
-				_ = st
-				p.sys.Q.After(float64(c), issue)
+				p.sys.Q.Push(p.sys.Q.Now()+float64(c), issue)
 				continue
 			}
 		}
-		issue()
+		issue.Run()
 	}
 }
 
@@ -154,19 +118,14 @@ func (p *Partition) respond(sm int, lineAddr uint64, user any) {
 		p.sys.S.ResponsesDropped++
 		return
 	}
-	flits := p.sys.respFlits(lineAddr)
-	send := func() {
-		p.sys.X.FromPartition(p.id, flits, func() {
-			p.sys.OnFill(sm, lineAddr, user)
-		})
-	}
+	send := actRespSend{p: p, sm: sm, ln: lineAddr, flits: p.sys.respFlits(lineAddr), user: user}
 	if d, ok := p.sys.Inj.RespDelay(); ok {
 		p.sys.S.FaultsInjected++
 		p.sys.S.ResponsesDelayed++
-		p.sys.Q.After(float64(d), send)
+		p.sys.Q.Push(p.sys.Q.Now()+float64(d), send)
 		return
 	}
-	send()
+	send.Run()
 }
 
 // handleReadRaw serves a fault-recovery refetch of the uncompressed line.
@@ -175,23 +134,13 @@ func (p *Partition) respond(sm int, lineAddr uint64, user any) {
 // recovery transfer is overhead, not part of the campaign's compressed
 // traffic.
 func (p *Partition) handleReadRaw(sm int, lineAddr uint64, user any) {
-	p.sys.Q.After(float64(p.sys.Cfg.L2Latency), func() {
-		if p.cache.Lookup(lineAddr, false) {
-			p.sys.S.L2Hits++
-			p.respondRaw(sm, lineAddr, user)
-			return
-		}
-		p.sys.S.L2Misses++
-		p.ch.Enqueue(lineAddr, false, compress.MaxBursts, func() {
-			p.respondRaw(sm, lineAddr, user)
-		})
-	})
+	p.sys.Q.Push(p.sys.Q.Now()+float64(p.sys.Cfg.L2Latency),
+		actReadRawL2{p: p, sm: sm, ln: lineAddr, user: user})
 }
 
 // respondRaw returns the uncompressed line at full-line flit cost, with no
 // fault injection (the recovery channel is protected).
 func (p *Partition) respondRaw(sm int, lineAddr uint64, user any) {
-	p.sys.X.FromPartition(p.id, p.sys.rawFlits(), func() {
-		p.sys.OnFill(sm, lineAddr, user)
-	})
+	p.sys.X.FromPartition(p.id, p.sys.rawFlits(),
+		actFill{p: p, sm: sm, ln: lineAddr, user: user})
 }

@@ -59,9 +59,7 @@ func (sys *System) PartitionOf(lineAddr uint64) int {
 func (sys *System) ReadLine(sm int, lineAddr uint64, user any) {
 	p := sys.PartitionOf(lineAddr)
 	// A read request is a single control flit.
-	sys.X.ToPartition(p, 1, func() {
-		sys.parts[p].handleRead(sm, lineAddr, user)
-	})
+	sys.X.ToPartition(p, 1, actArriveRead{p: sys.parts[p], sm: sm, ln: lineAddr, user: user})
 }
 
 // ReadLineRaw requests the uncompressed copy of a line — the
@@ -73,9 +71,7 @@ func (sys *System) ReadLine(sm int, lineAddr uint64, user any) {
 // are injected on it, otherwise a hot campaign could livelock recovery.
 func (sys *System) ReadLineRaw(sm int, lineAddr uint64, user any) {
 	p := sys.PartitionOf(lineAddr)
-	sys.X.ToPartition(p, 1, func() {
-		sys.parts[p].handleReadRaw(sm, lineAddr, user)
-	})
+	sys.X.ToPartition(p, 1, actArriveReadRaw{p: sys.parts[p], sm: sm, ln: lineAddr, user: user})
 }
 
 // WriteLine sends a full-line write toward L2. The payload size (and hence
@@ -84,9 +80,7 @@ func (sys *System) ReadLineRaw(sm int, lineAddr uint64, user any) {
 func (sys *System) WriteLine(sm int, lineAddr uint64) {
 	p := sys.PartitionOf(lineAddr)
 	flits := 1 + sys.payloadFlits(lineAddr)
-	sys.X.ToPartition(p, flits, func() {
-		sys.parts[p].handleWrite(lineAddr)
-	})
+	sys.X.ToPartition(p, flits, actArriveWrite{p: sys.parts[p], ln: lineAddr})
 }
 
 // payloadFlits returns the data flits a line occupies on the interconnect.

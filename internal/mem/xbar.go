@@ -30,7 +30,7 @@ func NewXbar(q *timing.Queue, s *stats.Sim, numPartitions int, latency float64) 
 	}
 }
 
-func (x *Xbar) send(link []float64, part, flits int, deliver func()) {
+func (x *Xbar) send(link []float64, part, flits int, deliver timing.Action) {
 	now := x.q.Now()
 	start := now
 	if link[part] > start {
@@ -38,18 +38,18 @@ func (x *Xbar) send(link []float64, part, flits int, deliver func()) {
 	}
 	end := start + float64(flits)
 	link[part] = end
-	x.q.At(end+x.latency, deliver)
+	x.q.Push(end+x.latency, deliver)
 }
 
-// ToPartition sends a packet of flits toward partition part, invoking
+// ToPartition sends a packet of flits toward partition part, running
 // deliver when it arrives.
-func (x *Xbar) ToPartition(part, flits int, deliver func()) {
+func (x *Xbar) ToPartition(part, flits int, deliver timing.Action) {
 	x.s.FlitsToMem += uint64(flits)
 	x.send(x.reqIn, part, flits, deliver)
 }
 
 // FromPartition sends a packet of flits from partition part toward an SM.
-func (x *Xbar) FromPartition(part, flits int, deliver func()) {
+func (x *Xbar) FromPartition(part, flits int, deliver timing.Action) {
 	x.s.FlitsFromMem += uint64(flits)
 	x.send(x.respOut, part, flits, deliver)
 }

@@ -1,0 +1,271 @@
+package snapshot
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	var w Writer
+	w.U8(0xab)
+	w.Bool(true)
+	w.Bool(false)
+	w.U32(0xdeadbeef)
+	w.U64(0x0123456789abcdef)
+	w.I64(-42)
+	w.Int(-7)
+	w.F64(math.Pi)
+	w.Len(3)
+	w.Bytes([]byte{1, 2, 3})
+	w.String("hello")
+
+	r := NewReader(w.Payload())
+	if got := r.U8(); got != 0xab {
+		t.Errorf("U8 = %#x", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if got := r.U32(); got != 0xdeadbeef {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := r.U64(); got != 0x0123456789abcdef {
+		t.Errorf("U64 = %#x", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := r.Int(); got != -7 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := r.F64(); got != math.Pi {
+		t.Errorf("F64 = %v", got)
+	}
+	if got := r.Len(10); got != 3 {
+		t.Errorf("Len = %d", got)
+	}
+	if got := r.Bytes(10); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("Bytes = %v", got)
+	}
+	if got := r.String(10); got != "hello" {
+		t.Errorf("String = %q", got)
+	}
+	if r.Err() != nil {
+		t.Fatalf("unexpected error: %v", r.Err())
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("%d bytes left over", r.Remaining())
+	}
+}
+
+func TestReaderErrorLatches(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	_ = r.U64() // needs 8 bytes, only 2 available
+	if r.Err() == nil {
+		t.Fatal("expected error after short read")
+	}
+	var fe *FormatError
+	if !errors.As(r.Err(), &fe) {
+		t.Fatalf("error %T is not *FormatError", r.Err())
+	}
+	// Subsequent reads return zero values without touching the buffer.
+	if got := r.U8(); got != 0 {
+		t.Errorf("U8 after error = %d", got)
+	}
+	if got := r.Bytes(100); got != nil {
+		t.Errorf("Bytes after error = %v", got)
+	}
+}
+
+func TestReaderRejectsBadValues(t *testing.T) {
+	// Boolean byte other than 0/1.
+	r := NewReader([]byte{2})
+	r.Bool()
+	if r.Err() == nil {
+		t.Error("Bool(2) accepted")
+	}
+	// Length exceeding max.
+	var w Writer
+	w.Len(100)
+	r = NewReader(append(w.Payload(), make([]byte, 100)...))
+	r.Len(50)
+	if r.Err() == nil {
+		t.Error("length beyond max accepted")
+	}
+	// Length exceeding remaining bytes (the giant-allocation guard).
+	var w2 Writer
+	w2.Len(1 << 40)
+	r = NewReader(w2.Payload())
+	r.Bytes(1 << 50)
+	if r.Err() == nil {
+		t.Error("length beyond remaining bytes accepted")
+	}
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	payload := []byte("state bytes here")
+	const hash = 0x1122334455667788
+	blob := Seal(hash, payload)
+	got, err := Open(blob, hash)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if string(got) != string(payload) {
+		t.Errorf("payload mismatch: %q", got)
+	}
+}
+
+func TestOpenRejectsTampering(t *testing.T) {
+	payload := []byte("state bytes here")
+	const hash = 0x1122334455667788
+	blob := Seal(hash, payload)
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+		hash   uint64
+	}{
+		{"wrong hash", func(b []byte) []byte { return b }, hash + 1},
+		{"truncated header", func(b []byte) []byte { return b[:10] }, hash},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-5] }, hash},
+		{"empty", func(b []byte) []byte { return nil }, hash},
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b }, hash},
+		{"version skew", func(b []byte) []byte { b[8]++; return b }, hash},
+		{"payload bit flip", func(b []byte) []byte { b[headerSize+3] ^= 0x10; return b }, hash},
+		{"crc bit flip", func(b []byte) []byte { b[len(b)-1] ^= 1; return b }, hash},
+		{"extra trailing byte", func(b []byte) []byte { return append(b, 0) }, hash},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.mutate(append([]byte(nil), blob...))
+			if _, err := Open(b, tc.hash); err == nil {
+				t.Fatal("tampered blob accepted")
+			} else {
+				var fe *FormatError
+				if !errors.As(err, &fe) {
+					t.Fatalf("error %T is not *FormatError", err)
+				}
+			}
+		})
+	}
+}
+
+type plainInner struct {
+	Name  string
+	Vals  []uint64
+	Flag  bool
+	Ratio float64
+}
+
+type plainOuter struct {
+	A     int
+	B     uint32
+	Inner plainInner
+	Arr   [3]int16
+}
+
+func TestPlainCodecRoundTrip(t *testing.T) {
+	in := plainOuter{
+		A:     -99,
+		B:     77,
+		Inner: plainInner{Name: "x", Vals: []uint64{1, 2, 3}, Flag: true, Ratio: 0.5},
+		Arr:   [3]int16{-1, 0, 1},
+	}
+	var w Writer
+	if err := EncodePlain(&w, in); err != nil {
+		t.Fatalf("EncodePlain: %v", err)
+	}
+	var out plainOuter
+	r := NewReader(w.Payload())
+	if err := DecodePlain(r, &out); err != nil {
+		t.Fatalf("DecodePlain: %v", err)
+	}
+	if out.A != in.A || out.B != in.B || out.Inner.Name != in.Inner.Name ||
+		len(out.Inner.Vals) != 3 || out.Inner.Vals[2] != 3 ||
+		!out.Inner.Flag || out.Inner.Ratio != 0.5 || out.Arr != in.Arr {
+		t.Errorf("round trip mismatch: %+v", out)
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("%d bytes left over", r.Remaining())
+	}
+}
+
+func TestPlainCodecRejectsPointers(t *testing.T) {
+	var w Writer
+	if err := EncodePlain(&w, struct{ P *int }{}); err == nil {
+		t.Error("pointer field accepted")
+	}
+}
+
+func TestHashPlainStable(t *testing.T) {
+	a, err := HashPlain(plainOuter{A: 1}, "tag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := HashPlain(plainOuter{A: 1}, "tag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("hash not deterministic")
+	}
+	c, err := HashPlain(plainOuter{A: 2}, "tag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("hash insensitive to value change")
+	}
+}
+
+// FuzzOpen checks that no input to the container validator panics or is
+// accepted without a matching seal.
+func FuzzOpen(f *testing.F) {
+	f.Add([]byte{}, uint64(0))
+	f.Add(Seal(42, []byte("payload")), uint64(42))
+	f.Add(Seal(42, []byte("payload")), uint64(43))
+	blob := Seal(7, []byte("x"))
+	blob[9]++
+	f.Add(blob, uint64(7))
+	f.Fuzz(func(t *testing.T, b []byte, hash uint64) {
+		payload, err := Open(b, hash)
+		if err != nil {
+			var fe *FormatError
+			if !errors.As(err, &fe) {
+				t.Fatalf("error %T is not *FormatError", err)
+			}
+			return
+		}
+		// Accepted blobs must round-trip exactly.
+		again := Seal(hash, payload)
+		if string(again) != string(b) {
+			t.Fatalf("accepted blob does not re-seal identically")
+		}
+	})
+}
+
+// FuzzReader drives the bounds-checked primitives over arbitrary bytes;
+// they must never panic and must latch an error instead of over-reading.
+func FuzzReader(f *testing.F) {
+	var w Writer
+	w.U64(1)
+	w.Bytes([]byte("abc"))
+	w.Bool(true)
+	f.Add(w.Payload())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		r := NewReader(b)
+		_ = r.U8()
+		_ = r.Bool()
+		_ = r.U32()
+		_ = r.U64()
+		_ = r.Int()
+		_ = r.F64()
+		_ = r.Bytes(1 << 16)
+		_ = r.String(1 << 16)
+		if r.Remaining() < 0 {
+			t.Fatal("reader over-read the buffer")
+		}
+	})
+}

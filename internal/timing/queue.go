@@ -1,23 +1,58 @@
 // Package timing provides the discrete-event scheduler that coordinates
 // the simulator's clock domains. SM cores tick cycle by cycle (issue-slot
 // accounting needs every cycle), while the interconnect, L2 and DRAM are
-// event-driven: they schedule completion callbacks on this queue. Times are
+// event-driven: they schedule completion actions on this queue. Times are
 // in core-clock cycles; fractional times express the DRAM clock domain.
 package timing
 
-// Event is a scheduled callback.
-type event struct {
-	time float64
-	seq  uint64 // FIFO tie-break for equal times
-	fn   func()
+// Action is a scheduled unit of work. Pending actions are part of the
+// simulator's architectural state: snapshot/restore serializes the event
+// heap, so every action type that can be pending across a cycle boundary
+// must be a named struct the owning package knows how to encode. Plain
+// closures (via At/After) are still accepted for tests and intra-cycle
+// scheduling, but they are opaque to snapshotting.
+type Action interface {
+	Run()
 }
 
-// Queue is a min-heap of timed callbacks. The zero value is ready to use.
+// funcAction adapts a plain closure to Action. Opaque to snapshotting.
+type funcAction struct{ fn func() }
+
+// Run invokes the wrapped closure.
+func (a funcAction) Run() { a.fn() }
+
+// Nop is an Action that does nothing. DRAM writes use it as their
+// completion action so the response event is always scheduled (keeping the
+// event sequence identical whether or not anyone waits on the request).
+type Nop struct{}
+
+// Run does nothing.
+func (Nop) Run() {}
+
+// Fn adapts a plain closure to Action for callers (mostly tests) that
+// need to pass one where an Action is expected. Opaque to snapshotting.
+func Fn(fn func()) Action { return funcAction{fn} }
+
+// IsOpaque reports whether a is a closure wrapper that cannot be
+// serialized (scheduled via At/After/Fn rather than a named action type).
+func IsOpaque(a Action) bool {
+	_, ok := a.(funcAction)
+	return ok
+}
+
+// Event is one pending heap entry, exposed for snapshotting.
+type Event struct {
+	Time float64
+	Seq  uint64 // FIFO tie-break for equal times
+	Act  Action
+}
+
+// Queue is a min-heap of timed actions. The zero value is ready to use.
 // The heap is hand-rolled over a typed slice: events are sifted by value
-// with no interface boxing, so scheduling does not allocate beyond the
-// callback itself.
+// with no extra boxing, so scheduling does not allocate beyond the action
+// itself.
 type Queue struct {
-	h   []event
+	h   []Event
 	seq uint64
 	now float64
 }
@@ -28,10 +63,10 @@ func (q *Queue) Now() float64 { return q.now }
 
 // less orders events by time, FIFO within a time.
 func (q *Queue) less(i, j int) bool {
-	if q.h[i].time != q.h[j].time {
-		return q.h[i].time < q.h[j].time
+	if q.h[i].Time != q.h[j].Time {
+		return q.h[i].Time < q.h[j].Time
 	}
-	return q.h[i].seq < q.h[j].seq
+	return q.h[i].Seq < q.h[j].Seq
 }
 
 // up restores the heap property from leaf i toward the root.
@@ -66,16 +101,20 @@ func (q *Queue) down(i int) {
 	}
 }
 
-// At schedules fn to run at time t. Scheduling in the past runs the event
-// at the current horizon instead (time never goes backwards).
-func (q *Queue) At(t float64, fn func()) {
+// Push schedules a to run at time t. Scheduling in the past runs the
+// action at the current horizon instead (time never goes backwards).
+func (q *Queue) Push(t float64, a Action) {
 	if t < q.now {
 		t = q.now
 	}
 	q.seq++
-	q.h = append(q.h, event{time: t, seq: q.seq, fn: fn})
+	q.h = append(q.h, Event{Time: t, Seq: q.seq, Act: a})
 	q.up(len(q.h) - 1)
 }
+
+// At schedules fn to run at time t (closure convenience; opaque to
+// snapshotting — see Action).
+func (q *Queue) At(t float64, fn func()) { q.Push(t, funcAction{fn}) }
 
 // After schedules fn to run delay cycles after the current horizon.
 func (q *Queue) After(delay float64, fn func()) { q.At(q.now+delay, fn) }
@@ -83,17 +122,17 @@ func (q *Queue) After(delay float64, fn func()) { q.At(q.now+delay, fn) }
 // RunUntil executes all events with time <= t in time order (events may
 // schedule further events, which are honored if they also fall within t).
 func (q *Queue) RunUntil(t float64) {
-	for len(q.h) > 0 && q.h[0].time <= t {
+	for len(q.h) > 0 && q.h[0].Time <= t {
 		e := q.h[0]
 		n := len(q.h) - 1
 		q.h[0] = q.h[n]
-		q.h[n] = event{} // release the callback for GC
+		q.h[n] = Event{} // release the action for GC
 		q.h = q.h[:n]
 		q.down(0)
-		if e.time > q.now {
-			q.now = e.time
+		if e.Time > q.now {
+			q.now = e.Time
 		}
-		e.fn()
+		e.Act.Run()
 	}
 	if t > q.now {
 		q.now = t
@@ -109,5 +148,46 @@ func (q *Queue) NextTime() (t float64, ok bool) {
 	if len(q.h) == 0 {
 		return 0, false
 	}
-	return q.h[0].time, true
+	return q.h[0].Time, true
+}
+
+// Snapshot returns the queue's clock, sequence counter and pending events
+// sorted in firing order (time, then seq). The slice is a copy.
+func (q *Queue) Snapshot() (now float64, seq uint64, evs []Event) {
+	evs = make([]Event, len(q.h))
+	copy(evs, q.h)
+	// Heapsort in place: repeatedly pop the minimum. Cheaper to sort a
+	// copy than to expose heap internals; snapshotting is off the hot
+	// path.
+	sortEvents(evs)
+	return q.now, q.seq, evs
+}
+
+// Restore replaces the queue's state with a snapshot previously produced
+// by Snapshot (evs must be sorted in firing order; a sorted slice is a
+// valid min-heap, so it is adopted directly).
+func (q *Queue) Restore(now float64, seq uint64, evs []Event) {
+	q.now = now
+	q.seq = seq
+	q.h = append(q.h[:0], evs...)
+}
+
+// sortEvents orders events by (time, seq) with a simple binary-insertion
+// sort — snapshot sizes are small (the simulator keeps tens of events in
+// flight) and this avoids importing sort for a comparator closure.
+func sortEvents(evs []Event) {
+	for i := 1; i < len(evs); i++ {
+		e := evs[i]
+		lo, hi := 0, i
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if evs[mid].Time < e.Time || (evs[mid].Time == e.Time && evs[mid].Seq < e.Seq) {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		copy(evs[lo+1:i+1], evs[lo:i])
+		evs[lo] = e
+	}
 }

@@ -15,6 +15,12 @@ trap 'rm -f "$tmp"' EXIT
 go vet ./...
 go test -race ./...
 go test -run 'TestZeroFaultGolden' .
+# The maintenance knobs (CheckpointEvery/AuditEvery) default to zero in
+# every benchmarked configuration and must add nothing there beyond one
+# dead compare per cycle; the restore-equivalence and clean-audit tests
+# pin that a run with the knobs on produces statistics DeepEqual to a
+# plain run, so the knobs provably do not perturb the machine being timed.
+go test -run 'TestSnapshotRestoreEquivalence|TestAuditEveryPassesCleanRun' ./internal/gpu
 
 go test -run '^$' \
   -bench 'BenchmarkSimBasePVC$|BenchmarkSimCABAPVC$|BenchmarkSimBaseSSSP$|BenchmarkSimCABASSSP$|BenchmarkSimHotLoop$' \
