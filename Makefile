@@ -15,13 +15,18 @@ FUZZ_TARGETS = \
 	FuzzSnapshotLoad:./internal/gpu
 FUZZTIME ?= 10s
 
-.PHONY: build vet test race fuzz snapshot-check check bench
+.PHONY: build vet lint test race fuzz snapshot-check trace-check check bench
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint enforces godoc coverage on the observability and reliability
+# packages with the repo's own stdlib-only checker (no external linters).
+lint:
+	$(GO) run ./scripts/lintdoc ./internal/obs ./internal/audit ./internal/faults ./internal/snapshot
 
 test:
 	$(GO) test ./...
@@ -44,8 +49,14 @@ snapshot-check:
 	$(GO) test ./internal/snapshot
 	$(GO) test -run 'Snapshot|Audit|Wedge|Checkpoint' ./internal/gpu ./experiments .
 
+# trace-check proves the trace exporter's schema promise end to end: a
+# small instrumented PVC run must produce a Perfetto-loadable trace with
+# balanced spans and monotone timestamps.
+trace-check:
+	$(GO) test -run 'TestTraceSchemaPVC' .
+
 # check is the tier-1 gate: everything must pass before a commit.
-check: build vet snapshot-check test race fuzz
+check: build vet lint snapshot-check trace-check test race fuzz
 
 # bench refreshes BENCH_sim.json with the simulator hot-loop and event
 # queue numbers (ns/op, B/op, allocs/op).

@@ -33,6 +33,7 @@ import (
 	"github.com/caba-sim/caba/internal/energy"
 	"github.com/caba-sim/caba/internal/gpu"
 	"github.com/caba-sim/caba/internal/isa"
+	"github.com/caba-sim/caba/internal/obs"
 	"github.com/caba-sim/caba/internal/snapshot"
 	"github.com/caba-sim/caba/internal/stats"
 	"github.com/caba-sim/caba/internal/workloads"
@@ -62,6 +63,21 @@ type Occupancy = gpu.Occupancy
 
 // EnergyModel holds the event-energy constants.
 type EnergyModel = energy.Model
+
+// MetricsSeries is the cycle-sampled metrics time-series a run records
+// when Config.SampleEvery is set (one MetricsSample per window).
+type MetricsSeries = obs.Series
+
+// MetricsSample is one row of a MetricsSeries.
+type MetricsSample = obs.Sample
+
+// StallAttribution is the per-warp stall attribution report a run
+// records when Config.AttributeStalls is set.
+type StallAttribution = obs.Attribution
+
+// Trace is the Chrome-trace/Perfetto event recorder a run fills when
+// Config.TraceFile is set.
+type Trace = obs.Trace
 
 // The evaluated designs (Section 6).
 var (
@@ -138,6 +154,16 @@ type Result struct {
 
 	Occupancy Occupancy
 	Stats     *Metrics
+
+	// Series is the sampled metrics time-series (nil unless
+	// Config.SampleEvery > 0). When Config.MetricsFile is also set the
+	// series is additionally written there as JSONL (or CSV for a
+	// ".csv" path) when the run completes.
+	Series *MetricsSeries
+	// Stalls is the per-warp stall attribution report (nil unless
+	// Config.AttributeStalls). Its Sum always equals the run's unissued
+	// scheduler slots: Cycles × NumSchedulers × NumSMs − IssueSlots[Active].
+	Stalls *StallAttribution
 }
 
 // ErrInterrupted is wrapped into the error a run returns when it is
@@ -187,7 +213,7 @@ func RunContext(ctx context.Context, cfg Config, design Design, appName string, 
 	if err := runSim(ctx, sim, maxCycles); err != nil {
 		return nil, fmt.Errorf("caba: %s/%s: %w", appName, design.Name, err)
 	}
-	return finishResult(appName, design, &cfg, sim, inputRatio), nil
+	return finishResult(appName, design, &cfg, sim, inputRatio)
 }
 
 // prepareApp builds and prepares the simulator for one application run:
@@ -263,7 +289,7 @@ func RunCheckpointed(ctx context.Context, cfg Config, design Design, appName str
 	}
 	os.Remove(ckptPath)
 	os.Remove(ckptPath + ".crash")
-	return finishResult(appName, design, &cfg, sim, inputRatio), nil
+	return finishResult(appName, design, &cfg, sim, inputRatio)
 }
 
 // writeFileAtomic persists blob so that a crash mid-write can never leave
@@ -335,7 +361,7 @@ func RunKernelContext(ctx context.Context, cfg Config, design Design, k *Kernel,
 	if err := runSim(ctx, sim, 0); err != nil {
 		return nil, err
 	}
-	return finishResult(k.Prog.Name, design, &cfg, sim, 1), nil
+	return finishResult(k.Prog.Name, design, &cfg, sim, 1)
 }
 
 // runSim drives sim.Run under ctx: a watcher goroutine requests an
@@ -364,7 +390,11 @@ func runSim(ctx context.Context, sim *gpu.Simulator, maxCycles uint64) error {
 	return err
 }
 
-func finishResult(app string, design Design, cfg *Config, sim *gpu.Simulator, inputRatio float64) *Result {
+// finishResult derives the paper's metrics from a completed run and
+// flushes the enabled observability outputs (metrics series, trace). The
+// outputs are written only for successful runs; a write failure surfaces
+// as the run's error.
+func finishResult(app string, design Design, cfg *Config, sim *gpu.Simulator, inputRatio float64) (*Result, error) {
 	m := energy.DefaultModel()
 	energy.Apply(&m, cfg, design, sim.S)
 	r := &Result{
@@ -387,7 +417,48 @@ func finishResult(app string, design Design, cfg *Config, sim *gpu.Simulator, in
 		Stats:            sim.S,
 	}
 	r.FFSkips, r.FFCycles = sim.FastForwardStats()
-	return r
+	r.Series = sim.Series()
+	r.Stalls = sim.StallAttribution()
+	if err := writeObsOutputs(cfg, sim); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// writeObsOutputs flushes the run's enabled observability files: the
+// metrics series to Config.MetricsFile (JSONL, or CSV when the path ends
+// in ".csv") and the event trace to Config.TraceFile (Chrome Trace Event
+// JSON, loadable in Perfetto). Open trace spans are closed at the final
+// cycle first, so the emitted file always passes schema validation. Both
+// are written atomically (temp file + rename).
+func writeObsOutputs(cfg *Config, sim *gpu.Simulator) error {
+	if s := sim.Series(); s != nil && cfg.MetricsFile != "" {
+		var b strings.Builder
+		var err error
+		if strings.HasSuffix(cfg.MetricsFile, ".csv") {
+			err = s.WriteCSV(&b)
+		} else {
+			err = s.WriteJSONL(&b)
+		}
+		if err == nil {
+			err = writeFileAtomic(cfg.MetricsFile, []byte(b.String()))
+		}
+		if err != nil {
+			return fmt.Errorf("caba: writing metrics series: %w", err)
+		}
+	}
+	if tr := sim.Trace(); tr != nil && cfg.TraceFile != "" {
+		tr.CloseOpen(sim.Cycles())
+		var b strings.Builder
+		err := tr.Flush(&b)
+		if err == nil {
+			err = writeFileAtomic(cfg.TraceFile, []byte(b.String()))
+		}
+		if err != nil {
+			return fmt.Errorf("caba: writing trace: %w", err)
+		}
+	}
+	return nil
 }
 
 // Assemble compiles a kernel written in the textual ISA (the same

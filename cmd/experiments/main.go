@@ -7,6 +7,9 @@
 //	experiments -full             # paper-scale working sets (slow)
 //	experiments -all -checkpoint runs.ckpt -run-timeout 10m -retries 1
 //	                              # hardened sweep: resumable, deadline-bounded
+//	experiments -obs pvc -design CABA-BDI -obs-dir obs/
+//	                              # one fully-instrumented cell: metrics
+//	                              # time-series, stall attribution, trace
 //
 // With -checkpoint, completed runs persist as the sweep goes; rerunning
 // the same command resumes from where the previous invocation stopped.
@@ -49,6 +52,13 @@ func realMain() int {
 	runTimeout := flag.Duration("run-timeout", 0,
 		"wall-clock deadline per simulation (0 = none); timed-out cells are reported and the sweep continues")
 	retries := flag.Int("retries", 0, "extra attempts per failed simulation, with exponential backoff")
+	obsApp := flag.String("obs", "",
+		"run ONE instrumented cell for this app: metrics time-series + stall attribution + Perfetto trace")
+	obsDesign := flag.String("design", "CABA-BDI",
+		"design for -obs ("+strings.Join(experiments.ObsDesignNames(), ", ")+")")
+	obsDir := flag.String("obs-dir", "obs", "output directory for -obs artifacts")
+	sampleEvery := flag.Uint64("sample-every", 0,
+		"metrics sampling cadence in cycles for -obs (0 = auto from -scale)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -122,6 +132,17 @@ func realMain() int {
 	}
 
 	switch {
+	case *obsApp != "":
+		d, ok := experiments.ObsDesign(*obsDesign)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown design %q (want one of %s)\n",
+				*obsDesign, strings.Join(experiments.ObsDesignNames(), ", "))
+			return 2
+		}
+		if _, err := experiments.ObsRun(o, *obsApp, d, *obsDir, *sampleEvery); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return 1
+		}
 	case *table == 1:
 		experiments.Table1(o)
 	case *figs != "":

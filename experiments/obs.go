@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	caba "github.com/caba-sim/caba"
+)
+
+// --- Observability deep-dive: one cell, fully instrumented ---
+//
+// The sweep figures aggregate end-of-run statistics across a grid. ObsRun
+// is the complement: it re-runs ONE grid cell with the observability
+// layer fully enabled — cycle-sampled metrics, per-warp stall
+// attribution, Perfetto trace export — and renders the Figure-1 issue
+// breakdown as a time-series instead of a single bar, so phase behavior
+// (ramp-up, steady state, drain, assist-warp bursts) becomes visible.
+
+// ObsResult carries the artifacts of one instrumented run.
+type ObsResult struct {
+	// Result is the simulation outcome, with Series and Stalls populated.
+	Result *caba.Result
+	// MetricsPath is the JSONL metrics time-series written under Dir.
+	MetricsPath string
+	// TracePath is the Chrome-trace/Perfetto file written under Dir.
+	TracePath string
+}
+
+// obsDesigns lists the designs the -obs mode accepts by name.
+var obsDesigns = []caba.Design{
+	caba.Base, caba.HWBDIMem, caba.HWBDI, caba.CABABDI, caba.IdealBDI,
+	caba.CABAFPC, caba.CABACPack, caba.CABABest,
+}
+
+// ObsDesign resolves a design name (as printed in the figures, e.g.
+// "CABA-BDI") for the -obs mode. The second result reports whether the
+// name is known.
+func ObsDesign(name string) (caba.Design, bool) {
+	for _, d := range obsDesigns {
+		if strings.EqualFold(d.Name, name) {
+			return d, true
+		}
+	}
+	return caba.Design{}, false
+}
+
+// ObsDesignNames returns the accepted -obs design names, for usage text.
+func ObsDesignNames() []string {
+	names := make([]string, len(obsDesigns))
+	for i, d := range obsDesigns {
+		names[i] = d.Name
+	}
+	return names
+}
+
+// ObsRun executes one (app, design) cell with observability enabled,
+// writes the metrics series (JSONL) and execution trace (Chrome-trace
+// JSON, loadable in Perfetto) under dir, and renders the
+// utilization-breakdown time-series figure plus the stall-attribution
+// table to o.Out. sampleEvery <= 0 picks a cadence that yields on the
+// order of 60 rows for the run's length (two passes: a probe run is not
+// needed because the cadence only shapes the figure, not the statistics
+// — the bit-identical-stats invariant holds at every cadence).
+func ObsRun(o Options, app string, design caba.Design, dir string, sampleEvery uint64) (*ObsResult, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("experiments: obs output dir: %w", err)
+	}
+	if sampleEvery == 0 {
+		sampleEvery = defaultObsSampleEvery(o.Scale)
+	}
+	stem := sanitizeCell(app + "-" + design.Name)
+	res := &ObsResult{
+		MetricsPath: filepath.Join(dir, stem+".metrics.jsonl"),
+		TracePath:   filepath.Join(dir, stem+".trace.json"),
+	}
+	cfg := o.cfg()
+	cfg.SampleEvery = sampleEvery
+	cfg.MetricsFile = res.MetricsPath
+	cfg.TraceFile = res.TracePath
+	cfg.AttributeStalls = true
+	run := o.runHook
+	if run == nil {
+		run = caba.RunContext
+	}
+	r, err := run(context.Background(), cfg, design, app, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	res.Result = r
+
+	out := o.out()
+	fmt.Fprintf(out, "Observed run: %s under %s (scale %g, seed %d, sample every %d cycles)\n",
+		app, design.Name, o.Scale, o.Seed, sampleEvery)
+	fmt.Fprintf(out, "cycles %d  IPC %.3f  metrics -> %s  trace -> %s\n\n",
+		r.Cycles, r.IPC, res.MetricsPath, res.TracePath)
+	RenderSeriesFigure(out, r.Series)
+	if r.Stalls != nil {
+		fmt.Fprintln(out)
+		r.Stalls.RenderTable(out, 10)
+	}
+	return res, nil
+}
+
+// defaultObsSampleEvery picks a sampling cadence that gives a readable
+// figure (~tens of rows) for a quick-scale run, scaling with the working
+// set so paper-scale runs do not produce thousands of rows.
+func defaultObsSampleEvery(scale float64) uint64 {
+	if scale <= 0 {
+		scale = 1
+	}
+	every := uint64(2000 * scale * 10)
+	if every < 500 {
+		every = 500
+	}
+	return every
+}
+
+// sanitizeCell maps a cell label to a safe file stem.
+func sanitizeCell(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-', r == '_':
+			return r
+		}
+		return '_'
+	}, s)
+}
+
+// seriesBarWidth is the character width of the stacked issue-breakdown
+// bar in the rendered time-series figure.
+const seriesBarWidth = 50
+
+// RenderSeriesFigure renders the metrics time-series as a text figure:
+// one row per sample with a stacked issue-slot utilization bar (the
+// Figure-1 categories over time) flanked by the window's IPC and the
+// DRAM bus busy fraction. A nil or empty series renders a placeholder
+// line instead of nothing, so callers need not special-case it.
+func RenderSeriesFigure(w io.Writer, s *caba.MetricsSeries) {
+	if s == nil || s.Len() == 0 {
+		fmt.Fprintln(w, "(no metrics samples: run shorter than one sampling window)")
+		return
+	}
+	fmt.Fprintf(w, "Issue-slot utilization over time (%c active, %c compute-stall, %c memory-stall, %c data-dep, %c idle)\n",
+		barGlyphs[0], barGlyphs[1], barGlyphs[2], barGlyphs[3], barGlyphs[4])
+	fmt.Fprintf(w, "%12s  %-*s %6s %6s %6s\n", "cycle", seriesBarWidth, "issue slots", "ipc", "dram", "awocc")
+	for i := 0; i < s.Len(); i++ {
+		row := s.At(i)
+		fmt.Fprintf(w, "%12d  %s %6.2f %5.0f%% %5.0f%%\n",
+			row.Cycle,
+			stackedBar([]float64{row.IssueActive, row.IssueComp, row.IssueMem, row.IssueDep, row.IssueIdle}),
+			row.IPC, 100*row.DRAMBusy, 100*row.AWOcc)
+	}
+}
+
+// barGlyphs are the stacked-bar fill characters, in the Figure-1
+// category order: active, compute stall, memory stall, data dep, idle.
+var barGlyphs = [5]byte{'#', 'c', 'm', 'd', '.'}
+
+// stackedBar renders fractions (summing to ~1) as a fixed-width stacked
+// bar. Rounding error is absorbed by the last non-zero segment so the
+// bar is always exactly seriesBarWidth characters.
+func stackedBar(fracs []float64) string {
+	var b [seriesBarWidth]byte
+	pos := 0
+	for i, f := range fracs {
+		n := int(f*seriesBarWidth + 0.5)
+		if i == len(fracs)-1 {
+			n = seriesBarWidth - pos
+		}
+		if n > seriesBarWidth-pos {
+			n = seriesBarWidth - pos
+		}
+		for j := 0; j < n; j++ {
+			b[pos] = barGlyphs[i]
+			pos++
+		}
+	}
+	for pos < seriesBarWidth {
+		b[pos] = barGlyphs[len(barGlyphs)-1]
+		pos++
+	}
+	return string(b[:])
+}

@@ -150,6 +150,43 @@ type Config struct {
 	// violations and panics attach the merged recent-event trail. 0
 	// disables recording and adds zero overhead.
 	FlightRecorderDepth int
+
+	// SampleEvery records a metrics time-series sample (IPC, issue-slot
+	// breakdown, hit rates, MSHR/assist-warp occupancy, DRAM bus busy
+	// fraction, compression ratio) every N core cycles into
+	// Result.Series. Sampling reads counters after the phase-B commit on
+	// the main goroutine, so the series is identical at every SMWorkers
+	// setting; fast-forwarded windows synthesize the flat samples the
+	// per-cycle path would have recorded; snapshot/restore carries the
+	// sampler state so resumed runs emit identical series. 0 disables
+	// sampling and adds zero overhead. Simulated statistics are
+	// bit-identical either way.
+	SampleEvery uint64
+
+	// MetricsFile writes the sampled series (needs SampleEvery > 0) to
+	// this path at the end of the run, as JSON Lines (".csv" suffix
+	// selects CSV). Empty writes nothing. Pure output: it does not
+	// affect simulation and is excluded from the snapshot config hash.
+	MetricsFile string
+
+	// TraceFile writes a Chrome-trace/Perfetto JSON timeline of the run
+	// to this path: warp lifetimes, assist-warp spawn→complete spans
+	// (keyed by trigger kind), MSHR allocate→fill spans, and DRAM data
+	// bursts. Empty disables tracing and adds zero overhead. Pure
+	// output: it does not affect simulation and is excluded from the
+	// snapshot config hash. Simulated statistics are bit-identical
+	// either way, at every SMWorkers setting.
+	TraceFile string
+
+	// AttributeStalls accumulates per-warp stall attribution: every
+	// cycle, each scheduler slot that fails to issue is charged to
+	// exactly one (warp, cause) pair — scoreboard, barrier, drain,
+	// LSU/SFU/ALU port contention, store-buffer full, MSHR full, assist
+	// priority, or empty SM — summed into Result.Stalls. The totals are
+	// pinned to the issue-slot counters: sum == total slots − issued
+	// slots, in every FastForward/SMWorkers combination. false disables
+	// attribution and adds zero overhead.
+	AttributeStalls bool
 }
 
 // Baseline returns the paper's Table 1 configuration.
@@ -238,6 +275,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: SMWorkers must be non-negative (0 = GOMAXPROCS)")
 	case c.FlightRecorderDepth < 0:
 		return fmt.Errorf("config: FlightRecorderDepth must be non-negative")
+	case c.MetricsFile != "" && c.SampleEvery == 0:
+		return fmt.Errorf("config: MetricsFile needs SampleEvery > 0")
 	}
 	if err := c.Faults.Validate(); err != nil {
 		return fmt.Errorf("config: %w", err)

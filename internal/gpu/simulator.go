@@ -11,6 +11,7 @@ import (
 	"github.com/caba-sim/caba/internal/config"
 	"github.com/caba-sim/caba/internal/core"
 	"github.com/caba-sim/caba/internal/mem"
+	"github.com/caba-sim/caba/internal/obs"
 	"github.com/caba-sim/caba/internal/stats"
 	"github.com/caba-sim/caba/internal/timing"
 )
@@ -79,6 +80,14 @@ type Simulator struct {
 	// frSim is the simulator-level flight-recorder ring (nil when
 	// Config.FlightRecorderDepth is zero).
 	frSim *flightRing
+
+	// smp drives the metrics time-series (nil when Config.SampleEvery is
+	// zero); it runs on the main goroutine only, reading cumulative
+	// counters at window boundaries. tr is the run's trace recorder (nil
+	// when Config.TraceFile is empty): each SM writes its own shard, the
+	// memory system writes the last one, all on determinism-safe paths.
+	smp *sampler
+	tr  *obs.Trace
 
 	// Debug instrumentation (enabled by tests).
 	dbgFetch    map[uint64]uint64
@@ -151,6 +160,7 @@ func New(cfg *config.Config, design config.Design, k *Kernel) (*Simulator, error
 		sim.sms[i] = newSM(i, sim)
 	}
 	sim.ffKinds = make([]stats.StallKind, cfg.NumSMs)
+	sim.wireObs()
 	sim.S.RegsPerThread = k.Prog.NumReg
 	sim.S.ThreadsPerSM = sim.occ.ThreadsPerSM
 	sim.S.CTAsPerSM = sim.occ.CTAsPerSM
@@ -363,6 +373,11 @@ func (sim *Simulator) Run(maxCycles uint64) (err error) {
 					sim.cycle = fire
 					return sim.wedged(&WedgeError{Cycle: sim.cycle, Drain: true})
 				}
+				if sim.smp != nil {
+					// Synthesize the samples the skipped ticks would have
+					// recorded, before the bulk credit lands.
+					sim.sampleSkip(wake)
+				}
 				sim.creditSkip(skip, wake)
 				if drainIdle {
 					sim.idleStreak += int(skip - 1)
@@ -391,6 +406,13 @@ func (sim *Simulator) Run(maxCycles uint64) (err error) {
 		}
 		if err := sim.firstFatal(); err != nil {
 			return err
+		}
+		// Close the metrics window ending at the boundary this tick just
+		// reached (cycle+1 cycles are now complete). Runs after the
+		// commit barrier, on the main goroutine, reading only — obs on or
+		// off cannot perturb the simulated statistics.
+		if sim.smp != nil && sim.cycle+1 == sim.smp.next {
+			sim.sample(sim.smp.next, 0)
 		}
 	}
 	if sim.cycle >= maxCycles {
@@ -542,6 +564,11 @@ func (sim *Simulator) creditSkip(n, wake uint64) {
 	sched := sim.Cfg.NumSchedulers
 	for i, sm := range sim.sms {
 		sim.S.IssueSlots[sim.ffKinds[i]] += n * uint64(sched)
+		if sm.attr != nil {
+			// Charge the quiescence-cached blame pair for every credited
+			// slot, exactly as the per-cycle fast path would have.
+			sm.attr.Charge(sm.qBlameW, sm.qBlameC, n*uint64(sched))
+		}
 		sm.awc.NoteIdleSlots(int(n) * sched)
 		sm.cycle = wake - 1
 	}

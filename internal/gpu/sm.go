@@ -9,6 +9,7 @@ import (
 	"github.com/caba-sim/caba/internal/core"
 	"github.com/caba-sim/caba/internal/isa"
 	"github.com/caba-sim/caba/internal/mem"
+	"github.com/caba-sim/caba/internal/obs"
 	"github.com/caba-sim/caba/internal/stats"
 	"github.com/caba-sim/caba/internal/timing"
 )
@@ -183,6 +184,30 @@ type SM struct {
 	// fr is this SM's flight-recorder ring (nil when the recorder is
 	// off). Only this SM writes it, even during phase-A worker ticks.
 	fr *flightRing
+
+	// attr is this SM's per-warp stall attribution table (nil when
+	// Config.AttributeStalls is off). Like stat and fr, it is written
+	// only by its owning SM, so phase-A workers never contend.
+	attr *obs.Attr
+	// qBlameW/qBlameC cache the attribution target alongside the
+	// quiescence verdict (qKind): the tick fast path and the
+	// fast-forward bulk credit charge the cached pair, so a skipped
+	// window attributes exactly like the per-cycle replay it replaces.
+	qBlameW int
+	qBlameC obs.Cause
+
+	// tr is this SM's trace shard (nil when Config.TraceFile is empty);
+	// written only by this SM, so phase-A workers never contend. The
+	// trAW*/trMSHR* maps and free lists allocate stable per-entity
+	// track ids (warp slots occupy [0, MaxWarpsPerSM); assist warps and
+	// MSHR lines get recycled tracks in disjoint ranges above).
+	tr         *obs.TraceShard
+	trAW       map[*core.Entry]int
+	trAWFree   []int
+	trAWNext   int
+	trMSHR     map[uint64]int
+	trMSHRFree []int
+	trMSHRNext int
 
 	cycle uint64
 }
@@ -494,6 +519,11 @@ func (sm *SM) placeCTA(ctaID int) {
 	}
 	cta.liveWarps = warpsNeeded
 	sm.ctas = append(sm.ctas, cta)
+	if sm.tr != nil {
+		for _, w := range cta.warps {
+			sm.traceWarpBegin(w, ctaID)
+		}
+	}
 	if sm.fr != nil {
 		sm.record(fmt.Sprintf("CTA %d placed (%d warps)", ctaID, warpsNeeded), 0)
 	}
@@ -522,6 +552,9 @@ func (sm *SM) retireCTAIfDone(cta *ctaCtx) {
 		}
 	}
 	for _, w := range cta.warps {
+		if sm.tr != nil {
+			sm.traceWarpEnd(w)
+		}
 		w.valid = false
 		w.exec = nil
 		w.cta = nil
@@ -576,6 +609,9 @@ func (sm *SM) tickCompute(cycle uint64) {
 				sm.cycle = cycle
 				sched := sm.sim.Cfg.NumSchedulers
 				sm.stat.IssueSlots[sm.qKind] += uint64(sched)
+				if sm.attr != nil {
+					sm.attr.Charge(sm.qBlameW, sm.qBlameC, uint64(sched))
+				}
 				sm.awc.NoteIdleSlots(sched)
 				return
 			}
@@ -631,6 +667,17 @@ type slotFlags struct {
 	dep   bool
 	memS  bool
 	compS bool
+
+	// Attribution blame, filled only when blame is armed (initBlame):
+	// for each raised flag, the first candidate warp that raised it —
+	// in scheduler visit order — and the specific structural cause.
+	// barW/drainW/idleAW back the idle-slot precedence (barrier >
+	// drain > blocked low-priority assist > empty SM).
+	blame             bool
+	depW, memW, compW int
+	depC, memC, compC obs.Cause
+	barW, drainW      int
+	idleAW            int
 }
 
 // quiescent reports whether tick(cycle) would be a pure stall-accounting
@@ -703,6 +750,9 @@ func (sm *SM) quiescent(cycle uint64) (kind stats.StallKind, horizon uint64, ok 
 	// only the lsuFree/sfuFree time gates matter here. Under LRR the last
 	// issuer is skipped by the issue loop, so it is skipped here too.
 	var f slotFlags
+	if sm.attr != nil {
+		f.initBlame()
+	}
 	lrr := sm.sim.Cfg.Scheduler == config.SchedLRR
 	for _, w := range sm.warps {
 		if !w.valid || (lrr && w == sm.greedy) {
@@ -710,16 +760,26 @@ func (sm *SM) quiescent(cycle uint64) (kind stats.StallKind, horizon uint64, ok 
 		}
 		in := w.exec.Current()
 		if in == nil {
-			continue // done or at barrier: contributes to idle
+			// Done or at barrier: contributes to idle.
+			if f.blame {
+				f.noteIdleWarp(w)
+			}
+			continue
 		}
 		if w.sb.Conflicts(in) {
 			f.dep = true
+			if f.blame && f.depW < 0 {
+				f.depW, f.depC = w.id, obs.CauseScoreboard
+			}
 			continue
 		}
 		switch in.Op.Class() {
 		case isa.ClassMem:
 			if cycle < sm.lsuFree {
 				f.memS = true
+				if f.blame && f.memW < 0 {
+					f.memW, f.memC = w.id, obs.CauseLSUBusy
+				}
 				if sm.lsuFree < horizon {
 					horizon = sm.lsuFree
 				}
@@ -729,18 +789,27 @@ func (sm *SM) quiescent(cycle uint64) (kind stats.StallKind, horizon uint64, ok 
 				len(sm.storeBuf) >= storeBufCap && !sm.canEvictStore() {
 				// Unblocks only via compression/RMW completion events.
 				f.memS = true
+				if f.blame && f.memW < 0 {
+					f.memW, f.memC = w.id, obs.CauseStoreBufFull
+				}
 				continue
 			}
 			if in.Op.IsGlobalMem() && w.replay != nil {
 				// Blocks behind the warp's replaying load, which drains
 				// via fill events or the LSU horizon handled above.
 				f.memS = true
+				if f.blame && f.memW < 0 {
+					f.memW, f.memC = w.id, obs.CauseMSHRFull
+				}
 				continue
 			}
 			return 0, 0, false // the LSU is free: this warp would issue
 		case isa.ClassSFU:
 			if cycle < sm.sfuFree {
 				f.compS = true
+				if f.blame && f.compW < 0 {
+					f.compW, f.compC = w.id, obs.CauseSFUBusy
+				}
 				if sm.sfuFree < horizon {
 					horizon = sm.sfuFree
 				}
@@ -752,22 +821,22 @@ func (sm *SM) quiescent(cycle uint64) (kind stats.StallKind, horizon uint64, ok 
 			return 0, 0, false
 		}
 	}
-	switch {
-	case f.memS:
-		kind = stats.MemoryStall
-	case f.compS:
-		kind = stats.ComputeStall
-	case f.dep:
-		kind = stats.DataDepStall
-	default:
-		kind = stats.IdleCycle
+	kind = classify(&f)
+	if f.blame {
+		sm.qBlameW, sm.qBlameC = blameFor(kind, &f)
 	}
 	return kind, horizon, true
 }
 
-// issueSlot tries to issue one instruction and classifies the slot.
+// issueSlot tries to issue one instruction and classifies the slot. A
+// slot that issues nothing is classified by classify (Memory > Compute >
+// DataDep > Idle, shared with quiescent) and, when attribution is on,
+// charged to exactly one (warp, cause) pair via chargeSlot.
 func (sm *SM) issueSlot() stats.StallKind {
 	var f slotFlags
+	if sm.attr != nil {
+		f.initBlame()
+	}
 
 	// High-priority assist warps issue with precedence (Section 3.2.3):
 	// they are the fill critical path that blocked warps are waiting on,
@@ -782,6 +851,9 @@ func (sm *SM) issueSlot() stats.StallKind {
 			f.dep = f.dep || dep
 			f.memS = f.memS || memS
 			f.compS = f.compS || compS
+			if f.blame {
+				f.noteAssist(e.Warp, dep, memS, compS)
+			}
 		}
 	}
 
@@ -811,18 +883,16 @@ func (sm *SM) issueSlot() stats.StallKind {
 		if ok, _, _, _ := sm.tryIssueAssist(e); ok {
 			return stats.Active
 		}
+		if f.blame && f.idleAW < 0 {
+			f.idleAW = e.Warp
+		}
 	}
 
-	switch {
-	case f.memS:
-		return stats.MemoryStall
-	case f.compS:
-		return stats.ComputeStall
-	case f.dep:
-		return stats.DataDepStall
-	default:
-		return stats.IdleCycle
+	kind := classify(&f)
+	if sm.attr != nil {
+		sm.chargeSlot(kind, &f)
 	}
+	return kind
 }
 
 // tryWarp attempts to issue for one warp: its high-priority assist warp
@@ -834,22 +904,39 @@ func (sm *SM) tryWarp(w *warpCtx, f *slotFlags) bool {
 	}
 	in := w.exec.Current()
 	if in == nil {
-		return false // done or at barrier: contributes to idle
+		// Done or at barrier: contributes to idle.
+		if f.blame {
+			f.noteIdleWarp(w)
+		}
+		return false
 	}
 	if w.sb.Conflicts(in) {
 		f.dep = true
+		if f.blame && f.depW < 0 {
+			f.depW, f.depC = w.id, obs.CauseScoreboard
+		}
 		return false
 	}
 	ok, memS, compS := sm.portsAvailable(in)
 	if !ok {
 		f.memS = f.memS || memS
 		f.compS = f.compS || compS
+		if f.blame {
+			if memS && f.memW < 0 {
+				f.memW, f.memC = w.id, sm.portCause(in)
+			} else if compS && f.compW < 0 {
+				f.compW, f.compC = w.id, sm.portCause(in)
+			}
+		}
 		return false
 	}
 	// One load at a time may sit in the replay queue per warp: a second
 	// global access waits for the first's MSHR-overflow lines to drain.
 	if in.Op.IsGlobalMem() && w.replay != nil {
 		f.memS = true
+		if f.blame && f.memW < 0 {
+			f.memW, f.memC = w.id, obs.CauseMSHRFull
+		}
 		return false
 	}
 	sm.issueRegular(w, in)
@@ -950,6 +1037,24 @@ func (sm *SM) portsAvailable(in *isa.Instr) (bool, bool, bool) {
 		}
 	}
 	return true, false, false
+}
+
+// portCause names the specific structural resource behind a
+// portsAvailable failure, for stall attribution. Only called (blame
+// armed) after portsAvailable returned false for in, so the branches
+// mirror its failing conditions exactly.
+func (sm *SM) portCause(in *isa.Instr) obs.Cause {
+	switch in.Op.Class() {
+	case isa.ClassMem:
+		if sm.lsuPorts == 0 || sm.cycle < sm.lsuFree {
+			return obs.CauseLSUBusy
+		}
+		return obs.CauseStoreBufFull
+	case isa.ClassSFU:
+		return obs.CauseSFUBusy
+	default:
+		return obs.CauseALUBusy
+	}
 }
 
 // canEvictStore reports whether the store buffer has a releasable entry.
@@ -1139,6 +1244,9 @@ func (sm *SM) l1Lookup(ln uint64, req *loadReq) bool {
 func (sm *SM) fetchOrReplay(req *loadReq, ln uint64) {
 	if primary, ok := sm.mshr.Add(ln, req); ok {
 		if primary {
+			if sm.tr != nil {
+				sm.traceMSHRBegin(ln)
+			}
 			sm.sysReadLine(ln, &fillCtx{kind: fillLoad, load: req})
 		}
 		return
@@ -1159,6 +1267,9 @@ func (sm *SM) processReplays() {
 				req.todo = req.todo[1:]
 				sm.lsuFree = sm.cycle + 1
 				if primary {
+					if sm.tr != nil {
+						sm.traceMSHRBegin(ln)
+					}
 					sm.sysReadLine(ln, &fillCtx{kind: fillLoad, load: req})
 				}
 				continue
@@ -1418,6 +1529,9 @@ func (sm *SM) tryCompressStep(se *storeEntry) bool {
 	}
 	se.state = sbCompress
 	sm.stat.AssistWarps++
+	if sm.tr != nil {
+		sm.traceAssistBegin(e, "writeback-compress")
+	}
 	return true
 }
 
@@ -1585,6 +1699,9 @@ func (sm *SM) tryDecompTrigger(pt *pendingTrigger) bool {
 		return false
 	}
 	sm.stat.AssistWarps++
+	if sm.tr != nil {
+		sm.traceAssistBegin(e, "fill-decompress")
+	}
 	return true
 }
 
@@ -1651,6 +1768,9 @@ func (sm *SM) tryECC(dc *decompCtx) bool {
 		return false
 	}
 	sm.stat.AssistWarps++
+	if sm.tr != nil {
+		sm.traceAssistBegin(e, "ecc-check")
+	}
 	return true
 }
 
@@ -1745,6 +1865,9 @@ func (sm *SM) tryIssueAssist(e *core.Entry) (ok, dep, memS, compS bool) {
 				sm.stat.L1Misses++
 				primary, _ := sm.mshr.Add(ln, (*loadReq)(nil))
 				if primary {
+					if sm.tr != nil {
+						sm.traceMSHRBegin(ln)
+					}
 					sm.sysReadLine(ln, &fillCtx{kind: fillAssist})
 				}
 			}
@@ -1776,6 +1899,9 @@ func (sm *SM) countClass(in *isa.Instr) {
 // reader of the exec's staging output).
 func (sm *SM) checkAssistDone(e *core.Entry) {
 	if !e.Killed && e.Done() {
+		if sm.tr != nil {
+			sm.traceAssistEnd(e)
+		}
 		sm.awc.Retire(e)
 		sm.releaseAssistExec(e.Exec)
 	}
@@ -1859,6 +1985,9 @@ func (sm *SM) completeFill(ln uint64, ctx *fillCtx) {
 			}
 		}
 		sm.l1.Insert(ln, size, false)
+		if sm.tr != nil {
+			sm.traceMSHREnd(ln)
+		}
 		for _, w := range sm.mshr.Complete(ln) {
 			if req, okReq := w.(*loadReq); okReq && req != nil {
 				sm.loadLineDone(req)
@@ -1868,6 +1997,9 @@ func (sm *SM) completeFill(ln uint64, ctx *fillCtx) {
 		sm.compressAndWrite(ctx.se)
 	case fillAssist:
 		sm.l1.Insert(ln, sm.sim.Cfg.LineSize, false)
+		if sm.tr != nil {
+			sm.traceMSHREnd(ln)
+		}
 		sm.mshr.Complete(ln)
 	}
 }

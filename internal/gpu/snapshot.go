@@ -387,9 +387,12 @@ func loadComp(r *snapshot.Reader) compress.Compressed {
 
 // configHash binds a snapshot to the run it came from: configuration,
 // design and kernel identity, with the observability knobs (checkpoint /
-// audit cadence, flight-recorder depth) and the execution-strategy knobs
-// (worker count, fast-forward) zeroed — those may differ between the
-// saving and resuming process without affecting simulated state.
+// audit cadence, flight-recorder depth, output paths) and the
+// execution-strategy knobs (worker count, fast-forward) zeroed — those
+// may differ between the saving and resuming process without affecting
+// simulated state. SampleEvery and AttributeStalls stay hashed: they
+// determine the snapshot's obs payload geometry, and a resumed run can
+// only emit the identical metrics series under the identical cadence.
 func (sim *Simulator) configHash() (uint64, error) {
 	cfg := *sim.Cfg
 	cfg.SMWorkers = 0
@@ -397,6 +400,8 @@ func (sim *Simulator) configHash() (uint64, error) {
 	cfg.CheckpointEvery = 0
 	cfg.AuditEvery = 0
 	cfg.FlightRecorderDepth = 0
+	cfg.MetricsFile = ""
+	cfg.TraceFile = ""
 	k := sim.Kernel
 	return snapshot.HashPlain(cfg, sim.Design, k.Prog.Name, len(k.Prog.Code),
 		k.Prog.NumReg, k.GridCTAs, k.CTAThreads, k.SharedMem, k.Params)
@@ -531,6 +536,23 @@ func (sim *Simulator) SaveState() ([]byte, error) {
 	for _, sm := range sim.sms {
 		if err := sm.save(w, t); err != nil {
 			return nil, err
+		}
+	}
+
+	// Observability state. Which subsections exist is pinned by the
+	// config hash (SampleEvery and AttributeStalls are hashed), so the
+	// saving and resuming processes always agree on the layout. The
+	// sampler carries its cursor and every recorded row, making a
+	// resumed run's series identical to the uninterrupted one; the
+	// attribution tables carry their cumulative counts. Trace state is
+	// deliberately absent — a resumed run re-opens spans for live
+	// entities and its trace covers restore→end.
+	if sim.smp != nil {
+		sim.smp.save(w)
+	}
+	if sim.Cfg.AttributeStalls {
+		for _, sm := range sim.sms {
+			sm.attr.Save(w)
 		}
 	}
 
@@ -1058,12 +1080,30 @@ func (sim *Simulator) LoadState(blob []byte) (err error) {
 			return err
 		}
 	}
+
+	// Observability state (mirrors SaveState's section layout).
+	if sim.smp != nil {
+		if err := sim.smp.load(r); err != nil {
+			return err
+		}
+	}
+	if sim.Cfg.AttributeStalls {
+		for _, sm := range sim.sms {
+			if err := sm.attr.Load(r); err != nil {
+				return err
+			}
+		}
+	}
+
 	if r.Err() != nil {
 		return r.Err()
 	}
 	if r.Remaining() != 0 {
 		return snapErrf("%d trailing bytes after snapshot payload", r.Remaining())
 	}
+	// Open trace spans for every entity live in the restored state, so
+	// the resumed run's trace closes cleanly and validates.
+	sim.reopenTraceSpans()
 	sim.restored = true
 	return nil
 }

@@ -3,6 +3,7 @@ package mem
 import (
 	"github.com/caba-sim/caba/internal/config"
 	"github.com/caba-sim/caba/internal/faults"
+	"github.com/caba-sim/caba/internal/obs"
 	"github.com/caba-sim/caba/internal/stats"
 	"github.com/caba-sim/caba/internal/timing"
 )
@@ -67,6 +68,7 @@ type Channel struct {
 	s   *stats.Sim
 	md  *MDCache         // nil when the design stores DRAM data raw
 	inj *faults.Injector // nil when fault injection is disabled
+	tr  *obs.TraceShard  // nil when tracing is disabled; tid = channel id
 
 	coresPerMem    float64 // core cycles per memory cycle (bandwidth-scaled)
 	coresPerMemLat float64 // core cycles per memory cycle for latency terms
@@ -229,6 +231,15 @@ func (ch *Channel) serveNext() {
 	}
 	ch.s.DRAMBursts += uint64(bursts)
 	ch.s.DRAMBusyCycles += uint64(bursts) // in memory cycles: 1 burst = 1 cycle
+	if ch.tr != nil {
+		// One data-bus occupancy span per request (timestamps in core
+		// cycles; start never regresses — it is clamped to busNextFree).
+		name := "read"
+		if r.write {
+			name = "write"
+		}
+		ch.tr.Complete(uint64(start), uint64(end)-uint64(start), ch.id, name, "dram")
+	}
 
 	// The requester sees the CAS latency on top of the data transfer.
 	respond := end + float64(t.TCL)*ch.coresPerMemLat

@@ -1,9 +1,12 @@
 package mem
 
 import (
+	"fmt"
+
 	"github.com/caba-sim/caba/internal/compress"
 	"github.com/caba-sim/caba/internal/config"
 	"github.com/caba-sim/caba/internal/faults"
+	"github.com/caba-sim/caba/internal/obs"
 	"github.com/caba-sim/caba/internal/stats"
 	"github.com/caba-sim/caba/internal/timing"
 )
@@ -29,6 +32,17 @@ type System struct {
 
 	// OnFill is invoked (at SM arrival time) for every completed ReadLine.
 	OnFill func(sm int, lineAddr uint64, user any)
+}
+
+// AttachTrace routes each DRAM channel's data-bus occupancy spans onto
+// the given trace shard (tid = channel id). Channels only record on the
+// main goroutine (event delivery / phase-B commit), so one shard for the
+// whole memory system is race-free at every SMWorkers setting.
+func (sys *System) AttachTrace(sh *obs.TraceShard) {
+	for i, p := range sys.parts {
+		sh.ThreadName(i, fmt.Sprintf("channel %d", i))
+		p.ch.tr = sh
+	}
 }
 
 // NewSystem builds the memory system.

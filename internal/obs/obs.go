@@ -1,0 +1,24 @@
+// Package obs is the simulator's deterministic observability layer: a
+// cycle-sampled metrics time-series (Series), per-warp stall attribution
+// tables (Attr), and a Perfetto/Chrome-trace exporter (Trace).
+//
+// All three are pure data sinks. They never influence the simulated
+// machine: every recorder call is nil-gated at the call site, so with the
+// observability knobs at their zero values the simulator executes the
+// exact same instruction stream and allocates nothing extra, and with
+// them enabled the simulated statistics remain bit-identical. The layer
+// composes with the repo's other runtime engines:
+//
+//   - Parallel tick (Config.SMWorkers): phase-A workers write only
+//     per-SM shards (one Attr and one TraceShard per SM); shared state
+//     is read or merged on the main goroutine in phase B, so output is
+//     identical at every worker count.
+//   - Fast-forward (Config.FastForward): skipped windows are pure
+//     stall-accounting no-ops, so crossed sample boundaries synthesize
+//     flat samples from the quiescence credit formula and skipped slots
+//     are bulk-charged to the cached quiescent blame.
+//   - Snapshot/restore: Series and Attr serialize into the simulator
+//     snapshot payload, so a resumed run emits the identical series a
+//     straight-through run would; open trace spans are re-opened for
+//     live entities on load.
+package obs

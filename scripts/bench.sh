@@ -21,6 +21,16 @@ go test -run 'TestZeroFaultGolden' .
 # pin that a run with the knobs on produces statistics DeepEqual to a
 # plain run, so the knobs provably do not perturb the machine being timed.
 go test -run 'TestSnapshotRestoreEquivalence|TestAuditEveryPassesCleanRun' ./internal/gpu
+# The observability knobs (SampleEvery/MetricsFile/TraceFile/
+# AttributeStalls) also default to zero in every benchmarked
+# configuration; the obs golden-equivalence test pins that turning them
+# on changes no statistic, so off they are inert nil-pointer guards.
+go test -run 'TestObsGoldenEquivalence|TestStallAttributionSums' .
+
+# Record the previously published hot-loop allocation count so the
+# refresh below can prove the zero-value observability knobs added no
+# allocations to the benchmarked path.
+prev_allocs=$(awk -F'[,: ]+' '/BenchmarkSimHotLoop/ { for (i=1;i<=NF;i++) if ($i=="\"allocs_per_op\"") print $(i+1) }' BENCH_sim.json 2>/dev/null | tr -d '}')
 
 go test -run '^$' \
   -bench 'BenchmarkSimBasePVC$|BenchmarkSimCABAPVC$|BenchmarkSimBaseSSSP$|BenchmarkSimCABASSSP$|BenchmarkSimHotLoop$' \
@@ -44,4 +54,13 @@ BEGIN { print "{"; printf "  \"benchmarks\": [" ; sep="" }
 }
 END { print "\n  ]"; print "}" }
 ' "$tmp" > BENCH_sim.json
-echo "wrote BENCH_sim.json"
+
+# Allocation guard: with every obs knob at its zero value, the hot loop
+# must allocate no more than the last recorded run (ns/op is noisy
+# across machines, allocation counts are deterministic).
+new_allocs=$(awk -F'[,: ]+' '/BenchmarkSimHotLoop/ { for (i=1;i<=NF;i++) if ($i=="\"allocs_per_op\"") print $(i+1) }' BENCH_sim.json | tr -d '}')
+if [ -n "$prev_allocs" ] && [ -n "$new_allocs" ] && [ "$new_allocs" -gt "$prev_allocs" ]; then
+  echo "FAIL: BenchmarkSimHotLoop allocs/op grew $prev_allocs -> $new_allocs (obs knobs must be free when off)" >&2
+  exit 1
+fi
+echo "wrote BENCH_sim.json (hot-loop allocs/op: ${prev_allocs:-none} -> $new_allocs)"
