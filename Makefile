@@ -6,16 +6,20 @@ GO ?= go
 # framework feeds them in at simulation time); the snapshot container and
 # the full simulator-state loader must survive arbitrary blobs the same
 # way (checkpoint files live on disk between runs and are untrusted).
+# FuzzPredecode differentially tests the superop engine against the
+# interpreter on random Builder programs (the decoded≡interpreter
+# invariant, DESIGN.md §12).
 FUZZ_TARGETS = \
 	FuzzDecompressBDI:./internal/compress \
 	FuzzDecompressFPC:./internal/compress \
 	FuzzDecompressCPack:./internal/compress \
 	FuzzOpen:./internal/snapshot \
 	FuzzReader:./internal/snapshot \
-	FuzzSnapshotLoad:./internal/gpu
+	FuzzSnapshotLoad:./internal/gpu \
+	FuzzPredecode:./internal/core
 FUZZTIME ?= 10s
 
-.PHONY: build vet lint test race fuzz snapshot-check trace-check check bench
+.PHONY: build vet lint test race fuzz snapshot-check trace-check check bench bench-compare
 
 build:
 	$(GO) build ./...
@@ -62,3 +66,9 @@ check: build vet lint snapshot-check trace-check test race fuzz
 # queue numbers (ns/op, B/op, allocs/op).
 bench:
 	./scripts/bench.sh
+
+# bench-compare reruns the two sentinel hot-loop benchmarks and fails if
+# either regressed more than 10% against the ns/op recorded in
+# BENCH_sim.json (catch perf regressions without rewriting the baseline).
+bench-compare:
+	./scripts/bench_compare.sh

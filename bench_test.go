@@ -221,6 +221,10 @@ func BenchmarkMDCacheHitRate(b *testing.B) {
 func benchOneApp(b *testing.B, app string, d caba.Design) {
 	cfg := caba.QuickConfig()
 	cfg.Scale = 0.05
+	benchOneAppCfg(b, cfg, app, d)
+}
+
+func benchOneAppCfg(b *testing.B, cfg caba.Config, app string, d caba.Design) {
 	for i := 0; i < b.N; i++ {
 		res, err := caba.Run(cfg, d, app, int64(i+1))
 		if err != nil {
@@ -234,6 +238,18 @@ func benchOneApp(b *testing.B, app string, d caba.Design) {
 func BenchmarkSimBasePVC(b *testing.B)  { benchOneApp(b, "PVC", caba.Base) }
 func BenchmarkSimCABAPVC(b *testing.B)  { benchOneApp(b, "PVC", caba.CABABDI) }
 func BenchmarkSimBaseSSSP(b *testing.B) { benchOneApp(b, "sssp", caba.Base) }
+
+// BenchmarkSimCABAPVCInterp runs the CABA PVC workload on the
+// interpreter escape hatch (Config.Interpreter). Comparing it against
+// BenchmarkSimCABAPVC measures the pre-decoded engine's speedup
+// like-for-like on the same host and load, independent of the recorded
+// BENCH_sim.json history.
+func BenchmarkSimCABAPVCInterp(b *testing.B) {
+	cfg := caba.QuickConfig()
+	cfg.Scale = 0.05
+	cfg.Interpreter = true
+	benchOneAppCfg(b, cfg, "PVC", caba.CABABDI)
+}
 
 // BenchmarkSimHotLoop measures the simulator's inner loop — issue,
 // writeback ring, memory events, stall accounting — on a memory-bound

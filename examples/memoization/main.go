@@ -49,7 +49,7 @@ func main() {
 		probe := core.NewAssistExec(lookup)
 		probe.Shared = lut
 		for lane := 0; lane < core.WarpSize; lane++ {
-			probe.Regs[lane][2] = inputs[base+lane] // live-in: input value
+			probe.SetReg(lane, 2, inputs[base+lane]) // live-in: input value
 		}
 		if _, err := probe.Run(1000); err != nil {
 			log.Fatal(err)
@@ -65,8 +65,8 @@ func main() {
 		up.Shared = lut
 		for lane := 0; lane < core.WarpSize; lane++ {
 			in := inputs[base+lane]
-			up.Regs[lane][2] = in
-			up.Regs[lane][3] = in*in + 1 // stand-in for the expensive result
+			up.SetReg(lane, 2, in)
+			up.SetReg(lane, 3, in*in+1) // stand-in for the expensive result
 		}
 		if _, err := up.Run(1000); err != nil {
 			log.Fatal(err)

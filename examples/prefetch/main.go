@@ -40,8 +40,8 @@ func main() {
 	ex.Mem = mem
 	const base, stride = 0x1000_0000, 512
 	for lane := 0; lane < core.WarpSize; lane++ {
-		ex.Regs[lane][2] = base
-		ex.Regs[lane][3] = stride
+		ex.SetReg(lane, 2, base)
+		ex.SetReg(lane, 3, stride) 
 	}
 	if _, err := ex.Run(100); err != nil {
 		log.Fatal(err)

@@ -178,6 +178,15 @@ type Config struct {
 	// either way, at every SMWorkers setting.
 	TraceFile string
 
+	// Interpreter routes warp and assist-warp execution through the
+	// original field-walking instruction interpreter instead of the
+	// predecoded superop engine. The two engines are bit-identical in
+	// every observable effect (registers, predicates, SIMT stack, error
+	// text, statistics, snapshots); the interpreter survives as the
+	// differential-testing reference and is several times slower. Pure
+	// strategy: excluded from the snapshot config hash.
+	Interpreter bool
+
 	// AttributeStalls accumulates per-warp stall attribution: every
 	// cycle, each scheduler slot that fails to issue is charged to
 	// exactly one (warp, cause) pair — scoreboard, barrier, drain,

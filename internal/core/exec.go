@@ -73,6 +73,13 @@ type StepInfo struct {
 type Exec struct {
 	Prog  *isa.Program
 	ipdom []int
+	dec   *isa.Decoded
+
+	// Interp selects the original per-instruction interpreter instead of
+	// the predecoded superop engine. The two are bit-identical (pinned by
+	// the differential tests and FuzzPredecode); the interpreter survives
+	// as the differential-testing reference behind Config.Interpreter.
+	Interp bool
 
 	PC     int
 	rpc    int // reconvergence point of the current path (len(code) = none)
@@ -81,8 +88,11 @@ type Exec struct {
 	exited uint32
 	stack  []pathFrame
 
-	Regs    [][]uint64 // [lane][reg]; lanes share one backing array
-	regBack []uint64   // flat [WarpSize*NumReg] backing for Regs
+	// regBack is the flat register file, register-major:
+	// [reg*WarpSize+lane]. A SIMT step touches one register across all 32
+	// lanes at once, so this layout keeps each access within 4 cache lines
+	// where a lane-major file would touch 32. Access via Reg/SetReg.
+	regBack []uint64
 	Preds   [][isa.NumPredRegs]bool
 	Special [][isa.NumSpecial]uint64
 
@@ -100,6 +110,9 @@ type Exec struct {
 	Executed uint64
 
 	shflBuf [WarpSize]uint64
+	// info is the per-step result buffer behind StepRef; transient (never
+	// snapshotted) and overwritten by every Step/StepRef call.
+	info StepInfo
 }
 
 // NewExec builds an execution context for prog with the given initial
@@ -108,7 +121,6 @@ type Exec struct {
 // rather than one per lane.
 func NewExec(prog *isa.Program, active uint32) *Exec {
 	e := &Exec{
-		Regs:    make([][]uint64, WarpSize),
 		Preds:   make([][isa.NumPredRegs]bool, WarpSize),
 		Special: make([][isa.NumSpecial]uint64, WarpSize),
 	}
@@ -124,6 +136,7 @@ func NewExec(prog *isa.Program, active uint32) *Exec {
 func (e *Exec) Reset(prog *isa.Program, active uint32) {
 	e.Prog = prog
 	e.ipdom = prog.IPDom()
+	e.dec = prog.Decoded()
 	e.PC = 0
 	e.rpc = len(prog.Code)
 	e.Active = active
@@ -142,9 +155,6 @@ func (e *Exec) Reset(prog *isa.Program, active uint32) {
 	} else {
 		e.regBack = e.regBack[:need]
 		clear(e.regBack)
-	}
-	for i := range e.Regs {
-		e.Regs[i] = e.regBack[i*prog.NumReg : (i+1)*prog.NumReg : (i+1)*prog.NumReg]
 	}
 	clear(e.Preds)
 	clear(e.Special)
@@ -175,19 +185,37 @@ func (e *Exec) Current() *isa.Instr {
 	return &e.Prog.Code[e.PC]
 }
 
+// CurrentSop returns the predecoded form of the instruction the warp will
+// execute next, or nil when the warp is done or stopped at a barrier.
+// Superop index == PC, so CurrentSop and Current always describe the same
+// instruction.
+func (e *Exec) CurrentSop() *isa.Superop {
+	if e.Done || e.AtBarrier || e.Err != nil {
+		return nil
+	}
+	return &e.dec.Ops[e.PC]
+}
+
+// Reg returns lane's value of general register r.
+func (e *Exec) Reg(lane, r int) uint64 { return e.regBack[r*WarpSize+lane] }
+
+// SetReg sets lane's value of general register r (live-in population and
+// tests; the hot paths index regBack directly).
+func (e *Exec) SetReg(lane, r int, v uint64) { e.regBack[r*WarpSize+lane] = v }
+
 func (e *Exec) readReg(lane int, r isa.Reg) uint64 {
 	if r == isa.RegNone {
 		return 0
 	}
 	if r.IsGeneral() {
-		return e.Regs[lane][r.GeneralIndex()]
+		return e.regBack[r.GeneralIndex()*WarpSize+lane]
 	}
 	return e.Special[lane][r.SpecialIndex()]
 }
 
 func (e *Exec) writeReg(lane int, r isa.Reg, v uint64) {
 	if r != isa.RegNone && r.IsGeneral() {
-		e.Regs[lane][r.GeneralIndex()] = v
+		e.regBack[r.GeneralIndex()*WarpSize+lane] = v
 	}
 }
 
@@ -260,7 +288,38 @@ func (e *Exec) PeekAddrs(addrs *[WarpSize]uint64) uint32 {
 
 // Step executes exactly one warp instruction functionally and returns what
 // it did. Calling Step on a done/barrier/errored warp returns ok=false.
+// The predecoded superop engine (stepDecoded) is the default; Interp
+// routes through the original field-walking interpreter, which is kept
+// bit-identical for differential testing.
 func (e *Exec) Step() (StepInfo, bool) {
+	if e.Interp {
+		return e.stepInterp()
+	}
+	if !e.stepDecoded() {
+		return StepInfo{}, false
+	}
+	return e.info, true
+}
+
+// StepRef executes one instruction like Step but returns a pointer to an
+// internal buffer instead of copying the 288-byte StepInfo out. Addrs
+// entries for lanes outside ExecMask are unspecified (possibly stale from
+// an earlier instruction); every consumer masks by ExecMask. The buffer
+// is overwritten by the next Step/StepRef on this Exec.
+func (e *Exec) StepRef() (*StepInfo, bool) {
+	if e.Interp {
+		info, ok := e.stepInterp()
+		e.info = info
+		return &e.info, ok
+	}
+	ok := e.stepDecoded()
+	return &e.info, ok
+}
+
+// stepInterp is the reference interpreter: it re-walks Instr fields
+// (RegNone checks, IsGeneral branches, per-lane EvalALU dispatch) on every
+// execution.
+func (e *Exec) stepInterp() (StepInfo, bool) {
 	in := e.Current()
 	if in == nil {
 		return StepInfo{}, false
@@ -463,7 +522,12 @@ func (e *Exec) Step() (StepInfo, bool) {
 			a := e.readReg(lane, in.SrcA)
 			b := e.readReg(lane, in.SrcB)
 			c := e.readReg(lane, in.SrcC)
-			e.writeReg(lane, in.Dst, isa.EvalALU(in, a, b, c))
+			v, err := isa.EvalALU(in, a, b, c)
+			if err != nil {
+				e.fail("%v", err)
+				return info, true
+			}
+			e.writeReg(lane, in.Dst, v)
 		}
 	}
 

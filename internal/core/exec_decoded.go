@@ -1,0 +1,449 @@
+package core
+
+import (
+	"math/bits"
+
+	"github.com/caba-sim/caba/internal/isa"
+)
+
+// This file is the predecoded execution engine: stepDecoded executes one
+// warp instruction from the program's superop form (isa.Decoded). It is
+// the default engine; Exec.Interp routes through stepInterp instead. The
+// two must stay bit-identical in every observable effect — register and
+// predicate files, SIMT stack, PC/rpc, Done/AtBarrier/Err (including
+// error text), Executed, and the returned StepInfo — a property pinned by
+// FuzzPredecode and the gpu differential tests.
+//
+// The speed comes from predecode, not from different semantics: operands
+// are direct register-file indices (no RegNone/IsGeneral branches), the
+// per-lane EvalALU switch is hoisted into one dispatch per instruction
+// with a tight loop per op, lane iteration walks only set mask bits, and
+// Brab's reconvergence point is a precomputed field instead of an IPDom
+// table lookup.
+
+// The per-lane accessors index the register-major backing directly
+// (reg*WarpSize+lane): the WarpSize stride is a constant shift, and the
+// lanes of one register are contiguous, so a masked sweep over the warp
+// stays within a few cache lines per operand.
+
+// srcA reads the resolved A operand in one lane.
+func (e *Exec) srcA(lane int, s *isa.Superop) uint64 {
+	if s.ASpec {
+		return e.Special[lane][s.A]
+	}
+	return e.regBack[int(s.A)*WarpSize+lane]
+}
+
+// srcB reads the resolved B operand in one lane.
+func (e *Exec) srcB(lane int, s *isa.Superop) uint64 {
+	if s.BSpec {
+		return e.Special[lane][s.B]
+	}
+	return e.regBack[int(s.B)*WarpSize+lane]
+}
+
+// srcC reads the resolved C operand in one lane.
+func (e *Exec) srcC(lane int, s *isa.Superop) uint64 {
+	if s.CSpec {
+		return e.Special[lane][s.C]
+	}
+	return e.regBack[int(s.C)*WarpSize+lane]
+}
+
+// setDst writes the general destination register in one lane (no-op when
+// the instruction has none).
+func (e *Exec) setDst(lane int, s *isa.Superop, v uint64) {
+	if s.Dst >= 0 {
+		e.regBack[int(s.Dst)*WarpSize+lane] = v
+	}
+}
+
+// execMaskSop is execMask on the predecoded form.
+func (e *Exec) execMaskSop(s *isa.Superop) uint32 {
+	if s.Guard == isa.PredNone {
+		return e.Active
+	}
+	var m uint32
+	for a := e.Active; a != 0; a &= a - 1 {
+		lane := bits.TrailingZeros32(a)
+		if e.Preds[lane][s.Guard] != s.GuardNeg {
+			m |= 1 << lane
+		}
+	}
+	return m
+}
+
+// stepDecoded executes exactly one warp instruction from the superop
+// form, filling e.info in place (only Addrs entries for executed lanes
+// are written; see StepRef). See Step for the contract.
+func (e *Exec) stepDecoded() bool {
+	if e.Done || e.AtBarrier || e.Err != nil {
+		return false
+	}
+	s := &e.dec.Ops[e.PC]
+	e.Executed++
+	info := &e.info
+	info.Instr = s.In
+	info.ExecMask = e.execMaskSop(s)
+	info.Width = s.Width
+	info.IsGlobal = false
+	adv := true // advance PC by 1 unless a branch redirects
+
+	switch s.Op {
+	case isa.OpBra:
+		// Unconditional (assembler only emits guard-free OpBra).
+		e.PC = int(s.Target)
+		adv = false
+
+	case isa.OpBrab:
+		adv = false
+		taken := info.ExecMask
+		notTaken := e.Active &^ taken
+		switch {
+		case taken == 0:
+			e.PC++
+		case notTaken == 0:
+			e.PC = int(s.Target)
+		default:
+			r := int(s.RPC)
+			e.stack = append(e.stack,
+				pathFrame{pc: r, rpc: e.rpc, mask: e.Active},
+				pathFrame{pc: e.PC + 1, rpc: r, mask: notTaken},
+			)
+			e.Active = taken
+			e.PC = int(s.Target)
+			e.rpc = r
+		}
+
+	case isa.OpExit:
+		adv = false
+		e.exited |= info.ExecMask
+		if rem := e.Active &^ info.ExecMask; rem != 0 {
+			// Guarded exit: surviving lanes continue.
+			e.Active = rem
+			e.PC++
+		} else {
+			e.popPath()
+		}
+
+	case isa.OpBar:
+		// PC advances in ReleaseBarrier, once all CTA warps arrive.
+		e.AtBarrier = true
+		adv = false
+
+	case isa.OpSetP:
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			e.Preds[lane][s.PDst] = isa.EvalCmp(s.Cmp, e.srcA(lane, s), e.srcB(lane, s))
+		}
+
+	case isa.OpSetPI:
+		b := uint64(s.Imm)
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			e.Preds[lane][s.PDst] = isa.EvalCmp(s.Cmp, e.srcA(lane, s), b)
+		}
+
+	case isa.OpPAnd:
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			e.Preds[lane][s.PDst] = e.Preds[lane][s.PA] && e.Preds[lane][s.PB]
+		}
+
+	case isa.OpPOr:
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			e.Preds[lane][s.PDst] = e.Preds[lane][s.PA] || e.Preds[lane][s.PB]
+		}
+
+	case isa.OpPNot:
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			e.Preds[lane][s.PDst] = !e.Preds[lane][s.PA]
+		}
+
+	case isa.OpVoteAll, isa.OpVoteAny:
+		all, any := true, false
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			if e.Preds[lane][s.PA] {
+				any = true
+			} else {
+				all = false
+			}
+		}
+		v := any
+		if s.Op == isa.OpVoteAll {
+			v = all
+		}
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			e.Preds[lane][s.PDst] = v
+		}
+
+	case isa.OpBallot:
+		var mask uint64
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			if e.Preds[lane][s.PA] {
+				mask |= 1 << lane
+			}
+		}
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			e.setDst(lane, s, mask)
+		}
+
+	case isa.OpShfl:
+		// Snapshot pre-instruction values of SrcA across the warp.
+		for lane := 0; lane < WarpSize; lane++ {
+			e.shflBuf[lane] = e.srcA(lane, s)
+		}
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			src := int(e.srcB(lane, s) & 31)
+			var v uint64
+			if info.ExecMask&(1<<src) != 0 {
+				v = e.shflBuf[src]
+			}
+			e.setDst(lane, s, v)
+		}
+
+	case isa.OpSel:
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			if e.Preds[lane][s.PA] {
+				e.setDst(lane, s, e.srcA(lane, s))
+			} else {
+				e.setDst(lane, s, e.srcB(lane, s))
+			}
+		}
+
+	case isa.OpLdGlobal:
+		info.IsGlobal = true
+		imm := uint64(s.Imm)
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			addr := e.srcA(lane, s) + imm
+			info.Addrs[lane] = addr
+			e.setDst(lane, s, e.Mem.LoadGlobal(addr, s.Width))
+		}
+
+	case isa.OpStGlobal:
+		info.IsGlobal = true
+		imm := uint64(s.Imm)
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			addr := e.srcA(lane, s) + imm
+			info.Addrs[lane] = addr
+			e.Mem.StoreGlobal(addr, e.srcB(lane, s), s.Width)
+		}
+
+	case isa.OpAtomAdd:
+		info.IsGlobal = true
+		imm := uint64(s.Imm)
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			addr := e.srcA(lane, s) + imm
+			info.Addrs[lane] = addr
+			e.setDst(lane, s, e.Mem.AtomicAdd(addr, e.srcB(lane, s), s.Width))
+		}
+
+	case isa.OpLdShared:
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			off := int64(e.srcA(lane, s)) + s.Imm
+			e.setDst(lane, s, stageLoad(e.Shared, off, s.Width))
+		}
+
+	case isa.OpStShared:
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			off := int64(e.srcA(lane, s)) + s.Imm
+			if !stageStore(e.Shared, off, e.srcB(lane, s), s.Width) {
+				e.fail("shared store out of range: off %d", off)
+				return true
+			}
+		}
+
+	case isa.OpLdStage:
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			off := int64(e.srcA(lane, s)) + s.Imm
+			e.setDst(lane, s, stageLoad(e.StageIn, off, s.Width))
+		}
+
+	case isa.OpStStage:
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			off := int64(e.srcA(lane, s)) + s.Imm
+			if !stageStore(e.StageOut, off, e.srcB(lane, s), s.Width) {
+				e.fail("stage store out of range: off %d", off)
+				return true
+			}
+		}
+
+	// Scalar ALU/SFU ops: EvalALU's per-lane switch hoisted to one case
+	// per op with a dense loop over the set mask bits.
+	case isa.OpNop:
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			e.setDst(bits.TrailingZeros32(m), s, 0)
+		}
+	case isa.OpMov:
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			e.setDst(lane, s, e.srcA(lane, s))
+		}
+	case isa.OpMovI:
+		v := uint64(s.Imm)
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			e.setDst(bits.TrailingZeros32(m), s, v)
+		}
+	case isa.OpAdd:
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			e.setDst(lane, s, e.srcA(lane, s)+e.srcB(lane, s))
+		}
+	case isa.OpAddI:
+		imm := uint64(s.Imm)
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			e.setDst(lane, s, e.srcA(lane, s)+imm)
+		}
+	case isa.OpSub:
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			e.setDst(lane, s, e.srcA(lane, s)-e.srcB(lane, s))
+		}
+	case isa.OpSubI:
+		imm := uint64(s.Imm)
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			e.setDst(lane, s, e.srcA(lane, s)-imm)
+		}
+	case isa.OpMul:
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			e.setDst(lane, s, e.srcA(lane, s)*e.srcB(lane, s))
+		}
+	case isa.OpMulI:
+		imm := uint64(s.Imm)
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			e.setDst(lane, s, e.srcA(lane, s)*imm)
+		}
+	case isa.OpMad:
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			e.setDst(lane, s, e.srcA(lane, s)*e.srcB(lane, s)+e.srcC(lane, s))
+		}
+	case isa.OpMin:
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			a, b := e.srcA(lane, s), e.srcB(lane, s)
+			if b < a {
+				a = b
+			}
+			e.setDst(lane, s, a)
+		}
+	case isa.OpMax:
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			a, b := e.srcA(lane, s), e.srcB(lane, s)
+			if b > a {
+				a = b
+			}
+			e.setDst(lane, s, a)
+		}
+	case isa.OpAnd:
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			e.setDst(lane, s, e.srcA(lane, s)&e.srcB(lane, s))
+		}
+	case isa.OpAndI:
+		imm := uint64(s.Imm)
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			e.setDst(lane, s, e.srcA(lane, s)&imm)
+		}
+	case isa.OpOr:
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			e.setDst(lane, s, e.srcA(lane, s)|e.srcB(lane, s))
+		}
+	case isa.OpOrI:
+		imm := uint64(s.Imm)
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			e.setDst(lane, s, e.srcA(lane, s)|imm)
+		}
+	case isa.OpXor:
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			e.setDst(lane, s, e.srcA(lane, s)^e.srcB(lane, s))
+		}
+	case isa.OpXorI:
+		imm := uint64(s.Imm)
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			e.setDst(lane, s, e.srcA(lane, s)^imm)
+		}
+	case isa.OpNot:
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			e.setDst(lane, s, ^e.srcA(lane, s))
+		}
+	case isa.OpShl:
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			e.setDst(lane, s, e.srcA(lane, s)<<(e.srcB(lane, s)&63))
+		}
+	case isa.OpShlI:
+		sh := uint64(s.Imm) & 63
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			e.setDst(lane, s, e.srcA(lane, s)<<sh)
+		}
+	case isa.OpShr:
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			e.setDst(lane, s, e.srcA(lane, s)>>(e.srcB(lane, s)&63))
+		}
+	case isa.OpShrI:
+		sh := uint64(s.Imm) & 63
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			e.setDst(lane, s, e.srcA(lane, s)>>sh)
+		}
+	case isa.OpSext:
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			e.setDst(lane, s, isa.SignExtend(e.srcA(lane, s), s.Width))
+		}
+	case isa.OpSfu:
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			e.setDst(lane, s, isa.SFUMix(e.srcA(lane, s)))
+		}
+	case isa.OpCtz:
+		for m := info.ExecMask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros32(m)
+			e.setDst(lane, s, uint64(bits.TrailingZeros64(e.srcA(lane, s))))
+		}
+
+	default:
+		// An op outside the ISA. The interpreter hits EvalALU's error on
+		// the first active lane; mirror that, including the no-active-lane
+		// case where the instruction retires as a nop.
+		if info.ExecMask != 0 {
+			e.fail("%v", &isa.NonALUOpError{Op: s.Op})
+			return true
+		}
+	}
+
+	if adv && !e.Done {
+		e.PC++
+	}
+	e.checkReconverge()
+	return true
+}

@@ -100,8 +100,12 @@ func TestQuickExecMatchesScalarReference(t *testing.T) {
 		for _, e := range body {
 			for lane := 0; lane < WarpSize; lane++ {
 				in := isa.Instr{Op: e.op}
-				ref[lane][e.d] = isa.EvalALU(&in,
+				v, evalErr := isa.EvalALU(&in,
 					ref[lane][e.a], ref[lane][e.x], ref[lane][e.y])
+				if evalErr != nil {
+					return false
+				}
+				ref[lane][e.d] = v
 			}
 		}
 
@@ -111,7 +115,7 @@ func TestQuickExecMatchesScalarReference(t *testing.T) {
 		}
 		for lane := 0; lane < WarpSize; lane++ {
 			for r := 0; r < nRegs; r++ {
-				if ex.Regs[lane][r] != ref[lane][r] {
+				if ex.Reg(lane, r) != ref[lane][r] {
 					return false
 				}
 			}
@@ -151,7 +155,7 @@ func TestQuickDivergentLoopsTerminate(t *testing.T) {
 		}
 		for lane := 0; lane < WarpSize; lane++ {
 			want := uint64(int64(lane)&(mod-1) + base)
-			if ex.Regs[lane][1] != want {
+			if ex.Reg(lane, 1) != want {
 				return false
 			}
 		}

@@ -23,7 +23,7 @@ func TestExecLockstepALU(t *testing.T) {
   add r1, r1, 7
   exit`, FullMask)
 	for lane := 0; lane < WarpSize; lane++ {
-		if got, want := e.Regs[lane][1], uint64(lane*3+7); got != want {
+		if got, want := e.Reg(lane, 1), uint64(lane*3+7); got != want {
 			t.Errorf("lane %d: r1 = %d, want %d", lane, got, want)
 		}
 	}
@@ -45,8 +45,8 @@ func TestExecGuardedInstr(t *testing.T) {
 		if lane < 4 {
 			want = 5
 		}
-		if e.Regs[lane][1] != want {
-			t.Errorf("lane %d: r1 = %d, want %d", lane, e.Regs[lane][1], want)
+		if e.Reg(lane, 1) != want {
+			t.Errorf("lane %d: r1 = %d, want %d", lane, e.Reg(lane, 1), want)
 		}
 	}
 }
@@ -69,11 +69,11 @@ skip:
 		if lane < 8 {
 			wantR1 = 0
 		}
-		if e.Regs[lane][1] != wantR1 {
-			t.Errorf("lane %d: r1 = %d, want %d", lane, e.Regs[lane][1], wantR1)
+		if e.Reg(lane, 1) != wantR1 {
+			t.Errorf("lane %d: r1 = %d, want %d", lane, e.Reg(lane, 1), wantR1)
 		}
-		if e.Regs[lane][2] != 1 {
-			t.Errorf("lane %d: r2 = %d, want 1 (reconvergence)", lane, e.Regs[lane][2])
+		if e.Reg(lane, 2) != 1 {
+			t.Errorf("lane %d: r2 = %d, want 1 (reconvergence)", lane, e.Reg(lane, 2))
 		}
 	}
 }
@@ -95,10 +95,10 @@ join:
 		if lane < 16 {
 			want = 100
 		}
-		if e.Regs[lane][1] != want {
-			t.Errorf("lane %d: r1 = %d, want %d", lane, e.Regs[lane][1], want)
+		if e.Reg(lane, 1) != want {
+			t.Errorf("lane %d: r1 = %d, want %d", lane, e.Reg(lane, 1), want)
 		}
-		if e.Regs[lane][2] != want+uint64(lane) {
+		if e.Reg(lane, 2) != want+uint64(lane) {
 			t.Errorf("lane %d: r2 wrong after join", lane)
 		}
 	}
@@ -117,10 +117,10 @@ top:
   mul r2, r1, 10
   exit`, FullMask)
 	for lane := 0; lane < WarpSize; lane++ {
-		if got, want := e.Regs[lane][1], uint64(lane+1); got != want {
+		if got, want := e.Reg(lane, 1), uint64(lane+1); got != want {
 			t.Errorf("lane %d: trips = %d, want %d", lane, got, want)
 		}
-		if got, want := e.Regs[lane][2], uint64((lane+1)*10); got != want {
+		if got, want := e.Reg(lane, 2), uint64((lane+1)*10); got != want {
 			t.Errorf("lane %d: tail = %d, want %d (must run after loop)", lane, got, want)
 		}
 	}
@@ -155,8 +155,8 @@ done:
 		default:
 			want = 4
 		}
-		if e.Regs[lane][1] != want {
-			t.Errorf("lane %d: r1 = %d, want %d", lane, e.Regs[lane][1], want)
+		if e.Reg(lane, 1) != want {
+			t.Errorf("lane %d: r1 = %d, want %d", lane, e.Reg(lane, 1), want)
 		}
 	}
 }
@@ -174,8 +174,8 @@ func TestExecPartialExit(t *testing.T) {
 		if lane < 16 {
 			want = 0
 		}
-		if e.Regs[lane][1] != want {
-			t.Errorf("lane %d: r1 = %d, want %d", lane, e.Regs[lane][1], want)
+		if e.Reg(lane, 1) != want {
+			t.Errorf("lane %d: r1 = %d, want %d", lane, e.Reg(lane, 1), want)
 		}
 	}
 }
@@ -194,8 +194,8 @@ func TestExecVotesAndBallot(t *testing.T) {
 	if e.Preds[9][2] {
 		t.Error("vote.all should be false")
 	}
-	if e.Regs[5][1] != 0xF {
-		t.Errorf("ballot = %#x, want 0xF", e.Regs[5][1])
+	if e.Reg(5, 1) != 0xF {
+		t.Errorf("ballot = %#x, want 0xF", e.Reg(5, 1))
 	}
 }
 
@@ -208,8 +208,8 @@ func TestExecBallotRespectsActiveMask(t *testing.T) {
 	if _, err := e.Run(100); err != nil {
 		t.Fatal(err)
 	}
-	if e.Regs[3][1] != 0xFFFF {
-		t.Errorf("ballot = %#x, want 0xFFFF (inactive lanes excluded)", e.Regs[3][1])
+	if e.Reg(3, 1) != 0xFFFF {
+		t.Errorf("ballot = %#x, want 0xFFFF (inactive lanes excluded)", e.Reg(3, 1))
 	}
 }
 
@@ -221,8 +221,8 @@ func TestExecShfl(t *testing.T) {
   shfl r3, r1, r2
   exit`, FullMask)
 	for lane := 0; lane < WarpSize; lane++ {
-		if e.Regs[lane][3] != 33 {
-			t.Errorf("lane %d: shfl = %d, want 33", lane, e.Regs[lane][3])
+		if e.Reg(lane, 3) != 33 {
+			t.Errorf("lane %d: shfl = %d, want 33", lane, e.Reg(lane, 3))
 		}
 	}
 }
@@ -235,8 +235,8 @@ func TestExecShflSnapshotSemantics(t *testing.T) {
   shfl r0, r0, r2
   exit`, FullMask)
 	for lane := 0; lane < WarpSize; lane++ {
-		if e.Regs[lane][0] != 0 {
-			t.Errorf("lane %d: got %d, want lane 0's value", lane, e.Regs[lane][0])
+		if e.Reg(lane, 0) != 0 {
+			t.Errorf("lane %d: got %d, want lane 0's value", lane, e.Reg(lane, 0))
 		}
 	}
 }
@@ -274,8 +274,8 @@ func TestExecStageLoadZeroPadded(t *testing.T) {
 	if _, err := e.Run(100); err != nil {
 		t.Fatal(err)
 	}
-	if e.Regs[0][1] != 0 {
-		t.Errorf("r1 = %d, want 0", e.Regs[0][1])
+	if e.Reg(0, 1) != 0 {
+		t.Errorf("r1 = %d, want 0", e.Reg(0, 1))
 	}
 }
 
@@ -305,8 +305,8 @@ func TestExecSharedMemory(t *testing.T) {
 	if _, err := e.Run(1000); err != nil {
 		t.Fatal(err)
 	}
-	if e.Regs[0][3] != 5 {
-		t.Errorf("shared readback = %d, want 5", e.Regs[0][3])
+	if e.Reg(0, 3) != 5 {
+		t.Errorf("shared readback = %d, want 5", e.Reg(0, 3))
 	}
 }
 
@@ -344,8 +344,8 @@ func TestExecGlobalMemoryAndStepInfo(t *testing.T) {
 	if len(m.stores) != 4 || m.stores[3] != 268 {
 		t.Errorf("stores = %v", m.stores)
 	}
-	if e.Regs[1][2] != (4+64)*2 {
-		t.Errorf("loaded value = %d", e.Regs[1][2])
+	if e.Reg(1, 2) != (4+64)*2 {
+		t.Errorf("loaded value = %d", e.Reg(1, 2))
 	}
 	ld := infos[2]
 	if !ld.IsGlobal || ld.ExecMask != 0xF || ld.Addrs[1] != 68 {
@@ -367,14 +367,14 @@ func TestExecBarrier(t *testing.T) {
 	if !e.AtBarrier || n != 2 {
 		t.Fatalf("should stop at barrier after 2 instrs, n=%d", n)
 	}
-	if e.Regs[0][0] != 1 {
+	if e.Reg(0, 0) != 1 {
 		t.Error("pre-barrier code must have run")
 	}
 	e.ReleaseBarrier()
 	if _, err := e.Run(100); err != nil {
 		t.Fatal(err)
 	}
-	if !e.Done || e.Regs[0][0] != 2 {
+	if !e.Done || e.Reg(0, 0) != 2 {
 		t.Error("post-barrier code must run to completion")
 	}
 }
@@ -394,8 +394,8 @@ func TestExecSpecialRegs(t *testing.T) {
 	if _, err := e.Run(100); err != nil {
 		t.Fatal(err)
 	}
-	if e.Regs[5][0] != 105 || e.Regs[5][1] != 7 || e.Regs[5][2] != 0xABC {
-		t.Errorf("specials = %d %d %#x", e.Regs[5][0], e.Regs[5][1], e.Regs[5][2])
+	if e.Reg(5, 0) != 105 || e.Reg(5, 1) != 7 || e.Reg(5, 2) != 0xABC {
+		t.Errorf("specials = %d %d %#x", e.Reg(5, 0), e.Reg(5, 1), e.Reg(5, 2))
 	}
 }
 

@@ -82,8 +82,11 @@ func (s *Store) Len() int { return len(s.routines) }
 // (Inst.ID) via its execution context, plus live-in/live-out bookkeeping.
 type Entry struct {
 	Routine *Routine
-	Warp    int // parent warp index within the SM
-	Exec    *Exec
+	// Pri mirrors Routine.Priority so the per-cycle deploy scan reads one
+	// byte here instead of chasing the Routine pointer.
+	Pri  Priority
+	Warp int // parent warp index within the SM
+	Exec *Exec
 
 	// Staged counts instructions deployed into the AWB but not yet issued.
 	Staged int
@@ -132,8 +135,10 @@ type Controller struct {
 
 	// highByWarp gives O(1) lookup of the high-priority assist warp
 	// attached to a parent warp (at most one: only a single instance of
-	// each routine per parent, Section 3.2.2).
-	highByWarp map[int]*Entry
+	// each routine per parent, Section 3.2.2). A slice indexed by warp
+	// slot, grown on demand: CanTrigger sits on the per-trigger
+	// findAssistHost scan, where a map lookup is measurably hotter.
+	highByWarp []*Entry
 	lowList    []*Entry
 
 	// Utilization monitor: a sliding window of issue-slot business.
@@ -155,8 +160,24 @@ func NewController(store *Store, maxEntries int) *Controller {
 		DeployBW:   4,
 		StagedCap:  4,
 		LowCap:     2,
-		highByWarp: make(map[int]*Entry),
 	}
+}
+
+// highFor is the slice-backed lookup behind HighFor/CanTrigger.
+func (c *Controller) highFor(warp int) *Entry {
+	if warp < len(c.highByWarp) {
+		return c.highByWarp[warp]
+	}
+	return nil
+}
+
+// setHigh installs (or clears, with nil) the high-priority entry for a
+// parent warp, growing the slice to cover the slot.
+func (c *Controller) setHigh(warp int, e *Entry) {
+	for warp >= len(c.highByWarp) {
+		c.highByWarp = append(c.highByWarp, nil)
+	}
+	c.highByWarp[warp] = e
 }
 
 // CanTrigger reports whether a new assist warp of the given priority can
@@ -166,8 +187,7 @@ func (c *Controller) CanTrigger(pri Priority, warp int) bool {
 		return false
 	}
 	if pri == PriHigh {
-		_, busy := c.highByWarp[warp]
-		return !busy
+		return c.highFor(warp) == nil
 	}
 	return len(c.lowList) < c.LowCap
 }
@@ -181,10 +201,10 @@ func (c *Controller) Trigger(rt *Routine, warp int, exec *Exec, user any, onComp
 	if !c.CanTrigger(rt.Priority, warp) {
 		return nil
 	}
-	e := &Entry{Routine: rt, Warp: warp, Exec: exec, User: user, OnComplete: onComplete}
+	e := &Entry{Routine: rt, Pri: rt.Priority, Warp: warp, Exec: exec, User: user, OnComplete: onComplete}
 	c.entries = append(c.entries, e)
 	if rt.Priority == PriHigh {
-		c.highByWarp[warp] = e
+		c.setHigh(warp, e)
 	} else {
 		c.lowList = append(c.lowList, e)
 	}
@@ -227,6 +247,10 @@ func (c *Controller) NoteIdleSlots(n int) {
 // Tick and issue paths are guaranteed no-ops).
 func (c *Controller) Idle() bool { return len(c.entries) == 0 }
 
+// Full reports whether the AWT has no free entry slot (CanTrigger is
+// false for every priority and warp).
+func (c *Controller) Full() bool { return len(c.entries) >= c.MaxEntries }
+
 // Utilization returns the fraction of recent issue slots that were busy.
 func (c *Controller) Utilization() float64 {
 	return float64(c.windowBusy) / float64(len(c.window))
@@ -251,7 +275,9 @@ func (c *Controller) Tick() {
 	deploy := func(pri Priority) {
 		for scanned := 0; scanned < n && credits > 0; scanned++ {
 			e := c.entries[(c.rr+scanned)%n]
-			if e.Routine.Priority != pri || e.Killed || e.Exec.Done || e.Staged >= c.StagedCap {
+			// Cheapest rejections first; the conditions are pure, so the
+			// order does not change which entries are skipped.
+			if e.Pri != pri || e.Staged >= c.StagedCap || e.Killed || e.Exec.Done {
 				continue
 			}
 			e.Staged++
@@ -267,7 +293,7 @@ func (c *Controller) Tick() {
 }
 
 // HighFor returns the high-priority assist warp attached to warp, if any.
-func (c *Controller) HighFor(warp int) *Entry { return c.highByWarp[warp] }
+func (c *Controller) HighFor(warp int) *Entry { return c.highFor(warp) }
 
 // LowEntries returns the low-priority partition contents.
 func (c *Controller) LowEntries() []*Entry { return c.lowList }
@@ -284,8 +310,8 @@ func (c *Controller) Retire(e *Entry) {
 			break
 		}
 	}
-	if c.highByWarp[e.Warp] == e {
-		delete(c.highByWarp, e.Warp)
+	if c.highFor(e.Warp) == e {
+		c.highByWarp[e.Warp] = nil
 	}
 	for i, x := range c.lowList {
 		if x == e {

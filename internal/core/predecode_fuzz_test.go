@@ -1,0 +1,274 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/caba-sim/caba/internal/isa"
+)
+
+// FuzzPredecode pins the decoded≡interpreter invariant (DESIGN.md §12):
+// for random valid programs built through the isa.Builder API, the
+// predecoded superop engine and the per-instruction interpreter must
+// agree instruction by instruction on every piece of observable state —
+// PC, active mask, divergence outcome, registers, predicates, error
+// strings, and the StepInfo fields the pipeline consumes (ExecMask,
+// Width, IsGlobal, and the per-lane addresses of active lanes; inactive
+// lanes' Addrs are unspecified by the StepRef contract and excluded).
+func FuzzPredecode(f *testing.F) {
+	for s := int64(0); s < 8; s++ {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		prog := randomProgram(rand.New(rand.NewSource(seed)))
+
+		mkExec := func(interp bool) (*Exec, *fuzzMem) {
+			e := NewExec(prog, 0xFFFFFFFF)
+			e.Interp = interp
+			e.Shared = make([]byte, 256)
+			e.StageIn = make([]byte, 128)
+			e.StageOut = make([]byte, 128)
+			for i := range e.StageIn {
+				e.StageIn[i] = byte(i * 7)
+			}
+			m := &fuzzMem{data: make(map[uint64]byte)}
+			e.Mem = m
+			return e, m
+		}
+		dec, decMem := mkExec(false)
+		ref, refMem := mkExec(true)
+
+		for step := 0; step < 4096; step++ {
+			di, dok := dec.Step()
+			ri, rok := ref.Step()
+			if dok != rok {
+				t.Fatalf("seed %d step %d: decoded stepped=%v interp stepped=%v", seed, step, dok, rok)
+			}
+			if !dok {
+				// Both stopped: a barrier is released on both in lockstep
+				// (single-warp CTA), anything else ends the program.
+				if dec.AtBarrier && ref.AtBarrier {
+					dec.ReleaseBarrier()
+					ref.ReleaseBarrier()
+					continue
+				}
+				break
+			}
+			if di.ExecMask != ri.ExecMask || di.Width != ri.Width || di.IsGlobal != ri.IsGlobal {
+				t.Fatalf("seed %d step %d: StepInfo mismatch: decoded {mask %#x w %d g %v} interp {mask %#x w %d g %v}",
+					seed, step, di.ExecMask, di.Width, di.IsGlobal, ri.ExecMask, ri.Width, ri.IsGlobal)
+			}
+			if di.IsGlobal {
+				for lane := 0; lane < WarpSize; lane++ {
+					if di.ExecMask&(1<<lane) != 0 && di.Addrs[lane] != ri.Addrs[lane] {
+						t.Fatalf("seed %d step %d lane %d: addr %#x vs %#x", seed, step, lane, di.Addrs[lane], ri.Addrs[lane])
+					}
+				}
+			}
+			if diff := diffExecState(dec, ref); diff != "" {
+				t.Fatalf("seed %d step %d: %s", seed, step, diff)
+			}
+		}
+		if diff := diffExecState(dec, ref); diff != "" {
+			t.Fatalf("seed %d final: %s", seed, diff)
+		}
+		if diff := decMem.diff(refMem); diff != "" {
+			t.Fatalf("seed %d final: global memory: %s", seed, diff)
+		}
+	})
+}
+
+// diffExecState compares every piece of architectural state the two
+// engines are required to keep identical, returning "" on a match.
+func diffExecState(a, b *Exec) string {
+	if a.PC != b.PC || a.Active != b.Active || a.Done != b.Done || a.AtBarrier != b.AtBarrier {
+		return fmt.Sprintf("control state: decoded {pc %d active %#x done %v bar %v} interp {pc %d active %#x done %v bar %v}",
+			a.PC, a.Active, a.Done, a.AtBarrier, b.PC, b.Active, b.Done, b.AtBarrier)
+	}
+	ae, be := "", ""
+	if a.Err != nil {
+		ae = a.Err.Error()
+	}
+	if b.Err != nil {
+		be = b.Err.Error()
+	}
+	if ae != be {
+		return fmt.Sprintf("error: decoded %q interp %q", ae, be)
+	}
+	if a.Executed != b.Executed {
+		return fmt.Sprintf("executed count: %d vs %d", a.Executed, b.Executed)
+	}
+	for lane := 0; lane < WarpSize; lane++ {
+		for r := 0; r < a.Prog.NumReg; r++ {
+			if a.Reg(lane, r) != b.Reg(lane, r) {
+				return fmt.Sprintf("lane %d r%d: %#x vs %#x", lane, r, a.Reg(lane, r), b.Reg(lane, r))
+			}
+		}
+		if a.Preds[lane] != b.Preds[lane] {
+			return fmt.Sprintf("lane %d preds: %v vs %v", lane, a.Preds[lane], b.Preds[lane])
+		}
+	}
+	if len(a.Shared) > 0 || len(b.Shared) > 0 {
+		if string(a.Shared) != string(b.Shared) {
+			return "shared memory diverged"
+		}
+	}
+	if string(a.StageOut) != string(b.StageOut) {
+		return "staging output diverged"
+	}
+	return ""
+}
+
+// fuzzMem is a byte-granular functional memory; two instances fed the
+// same store sequence hold identical contents.
+type fuzzMem struct{ data map[uint64]byte }
+
+func (m *fuzzMem) LoadGlobal(addr uint64, width uint8) uint64 {
+	var v uint64
+	for i := uint64(0); i < uint64(width); i++ {
+		v |= uint64(m.data[addr+i]) << (8 * i)
+	}
+	return v
+}
+
+func (m *fuzzMem) StoreGlobal(addr, v uint64, width uint8) {
+	for i := uint64(0); i < uint64(width); i++ {
+		m.data[addr+i] = byte(v >> (8 * i))
+	}
+}
+
+func (m *fuzzMem) AtomicAdd(addr, v uint64, width uint8) uint64 {
+	old := m.LoadGlobal(addr, width)
+	m.StoreGlobal(addr, old+v, width)
+	return old
+}
+
+func (m *fuzzMem) diff(o *fuzzMem) string {
+	for a, v := range m.data {
+		if o.data[a] != v {
+			return fmt.Sprintf("addr %#x: %#x vs %#x", a, v, o.data[a])
+		}
+	}
+	for a, v := range o.data {
+		if m.data[a] != v {
+			return fmt.Sprintf("addr %#x: %#x vs %#x", a, m.data[a], v)
+		}
+	}
+	return ""
+}
+
+// randomProgram builds a random valid program through the public Builder
+// API: seeded registers and predicates, ALU/SFU/predicate/warp-wide ops
+// (guarded and not), shared/stage/global memory traffic (including
+// occasional deliberately out-of-range stage offsets, which must produce
+// identical fail-fast errors in both engines), barriers, and nested
+// forward branches so the SIMT stack diverges and reconverges.
+func randomProgram(rng *rand.Rand) *isa.Program {
+	const nRegs = 8
+	b := isa.NewBuilder("fuzz-predecode")
+
+	// Seed lanes with diverging values and predicates.
+	for r := 0; r < nRegs; r++ {
+		b.Mov(isa.R(r), isa.RegLane)
+		b.MulI(isa.R(r), isa.R(r), int64(rng.Intn(77)+1))
+		b.AddI(isa.R(r), isa.R(r), int64(rng.Intn(1<<12)))
+	}
+	for p := 0; p < isa.NumPredRegs; p++ {
+		b.SetPI(isa.CmpLT, isa.P(p), isa.R(rng.Intn(nRegs)), int64(rng.Intn(2048)))
+	}
+
+	nChunks := rng.Intn(6) + 2
+	for c := 0; c < nChunks; c++ {
+		label := fmt.Sprintf("skip%d", c)
+		branched := rng.Intn(3) != 0
+		if branched {
+			b.BraP(isa.P(rng.Intn(isa.NumPredRegs)), rng.Intn(2) == 0, label)
+		}
+		emitChunk(b, rng, nRegs)
+		if branched {
+			b.Label(label)
+		}
+	}
+	// A tail chunk after the last reconvergence point.
+	emitChunk(b, rng, nRegs)
+	b.Exit()
+	return b.MustBuild()
+}
+
+// emitChunk emits a straight-line run of random instructions.
+func emitChunk(b *isa.Builder, rng *rand.Rand, nRegs int) {
+	reg := func() isa.Reg { return isa.R(rng.Intn(nRegs)) }
+	pred := func() isa.Pred { return isa.P(rng.Intn(isa.NumPredRegs)) }
+	width := func() uint8 { return []uint8{1, 2, 4, 8}[rng.Intn(4)] }
+	n := rng.Intn(12) + 3
+	for i := 0; i < n; i++ {
+		if rng.Intn(5) == 0 {
+			b.WithGuard(pred(), rng.Intn(2) == 0)
+		}
+		switch rng.Intn(20) {
+		case 0:
+			b.Add(reg(), reg(), reg())
+		case 1:
+			b.Sub(reg(), reg(), reg())
+		case 2:
+			b.Mul(reg(), reg(), reg())
+		case 3:
+			b.Mad(reg(), reg(), reg(), reg())
+		case 4:
+			b.And(reg(), reg(), reg())
+		case 5:
+			b.Or(reg(), reg(), reg())
+		case 6:
+			b.Xor(reg(), reg(), reg())
+		case 7:
+			b.ShlI(reg(), reg(), int64(rng.Intn(63)))
+		case 8:
+			b.ShrI(reg(), reg(), int64(rng.Intn(63)))
+		case 9:
+			b.Min(reg(), reg(), reg())
+		case 10:
+			b.Sfu(reg(), reg())
+		case 11:
+			b.SetP(isa.CmpOp(rng.Intn(4)), pred(), reg(), reg())
+		case 12:
+			b.Sel(reg(), pred(), reg(), reg())
+		case 13:
+			b.VoteAll(pred(), pred())
+		case 14:
+			b.Ballot(reg(), pred())
+		case 15:
+			b.Shfl(reg(), reg(), reg())
+		case 16:
+			// Shared memory: mask the address into (mostly) valid range;
+			// rare out-of-range offsets must fail identically.
+			a := reg()
+			b.AndI(a, a, 0xF8)
+			if rng.Intn(2) == 0 {
+				b.StShared(a, int64(rng.Intn(64)), reg(), width())
+			} else {
+				b.LdShared(reg(), a, int64(rng.Intn(64)), width())
+			}
+		case 17:
+			a := reg()
+			b.AndI(a, a, 0x78)
+			if rng.Intn(2) == 0 {
+				b.StStage(a, int64(rng.Intn(80)), reg(), width())
+			} else {
+				b.LdStage(reg(), a, int64(rng.Intn(80)), width())
+			}
+		case 18:
+			if rng.Intn(2) == 0 {
+				b.StGlobal(reg(), int64(rng.Intn(512)), reg(), width())
+			} else {
+				b.LdGlobal(reg(), reg(), int64(rng.Intn(512)), width())
+			}
+		case 19:
+			if rng.Intn(3) == 0 {
+				b.Bar()
+			} else {
+				b.AtomAdd(reg(), reg(), int64(rng.Intn(256)), reg(), width())
+			}
+		}
+	}
+}

@@ -86,3 +86,30 @@ func (m *RegMask) ClearDsts(in *isa.Instr) {
 	m.ClearReg(in.Dst)
 	m.ClearPred(in.PDst)
 }
+
+// ConflictsSop is Conflicts on a predecoded instruction: the superop's
+// Use masks cover exactly the registers Conflicts probes field by field,
+// so the check collapses to word-wide ANDs.
+func (m *RegMask) ConflictsSop(s *isa.Superop) bool {
+	return (m.g[0]&s.UseG[0])|(m.g[1]&s.UseG[1])|
+		(m.g[2]&s.UseG[2])|(m.g[3]&s.UseG[3]) != 0 ||
+		m.p&s.UseP != 0
+}
+
+// MarkSop is MarkDsts on a predecoded instruction.
+func (m *RegMask) MarkSop(s *isa.Superop) {
+	m.g[0] |= s.SetG[0]
+	m.g[1] |= s.SetG[1]
+	m.g[2] |= s.SetG[2]
+	m.g[3] |= s.SetG[3]
+	m.p |= s.SetP
+}
+
+// ClearSop is ClearDsts on a predecoded instruction.
+func (m *RegMask) ClearSop(s *isa.Superop) {
+	m.g[0] &^= s.SetG[0]
+	m.g[1] &^= s.SetG[1]
+	m.g[2] &^= s.SetG[2]
+	m.g[3] &^= s.SetG[3]
+	m.p &^= s.SetP
+}

@@ -205,7 +205,7 @@ func (c *Controller) Load(r *snapshot.Reader, decEntry func(*snapshot.Reader, *E
 		if !ok {
 			return &snapshot.FormatError{Off: -1, Msg: "unknown assist routine id"}
 		}
-		e := &Entry{Routine: rt, Warp: r.Int(), Staged: r.Int(), Outstanding: r.Int()}
+		e := &Entry{Routine: rt, Pri: rt.Priority, Warp: r.Int(), Staged: r.Int(), Outstanding: r.Int()}
 		var g [4]uint64
 		for j := range g {
 			g[j] = r.U64()
@@ -221,7 +221,7 @@ func (c *Controller) Load(r *snapshot.Reader, decEntry func(*snapshot.Reader, *E
 		}
 		c.entries = append(c.entries, e)
 		if rt.Priority == PriHigh {
-			c.highByWarp[e.Warp] = e
+			c.setHigh(e.Warp, e)
 		} else {
 			c.lowList = append(c.lowList, e)
 		}

@@ -74,13 +74,17 @@ const (
 
 // wbRec is one pending pipeline writeback, held in the SM's time-bucketed
 // ring instead of a heap-allocated event closure: the issue hot path was
-// dominated by one closure + instruction copy per issued instruction.
+// dominated by one closure + instruction copy per issued instruction. The
+// record references the issued instruction's superop (immutable, shared),
+// so queuing a writeback copies a pointer instead of an Instr and retiring
+// one releases scoreboard destinations with the superop's precomputed
+// masks. Nil for wbLoad records.
 type wbRec struct {
-	kind  wbKind
-	instr isa.Instr
-	w     *warpCtx
-	e     *core.Entry
-	req   *loadReq
+	kind wbKind
+	sop  *isa.Superop
+	w    *warpCtx
+	e    *core.Entry
+	req  *loadReq
 }
 
 // SM is one streaming multiprocessor.
@@ -90,6 +94,10 @@ type SM struct {
 
 	warps []*warpCtx
 	ctas  []*ctaCtx
+	// drainingCTAs counts resident CTAs whose warps have all finished
+	// (liveWarps == 0) but whose in-flight instructions have not drained;
+	// the retirement sweep runs only while it is nonzero.
+	drainingCTAs int
 
 	l1   *mem.Cache
 	mshr *mem.MSHR
@@ -115,6 +123,11 @@ type SM struct {
 	// staging buffers) across triggers; the assist-warp request path is
 	// the simulator's dominant allocation source without it.
 	execPool []*core.Exec
+
+	// warpExecPool recycles regular-warp execution contexts across CTA
+	// placements (kept separate from execPool: warp contexts are sized by
+	// the kernel's register count and carry no staging buffers).
+	warpExecPool []*core.Exec
 
 	// storeBuf holds pending store lines in age order (oldest first). It
 	// is bounded by storeBufCap, so identity/address lookups are linear
@@ -144,8 +157,11 @@ type SM struct {
 	// lastIssueCycle then warp slot). It is maintained incrementally:
 	// issued warps recorded in issuedBuf are re-placed at the back on the
 	// next tick, and orderDirty forces a full rebuild after warp validity
-	// changes (CTA placement/retirement). LRR rebuilds every tick.
-	order       []*warpCtx
+	// changes (CTA placement/retirement). LRR rebuilds every tick. Entries
+	// are warp slot indices rather than pointers so the per-issue
+	// move-to-back shift is a barrier-free memmove and the position scan
+	// stays within a few cache lines.
+	order       []int32
 	orderDirty  bool
 	issuedBuf   []*warpCtx
 	lineBuf     []uint64
@@ -341,9 +357,13 @@ func (sm *SM) newAssistExec(rt *core.Routine) *core.Exec {
 	if n := len(sm.execPool); n > 0 {
 		ex := sm.execPool[n-1]
 		sm.execPool = sm.execPool[:n-1]
-		return core.ResetAssistExec(ex, rt)
+		core.ResetAssistExec(ex, rt)
+		ex.Interp = sm.sim.Cfg.Interpreter
+		return ex
 	}
-	return core.NewAssistExec(rt)
+	ex := core.NewAssistExec(rt)
+	ex.Interp = sm.sim.Cfg.Interpreter
+	return ex
 }
 
 // releaseAssistExec returns a retired assist exec to the pool. The exec
@@ -433,10 +453,11 @@ func (sm *SM) wbPop(cycle uint64) {
 		rec := &bucket[i]
 		switch rec.kind {
 		case wbWarp:
-			rec.w.sb.ClearDsts(&rec.instr)
+			rec.w.sb.ClearSop(rec.sop)
+			rec.w.depStalled = false
 			rec.w.inFlight--
 		case wbAssist:
-			rec.e.SB.ClearDsts(&rec.instr)
+			rec.e.SB.ClearSop(rec.sop)
 			rec.e.Outstanding--
 			sm.checkAssistDone(rec.e)
 		case wbLoad:
@@ -489,7 +510,15 @@ func (sm *SM) placeCTA(ctaID int) {
 		if threadsLeft < cfg.WarpSize {
 			mask = (1 << threadsLeft) - 1
 		}
-		ex := core.NewExec(k.Prog, mask)
+		var ex *core.Exec
+		if n := len(sm.warpExecPool); n > 0 {
+			ex = sm.warpExecPool[n-1]
+			sm.warpExecPool = sm.warpExecPool[:n-1]
+			ex.Reset(k.Prog, mask)
+		} else {
+			ex = core.NewExec(k.Prog, mask)
+		}
+		ex.Interp = cfg.Interpreter
 		ex.Mem = sm.wbuf
 		ex.Shared = cta.shared
 		for lane := 0; lane < cfg.WarpSize; lane++ {
@@ -508,6 +537,8 @@ func (sm *SM) placeCTA(ctaID int) {
 		w.cta = cta
 		w.exec = ex
 		w.sb = regMask{}
+		w.depStalled = false
+		w.idle = false
 		w.valid = true
 		w.inFlight = 0
 		w.pendingLoads = 0
@@ -556,10 +587,12 @@ func (sm *SM) retireCTAIfDone(cta *ctaCtx) {
 			sm.traceWarpEnd(w)
 		}
 		w.valid = false
+		sm.warpExecPool = append(sm.warpExecPool, w.exec)
 		w.exec = nil
 		w.cta = nil
 	}
 	sm.orderDirty = true
+	sm.drainingCTAs--
 	for i, c := range sm.ctas {
 		if c == cta {
 			sm.ctas = append(sm.ctas[:i], sm.ctas[i+1:]...)
@@ -655,9 +688,14 @@ func (sm *SM) tickCompute(cycle uint64) {
 
 	sm.drainStores()
 
-	// CTA retirement sweep (cheap: few CTAs).
-	for i := len(sm.ctas) - 1; i >= 0; i-- {
-		sm.retireCTAIfDone(sm.ctas[i])
+	// CTA retirement sweep, only while some CTA has every warp done and
+	// is draining its in-flight instructions (drainingCTAs tracks the
+	// liveWarps==0 population, so the common steady-state tick skips the
+	// walk entirely).
+	if sm.drainingCTAs > 0 {
+		for i := len(sm.ctas) - 1; i >= 0; i-- {
+			sm.retireCTAIfDone(sm.ctas[i])
+		}
 	}
 }
 
@@ -758,7 +796,7 @@ func (sm *SM) quiescent(cycle uint64) (kind stats.StallKind, horizon uint64, ok 
 		if !w.valid || (lrr && w == sm.greedy) {
 			continue
 		}
-		in := w.exec.Current()
+		in := w.exec.CurrentSop()
 		if in == nil {
 			// Done or at barrier: contributes to idle.
 			if f.blame {
@@ -766,14 +804,14 @@ func (sm *SM) quiescent(cycle uint64) (kind stats.StallKind, horizon uint64, ok 
 			}
 			continue
 		}
-		if w.sb.Conflicts(in) {
+		if w.sb.ConflictsSop(in) {
 			f.dep = true
 			if f.blame && f.depW < 0 {
 				f.depW, f.depC = w.id, obs.CauseScoreboard
 			}
 			continue
 		}
-		switch in.Op.Class() {
+		switch in.Class {
 		case isa.ClassMem:
 			if cycle < sm.lsuFree {
 				f.memS = true
@@ -785,7 +823,7 @@ func (sm *SM) quiescent(cycle uint64) (kind stats.StallKind, horizon uint64, ok 
 				}
 				continue
 			}
-			if in.Op.IsGlobalMem() && in.Op.IsStore() &&
+			if in.GlobalMem && in.StoreOp &&
 				len(sm.storeBuf) >= storeBufCap && !sm.canEvictStore() {
 				// Unblocks only via compression/RMW completion events.
 				f.memS = true
@@ -794,7 +832,7 @@ func (sm *SM) quiescent(cycle uint64) (kind stats.StallKind, horizon uint64, ok 
 				}
 				continue
 			}
-			if in.Op.IsGlobalMem() && w.replay != nil {
+			if in.GlobalMem && w.replay != nil {
 				// Blocks behind the warp's replaying load, which drains
 				// via fill events or the LSU horizon handled above.
 				f.memS = true
@@ -843,7 +881,7 @@ func (sm *SM) issueSlot() stats.StallKind {
 	// and killing their latency is what keeps CABA competitive with
 	// dedicated logic.
 	for _, e := range sm.awc.Entries() {
-		if e.Routine.Priority == core.PriHigh && e.Staged > 0 {
+		if e.Pri == core.PriHigh && e.Staged > 0 {
 			ok, dep, memS, compS := sm.tryIssueAssist(e)
 			if ok {
 				return stats.Active
@@ -864,7 +902,8 @@ func (sm *SM) issueSlot() stats.StallKind {
 			return stats.Active
 		}
 	}
-	for _, w := range sm.order {
+	for _, wi := range sm.order {
+		w := sm.warps[wi]
 		if w == sm.greedy {
 			continue
 		}
@@ -902,15 +941,34 @@ func (sm *SM) tryWarp(w *warpCtx, f *slotFlags) bool {
 	if !w.valid {
 		return false
 	}
-	in := w.exec.Current()
-	if in == nil {
-		// Done or at barrier: contributes to idle.
+	// Replay verdicts already proven: a dependence failure (and its blame
+	// pair) holds until one of this warp's scoreboard bits clears; a
+	// done/at-barrier verdict holds until a barrier release or a fresh
+	// CTA placement.
+	if w.depStalled {
+		f.dep = true
+		if f.blame && f.depW < 0 {
+			f.depW, f.depC = w.id, obs.CauseScoreboard
+		}
+		return false
+	}
+	if w.idle {
 		if f.blame {
 			f.noteIdleWarp(w)
 		}
 		return false
 	}
-	if w.sb.Conflicts(in) {
+	in := w.exec.CurrentSop()
+	if in == nil {
+		// Done or at barrier: contributes to idle.
+		w.idle = true
+		if f.blame {
+			f.noteIdleWarp(w)
+		}
+		return false
+	}
+	if w.sb.ConflictsSop(in) {
+		w.depStalled = true
 		f.dep = true
 		if f.blame && f.depW < 0 {
 			f.depW, f.depC = w.id, obs.CauseScoreboard
@@ -932,7 +990,7 @@ func (sm *SM) tryWarp(w *warpCtx, f *slotFlags) bool {
 	}
 	// One load at a time may sit in the replay queue per warp: a second
 	// global access waits for the first's MSHR-overflow lines to drain.
-	if in.Op.IsGlobalMem() && w.replay != nil {
+	if in.GlobalMem && w.replay != nil {
 		f.memS = true
 		if f.blame && f.memW < 0 {
 			f.memW, f.memC = w.id, obs.CauseMSHRFull
@@ -960,9 +1018,9 @@ func (sm *SM) rebuildOrder() {
 		}
 		n := len(sm.warps)
 		for i := 0; i < n; i++ {
-			w := sm.warps[(start+i)%n]
-			if w.valid {
-				sm.order = append(sm.order, w)
+			wi := (start + i) % n
+			if sm.warps[wi].valid {
+				sm.order = append(sm.order, int32(wi))
 			}
 		}
 		return
@@ -971,13 +1029,14 @@ func (sm *SM) rebuildOrder() {
 		sm.orderDirty = false
 		sm.issuedBuf = sm.issuedBuf[:0]
 		sm.order = sm.order[:0]
-		for _, w := range sm.warps {
+		for i, w := range sm.warps {
 			if w.valid {
-				sm.order = append(sm.order, w)
+				sm.order = append(sm.order, int32(i))
 			}
 		}
+		cyc := func(wi int32) uint64 { return sm.warps[wi].lastIssueCycle }
 		for i := 1; i < len(sm.order); i++ {
-			for j := i; j > 0 && sm.order[j].lastIssueCycle < sm.order[j-1].lastIssueCycle; j-- {
+			for j := i; j > 0 && cyc(sm.order[j]) < cyc(sm.order[j-1]); j-- {
 				sm.order[j], sm.order[j-1] = sm.order[j-1], sm.order[j]
 			}
 		}
@@ -995,9 +1054,10 @@ func (sm *SM) rebuildOrder() {
 // maximal) at the back of the GTO order, keeping equal-cycle ties in warp
 // slot order.
 func (sm *SM) orderMoveToBack(w *warpCtx) {
+	id := int32(w.id)
 	pos := -1
 	for i, o := range sm.order {
-		if o == w {
+		if o == id {
 			pos = i
 			break
 		}
@@ -1008,22 +1068,26 @@ func (sm *SM) orderMoveToBack(w *warpCtx) {
 	n := len(sm.order)
 	copy(sm.order[pos:], sm.order[pos+1:])
 	k := n - 1
-	for k > pos && sm.order[k-1].lastIssueCycle == w.lastIssueCycle && sm.order[k-1].id > w.id {
+	for k > pos {
+		p := sm.warps[sm.order[k-1]]
+		if p.lastIssueCycle != w.lastIssueCycle || p.id <= w.id {
+			break
+		}
 		sm.order[k] = sm.order[k-1]
 		k--
 	}
-	sm.order[k] = w
+	sm.order[k] = id
 }
 
 // portsAvailable checks structural hazards for an op class; (ok, memStall,
 // compStall).
-func (sm *SM) portsAvailable(in *isa.Instr) (bool, bool, bool) {
-	switch in.Op.Class() {
+func (sm *SM) portsAvailable(in *isa.Superop) (bool, bool, bool) {
+	switch in.Class {
 	case isa.ClassMem:
 		if sm.lsuPorts == 0 || sm.cycle < sm.lsuFree {
 			return false, true, false
 		}
-		if in.Op.IsGlobalMem() && in.Op.IsStore() &&
+		if in.GlobalMem && in.StoreOp &&
 			len(sm.storeBuf) >= storeBufCap && !sm.canEvictStore() {
 			return false, true, false
 		}
@@ -1043,8 +1107,8 @@ func (sm *SM) portsAvailable(in *isa.Instr) (bool, bool, bool) {
 // portsAvailable failure, for stall attribution. Only called (blame
 // armed) after portsAvailable returned false for in, so the branches
 // mirror its failing conditions exactly.
-func (sm *SM) portCause(in *isa.Instr) obs.Cause {
-	switch in.Op.Class() {
+func (sm *SM) portCause(in *isa.Superop) obs.Cause {
+	switch in.Class {
 	case isa.ClassMem:
 		if sm.lsuPorts == 0 || sm.cycle < sm.lsuFree {
 			return obs.CauseLSUBusy
@@ -1089,8 +1153,8 @@ func (sm *SM) removeStore(se *storeEntry) {
 
 // --- Regular instruction issue ---
 
-func (sm *SM) issueRegular(w *warpCtx, in *isa.Instr) {
-	info, ok := w.exec.Step()
+func (sm *SM) issueRegular(w *warpCtx, in *isa.Superop) {
+	info, ok := w.exec.StepRef()
 	if !ok {
 		return
 	}
@@ -1106,7 +1170,7 @@ func (sm *SM) issueRegular(w *warpCtx, in *isa.Instr) {
 	sm.stat.ThreadInstrs += uint64(popcount32(info.ExecMask))
 	sm.countClass(in)
 
-	switch in.Op.Class() {
+	switch in.Class {
 	case isa.ClassALU:
 		sm.aluPorts--
 		sm.finishAfter(w, in, uint64(sm.sim.Cfg.ALULatency))
@@ -1125,14 +1189,15 @@ func (sm *SM) issueRegular(w *warpCtx, in *isa.Instr) {
 }
 
 // finishAfter scoreboards in's destinations for lat cycles. The exec's PC
-// moves on, so the ring record keeps a copy of the instruction.
-func (sm *SM) finishAfter(w *warpCtx, in *isa.Instr, lat uint64) {
-	w.sb.MarkDsts(in)
+// moves on, but superops are immutable per kernel, so the ring record
+// keeps only the pointer.
+func (sm *SM) finishAfter(w *warpCtx, in *isa.Superop, lat uint64) {
+	w.sb.MarkSop(in)
 	w.inFlight++
-	sm.wbAdd(sm.cycle+lat, wbRec{kind: wbWarp, instr: *in, w: w})
+	sm.wbAdd(sm.cycle+lat, wbRec{kind: wbWarp, sop: in, w: w})
 }
 
-func (sm *SM) handleControl(w *warpCtx, in *isa.Instr) {
+func (sm *SM) handleControl(w *warpCtx, in *isa.Superop) {
 	switch in.Op {
 	case isa.OpBar:
 		cta := w.cta
@@ -1141,6 +1206,7 @@ func (sm *SM) handleControl(w *warpCtx, in *isa.Instr) {
 			cta.atBarrier = 0
 			for _, ww := range cta.warps {
 				ww.exec.ReleaseBarrier()
+				ww.idle = false
 			}
 		}
 	}
@@ -1151,20 +1217,24 @@ func (sm *SM) handleControl(w *warpCtx, in *isa.Instr) {
 func (sm *SM) noteWarpDone(w *warpCtx) {
 	cta := w.cta
 	cta.liveWarps--
+	if cta.liveWarps == 0 {
+		sm.drainingCTAs++
+	}
 	// A warp exiting releases any barrier its siblings wait at.
 	if cta.liveWarps > 0 && cta.atBarrier >= cta.liveWarps {
 		cta.atBarrier = 0
 		for _, ww := range cta.warps {
 			if !ww.exec.Done {
 				ww.exec.ReleaseBarrier()
+				ww.idle = false
 			}
 		}
 	}
 }
 
 // issueMemory handles shared/global/staging accesses of regular warps.
-func (sm *SM) issueMemory(w *warpCtx, in *isa.Instr, info core.StepInfo) {
-	if !in.Op.IsGlobalMem() {
+func (sm *SM) issueMemory(w *warpCtx, in *isa.Superop, info *core.StepInfo) {
+	if !in.GlobalMem {
 		// Shared memory: fixed short latency.
 		sm.finishAfter(w, in, uint64(sm.sim.Cfg.L1Latency))
 		return
@@ -1178,8 +1248,8 @@ func (sm *SM) issueMemory(w *warpCtx, in *isa.Instr, info core.StepInfo) {
 		}
 	}
 	if in.Op == isa.OpLdGlobal || in.Op == isa.OpAtomAdd {
-		req := &loadReq{warp: w, instr: in, issued: sm.cycle}
-		w.sb.MarkDsts(in)
+		req := &loadReq{warp: w, sop: in, issued: sm.cycle}
+		w.sb.MarkSop(in)
 		w.inFlight++
 		w.pendingLoads++
 		for _, ln := range lines {
@@ -1197,7 +1267,8 @@ func (sm *SM) issueMemory(w *warpCtx, in *isa.Instr, info core.StepInfo) {
 		}
 		if req.linesPending == 0 && len(req.todo) == 0 {
 			// Guard predicate disabled every lane: nothing to wait for.
-			w.sb.ClearDsts(in)
+			w.sb.ClearSop(in)
+			w.depStalled = false
 			w.inFlight--
 			w.pendingLoads--
 		}
@@ -1293,7 +1364,8 @@ func (sm *SM) loadLineDone(req *loadReq) {
 		return
 	}
 	w := req.warp
-	w.sb.ClearDsts(req.instr)
+	w.sb.ClearSop(req.sop)
+	w.depStalled = false
 	w.inFlight--
 	w.pendingLoads--
 	sm.stat.LoadCount++
@@ -1327,7 +1399,7 @@ func coalesceInto(buf *[]uint64, addrs *[core.WarpSize]uint64, mask uint32, line
 // --- Store buffer ---
 
 // storeToBuffer merges a store's words into the pending-store buffer.
-func (sm *SM) storeToBuffer(w *warpCtx, ln uint64, info core.StepInfo) {
+func (sm *SM) storeToBuffer(w *warpCtx, ln uint64, info *core.StepInfo) {
 	se := sm.findStore(ln)
 	if se == nil {
 		if len(sm.storeBuf) >= storeBufCap {
@@ -1642,13 +1714,24 @@ type decompCtx struct {
 // (Section 3.3), and the parent's dependents are already held by the
 // load's scoreboard entry. Returns -1 when every slot is busy.
 func (sm *SM) findAssistHost(pri core.Priority, warp int) int {
-	if sm.awc.CanTrigger(pri, warp) {
+	if pri != core.PriHigh {
+		// Low-priority acceptance is warp-independent (a shared partition
+		// cap), so the parent either hosts or nobody does.
+		if sm.awc.CanTrigger(pri, warp) {
+			return warp
+		}
+		return -1
+	}
+	if sm.awc.Full() {
+		return -1
+	}
+	if sm.awc.HighFor(warp) == nil {
 		return warp
 	}
 	n := len(sm.warps)
 	for i := 1; i < n; i++ {
 		cand := (warp + i) % n
-		if sm.awc.CanTrigger(pri, cand) {
+		if sm.awc.HighFor(cand) == nil {
 			return cand
 		}
 	}
@@ -1816,18 +1899,18 @@ func (sm *SM) tryIssueAssistOK(e *core.Entry) (ok, dep, memS, compS bool) {
 
 // tryIssueAssist issues one staged instruction of an assist warp.
 func (sm *SM) tryIssueAssist(e *core.Entry) (ok, dep, memS, compS bool) {
-	in := e.Exec.Current()
+	in := e.Exec.CurrentSop()
 	if in == nil || e.Staged == 0 {
 		return false, false, false, false
 	}
-	if e.SB.Conflicts(in) {
+	if e.SB.ConflictsSop(in) {
 		return false, true, false, false
 	}
 	pOK, memS, compS := sm.portsAvailable(in)
 	if !pOK {
 		return false, false, memS, compS
 	}
-	info, stepped := e.Exec.Step()
+	info, stepped := e.Exec.StepRef()
 	if !stepped {
 		return false, false, false, false
 	}
@@ -1844,7 +1927,7 @@ func (sm *SM) tryIssueAssist(e *core.Entry) (ok, dep, memS, compS bool) {
 	sm.countClass(in)
 
 	lat := uint64(sm.sim.Cfg.ALULatency)
-	switch in.Op.Class() {
+	switch in.Class {
 	case isa.ClassALU:
 		sm.aluPorts--
 	case isa.ClassSFU:
@@ -1853,7 +1936,7 @@ func (sm *SM) tryIssueAssist(e *core.Entry) (ok, dep, memS, compS bool) {
 	case isa.ClassMem:
 		sm.lsuPorts--
 		lat = uint64(sm.sim.Cfg.L1Latency)
-		if in.Op.IsGlobalMem() {
+		if in.GlobalMem {
 			// Assist-warp global access (prefetch routine): goes through
 			// the normal memory path without blocking the assist warp's
 			// completion on the fill.
@@ -1873,16 +1956,16 @@ func (sm *SM) tryIssueAssist(e *core.Entry) (ok, dep, memS, compS bool) {
 			}
 		}
 	}
-	e.SB.MarkDsts(in)
+	e.SB.MarkSop(in)
 	e.Outstanding++
-	sm.wbAdd(sm.cycle+lat, wbRec{kind: wbAssist, instr: *in, e: e})
+	sm.wbAdd(sm.cycle+lat, wbRec{kind: wbAssist, sop: in, e: e})
 	sm.checkAssistDone(e)
 	return true, false, false, false
 }
 
 // countClass tallies the issued instruction's class for the energy model.
-func (sm *SM) countClass(in *isa.Instr) {
-	switch in.Op.Class() {
+func (sm *SM) countClass(in *isa.Superop) {
+	switch in.Class {
 	case isa.ClassALU:
 		sm.stat.ALUInstrs++
 	case isa.ClassSFU:

@@ -397,6 +397,7 @@ func (sim *Simulator) configHash() (uint64, error) {
 	cfg := *sim.Cfg
 	cfg.SMWorkers = 0
 	cfg.FastForward = false
+	cfg.Interpreter = false
 	cfg.CheckpointEvery = 0
 	cfg.AuditEvery = 0
 	cfg.FlightRecorderDepth = 0
@@ -457,11 +458,11 @@ func (sim *Simulator) SaveState() ([]byte, error) {
 			w.Int(t.warpSM[q.warp])
 			w.Int(q.warp.id)
 		}
-		if q.instr != nil {
+		// Superops are interned per program: encode the PC and re-resolve
+		// against the kernel's decoded program on load.
+		if q.sop != nil {
 			w.Bool(true)
-			if err := snapshot.EncodePlain(w, *q.instr); err != nil {
-				return nil, err
-			}
+			w.Int(int(q.sop.PC))
 		} else {
 			w.Bool(false)
 		}
@@ -651,8 +652,13 @@ func (sm *SM) save(w *snapshot.Writer, t *objTables) error {
 		for j := range sm.wbRing[i] {
 			rec := &sm.wbRing[i][j]
 			w.U8(uint8(rec.kind))
-			if err := snapshot.EncodePlain(w, rec.instr); err != nil {
-				return err
+			// Superops are interned per program: a PC is enough to
+			// re-resolve (kernel program for wbWarp, the entry's routine
+			// for wbAssist; wbLoad records carry no superop).
+			if rec.sop != nil {
+				w.Int(int(rec.sop.PC))
+			} else {
+				w.Int(-1)
 			}
 			if rec.w != nil {
 				w.Int(rec.w.id)
@@ -970,11 +976,12 @@ func (sim *Simulator) LoadState(blob []byte) (err error) {
 			q.warp = sim.sms[smIdx].warps[wid]
 		}
 		if r.Bool() {
-			in := &isa.Instr{}
-			if err := snapshot.DecodePlain(r, in); err != nil {
-				return err
+			pc := r.Int()
+			ops := sim.Kernel.Prog.Decoded().Ops
+			if pc < 0 || pc >= len(ops) {
+				return snapErrf("loadReq pc %d out of range", pc)
 			}
-			q.instr = in
+			q.sop = &ops[pc]
 		}
 		q.linesPending = r.Int()
 		q.issued = r.U64()
@@ -1142,10 +1149,14 @@ func (sm *SM) load(r *snapshot.Reader, t *decTables) error {
 		return r.Err()
 	}
 	sm.ctas = sm.ctas[:0]
+	sm.drainingCTAs = 0
 	for i := 0; i < nCTA; i++ {
 		cta := &ctaCtx{id: r.Int()}
 		cta.shared = append([]byte(nil), r.Bytes(maxGPUSnapLen)...)
 		cta.liveWarps = r.Int()
+		if cta.liveWarps == 0 {
+			sm.drainingCTAs++
+		}
 		cta.atBarrier = r.Int()
 		nw := r.Len(maxGPUSnapLen)
 		if r.Err() != nil {
@@ -1194,7 +1205,10 @@ func (sm *SM) load(r *snapshot.Reader, t *decTables) error {
 			return err
 		}
 		wp.lastIssueCycle = r.U64()
+		wp.depStalled = false // pure caches: recomputed on the next probe
+		wp.idle = false
 		wp.exec = core.NewExec(k.Prog, 0)
+		wp.exec.Interp = sm.sim.Cfg.Interpreter
 		if err := wp.exec.Load(r, k.Prog, false); err != nil {
 			return err
 		}
@@ -1204,6 +1218,7 @@ func (sm *SM) load(r *snapshot.Reader, t *decTables) error {
 
 	// Assist-warp controller.
 	if err := sm.awc.Load(r, func(r *snapshot.Reader, e *core.Entry) error {
+		e.Exec.Interp = sm.sim.Cfg.Interpreter
 		user, err := t.decUser(r)
 		if err != nil {
 			return err
@@ -1249,9 +1264,7 @@ func (sm *SM) load(r *snapshot.Reader, t *decTables) error {
 				return snapErrf("writeback kind %d out of range", kind)
 			}
 			rec.kind = wbKind(kind)
-			if err := snapshot.DecodePlain(r, &rec.instr); err != nil {
-				return err
-			}
+			pc := r.Int()
 			wid := r.Int()
 			eid := r.Int()
 			if r.Err() != nil {
@@ -1265,6 +1278,22 @@ func (sm *SM) load(r *snapshot.Reader, t *decTables) error {
 			}
 			if eid >= 0 {
 				rec.e = ents[eid]
+			}
+			// Re-resolve the superop against its owning program: the
+			// kernel's for warp records, the AWT entry's routine for
+			// assist records (entries were decoded above).
+			if pc >= 0 {
+				var ops []isa.Superop
+				switch {
+				case rec.e != nil:
+					ops = rec.e.Routine.Prog.Decoded().Ops
+				default:
+					ops = sm.sim.Kernel.Prog.Decoded().Ops
+				}
+				if pc >= len(ops) {
+					return snapErrf("writeback pc %d out of range", pc)
+				}
+				rec.sop = &ops[pc]
 			}
 			var err error
 			if rec.req, err = t.decLoad(r); err != nil {

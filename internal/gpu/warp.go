@@ -39,13 +39,27 @@ type warpCtx struct {
 	replay *loadReq
 	// lastIssueCycle orders warps for the GTO "oldest" criterion.
 	lastIssueCycle uint64
+	// idle caches a nil CurrentSop verdict: the warp is done or parked at
+	// a barrier, and stays that way until a barrier release (handleControl
+	// or noteWarpDone) or a fresh CTA placement clears the flag.
+	idle bool
+	// depStalled caches a scoreboard-conflict verdict: the warp's current
+	// instruction conflicts with its own in-flight destinations, so it
+	// cannot issue until some of its scoreboard bits clear. The verdict is
+	// monotone in between — a stalled warp cannot issue (its current
+	// instruction and PC are pinned) and its scoreboard only gains bits —
+	// so the flag stays valid across cycles and is invalidated exactly at
+	// the three sites that clear bits from w.sb (wbPop, loadLineDone, the
+	// zero-lane load cancel in issueMemory). Structural (port) failures
+	// are never cached: port state mutates between slots.
+	depStalled bool
 }
 
 // loadReq tracks one warp's in-flight global load (possibly several cache
 // lines after coalescing).
 type loadReq struct {
 	warp         *warpCtx
-	instr        *isa.Instr
+	sop          *isa.Superop
 	linesPending int
 	issued       uint64
 	// todo holds coalesced lines that could not allocate MSHR entries at

@@ -7,72 +7,82 @@ import "math/bits"
 // warp-level ops (ballot, shfl, vote) are handled by the executor, which
 // sees all lanes at once.
 
+// NonALUOpError reports an op outside the scalar ALU set reaching ALU
+// evaluation — a malformed program (Validate rejects none of the ops, so
+// this means a corrupted opcode). It is a typed error so the executor can
+// surface it as a structured execution fault instead of a bare panic.
+type NonALUOpError struct{ Op Op }
+
+func (e *NonALUOpError) Error() string {
+	return "isa: EvalALU called with non-ALU op " + e.Op.String()
+}
+
 // EvalALU computes the result of a scalar ALU op given already-read operand
 // values a, b, c and the instruction immediate. Ops that do not produce a
-// general-register result (predicate ops, memory, control) must not be
-// passed here.
-func EvalALU(in *Instr, a, b, c uint64) uint64 {
+// general-register result (predicate ops, memory, control) yield a
+// *NonALUOpError.
+func EvalALU(in *Instr, a, b, c uint64) (uint64, error) {
 	switch in.Op {
 	case OpMov:
-		return a
+		return a, nil
 	case OpMovI:
-		return uint64(in.Imm)
+		return uint64(in.Imm), nil
 	case OpAdd:
-		return a + b
+		return a + b, nil
 	case OpAddI:
-		return a + uint64(in.Imm)
+		return a + uint64(in.Imm), nil
 	case OpSub:
-		return a - b
+		return a - b, nil
 	case OpSubI:
-		return a - uint64(in.Imm)
+		return a - uint64(in.Imm), nil
 	case OpMul:
-		return a * b
+		return a * b, nil
 	case OpMulI:
-		return a * uint64(in.Imm)
+		return a * uint64(in.Imm), nil
 	case OpMad:
-		return a*b + c
+		return a*b + c, nil
 	case OpMin:
 		if a < b {
-			return a
+			return a, nil
 		}
-		return b
+		return b, nil
 	case OpMax:
 		if a > b {
-			return a
+			return a, nil
 		}
-		return b
+		return b, nil
 	case OpAnd:
-		return a & b
+		return a & b, nil
 	case OpAndI:
-		return a & uint64(in.Imm)
+		return a & uint64(in.Imm), nil
 	case OpOr:
-		return a | b
+		return a | b, nil
 	case OpOrI:
-		return a | uint64(in.Imm)
+		return a | uint64(in.Imm), nil
 	case OpXor:
-		return a ^ b
+		return a ^ b, nil
 	case OpXorI:
-		return a ^ uint64(in.Imm)
+		return a ^ uint64(in.Imm), nil
 	case OpNot:
-		return ^a
+		return ^a, nil
 	case OpShl:
-		return a << (b & 63)
+		return a << (b & 63), nil
 	case OpShlI:
-		return a << (uint64(in.Imm) & 63)
+		return a << (uint64(in.Imm) & 63), nil
 	case OpShr:
-		return a >> (b & 63)
+		return a >> (b & 63), nil
 	case OpShrI:
-		return a >> (uint64(in.Imm) & 63)
+		return a >> (uint64(in.Imm) & 63), nil
 	case OpSext:
-		return SignExtend(a, in.Width)
+		return SignExtend(a, in.Width), nil
 	case OpSfu:
-		return sfuMix(a)
+		return SFUMix(a), nil
 	case OpCtz:
-		return uint64(bits.TrailingZeros64(a))
+		return uint64(bits.TrailingZeros64(a)), nil
 	case OpNop:
-		return 0
+		return 0, nil
 	}
-	panic("isa: EvalALU called with non-ALU op " + in.Op.String())
+	return 0, &NonALUOpError{Op: in.Op}
 }
 
 // EvalCmp evaluates a SetP comparison between a and b.
@@ -116,11 +126,11 @@ func ZeroExtend(v uint64, width uint8) uint64 {
 	return v & ((uint64(1) << (uint(width) * 8)) - 1)
 }
 
-// sfuMix is the modeled special-function computation: an invertible 64-bit
+// SFUMix is the modeled special-function computation: an invertible 64-bit
 // bit-mixer (splitmix64 finalizer). Its exact function is irrelevant to the
 // architecture study; it stands in for rsqrt/sin-style SFU work and gives
 // data-dependent but deterministic results for memoization experiments.
-func sfuMix(v uint64) uint64 {
+func SFUMix(v uint64) uint64 {
 	v ^= v >> 30
 	v *= 0xbf58476d1ce4e5b9
 	v ^= v >> 27

@@ -212,6 +212,11 @@ type Program struct {
 	// immutable after assembly, so it is computed at most once.
 	ipdomOnce sync.Once
 	ipdom     []int
+
+	// dec caches the predecoded superop form (see Decoded), computed at
+	// most once like ipdom.
+	decOnce sync.Once
+	dec     *Decoded
 }
 
 // IPDom returns the immediate post-dominator table for p, computing and

@@ -1,6 +1,7 @@
 package isa
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -130,7 +131,11 @@ func TestEvalALUArithmetic(t *testing.T) {
 		{Instr{Op: OpSext, Width: 2}, 0x7FFF, 0, 0, 0x7FFF},
 	}
 	for i, tc := range cases {
-		if got := EvalALU(&tc.in, tc.a, tc.b, tc.c); got != tc.want {
+		got, err := EvalALU(&tc.in, tc.a, tc.b, tc.c)
+		if err != nil {
+			t.Fatalf("case %d (%v): %v", i, tc.in.Op, err)
+		}
+		if got != tc.want {
 			t.Errorf("case %d (%v): got %#x, want %#x", i, tc.in.Op, got, tc.want)
 		}
 	}
@@ -138,7 +143,7 @@ func TestEvalALUArithmetic(t *testing.T) {
 
 func TestEvalALUShiftMasking(t *testing.T) {
 	in := Instr{Op: OpShl}
-	if got := EvalALU(&in, 1, 64, 0); got != 1 {
+	if got, _ := EvalALU(&in, 1, 64, 0); got != 1 {
 		t.Errorf("shift by 64 should mask to 0: got %d", got)
 	}
 }
@@ -187,27 +192,29 @@ func TestSignZeroExtendInverse(t *testing.T) {
 
 func TestEvalSfuDeterministicAndMixing(t *testing.T) {
 	in := Instr{Op: OpSfu}
-	a := EvalALU(&in, 12345, 0, 0)
-	b := EvalALU(&in, 12345, 0, 0)
+	a, _ := EvalALU(&in, 12345, 0, 0)
+	b, _ := EvalALU(&in, 12345, 0, 0)
 	if a != b {
 		t.Error("SFU must be deterministic")
 	}
 	if a == 12345 || a == 0 {
 		t.Error("SFU should mix bits")
 	}
-	if EvalALU(&in, 12346, 0, 0) == a {
+	if c, _ := EvalALU(&in, 12346, 0, 0); c == a {
 		t.Error("different inputs should produce different outputs")
 	}
 }
 
-func TestEvalALUPanicsOnMemOp(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("EvalALU on a memory op must panic")
-		}
-	}()
+func TestEvalALUErrorsOnMemOp(t *testing.T) {
 	in := Instr{Op: OpLdGlobal}
-	EvalALU(&in, 0, 0, 0)
+	_, err := EvalALU(&in, 0, 0, 0)
+	var nae *NonALUOpError
+	if !errors.As(err, &nae) {
+		t.Fatalf("EvalALU on a memory op must return *NonALUOpError, got %v", err)
+	}
+	if nae.Op != OpLdGlobal {
+		t.Errorf("error op = %v, want %v", nae.Op, OpLdGlobal)
+	}
 }
 
 func TestOpClasses(t *testing.T) {

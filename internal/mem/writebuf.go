@@ -82,17 +82,40 @@ func (b *WriteBuffer) line(la uint64) *bufLine {
 	return l
 }
 
+// span resolves the one or two staged lines a width-byte access at addr
+// touches (width ≤ 8, so it never crosses more than one line boundary).
+// Hoisting the map lookups out of the per-byte loops is measurable: the
+// execution engines call the byte-overlay paths once per active lane.
+func (b *WriteBuffer) span(addr uint64, width uint8) (la uint64, l, l2 *bufLine) {
+	la = addr &^ uint64(wbLineSize-1)
+	l = b.lines[la]
+	if last := (addr + uint64(width) - 1) &^ uint64(wbLineSize-1); last != la {
+		l2 = b.lines[last]
+	} else {
+		l2 = l
+	}
+	return la, l, l2
+}
+
 // dirty reports whether any of the width bytes at addr carry a staged
 // plain store.
 func (b *WriteBuffer) dirty(addr uint64, width uint8) bool {
 	if len(b.order) == 0 {
 		return false
 	}
+	la, l, l2 := b.span(addr, width)
+	if l == nil && l2 == nil {
+		return false
+	}
 	for i := uint64(0); i < uint64(width); i++ {
 		a := addr + i
-		if l := b.lines[a&^uint64(wbLineSize-1)]; l != nil {
+		ln := l
+		if a&^uint64(wbLineSize-1) != la {
+			ln = l2
+		}
+		if ln != nil {
 			off := a & (wbLineSize - 1)
-			if l.mask[off/64]&(1<<(off%64)) != 0 {
+			if ln.mask[off/64]&(1<<(off%64)) != 0 {
 				return true
 			}
 		}
@@ -118,12 +141,20 @@ func (b *WriteBuffer) LoadGlobal(addr uint64, width uint8) uint64 {
 	v := b.mem.ReadU(addr, width)
 	anyStore := false
 	if len(b.order) != 0 {
-		for i := uint64(0); i < uint64(width); i++ {
-			a := addr + i
-			if l := b.lines[a&^uint64(wbLineSize-1)]; l != nil {
+		la, l, l2 := b.span(addr, width)
+		if l != nil || l2 != nil {
+			for i := uint64(0); i < uint64(width); i++ {
+				a := addr + i
+				ln := l
+				if a&^uint64(wbLineSize-1) != la {
+					ln = l2
+				}
+				if ln == nil {
+					continue
+				}
 				off := a & (wbLineSize - 1)
-				if l.mask[off/64]&(1<<(off%64)) != 0 {
-					v = v&^(0xFF<<(8*i)) | uint64(l.data[off])<<(8*i)
+				if ln.mask[off/64]&(1<<(off%64)) != 0 {
+					v = v&^(0xFF<<(8*i)) | uint64(ln.data[off])<<(8*i)
 					anyStore = true
 				}
 			}

@@ -47,59 +47,23 @@ type Event struct {
 	Act  Action
 }
 
-// Queue is a min-heap of timed actions. The zero value is ready to use.
-// The heap is hand-rolled over a typed slice: events are sifted by value
-// with no extra boxing, so scheduling does not allocate beyond the action
-// itself.
+// Queue is a time-ordered list of timed actions. The zero value is ready
+// to use. Events live sorted by (time, seq) in buf[head:]; popping the
+// minimum advances head (O(1)), and pushing inserts with a binary search
+// plus a short memmove. The simulator keeps tens of events in flight, so
+// the sorted-array form beats a binary heap: the pop path — by far the
+// hotter side — does no sifting at all, and inserts shift a few hundred
+// contiguous bytes instead of chasing heap levels.
 type Queue struct {
-	h   []Event
-	seq uint64
-	now float64
+	buf  []Event // sorted by (Time, Seq); live region is buf[head:]
+	head int
+	seq  uint64
+	now  float64
 }
 
 // Now returns the time of the most recently executed event (or the last
 // RunUntil horizon if greater).
 func (q *Queue) Now() float64 { return q.now }
-
-// less orders events by time, FIFO within a time.
-func (q *Queue) less(i, j int) bool {
-	if q.h[i].Time != q.h[j].Time {
-		return q.h[i].Time < q.h[j].Time
-	}
-	return q.h[i].Seq < q.h[j].Seq
-}
-
-// up restores the heap property from leaf i toward the root.
-func (q *Queue) up(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !q.less(i, parent) {
-			break
-		}
-		q.h[i], q.h[parent] = q.h[parent], q.h[i]
-		i = parent
-	}
-}
-
-// down restores the heap property from the root toward the leaves.
-func (q *Queue) down(i int) {
-	n := len(q.h)
-	for {
-		l := 2*i + 1
-		if l >= n {
-			break
-		}
-		least := l
-		if r := l + 1; r < n && q.less(r, l) {
-			least = r
-		}
-		if !q.less(least, i) {
-			break
-		}
-		q.h[i], q.h[least] = q.h[least], q.h[i]
-		i = least
-	}
-}
 
 // Push schedules a to run at time t. Scheduling in the past runs the
 // action at the current horizon instead (time never goes backwards).
@@ -108,8 +72,34 @@ func (q *Queue) Push(t float64, a Action) {
 		t = q.now
 	}
 	q.seq++
-	q.h = append(q.h, Event{Time: t, Seq: q.seq, Act: a})
-	q.up(len(q.h) - 1)
+	e := Event{Time: t, Seq: q.seq, Act: a}
+	// Reclaim the dead prefix once it outgrows the live region (amortized
+	// O(1); the vacated tail is zeroed so actions are released for GC).
+	if q.head > 32 && q.head > len(q.buf)-q.head {
+		n := copy(q.buf, q.buf[q.head:])
+		for i := n; i < len(q.buf); i++ {
+			q.buf[i] = Event{}
+		}
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	// Upper-bound binary search by time: the new event carries the
+	// largest Seq, so it sorts after every pending event with equal time,
+	// which preserves the FIFO tie-break exactly.
+	live := q.buf[q.head:]
+	lo, hi := 0, len(live)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if live[mid].Time <= e.Time {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	pos := q.head + lo
+	q.buf = append(q.buf, Event{})
+	copy(q.buf[pos+1:], q.buf[pos:])
+	q.buf[pos] = e
 }
 
 // At schedules fn to run at time t (closure convenience; opaque to
@@ -122,72 +112,53 @@ func (q *Queue) After(delay float64, fn func()) { q.At(q.now+delay, fn) }
 // RunUntil executes all events with time <= t in time order (events may
 // schedule further events, which are honored if they also fall within t).
 func (q *Queue) RunUntil(t float64) {
-	for len(q.h) > 0 && q.h[0].Time <= t {
-		e := q.h[0]
-		n := len(q.h) - 1
-		q.h[0] = q.h[n]
-		q.h[n] = Event{} // release the action for GC
-		q.h = q.h[:n]
-		q.down(0)
+	for q.head < len(q.buf) && q.buf[q.head].Time <= t {
+		e := q.buf[q.head]
+		q.buf[q.head] = Event{} // release the action for GC
+		q.head++
 		if e.Time > q.now {
 			q.now = e.Time
 		}
+		// Run may Push; insertion and compaction keep buf[head:] sorted,
+		// and the loop re-reads head/buf each iteration.
 		e.Act.Run()
 	}
 	if t > q.now {
 		q.now = t
 	}
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
 }
 
 // Len returns the number of pending events.
-func (q *Queue) Len() int { return len(q.h) }
+func (q *Queue) Len() int { return len(q.buf) - q.head }
 
 // NextTime returns the time of the earliest pending event; ok is false if
 // the queue is empty.
 func (q *Queue) NextTime() (t float64, ok bool) {
-	if len(q.h) == 0 {
+	if q.head == len(q.buf) {
 		return 0, false
 	}
-	return q.h[0].Time, true
+	return q.buf[q.head].Time, true
 }
 
 // Snapshot returns the queue's clock, sequence counter and pending events
-// sorted in firing order (time, then seq). The slice is a copy.
+// sorted in firing order (time, then seq). The slice is a copy — the live
+// region is already kept in firing order.
 func (q *Queue) Snapshot() (now float64, seq uint64, evs []Event) {
-	evs = make([]Event, len(q.h))
-	copy(evs, q.h)
-	// Heapsort in place: repeatedly pop the minimum. Cheaper to sort a
-	// copy than to expose heap internals; snapshotting is off the hot
-	// path.
-	sortEvents(evs)
+	evs = make([]Event, q.Len())
+	copy(evs, q.buf[q.head:])
 	return q.now, q.seq, evs
 }
 
 // Restore replaces the queue's state with a snapshot previously produced
-// by Snapshot (evs must be sorted in firing order; a sorted slice is a
-// valid min-heap, so it is adopted directly).
+// by Snapshot (evs must be sorted in firing order, which is the live
+// representation).
 func (q *Queue) Restore(now float64, seq uint64, evs []Event) {
 	q.now = now
 	q.seq = seq
-	q.h = append(q.h[:0], evs...)
-}
-
-// sortEvents orders events by (time, seq) with a simple binary-insertion
-// sort — snapshot sizes are small (the simulator keeps tens of events in
-// flight) and this avoids importing sort for a comparator closure.
-func sortEvents(evs []Event) {
-	for i := 1; i < len(evs); i++ {
-		e := evs[i]
-		lo, hi := 0, i
-		for lo < hi {
-			mid := (lo + hi) / 2
-			if evs[mid].Time < e.Time || (evs[mid].Time == e.Time && evs[mid].Seq < e.Seq) {
-				lo = mid + 1
-			} else {
-				hi = mid
-			}
-		}
-		copy(evs[lo+1:i+1], evs[lo:i])
-		evs[lo] = e
-	}
+	q.buf = append(q.buf[:0], evs...)
+	q.head = 0
 }

@@ -1,0 +1,73 @@
+package caba_test
+
+import (
+	"fmt"
+	"testing"
+
+	caba "github.com/caba-sim/caba"
+)
+
+// TestInterpreterGoldenEquivalence is the pre-decoded execution engine's
+// contract at the full-simulator level: Config.Interpreter must be
+// invisible in the results. FuzzPredecode pins the decoded≡interpreter
+// invariant per instruction on one Exec; this test closes the loop over
+// the whole machine — schedulers, assist warps, the memory hierarchy and
+// fast-forward all riding on StepRef — by running every app×design pair
+// both ways and requiring the Result and every raw counter in Metrics to
+// match exactly, not approximately.
+func TestInterpreterGoldenEquivalence(t *testing.T) {
+	pairs := []struct {
+		app    string
+		design caba.Design
+	}{
+		{"sssp", caba.Base},   // memory-bound, no compression machinery
+		{"PVC", caba.CABABDI}, // assist warps + cross-SM atomics
+		{"bfs", caba.HWBDI},   // hardware (de)compression latencies
+		{"KM", caba.IdealBDI}, // zero-latency decompression design
+	}
+	for _, p := range pairs {
+		p := p
+		t.Run(fmt.Sprintf("%s_%s", p.app, p.design.Name), func(t *testing.T) {
+			t.Parallel()
+			run := func(interp bool) *caba.Result {
+				t.Helper()
+				cfg := caba.QuickConfig()
+				cfg.Scale = 0.03
+				cfg.Interpreter = interp
+				r, err := caba.Run(cfg, p.design, p.app, 1)
+				if err != nil {
+					t.Fatalf("Interpreter=%v: %v", interp, err)
+				}
+				return r
+			}
+			decoded := run(false)
+			ref := run(true)
+			if decoded.Cycles != ref.Cycles {
+				t.Errorf("cycles diverge: decoded %d, interpreter %d", decoded.Cycles, ref.Cycles)
+			}
+			if decoded.IPC != ref.IPC {
+				t.Errorf("IPC diverges: %v != %v", decoded.IPC, ref.IPC)
+			}
+			if decoded.BandwidthUtil != ref.BandwidthUtil {
+				t.Errorf("bandwidth utilization diverges: %v != %v", decoded.BandwidthUtil, ref.BandwidthUtil)
+			}
+			if decoded.CompressionRatio != ref.CompressionRatio {
+				t.Errorf("compression ratio diverges: %v != %v", decoded.CompressionRatio, ref.CompressionRatio)
+			}
+			if decoded.EnergyNJ != ref.EnergyNJ || decoded.DRAMEnergyNJ != ref.DRAMEnergyNJ {
+				t.Errorf("energy diverges: total %v != %v, DRAM %v != %v",
+					decoded.EnergyNJ, ref.EnergyNJ, decoded.DRAMEnergyNJ, ref.DRAMEnergyNJ)
+			}
+			if decoded.DecompMismatches != ref.DecompMismatches {
+				t.Errorf("decompression mismatches diverge: %d != %d", decoded.DecompMismatches, ref.DecompMismatches)
+			}
+			if decoded.FFSkips != ref.FFSkips || decoded.FFCycles != ref.FFCycles {
+				t.Errorf("fast-forward skips diverge: %d/%d != %d/%d",
+					decoded.FFSkips, decoded.FFCycles, ref.FFSkips, ref.FFCycles)
+			}
+			for _, d := range decoded.Stats.Diff(ref.Stats) {
+				t.Errorf("stats diverge: %s", d)
+			}
+		})
+	}
+}

@@ -1,8 +1,9 @@
 #!/bin/sh
 # Regenerates BENCH_sim.json: wall-clock and allocation numbers for the
-# simulator hot loop (single-run Sim* benchmarks, fixed 5 iterations for
-# comparability) and the event-queue micro-benchmark. Run via `make bench`
-# from the repository root.
+# simulator hot loop (Sim* benchmarks at a fixed 5 iterations for
+# comparability, minimum over 3 repetitions to estimate the noise floor)
+# and the event-queue micro-benchmark. Run via `make bench` from the
+# repository root.
 set -e
 cd "$(dirname "$0")/.."
 tmp=$(mktemp)
@@ -32,15 +33,28 @@ go test -run 'TestObsGoldenEquivalence|TestStallAttributionSums' .
 # allocations to the benchmarked path.
 prev_allocs=$(awk -F'[,: ]+' '/BenchmarkSimHotLoop/ { for (i=1;i<=NF;i++) if ($i=="\"allocs_per_op\"") print $(i+1) }' BENCH_sim.json 2>/dev/null | tr -d '}')
 
+# -count 3: the recorded ns/op is the minimum over three runs. Wall-clock
+# on shared hosts swings ±15% run to run while the floor is stable (the
+# simulated cycle counts are bit-identical), and bench_compare.sh gates
+# against these numbers — a floor-vs-floor comparison is the only one a
+# 10% threshold survives.
 go test -run '^$' \
-  -bench 'BenchmarkSimBasePVC$|BenchmarkSimCABAPVC$|BenchmarkSimBaseSSSP$|BenchmarkSimCABASSSP$|BenchmarkSimHotLoop$' \
-  -benchtime 5x -benchmem . | tee "$tmp"
+  -bench 'BenchmarkSimBasePVC$|BenchmarkSimCABAPVC$|BenchmarkSimCABAPVCInterp$|BenchmarkSimBaseSSSP$|BenchmarkSimCABASSSP$|BenchmarkSimHotLoop$' \
+  -benchtime 5x -count 3 -benchmem . | tee "$tmp"
 go test -run '^$' -bench 'BenchmarkSimParallelPVC' \
-  -benchtime 5x -benchmem . | tee -a "$tmp"
-go test -run '^$' -bench 'BenchmarkQueue$' -benchmem ./internal/timing | tee -a "$tmp"
+  -benchtime 5x -count 3 -benchmem . | tee -a "$tmp"
+go test -run '^$' -bench 'BenchmarkQueue$' -count 3 -benchmem ./internal/timing | tee -a "$tmp"
 
-awk '
-BEGIN { print "{"; printf "  \"benchmarks\": [" ; sep="" }
+# Machine metadata: parallel-tick numbers (BenchmarkSimParallelPVC) only
+# compare meaningfully across runs with the same worker budget, so the
+# GOMAXPROCS the benchmarks actually ran under (the -N suffix Go appends
+# to benchmark names — omitted entirely when GOMAXPROCS is 1) and the
+# host CPU count are recorded alongside the numbers.
+gomaxprocs=$(awk '/^Benchmark/ { if (match($1, /-[0-9]+$/)) { print substr($1, RSTART+1); exit } }' "$tmp")
+num_cpu=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo null)
+
+# Minimum over the -count repetitions per benchmark, first-seen order.
+awk -v gomaxprocs="${gomaxprocs:-1}" -v num_cpu="$num_cpu" '
 /^Benchmark/ {
   name=$1; sub(/-[0-9]+$/, "", name)
   ns="null"; bytes="null"; allocs="null"
@@ -49,10 +63,26 @@ BEGIN { print "{"; printf "  \"benchmarks\": [" ; sep="" }
     else if ($i == "B/op") bytes = $(i-1)
     else if ($i == "allocs/op") allocs = $(i-1)
   }
-  printf "%s\n    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", sep, name, ns, bytes, allocs
-  sep=","
+  if (!(name in min_ns)) {
+    order[n++] = name
+    min_ns[name] = ns; min_b[name] = bytes; min_a[name] = allocs
+  } else {
+    if (ns != "null" && (min_ns[name] == "null" || ns+0 < min_ns[name]+0)) min_ns[name] = ns
+    if (bytes != "null" && (min_b[name] == "null" || bytes+0 < min_b[name]+0)) min_b[name] = bytes
+    if (allocs != "null" && (min_a[name] == "null" || allocs+0 < min_a[name]+0)) min_a[name] = allocs
+  }
 }
-END { print "\n  ]"; print "}" }
+END {
+  print "{"
+  printf "  \"meta\": {\"gomaxprocs\": %s, \"num_cpu\": %s},\n", gomaxprocs, num_cpu
+  printf "  \"benchmarks\": ["; sep=""
+  for (i = 0; i < n; i++) {
+    name = order[i]
+    printf "%s\n    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", sep, name, min_ns[name], min_b[name], min_a[name]
+    sep=","
+  }
+  print "\n  ]"; print "}"
+}
 ' "$tmp" > BENCH_sim.json
 
 # Allocation guard: with every obs knob at its zero value, the hot loop
