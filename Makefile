@@ -8,7 +8,9 @@ GO ?= go
 # way (checkpoint files live on disk between runs and are untrusted).
 # FuzzPredecode differentially tests the superop engine against the
 # interpreter on random Builder programs (the decoded≡interpreter
-# invariant, DESIGN.md §12).
+# invariant, DESIGN.md §12). FuzzStepRun does the same for the batched
+# macro-step primitive against per-step decoded execution (the
+# macro-step≡per-step invariant, DESIGN.md §13).
 FUZZ_TARGETS = \
 	FuzzDecompressBDI:./internal/compress \
 	FuzzDecompressFPC:./internal/compress \
@@ -16,7 +18,8 @@ FUZZ_TARGETS = \
 	FuzzOpen:./internal/snapshot \
 	FuzzReader:./internal/snapshot \
 	FuzzSnapshotLoad:./internal/gpu \
-	FuzzPredecode:./internal/core
+	FuzzPredecode:./internal/core \
+	FuzzStepRun:./internal/core
 FUZZTIME ?= 10s
 
 .PHONY: build vet lint test race fuzz snapshot-check trace-check check bench bench-compare
@@ -28,9 +31,11 @@ vet:
 	$(GO) vet ./...
 
 # lint enforces godoc coverage on the observability and reliability
-# packages with the repo's own stdlib-only checker (no external linters).
+# packages — plus the ISA predecode and timing packages the execution
+# engines lean on — with the repo's own stdlib-only checker (no external
+# linters).
 lint:
-	$(GO) run ./scripts/lintdoc ./internal/obs ./internal/audit ./internal/faults ./internal/snapshot
+	$(GO) run ./scripts/lintdoc ./internal/obs ./internal/audit ./internal/faults ./internal/snapshot ./internal/isa ./internal/timing
 
 test:
 	$(GO) test ./...

@@ -187,6 +187,23 @@ type Config struct {
 	// strategy: excluded from the snapshot config hash.
 	Interpreter bool
 
+	// BatchIssue enables block-batched warp execution: when the GTO
+	// scheduler selects a warp whose next instruction heads a
+	// straightline ALU run (precomputed at predecode) and no other event
+	// can intervene before the run's horizon — no pending writebacks,
+	// fills or assist deploys earlier than the window end, no
+	// higher-priority warp becoming ready — the SM executes the run as
+	// macro-steps and replays the architected per-cycle side effects
+	// (issue-slot statistics, stall-attribution charges, assist-warp
+	// utilization windows, energy counters) from a precomputed schedule
+	// instead of re-deriving them through the full scheduler scan each
+	// cycle. Requires the predecoded engine (ignored under Interpreter)
+	// and the GTO scheduler (ignored under LRR). Statistics, snapshots
+	// and the metrics series are bit-identical either way; only
+	// wall-clock time changes. Pure strategy: excluded from the snapshot
+	// config hash.
+	BatchIssue bool
+
 	// AttributeStalls accumulates per-warp stall attribution: every
 	// cycle, each scheduler slot that fails to issue is charged to
 	// exactly one (warp, cause) pair — scoreboard, barrier, drain,
@@ -237,6 +254,7 @@ func Baseline() Config {
 		MDLinesPerEntry: 128,
 		Scale:           1.0,
 		FastForward:     true,
+		BatchIssue:      true,
 		WedgeLimit:      10_000_000,
 	}
 }

@@ -1,0 +1,40 @@
+package core
+
+import "math/bits"
+
+// This file implements the macro-step primitive of the block-batched
+// issue engine (Config.BatchIssue): StepRun executes several consecutive
+// straightline instructions in one call, eliminating the per-instruction
+// Step dispatch (engine selection, done/barrier/error re-checks, StepInfo
+// handoff) for runs the scheduler has already proven will issue
+// back-to-back. It is defined only for the predecoded engine — batching
+// composes with Config.Interpreter off — and only for straightline ALU
+// runs (isa.Decoded.RunLen), where each instruction advances PC by
+// exactly one and cannot diverge, exit, fault or touch memory.
+
+// Straightline reports whether the warp is executing with no divergence
+// in flight: the SIMT stack is empty and the current path reconverges
+// only at the program end. Only then does a straightline run
+// (isa.Decoded.RunLen) advance PC by exactly one per instruction with no
+// reconvergence pops, which is the precondition for StepRun.
+func (e *Exec) Straightline() bool {
+	return len(e.stack) == 0 && e.rpc == len(e.Prog.Code)
+}
+
+// StepRun executes exactly n consecutive instructions through the
+// predecoded engine and returns the summed active-lane count (the
+// thread-instruction credit the per-cycle path accumulates from each
+// StepInfo.ExecMask). ok is false if any step refuses (done, barrier,
+// error) or errors — impossible when the caller batches only within a
+// straightline ALU run on a Straightline warp, and treated as a fatal
+// internal inconsistency by the scheduler. State after StepRun(n) is
+// bit-identical to n successive Step calls; FuzzStepRun pins this.
+func (e *Exec) StepRun(n int) (threadInstrs uint64, ok bool) {
+	for i := 0; i < n; i++ {
+		if !e.stepDecoded() || e.Err != nil {
+			return threadInstrs, false
+		}
+		threadInstrs += uint64(bits.OnesCount32(e.info.ExecMask))
+	}
+	return threadInstrs, true
+}

@@ -146,6 +146,15 @@ type Controller struct {
 	windowPos  int
 	windowBusy int
 
+	// drained short-circuits Tick's deploy scan: it is set when an
+	// unthrottled full scan staged nothing, and cleared whenever staging
+	// capacity can reappear (an instruction is consumed from the AWB, or
+	// a new entry is triggered). It is a pure strategy hint — Tick's
+	// architected effects (Staged, DeployedIns, rr rotation) are
+	// identical with or without it — and is not serialized; Load clears
+	// it so a restored controller rescans conservatively.
+	drained bool
+
 	// Stats.
 	Triggered   uint64
 	KilledCount uint64
@@ -209,6 +218,7 @@ func (c *Controller) Trigger(rt *Routine, warp int, exec *Exec, user any, onComp
 		c.lowList = append(c.lowList, e)
 	}
 	c.Triggered++
+	c.drained = false
 	return e
 }
 
@@ -270,8 +280,12 @@ func (c *Controller) Tick() {
 	if len(c.entries) == 0 {
 		return
 	}
-	credits := c.DeployBW
 	n := len(c.entries)
+	if c.drained {
+		c.rr = (c.rr + 1) % n
+		return
+	}
+	credits := c.DeployBW
 	deploy := func(pri Priority) {
 		for scanned := 0; scanned < n && credits > 0; scanned++ {
 			e := c.entries[(c.rr+scanned)%n]
@@ -286,11 +300,23 @@ func (c *Controller) Tick() {
 		}
 	}
 	deploy(PriHigh)
-	if !c.LowPriorityThrottled() {
+	throttled := c.LowPriorityThrottled()
+	if !throttled {
 		deploy(PriLow)
+	}
+	if credits == c.DeployBW && !throttled {
+		// Nothing staged on a full, unthrottled scan: every entry is at
+		// capacity, killed, or done. None of those revert except through
+		// NoteConsumed/Trigger, which re-arm the scan.
+		c.drained = true
 	}
 	c.rr = (c.rr + 1) % n
 }
+
+// NoteConsumed tells the controller an instruction left the AWB (an SM
+// issued a staged assist instruction), so a capacity-full entry may have
+// room again and the deploy scan must resume.
+func (c *Controller) NoteConsumed() { c.drained = false }
 
 // HighFor returns the high-priority assist warp attached to warp, if any.
 func (c *Controller) HighFor(warp int) *Entry { return c.highFor(warp) }

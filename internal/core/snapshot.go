@@ -186,6 +186,7 @@ func (c *Controller) Load(r *snapshot.Reader, decEntry func(*snapshot.Reader, *E
 	}
 	c.windowPos = r.Int()
 	c.windowBusy = r.Int()
+	c.drained = false
 	c.Triggered = r.U64()
 	c.KilledCount = r.U64()
 	c.DeployedIns = r.U64()

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+// FuzzStepRun pins the macro-step≡per-step invariant of the block-batched
+// issue engine (DESIGN.md §13): for random valid programs, executing a
+// straightline run through one StepRun(n) call must leave the Exec in a
+// state bit-identical to n successive Step calls — PC, active mask,
+// registers, predicates, shared/staging memory, global memory, executed
+// count — and must return exactly the thread-instruction credit the
+// per-step path accumulates from each StepInfo.ExecMask. The run lengths
+// batched here are chosen randomly within the predecoded RunLen table,
+// exercising both full runs and partial prefixes (a window that
+// truncates a run mid-way is the common case in the scheduler).
+func FuzzStepRun(f *testing.F) {
+	for s := int64(0); s < 8; s++ {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		prog := randomProgram(rng)
+		runLen := prog.Decoded().RunLen
+
+		mkExec := func() (*Exec, *fuzzMem) {
+			e := NewExec(prog, 0xFFFFFFFF)
+			e.Shared = make([]byte, 256)
+			e.StageIn = make([]byte, 128)
+			e.StageOut = make([]byte, 128)
+			for i := range e.StageIn {
+				e.StageIn[i] = byte(i * 7)
+			}
+			m := &fuzzMem{data: make(map[uint64]byte)}
+			e.Mem = m
+			return e, m
+		}
+		bat, batMem := mkExec() // macro-steps where runs allow
+		ref, refMem := mkExec() // always one Step at a time
+
+		for step := 0; step < 4096; step++ {
+			if diff := diffExecState(bat, ref); diff != "" {
+				t.Fatalf("seed %d step %d: %s", seed, step, diff)
+			}
+			pc := bat.PC
+			if !bat.Done && !bat.AtBarrier && bat.Err == nil &&
+				bat.Straightline() && pc < len(runLen) && runLen[pc] >= 2 {
+				// Batch a random prefix of the run (1 < n <= RunLen).
+				n := 2 + rng.Intn(int(runLen[pc])-1)
+				var want uint64
+				for j := 0; j < n; j++ {
+					ri, rok := ref.Step()
+					if !rok {
+						t.Fatalf("seed %d step %d: reference refused inside a run (j=%d)", seed, step, j)
+					}
+					want += uint64(bits.OnesCount32(ri.ExecMask))
+				}
+				got, ok := bat.StepRun(n)
+				if !ok {
+					t.Fatalf("seed %d step %d: StepRun(%d) refused at pc %d", seed, step, n, pc)
+				}
+				if got != want {
+					t.Fatalf("seed %d step %d: StepRun(%d) thread-instrs %d, per-step sum %d", seed, step, n, got, want)
+				}
+				continue
+			}
+			_, bok := bat.Step()
+			_, rok := ref.Step()
+			if bok != rok {
+				t.Fatalf("seed %d step %d: batched stepped=%v reference stepped=%v", seed, step, bok, rok)
+			}
+			if !bok {
+				if bat.AtBarrier && ref.AtBarrier {
+					bat.ReleaseBarrier()
+					ref.ReleaseBarrier()
+					continue
+				}
+				break
+			}
+		}
+		if diff := diffExecState(bat, ref); diff != "" {
+			t.Fatalf("seed %d final: %s", seed, diff)
+		}
+		if diff := batMem.diff(refMem); diff != "" {
+			t.Fatalf("seed %d final: global memory: %s", seed, diff)
+		}
+	})
+}

@@ -398,6 +398,7 @@ func (sim *Simulator) configHash() (uint64, error) {
 	cfg.SMWorkers = 0
 	cfg.FastForward = false
 	cfg.Interpreter = false
+	cfg.BatchIssue = false
 	cfg.CheckpointEvery = 0
 	cfg.AuditEvery = 0
 	cfg.FlightRecorderDepth = 0
@@ -1368,5 +1369,6 @@ func (sm *SM) load(r *snapshot.Reader, t *decTables) error {
 	sm.order = sm.order[:0]
 	sm.issuedBuf = sm.issuedBuf[:0]
 	sm.qValid = false
+	sm.bValid = false
 	return r.Err()
 }

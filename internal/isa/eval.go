@@ -13,6 +13,7 @@ import "math/bits"
 // surface it as a structured execution fault instead of a bare panic.
 type NonALUOpError struct{ Op Op }
 
+// Error implements the error interface.
 func (e *NonALUOpError) Error() string {
 	return "isa: EvalALU called with non-ALU op " + e.Op.String()
 }

@@ -90,9 +90,14 @@ const (
 type Class uint8
 
 const (
+	// ClassALU ops execute in the scalar ALU pipelines.
 	ClassALU Class = iota
+	// ClassSFU ops occupy a special-function unit with an initiation
+	// interval.
 	ClassSFU
+	// ClassMem ops issue through the load-store unit.
 	ClassMem
+	// ClassCtrl ops steer control flow (branches, barriers, exits).
 	ClassCtrl
 )
 
