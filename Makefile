@@ -22,7 +22,7 @@ FUZZ_TARGETS = \
 	FuzzStepRun:./internal/core
 FUZZTIME ?= 10s
 
-.PHONY: build vet lint test race fuzz snapshot-check trace-check check bench bench-compare
+.PHONY: build vet lint test race fuzz snapshot-check trace-check farm-check check bench bench-compare
 
 build:
 	$(GO) build ./...
@@ -35,7 +35,7 @@ vet:
 # engines lean on — with the repo's own stdlib-only checker (no external
 # linters).
 lint:
-	$(GO) run ./scripts/lintdoc ./internal/obs ./internal/audit ./internal/faults ./internal/snapshot ./internal/isa ./internal/timing
+	$(GO) run ./scripts/lintdoc ./internal/obs ./internal/audit ./internal/faults ./internal/snapshot ./internal/isa ./internal/timing ./internal/farm
 
 test:
 	$(GO) test ./...
@@ -64,8 +64,20 @@ snapshot-check:
 trace-check:
 	$(GO) test -run 'TestTraceSchemaPVC' .
 
+# farm-check proves the distributed-sweep contract under chaos, with the
+# race detector on (coordinator, workers and client genuinely run
+# concurrently here): a four-worker sweep with an injected kill, hang,
+# transient flake and deterministic wedge must converge to results
+# bit-identical to the in-process run, resume the killed cell from its
+# checkpoint blob, never retry the wedge, and serve restarts from the
+# result cache. The hard -timeout keeps a protocol deadlock from eating
+# the CI budget.
+farm-check:
+	$(GO) test -race -timeout 10m ./internal/farm
+	$(GO) test -race -timeout 10m -run 'TestFarmSweepEndToEnd|TestSweepContextCancel|TestCheckpointTornLine' ./experiments
+
 # check is the tier-1 gate: everything must pass before a commit.
-check: build vet lint snapshot-check trace-check test race fuzz
+check: build vet lint snapshot-check trace-check farm-check test race fuzz
 
 # bench refreshes BENCH_sim.json with the simulator hot-loop and event
 # queue numbers (ns/op, B/op, allocs/op).

@@ -292,6 +292,53 @@ func RunCheckpointed(ctx context.Context, cfg Config, design Design, appName str
 	return finishResult(appName, design, &cfg, sim, inputRatio)
 }
 
+// RunResumable is the checkpointed run primitive with caller-managed blob
+// persistence: resume (when non-empty) is a checkpoint blob to restore
+// before running, and save — invoked every cfg.CheckpointEvery cycles
+// with the current cycle and a freshly sealed blob — owns durability
+// (write it to disk, upload it to a coordinator, drop it). A save error
+// aborts the run; the distributed sweep farm treats a checkpoint it could
+// not persist as a failed cell rather than silently losing resumability.
+//
+// The returned resumedAt is the simulated cycle the run actually resumed
+// from: 0 when resume was empty or did not decode (torn, corrupted, or
+// bound to a different configuration — the run then starts from cycle
+// zero, mirroring RunCheckpointed's tolerance). A resumed run converges
+// to the bit-identical result of an uninterrupted one.
+//
+// RunCheckpointed is this function plus file persistence, crash reports
+// and checkpoint cleanup; workers that report to a coordinator instead of
+// the local filesystem use RunResumable directly.
+func RunResumable(ctx context.Context, cfg Config, design Design, appName string, seed int64, resume []byte, save func(cycle uint64, blob []byte) error) (res *Result, resumedAt uint64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("caba: %s/%s: internal panic: %v", appName, design.Name, r)
+		}
+	}()
+	sim, design, inputRatio, maxCycles, err := prepareApp(&cfg, design, appName, seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(resume) > 0 {
+		if lerr := sim.LoadState(resume); lerr == nil {
+			resumedAt = sim.Cycles()
+		}
+	}
+	if cfg.CheckpointEvery > 0 && save != nil {
+		sim.OnCheckpoint = save
+	}
+	if err := runSim(ctx, sim, maxCycles); err != nil {
+		return nil, resumedAt, fmt.Errorf("caba: %s/%s: %w", appName, design.Name, err)
+	}
+	res, err = finishResult(appName, design, &cfg, sim, inputRatio)
+	return res, resumedAt, err
+}
+
+// CheckpointCycle reads the simulated cycle a checkpoint blob was taken
+// at without restoring it, validating the container's integrity (not its
+// configuration binding). Blob custodians use it for progress reporting.
+func CheckpointCycle(blob []byte) (uint64, error) { return gpu.SnapshotCycle(blob) }
+
 // writeFileAtomic persists blob so that a crash mid-write can never leave
 // a torn file at path: write to a sibling temp file, fsync, rename.
 func writeFileAtomic(path string, blob []byte) error {

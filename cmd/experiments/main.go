@@ -52,6 +52,8 @@ func realMain() int {
 	runTimeout := flag.Duration("run-timeout", 0,
 		"wall-clock deadline per simulation (0 = none); timed-out cells are reported and the sweep continues")
 	retries := flag.Int("retries", 0, "extra attempts per failed simulation, with exponential backoff")
+	farmURL := flag.String("farm", "",
+		"farm coordinator base URL (e.g. http://localhost:8423): dispatch cells to a worker fleet (see cmd/farmd, cmd/farmworker) instead of simulating in-process")
 	obsApp := flag.String("obs", "",
 		"run ONE instrumented cell for this app: metrics time-series + stall attribution + Perfetto trace")
 	obsDesign := flag.String("design", "CABA-BDI",
@@ -103,6 +105,7 @@ func realMain() int {
 	o.CheckpointEvery = *checkpointEvery
 	o.RunTimeout = *runTimeout
 	o.Retries = *retries
+	o.FarmURL = *farmURL
 
 	run := func(n int) error {
 		start := time.Now()

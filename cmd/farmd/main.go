@@ -1,0 +1,81 @@
+// Command farmd runs the simulation-farm coordinator: the durable work
+// queue, lease manager, failure classifier and content-addressed result
+// cache that a fleet of farmworker processes executes sweeps against.
+//
+//	farmd -dir farm-state -addr :8423
+//
+// State in -dir survives restarts: a coordinator reopened over the same
+// directory resumes its sweep — completed cells are served from the
+// result store as cache hits, terminally failed cells (including
+// deterministic wedges) keep their recorded outcome, and everything else
+// is re-queued. Submit work with `experiments -farm http://host:8423`
+// or a raw POST /sweep; watch it live with GET /progress (JSONL).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/caba-sim/caba/internal/farm"
+)
+
+func main() { os.Exit(realMain()) }
+
+func realMain() int {
+	dir := flag.String("dir", "farm-state", "durable state directory (journal, results, checkpoint blobs)")
+	addr := flag.String("addr", ":8423", "HTTP listen address")
+	leaseTTL := flag.Duration("lease-ttl", 15*time.Second,
+		"worker heartbeat deadline; a cell whose lease lapses is re-queued")
+	maxAttempts := flag.Int("max-attempts", 4,
+		"executions per cell (transient failures and lease expiries) before it fails permanently")
+	retryBackoff := flag.Duration("retry-backoff", 250*time.Millisecond,
+		"re-queue delay after the first transient failure, doubling per failure with jitter")
+	maxBackoff := flag.Duration("max-backoff", 30*time.Second, "exponential backoff cap")
+	flag.Parse()
+
+	c, err := farm.NewCoordinator(farm.CoordinatorConfig{
+		Dir:          *dir,
+		LeaseTTL:     *leaseTTL,
+		MaxAttempts:  *maxAttempts,
+		RetryBackoff: *retryBackoff,
+		MaxBackoff:   *maxBackoff,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "farmd:", err)
+		return 1
+	}
+	defer c.Close()
+
+	srv := &http.Server{Addr: *addr, Handler: c.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "farmd: serving on %s, state in %s\n", *addr, *dir)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "farmd:", err)
+			return 1
+		}
+	case <-sig:
+		// Graceful stop: finish in-flight requests; leases and queue
+		// state are durable, so workers reconnect after a restart.
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		fmt.Fprintln(os.Stderr, "farmd: drained, state saved")
+	}
+	return 0
+}

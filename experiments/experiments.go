@@ -27,6 +27,12 @@ import (
 
 // Options configures an experiment sweep.
 type Options struct {
+	// Context, when non-nil, bounds the whole sweep: once it is
+	// cancelled, no new cell is dispatched, in-flight runs are
+	// interrupted at their next poll, and sweep returns the completed
+	// cells alongside an error joining ctx's cause. Nil means no
+	// external cancellation (context.Background()).
+	Context context.Context
 	// Scale shrinks working sets; 1.0 is paper scale. The default keeps a
 	// laptop run in minutes while preserving shapes.
 	Scale float64
@@ -71,6 +77,16 @@ type Options struct {
 	// Checkpoint set.
 	CheckpointEvery uint64
 
+	// FarmURL, when non-empty, dispatches the sweep's cells to a farm
+	// coordinator (cmd/farmd) at this base URL instead of simulating
+	// in-process: cells are submitted once, simulated by whatever worker
+	// fleet is attached to the coordinator, deduped through its
+	// content-addressed result store, and collected here. Scale, Seed and
+	// per-cell bandwidth scaling travel inside each cell; Parallel,
+	// Parallelism, RunTimeout and Retries are local execution knobs and
+	// do not apply (the coordinator's lease/retry policy governs).
+	FarmURL string
+
 	// runHook replaces the simulation entry point in tests.
 	runHook func(ctx context.Context, cfg caba.Config, design caba.Design, app string, seed int64) (*caba.Result, error)
 }
@@ -93,6 +109,13 @@ func (o *Options) out() io.Writer {
 		return io.Discard
 	}
 	return o.Out
+}
+
+func (o *Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 func (o *Options) workers() int {
@@ -180,6 +203,12 @@ func (o *Options) sweep(apps []string, designs []caba.Design, bws []float64) (ma
 		done[k] = true
 	}
 
+	if o.FarmURL != "" {
+		err := o.farmSweep(apps, designs, bws, done, results, ck)
+		return results, err
+	}
+
+	ctx := o.ctx()
 	jobs := make(chan job)
 	var mu sync.Mutex
 	var errs []error
@@ -190,7 +219,7 @@ func (o *Options) sweep(apps []string, designs []caba.Design, bws []float64) (ma
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				res, err := o.runOne(j.design, j.key, smWorkers)
+				res, err := o.runOne(ctx, j.design, j.key, smWorkers)
 				mu.Lock()
 				if err != nil {
 					errs = append(errs, fmt.Errorf("%s: %w", j.key, err))
@@ -204,6 +233,11 @@ func (o *Options) sweep(apps []string, designs []caba.Design, bws []float64) (ma
 			}
 		}()
 	}
+	// Dispatch honors cancellation: once ctx ends, no further cell is
+	// handed out — the sweep drains the in-flight runs (themselves
+	// interrupted through the same ctx) and returns partial results.
+	cancelled := false
+dispatch:
 	for _, a := range apps {
 		for _, d := range designs {
 			for _, bw := range bws {
@@ -211,18 +245,26 @@ func (o *Options) sweep(apps []string, designs []caba.Design, bws []float64) (ma
 				if done[key] {
 					continue
 				}
-				jobs <- job{key, d}
+				select {
+				case jobs <- job{key, d}:
+				case <-ctx.Done():
+					cancelled = true
+					break dispatch
+				}
 			}
 		}
 	}
 	close(jobs)
 	wg.Wait()
+	if cancelled || ctx.Err() != nil {
+		errs = append(errs, fmt.Errorf("experiments: sweep cancelled: %w", context.Cause(ctx)))
+	}
 	return results, errors.Join(errs...)
 }
 
 // runOne executes a single grid cell with retry-with-backoff around the
 // panic-isolated, deadline-bounded attempt.
-func (o *Options) runOne(design caba.Design, key runKey, smWorkers int) (*caba.Result, error) {
+func (o *Options) runOne(ctx context.Context, design caba.Design, key runKey, smWorkers int) (*caba.Result, error) {
 	backoff := o.RetryBackoff
 	if backoff <= 0 {
 		backoff = 100 * time.Millisecond
@@ -230,15 +272,21 @@ func (o *Options) runOne(design caba.Design, key runKey, smWorkers int) (*caba.R
 	var res *caba.Result
 	var err error
 	for attempt := 0; ; attempt++ {
-		res, err = o.attemptOne(design, key, smWorkers)
+		res, err = o.attemptOne(ctx, design, key, smWorkers)
 		// A wedge is a deterministic outcome of the cell's fault stream,
 		// not a transient failure: retrying replays the exact same wedge,
 		// so it is reported immediately with its retry budget unspent.
+		// A cancelled sweep likewise must not retry (the next attempt
+		// would fail the same way) nor sit out the backoff.
 		var we *caba.WedgeError
-		if err == nil || attempt >= o.Retries || errors.As(err, &we) {
+		if err == nil || attempt >= o.Retries || errors.As(err, &we) || ctx.Err() != nil {
 			return res, err
 		}
-		time.Sleep(backoff << attempt)
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("experiments: retry abandoned: %w", context.Cause(ctx))
+		case <-time.After(backoff << attempt):
+		}
 	}
 }
 
@@ -247,13 +295,12 @@ func (o *Options) runOne(design caba.Design, key runKey, smWorkers int) (*caba.R
 // points already convert internal panics to errors, and this guard keeps
 // a worker goroutine alive even if the conversion itself has a bug (or a
 // test runHook panics).
-func (o *Options) attemptOne(design caba.Design, key runKey, smWorkers int) (res *caba.Result, err error) {
+func (o *Options) attemptOne(ctx context.Context, design caba.Design, key runKey, smWorkers int) (res *caba.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, fmt.Errorf("experiments: run panicked: %v", r)
 		}
 	}()
-	ctx := context.Background()
 	if o.RunTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, o.RunTimeout)
@@ -348,13 +395,20 @@ func (o *Options) openCheckpoint(results map[runKey]*caba.Result) (*checkpoint, 
 			return nil, fmt.Errorf("experiments: checkpoint %s was written for scale=%v seed=%d, this sweep uses scale=%v seed=%d — delete it or match the parameters",
 				o.Checkpoint, header.Meta.Scale, header.Meta.Seed, meta.Scale, meta.Seed)
 		}
+		// intact tracks the byte offset just past the last whole record
+		// (including its newline). A torn final line — the previous sweep
+		// was killed mid-append — is both tolerated AND truncated away, so
+		// the re-opened appender never writes a new record onto the tail
+		// of a half-written one.
+		intact := consumeNewlines(raw, dec.InputOffset())
+		torn := false
 		for {
 			var line ckLine
 			if err := dec.Decode(&line); err != nil {
-				// A torn final line (killed mid-write) is expected on
-				// resume; everything before it is intact JSONL.
+				torn = !errors.Is(err, io.EOF)
 				break
 			}
+			intact = consumeNewlines(raw, dec.InputOffset())
 			if line.Key == "" || line.Result == nil {
 				continue
 			}
@@ -363,6 +417,11 @@ func (o *Options) openCheckpoint(results map[runKey]*caba.Result) (*checkpoint, 
 				return nil, fmt.Errorf("experiments: checkpoint %s: %w", o.Checkpoint, err)
 			}
 			results[key] = line.Result
+		}
+		if torn {
+			if err := os.Truncate(o.Checkpoint, intact); err != nil {
+				return nil, fmt.Errorf("experiments: checkpoint: truncating torn record: %w", err)
+			}
 		}
 		f, err := os.OpenFile(o.Checkpoint, os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
@@ -382,6 +441,15 @@ func (o *Options) openCheckpoint(results map[runKey]*caba.Result) (*checkpoint, 
 		return nil, fmt.Errorf("experiments: checkpoint: %w", err)
 	}
 	return ck, nil
+}
+
+// consumeNewlines extends a decoder offset past the record's trailing
+// newline(s), so truncation at that offset keeps the file line-aligned.
+func consumeNewlines(raw []byte, off int64) int64 {
+	for off < int64(len(raw)) && (raw[off] == '\n' || raw[off] == '\r') {
+		off++
+	}
+	return off
 }
 
 func (ck *checkpoint) append(key runKey, res *caba.Result) error {

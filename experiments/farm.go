@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	caba "github.com/caba-sim/caba"
+	"github.com/caba-sim/caba/internal/farm"
+)
+
+// farmSweep dispatches the sweep's remaining cells to the farm
+// coordinator at o.FarmURL and collects the outcomes into results. The
+// coordinator owns execution policy (leases, retries, the wedge
+// fail-fast, checkpoint resume); this client only submits, polls and
+// merges. Degradation mirrors the in-process sweep: completed cells are
+// returned even when others failed, failures come back as one joined
+// error naming each broken cell, and a cancelled Context stops the wait
+// and returns whatever has finished with the cancellation joined in.
+func (o *Options) farmSweep(apps []string, designs []caba.Design, bws []float64, done map[runKey]bool, results map[runKey]*caba.Result, ck *checkpoint) error {
+	ctx := o.ctx()
+	base := strings.TrimRight(o.FarmURL, "/")
+
+	// Build one farm cell per missing grid cell. The farm's content
+	// address covers everything result-determining, so keys computed here
+	// and by the coordinator agree.
+	var cells []farm.Cell
+	byKey := make(map[string]runKey)
+	for _, a := range apps {
+		for _, d := range designs {
+			for _, bw := range append([]float64(nil), bws...) {
+				key := runKey{a, d.Name, bw}
+				if done[key] {
+					continue
+				}
+				cfg := o.cfg()
+				cfg.BWScale = bw
+				cell := farm.Cell{App: a, Seed: o.Seed, Config: cfg, Design: d}
+				ck64, err := cell.Key()
+				if err != nil {
+					return fmt.Errorf("experiments: farm cell %s: %w", key, err)
+				}
+				cells = append(cells, cell)
+				byKey[farm.KeyString(ck64)] = key
+			}
+		}
+	}
+	if len(cells) == 0 {
+		return nil
+	}
+
+	var sw farm.SweepResponse
+	if err := o.farmCall(ctx, http.MethodPost, base+"/sweep", &farm.SweepRequest{Cells: cells}, &sw); err != nil {
+		return fmt.Errorf("experiments: farm submit: %w", err)
+	}
+	fmt.Fprintf(o.out(), "farm sweep: %d submitted (%d new, %d cached, %d already known) to %s\n",
+		len(cells), sw.Accepted, sw.CacheHits, sw.Known, base)
+
+	// Poll with server-side long-polling until the sweep drains or the
+	// caller cancels. Results are fetched only on the final call — status
+	// polls stay cheap while cells are in flight.
+	var errs []error
+	for {
+		var st farm.StatusResponse
+		err := o.farmCall(ctx, http.MethodGet, base+"/status?results=0&wait_ms=2000", nil, &st)
+		if err != nil {
+			if ctx.Err() != nil {
+				errs = append(errs, fmt.Errorf("experiments: farm sweep cancelled: %w", context.Cause(ctx)))
+				break
+			}
+			return fmt.Errorf("experiments: farm status: %w", err)
+		}
+		if st.Drained {
+			break
+		}
+		if ctx.Err() != nil {
+			errs = append(errs, fmt.Errorf("experiments: farm sweep cancelled: %w", context.Cause(ctx)))
+			break
+		}
+	}
+
+	// Final collection: whatever is terminal at this point (everything,
+	// unless cancelled). A short context-free timeout keeps the last
+	// fetch possible even after cancellation — partial results are the
+	// whole point of degrading gracefully.
+	fetchCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var st farm.StatusResponse
+	if err := o.farmCall(fetchCtx, http.MethodGet, base+"/status", nil, &st); err != nil {
+		errs = append(errs, fmt.Errorf("experiments: farm collect: %w", err))
+		return errors.Join(errs...)
+	}
+	for keyHex, res := range st.Results {
+		key, ok := byKey[keyHex]
+		if !ok || res == nil {
+			continue // a cell from some other client's sweep
+		}
+		results[key] = res
+		if werr := ck.append(key, res); werr != nil {
+			errs = append(errs, werr)
+		}
+	}
+	for _, f := range st.Failures {
+		key, ok := byKey[f.Key]
+		if !ok {
+			continue
+		}
+		kind := "transient"
+		if f.Wedge {
+			kind = "deterministic wedge"
+		}
+		errs = append(errs, fmt.Errorf("%s: farm cell failed (%s after %d attempt(s)): %s", key, kind, f.Attempts, f.Error))
+	}
+	return errors.Join(errs...)
+}
+
+// farmCall performs one JSON request against the coordinator.
+func (o *Options) farmCall(ctx context.Context, method, url string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = strings.NewReader(string(raw))
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

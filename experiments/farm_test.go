@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	caba "github.com/caba-sim/caba"
+	"github.com/caba-sim/caba/internal/farm"
+)
+
+// TestSweepContextCancel: cancelling the sweep's Context must stop
+// dispatching promptly — not wait out each cell's RunTimeout — and
+// return the completed cells with the cancellation joined into the
+// error.
+func TestSweepContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	release := make(chan struct{})
+	o := Options{Scale: 0.01, Seed: 1, Parallel: 1, Out: io.Discard,
+		Context: ctx,
+		// A long RunTimeout that a prompt cancellation must NOT sit out.
+		RunTimeout: time.Hour,
+	}
+	o.runHook = func(runCtx context.Context, _ caba.Config, _ caba.Design, app string, _ int64) (*caba.Result, error) {
+		if started.Add(1) == 1 {
+			close(release) // first cell is in flight: cancel now
+			<-runCtx.Done()
+			return nil, fmt.Errorf("run aborted: %w", runCtx.Err())
+		}
+		return fakeResult(app, "Base"), nil
+	}
+	go func() {
+		<-release
+		cancel()
+	}()
+
+	start := time.Now()
+	res, err := o.sweep([]string{"PVC", "SCP", "IIX", "MUM"}, []caba.Design{caba.Base}, nil)
+	elapsed := time.Since(start)
+
+	if elapsed > 10*time.Second {
+		t.Fatalf("cancelled sweep took %v — it waited out timeouts instead of stopping", elapsed)
+	}
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ctx.Err() joined in", err)
+	}
+	if !strings.Contains(err.Error(), "sweep cancelled") {
+		t.Errorf("err = %v, want it to say the sweep was cancelled", err)
+	}
+	// Parallel=1 and the first cell blocks until cancellation: no later
+	// cell may have been dispatched after cancel.
+	if got := started.Load(); got != 1 {
+		t.Errorf("runs started = %d, want 1 (dispatch must stop on cancel)", got)
+	}
+	if len(res) != 0 {
+		// No cell completed here; the map must reflect that, not hang.
+		t.Errorf("results = %d cells, want 0", len(res))
+	}
+}
+
+// TestSweepContextCancelPartialResults: cells completed before the
+// cancellation survive in the returned map.
+func TestSweepContextCancelPartialResults(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var done atomic.Int64
+	o := Options{Scale: 0.01, Seed: 1, Parallel: 1, Out: io.Discard, Context: ctx}
+	o.runHook = func(runCtx context.Context, _ caba.Config, _ caba.Design, app string, _ int64) (*caba.Result, error) {
+		if done.Add(1) == 2 {
+			cancel() // two cells done, then stop the world
+		}
+		return fakeResult(app, "Base"), nil
+	}
+	res, err := o.sweep([]string{"PVC", "SCP", "IIX", "MUM", "RAY"}, []caba.Design{caba.Base}, nil)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want cancellation", err)
+	}
+	if len(res) < 2 || len(res) >= 5 {
+		t.Fatalf("results = %d cells, want the pre-cancel completions (>=2, <5)", len(res))
+	}
+}
+
+// TestCheckpointTornLineTruncated: a JSONL checkpoint whose final record
+// was torn mid-write is both tolerated on load AND truncated, so the
+// appended continuation produces a cleanly parseable file.
+func TestCheckpointTornLineTruncated(t *testing.T) {
+	path := t.TempDir() + "/runs.ckpt"
+	o := Options{Scale: 0.01, Seed: 1, Parallel: 1, Out: io.Discard, Checkpoint: path}
+	o.runHook = func(_ context.Context, _ caba.Config, _ caba.Design, app string, _ int64) (*caba.Result, error) {
+		return fakeResult(app, "Base"), nil
+	}
+	if _, err := o.sweep([]string{"PVC", "SCP"}, []caba.Design{caba.Base}, nil); err != nil {
+		t.Fatalf("first sweep: %v", err)
+	}
+	intact, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the file the way kill -9 does: a trailing half-record.
+	torn := append(append([]byte{}, intact...), []byte(`{"key":"IIX/Base@1x","result":{"app":"II`)...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume: the two intact cells load, the torn tail is dropped, and
+	// the third cell is appended onto a clean boundary.
+	var ran []string
+	o2 := Options{Scale: 0.01, Seed: 1, Parallel: 1, Out: io.Discard, Checkpoint: path}
+	o2.runHook = func(_ context.Context, _ caba.Config, _ caba.Design, app string, _ int64) (*caba.Result, error) {
+		ran = append(ran, app)
+		return fakeResult(app, "Base"), nil
+	}
+	res, err := o2.sweep([]string{"PVC", "SCP", "IIX"}, []caba.Design{caba.Base}, nil)
+	if err != nil {
+		t.Fatalf("resumed sweep: %v", err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("results = %d cells, want 3", len(res))
+	}
+	if len(ran) != 1 || ran[0] != "IIX" {
+		t.Fatalf("ran = %v, want only the cell missing from the checkpoint", ran)
+	}
+
+	// The file itself must now be pure intact JSONL: a third load sees
+	// all three cells and no torn-line fallback.
+	res3 := make(map[runKey]*caba.Result)
+	ck, err := o2.openCheckpoint(res3)
+	if err != nil {
+		t.Fatalf("reloading repaired checkpoint: %v", err)
+	}
+	ck.close()
+	if len(res3) != 3 {
+		t.Fatalf("repaired checkpoint holds %d cells, want 3", len(res3))
+	}
+	raw, _ := os.ReadFile(path)
+	if strings.Contains(string(raw), `"app":"II`+"\n") || strings.Contains(string(raw), `{"key":"IIX/Base@1x","result":{"app":"II{`) {
+		t.Error("torn fragment survived in the checkpoint file")
+	}
+}
+
+// TestFarmSweepEndToEnd: Options.FarmURL dispatches the sweep through a
+// real coordinator + worker pair and produces results bit-identical to
+// the in-process sweep, persisted to the local checkpoint file too.
+func TestFarmSweepEndToEnd(t *testing.T) {
+	apps := []string{"PVC", "SCP"}
+	designs := []caba.Design{caba.Base, caba.CABABDI}
+
+	// In-process reference.
+	ref := Options{Scale: 0.02, Seed: 11, Out: io.Discard}
+	refRes, err := ref.sweep(apps, designs, nil)
+	if err != nil {
+		t.Fatalf("reference sweep: %v", err)
+	}
+
+	c, err := farm.NewCoordinator(farm.CoordinatorConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	workerDone := make(chan struct{})
+	go func() {
+		defer close(workerDone)
+		farm.NewWorker(srv.URL, farm.WorkerConfig{
+			Name: "e2e", PollInterval: 10 * time.Millisecond, ExitWhenDrained: true,
+		}).Run(ctx)
+	}()
+
+	ckpt := t.TempDir() + "/farm-runs.ckpt"
+	o := Options{Scale: 0.02, Seed: 11, Out: io.Discard, FarmURL: srv.URL, Checkpoint: ckpt}
+	res, err := o.sweep(apps, designs, nil)
+	if err != nil {
+		t.Fatalf("farm sweep: %v", err)
+	}
+	<-workerDone
+
+	if len(res) != len(refRes) {
+		t.Fatalf("farm sweep returned %d cells, reference %d", len(res), len(refRes))
+	}
+	for key, want := range refRes {
+		got := res[key]
+		if got == nil {
+			t.Errorf("%s: missing from farm sweep", key)
+			continue
+		}
+		// Bit-identical: JSON round-trips Go floats exactly, so byte
+		// equality of the marshalled results is value equality.
+		wantRaw, err := json.Marshal(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotRaw, err := json.Marshal(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(gotRaw) != string(wantRaw) {
+			t.Errorf("%s: farm result differs from in-process run", key)
+		}
+	}
+
+	// The local checkpoint captured the farm results: a follow-up sweep
+	// is a pure cache read with no farm traffic at all.
+	o2 := Options{Scale: 0.02, Seed: 11, Out: io.Discard, FarmURL: "http://127.0.0.1:1", Checkpoint: ckpt}
+	res2, err := o2.sweep(apps, designs, nil)
+	if err != nil {
+		t.Fatalf("checkpointed farm sweep: %v", err)
+	}
+	if len(res2) != len(refRes) {
+		t.Fatalf("checkpoint resume = %d cells, want %d", len(res2), len(refRes))
+	}
+}

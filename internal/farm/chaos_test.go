@@ -1,0 +1,362 @@
+package farm
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	caba "github.com/caba-sim/caba"
+	"github.com/caba-sim/caba/internal/faults"
+)
+
+// TestChaosSweepEquivalence is the farm's end-to-end robustness proof: a
+// sweep sharded across four workers — one killed mid-cell after its
+// first checkpoint upload, one hung past its lease (exercising the
+// stale-report rejection), one failing transiently on first contact —
+// must converge to results bit-identical to running every cell
+// in-process, with:
+//
+//   - the killed cell resumed from its uploaded checkpoint blob, not
+//     from cycle zero,
+//   - the deterministic wedge cell failed fast on attempt 1, never
+//     retried, its error identical to the in-process run's,
+//   - and, after a coordinator restart, every cell served as a cache
+//     hit with no simulation at all.
+func TestChaosSweepEquivalence(t *testing.T) {
+	const (
+		scale    = 0.02
+		seed     = 11
+		leaseTTL = 600 * time.Millisecond
+	)
+	baseCfg := func() caba.Config {
+		cfg := caba.Baseline()
+		cfg.Scale = scale
+		return cfg
+	}
+
+	// The grid. Each troublemaker hook targets one specific cell so the
+	// attempt histories stay exactly predictable.
+	sampled := Cell{App: "PVC", Seed: seed, Config: baseCfg(), Design: caba.Base}
+	sampled.Config.SampleEvery = 500 // exercises "sample" progress events
+
+	flakyCell := Cell{App: "PVC", Seed: seed, Config: baseCfg(), Design: caba.CABABDI}
+	killCell := Cell{App: "SCP", Seed: seed, Config: baseCfg(), Design: caba.Base}
+	hangCell := Cell{App: "SCP", Seed: seed, Config: baseCfg(), Design: caba.CABABDI}
+
+	wedgeCell := Cell{App: "BFS", Seed: seed, Config: baseCfg(), Design: caba.Base}
+	wedgeCell.Config.Faults = faults.Config{Seed: 7, ResponseDropRate: 1.0}
+
+	cells := []Cell{sampled, flakyCell, killCell, hangCell, wedgeCell}
+	keys := make(map[string]string) // label -> key hex
+	for _, c := range cells {
+		k, err := c.Key()
+		if err != nil {
+			t.Fatalf("key: %v", err)
+		}
+		keys[c.Label()] = KeyString(k)
+	}
+
+	// Reference: every healthy cell simulated in-process, single run, no
+	// farm. The wedge cell's in-process error is the reference for the
+	// farm's failure record.
+	refResults := make(map[string][]byte)
+	for _, c := range cells[:4] {
+		res, err := caba.Run(c.Config, c.Design, c.App, c.Seed)
+		if err != nil {
+			t.Fatalf("reference %s: %v", c.Label(), err)
+		}
+		raw, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refResults[keys[c.Label()]] = raw
+	}
+	_, refWedgeErr := caba.Run(wedgeCell.Config, wedgeCell.Design, wedgeCell.App, wedgeCell.Seed)
+	if refWedgeErr == nil || !strings.Contains(refWedgeErr.Error(), "wedged") {
+		t.Fatalf("reference wedge run: err = %v, want a wedge", refWedgeErr)
+	}
+
+	dir := t.TempDir()
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Dir:          dir,
+		LeaseTTL:     leaseTTL,
+		MaxAttempts:  4,
+		RetryBackoff: 10 * time.Millisecond,
+		MaxBackoff:   50 * time.Millisecond,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+	defer coord.Close()
+
+	// Live progress: collect every event for the duration of the sweep.
+	progCtx, progCancel := context.WithCancel(context.Background())
+	defer progCancel()
+	seenEvents := make(map[string]int)
+	var evMu sync.Mutex
+	progReady := make(chan struct{})
+	go func() {
+		req, _ := http.NewRequestWithContext(progCtx, http.MethodGet, srv.URL+"/progress", nil)
+		resp, err := http.DefaultClient.Do(req)
+		close(progReady)
+		if err != nil {
+			return
+		}
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		for sc.Scan() {
+			var ev ProgressEvent
+			if json.Unmarshal(sc.Bytes(), &ev) == nil {
+				evMu.Lock()
+				seenEvents[ev.Type]++
+				evMu.Unlock()
+			}
+		}
+	}()
+	<-progReady
+
+	var sw SweepResponse
+	if err := postJSONT(srv.URL+"/sweep", &SweepRequest{Cells: cells}, &sw); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if sw.Accepted != 5 {
+		t.Fatalf("sweep = %+v, want 5 accepted", sw)
+	}
+
+	// Chaos hooks, shared across the fleet so whichever worker draws the
+	// target cell misbehaves — each fault fires exactly once.
+	var kills, hangs, flakes atomic.Int32
+	kills.Store(1)
+	hangs.Store(1)
+	flakes.Store(1)
+	hooks := workerHooks{
+		beforeRun: func(cell Cell, attempt int) error {
+			switch cell.Label() {
+			case hangCell.Label():
+				if hangs.Add(-1) >= 0 {
+					// Hang past the lease TTL: the coordinator presumes us
+					// dead and re-queues; our late report must bounce off
+					// the stale-lease check.
+					time.Sleep(leaseTTL + leaseTTL/2)
+					return fmt.Errorf("synthetic hang (woke after lease expiry)")
+				}
+			case flakyCell.Label():
+				if flakes.Add(-1) >= 0 {
+					return fmt.Errorf("synthetic transient failure")
+				}
+			}
+			return nil
+		},
+		afterUpload: func(cell Cell, cycle uint64, uploads int) hookAction {
+			if cell.Label() == killCell.Label() && kills.Add(-1) >= 0 {
+				return hookDie // vanish mid-cell: no report, lease expires
+			}
+			return hookContinue
+		},
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		w := NewWorker(srv.URL, WorkerConfig{
+			Name: fmt.Sprintf("chaos-w%d", i),
+			// Checkpoint every 1000 simulated cycles: the kill cell (~2700
+			// cycles) uploads at 1000 before the chaos kill, so its second
+			// attempt provably resumes mid-run.
+			CheckpointEvery: 1000,
+			PollInterval:    20 * time.Millisecond,
+			CellTimeout:     time.Minute,
+			ExitWhenDrained: true,
+			Logf:            t.Logf,
+		})
+		w.hooks = hooks
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(ctx)
+		}()
+	}
+	wg.Wait()
+	if ctx.Err() != nil {
+		t.Fatal("sweep did not drain before the test deadline")
+	}
+
+	st := statusT(t, srv.URL, "")
+	if !st.Drained || st.Done != 4 || st.Failed != 1 {
+		t.Fatalf("final status = %+v, want 4 done + 1 failed", st)
+	}
+	if st.Quarantined != 0 {
+		t.Errorf("quarantined = %d, want 0 (no store corruption in this run)", st.Quarantined)
+	}
+
+	// 1. Bit-identical equivalence: every farm result byte-equal to its
+	// single-process reference (JSON round-trips Go floats exactly).
+	for label, key := range keys {
+		if label == wedgeCell.Label() {
+			continue
+		}
+		got := st.Results[key]
+		if got == nil {
+			t.Errorf("%s: no farm result", label)
+			continue
+		}
+		raw, err := json.Marshal(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(raw) != string(refResults[key]) {
+			t.Errorf("%s: farm result differs from single-process run\n farm: %s\n  ref: %s", label, raw, refResults[key])
+		}
+	}
+
+	// 2. The killed cell resumed from the uploaded checkpoint: its
+	// history shows the expiry, then a successful attempt starting at a
+	// non-zero cycle.
+	killHist := st.Attempts[keys[killCell.Label()]]
+	var expired bool
+	var final Attempt
+	for _, a := range killHist {
+		if a.Outcome == "expired" {
+			expired = true
+		}
+		final = a
+	}
+	if !expired {
+		t.Errorf("kill cell history %+v lacks the lease expiry", killHist)
+	}
+	if final.Outcome != "ok" || final.ResumeCycle == 0 {
+		t.Errorf("kill cell final attempt = %+v, want ok with ResumeCycle > 0 (resumed from blob, not cycle 0)", final)
+	}
+
+	// 3. The wedge failed fast: exactly one attempt, marked wedged, with
+	// the identical deterministic diagnosis the in-process run produced.
+	if len(st.Failures) != 1 {
+		t.Fatalf("failures = %+v, want exactly the wedge cell", st.Failures)
+	}
+	f := st.Failures[0]
+	if f.Key != keys[wedgeCell.Label()] || !f.Wedge || f.Attempts != 1 {
+		t.Errorf("wedge failure = %+v, want wedge on attempt 1, never retried", f)
+	}
+	if f.Error != refWedgeErr.Error() {
+		t.Errorf("wedge diagnosis differs from in-process run:\n farm: %s\n  ref: %s", f.Error, refWedgeErr.Error())
+	}
+	wedgeHist := st.Attempts[keys[wedgeCell.Label()]]
+	if len(wedgeHist) != 1 || wedgeHist[0].Outcome != "wedged" {
+		t.Errorf("wedge history = %+v, want exactly one wedged attempt", wedgeHist)
+	}
+
+	// 4. The hang and the flake each cost one transient attempt and the
+	// cells still completed.
+	for _, tc := range []struct {
+		label string
+		want  string
+	}{
+		{hangCell.Label(), "expired"},
+		{flakyCell.Label(), "failed"},
+	} {
+		hist := st.Attempts[keys[tc.label]]
+		var sawCharge bool
+		for _, a := range hist {
+			if a.Outcome == tc.want {
+				sawCharge = true
+			}
+		}
+		if !sawCharge || hist[len(hist)-1].Outcome != "ok" {
+			t.Errorf("%s history = %+v, want a %q charge then ok", tc.label, hist, tc.want)
+		}
+	}
+
+	// 5. Progress stream carried the whole story, including metrics
+	// samples from the sampled cell.
+	evMu.Lock()
+	for _, typ := range []string{"queued", "lease", "checkpoint", "requeue", "done", "failed", "sample"} {
+		if seenEvents[typ] == 0 {
+			t.Errorf("progress stream missing %q events (saw %v)", typ, seenEvents)
+		}
+	}
+	evMu.Unlock()
+	progCancel()
+
+	// 6. Cache hits across restart: a new coordinator over the same
+	// store serves every cell — results and the wedge — without any
+	// worker running at all.
+	coord.Close()
+	srv.Close()
+	coord2, err := NewCoordinator(CoordinatorConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord2.Close()
+	srv2 := httptest.NewServer(coord2.Handler())
+	defer srv2.Close()
+	var sw2 SweepResponse
+	if err := postJSONT(srv2.URL+"/sweep", &SweepRequest{Cells: cells}, &sw2); err != nil {
+		t.Fatal(err)
+	}
+	if sw2.CacheHits != 5 || sw2.Accepted != 0 {
+		t.Fatalf("resubmission after restart = %+v, want 5 cache hits, 0 accepted", sw2)
+	}
+	st2 := statusT(t, srv2.URL, "")
+	if !st2.Drained || st2.Done != 4 || st2.Failed != 1 || st2.CacheHits != 5 {
+		t.Fatalf("restarted status = %+v, want everything served from the store", st2)
+	}
+	for label, key := range keys {
+		if label == wedgeCell.Label() {
+			continue
+		}
+		raw, err := json.Marshal(st2.Results[key])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(raw) != string(refResults[key]) {
+			t.Errorf("%s: cached result differs from reference", label)
+		}
+	}
+}
+
+// postJSONT is a minimal client helper for chaos-test requests.
+func postJSONT(url string, in, out any) error {
+	raw, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", strings.NewReader(string(raw)))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func statusT(t *testing.T, base, query string) *StatusResponse {
+	t.Helper()
+	resp, err := http.Get(base + "/status" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return &st
+}

@@ -1,0 +1,755 @@
+package farm
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	caba "github.com/caba-sim/caba"
+)
+
+// CoordinatorConfig tunes the coordinator's robustness policy. The zero
+// value of every field selects a sensible default.
+type CoordinatorConfig struct {
+	// Dir roots the durable state: the content-addressed result store,
+	// the checkpoint blob store and the submission journal. A
+	// coordinator restarted over the same Dir resumes the sweep —
+	// journaled cells with a stored result are complete, the rest are
+	// re-queued. Required.
+	Dir string
+	// LeaseTTL is how long a worker may go without heartbeating before
+	// its cell is re-queued (default 15s).
+	LeaseTTL time.Duration
+	// MaxAttempts caps executions per cell: a cell whose transient
+	// failures (including lease expiries) reach the cap fails
+	// permanently (default 4). Deterministic wedges ignore the cap —
+	// they fail on the first attempt and are never retried.
+	MaxAttempts int
+	// RetryBackoff is the re-queue delay after the first transient
+	// failure, doubling per failure with ±50% jitter so a thundering
+	// herd of failed cells does not re-land in lockstep (default 250ms).
+	RetryBackoff time.Duration
+	// MaxBackoff caps the exponential backoff (default 30s).
+	MaxBackoff time.Duration
+	// Logf receives coordinator log lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (c *CoordinatorConfig) ttl() time.Duration {
+	if c.LeaseTTL <= 0 {
+		return 15 * time.Second
+	}
+	return c.LeaseTTL
+}
+
+func (c *CoordinatorConfig) maxAttempts() int {
+	if c.MaxAttempts <= 0 {
+		return 4
+	}
+	return c.MaxAttempts
+}
+
+func (c *CoordinatorConfig) backoff() time.Duration {
+	if c.RetryBackoff <= 0 {
+		return 250 * time.Millisecond
+	}
+	return c.RetryBackoff
+}
+
+func (c *CoordinatorConfig) maxBackoff() time.Duration {
+	if c.MaxBackoff <= 0 {
+		return 30 * time.Second
+	}
+	return c.MaxBackoff
+}
+
+// cellStatus is a queued cell's lifecycle state.
+type cellStatus uint8
+
+const (
+	cellPending cellStatus = iota // waiting for a lease (possibly backed off)
+	cellLeased                    // held by a worker
+	cellDone                      // verified result stored
+	cellFailed                    // terminal failure (wedge or attempt cap)
+)
+
+// cellState is the coordinator's view of one queued cell.
+type cellState struct {
+	cell     Cell
+	key      uint64
+	status   cellStatus
+	failures int       // transient failures charged (incl. lease expiries)
+	notBefore time.Time // backoff gate while pending
+	errMsg   string
+	wedge    bool
+	cacheHit bool
+	result   *caba.Result
+	history  []Attempt
+	order    int // submission order, for stable dispatch
+}
+
+// Coordinator is the sweep service: durable queue, lease manager, failure
+// classifier, result cache and progress broadcaster, exposed over HTTP
+// via Handler.
+type Coordinator struct {
+	cfg    CoordinatorConfig
+	store  *Store
+	leases *leaseTable
+	mux    *http.ServeMux
+
+	mu      sync.Mutex
+	cells   map[uint64]*cellState
+	order   []uint64
+	journal *os.File
+	subs    map[chan ProgressEvent]struct{}
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+	closeOnce   sync.Once
+}
+
+// journalLine is one accepted cell in the durable submission journal.
+type journalLine struct {
+	Key  string `json:"key"`
+	Cell Cell   `json:"cell"`
+}
+
+// NewCoordinator opens (or resumes) a coordinator over cfg.Dir: the
+// submission journal is replayed, journaled cells whose verified result
+// is already in the store are marked complete, and the rest are
+// re-queued. Call Close when done.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("farm: coordinator needs a state directory")
+	}
+	store, err := OpenStore(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		cfg:         cfg,
+		store:       store,
+		leases:      newLeaseTable(),
+		cells:       make(map[uint64]*cellState),
+		subs:        make(map[chan ProgressEvent]struct{}),
+		janitorStop: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+	}
+	if err := c.replayJournal(); err != nil {
+		return nil, err
+	}
+	jpath := filepath.Join(cfg.Dir, "journal.jsonl")
+	c.journal, err = os.OpenFile(jpath, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("farm: journal: %w", err)
+	}
+	c.mux = http.NewServeMux()
+	c.mux.HandleFunc("POST /sweep", c.handleSweep)
+	c.mux.HandleFunc("POST /lease", c.handleLease)
+	c.mux.HandleFunc("POST /heartbeat", c.handleHeartbeat)
+	c.mux.HandleFunc("POST /checkpoint", c.handlePutCheckpoint)
+	c.mux.HandleFunc("GET /checkpoint", c.handleGetCheckpoint)
+	c.mux.HandleFunc("POST /report", c.handleReport)
+	c.mux.HandleFunc("GET /status", c.handleStatus)
+	c.mux.HandleFunc("GET /progress", c.handleProgress)
+	go c.janitor()
+	return c, nil
+}
+
+// replayJournal rebuilds the queue from the durable journal: every
+// journaled cell either has a verified result in the store (complete) or
+// goes back to pending. A torn trailing line — the coordinator died
+// mid-append — is tolerated and everything before it is replayed.
+func (c *Coordinator) replayJournal() error {
+	raw, err := os.ReadFile(filepath.Join(c.cfg.Dir, "journal.jsonl"))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("farm: journal: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	for {
+		var line journalLine
+		if err := dec.Decode(&line); err != nil {
+			// io.EOF is the clean end; anything else is a torn trailing
+			// append, replayed up to the last intact line.
+			break
+		}
+		key, err := ParseKey(line.Key)
+		if err != nil {
+			continue
+		}
+		if _, ok := c.cells[key]; ok {
+			continue
+		}
+		st := &cellState{cell: line.Cell, key: key, order: len(c.order)}
+		if res, _ := c.store.GetResult(key); res != nil {
+			// Completed before the restart: served from the store, never
+			// re-simulated by this coordinator session.
+			st.status = cellDone
+			st.result = res
+			st.cacheHit = true
+		} else if msg, wedge, attempts, ok := c.store.GetFailure(key); ok {
+			st.status = cellFailed
+			st.errMsg = msg
+			st.wedge = wedge
+			st.failures = attempts
+			st.cacheHit = true
+		}
+		c.cells[key] = st
+		c.order = append(c.order, key)
+	}
+	return nil
+}
+
+// Close stops the lease janitor and closes the journal. In-memory state
+// is discarded; the durable state in Dir survives for the next open.
+func (c *Coordinator) Close() {
+	c.closeOnce.Do(func() {
+		close(c.janitorStop)
+		<-c.janitorDone
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.journal.Close()
+	})
+}
+
+// Handler returns the coordinator's HTTP surface.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Store exposes the underlying content-addressed store (observability
+// and tests).
+func (c *Coordinator) Store() *Store { return c.store }
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// janitor periodically harvests expired leases so dead workers surface
+// as re-queued cells even when no request traffic arrives.
+func (c *Coordinator) janitor() {
+	defer close(c.janitorDone)
+	tick := c.cfg.ttl() / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.janitorStop:
+			return
+		case now := <-t.C:
+			c.harvestExpired(now)
+		}
+	}
+}
+
+// harvestExpired re-queues every cell whose lease deadline has passed,
+// charging the expiry as a transient failure: a worker that died or hung
+// mid-cell looks exactly like a failed attempt, subject to the same
+// backoff and attempt cap.
+func (c *Coordinator) harvestExpired(now time.Time) {
+	for _, l := range c.leases.harvest(now) {
+		c.mu.Lock()
+		st := c.cells[l.Key]
+		if st != nil && st.status == cellLeased {
+			st.history = append(st.history, Attempt{Worker: l.Worker, Outcome: "expired"})
+			c.chargeTransient(st, now, fmt.Sprintf("lease expired (worker %s died or hung)", l.Worker))
+		}
+		c.mu.Unlock()
+		c.logf("farm: lease %s expired (worker %s, cell %s)", l.Token, l.Worker, l.Cell.Label())
+	}
+}
+
+// chargeTransient applies the transient-failure policy to a cell (caller
+// holds c.mu): one more failure, then either terminal at the attempt cap
+// or re-queued with exponential backoff and jitter.
+func (c *Coordinator) chargeTransient(st *cellState, now time.Time, msg string) {
+	st.failures++
+	if st.failures >= c.cfg.maxAttempts() {
+		st.status = cellFailed
+		st.errMsg = fmt.Sprintf("%s (attempt cap %d reached)", msg, c.cfg.maxAttempts())
+		if err := c.store.PutFailure(st.key, st.errMsg, false, st.failures); err != nil {
+			c.logf("farm: recording failure for %s: %v", st.cell.Label(), err)
+		}
+		c.publishLocked(ProgressEvent{Type: "failed", Cell: st.cell.Label(), Key: KeyString(st.key), Error: st.errMsg, Attempt: st.failures})
+		return
+	}
+	st.status = cellPending
+	st.notBefore = now.Add(c.backoffFor(st.failures))
+	c.publishLocked(ProgressEvent{Type: "requeue", Cell: st.cell.Label(), Key: KeyString(st.key), Error: msg, Attempt: st.failures})
+}
+
+// backoffFor computes the re-queue delay after n transient failures:
+// RetryBackoff doubling per failure, capped at MaxBackoff, with ±50%
+// jitter.
+func (c *Coordinator) backoffFor(n int) time.Duration {
+	d := c.cfg.backoff()
+	for i := 1; i < n && d < c.cfg.maxBackoff(); i++ {
+		d *= 2
+	}
+	if d > c.cfg.maxBackoff() {
+		d = c.cfg.maxBackoff()
+	}
+	// Jitter in [d/2, 3d/2): rand here affects scheduling only, never
+	// simulated results.
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// --- Progress broadcasting ---
+
+// subscribe registers a progress listener. Events are dropped, never
+// blocked on, when a listener falls behind.
+func (c *Coordinator) subscribe() (ch chan ProgressEvent, cancel func()) {
+	ch = make(chan ProgressEvent, 256)
+	c.mu.Lock()
+	c.subs[ch] = struct{}{}
+	c.mu.Unlock()
+	return ch, func() {
+		c.mu.Lock()
+		delete(c.subs, ch)
+		c.mu.Unlock()
+	}
+}
+
+// publishLocked fans an event out to subscribers; caller holds c.mu.
+func (c *Coordinator) publishLocked(ev ProgressEvent) {
+	for ch := range c.subs {
+		select {
+		case ch <- ev:
+		default: // slow subscriber: drop rather than stall the sweep
+		}
+	}
+}
+
+func (c *Coordinator) publish(ev ProgressEvent) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.publishLocked(ev)
+}
+
+// --- HTTP handlers ---
+
+// maxBodyBytes bounds JSON request bodies; checkpoint blobs get the
+// larger maxBlobBytes (a full simulator snapshot is megabytes).
+const (
+	maxBodyBytes = 64 << 20
+	maxBlobBytes = 512 << 20
+)
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, "malformed request: %v", err)
+		return false
+	}
+	return true
+}
+
+// handleSweep accepts cells: new ones are journaled and queued, ones with
+// a stored verified result complete instantly as cache hits, known ones
+// are acknowledged without duplication.
+func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	var resp SweepResponse
+	for _, cell := range req.Cells {
+		if err := cell.Config.Validate(); err != nil {
+			httpError(w, http.StatusBadRequest, "cell %s: %v", cell.Label(), err)
+			return
+		}
+		key, err := cell.Key()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "cell %s: %v", cell.Label(), err)
+			return
+		}
+		c.mu.Lock()
+		if st, ok := c.cells[key]; ok {
+			// A cell replayed from the durable store (result or terminal
+			// failure) was served without re-simulation: a cache hit. A
+			// cell merely queued/leased/completed this session is Known.
+			if st.cacheHit {
+				resp.CacheHits++
+			} else {
+				resp.Known++
+			}
+			c.mu.Unlock()
+			continue
+		}
+		st := &cellState{cell: cell, key: key, order: len(c.order)}
+		// Content-addressed dedupe: a cell already simulated — by any
+		// earlier sweep over this store — is a cache hit, not a re-run.
+		// Durable terminal failures count too: a deterministic wedge
+		// replays identically, so its recorded outcome is the answer.
+		hit := false
+		if res, _ := c.store.GetResult(key); res != nil {
+			st.status = cellDone
+			st.result = res
+			hit = true
+		} else if msg, wedge, attempts, ok := c.store.GetFailure(key); ok {
+			st.status = cellFailed
+			st.errMsg = msg
+			st.wedge = wedge
+			st.failures = attempts
+			hit = true
+		}
+		if hit {
+			st.cacheHit = true
+			resp.CacheHits++
+			c.cells[key] = st
+			c.order = append(c.order, key)
+			c.publishLocked(ProgressEvent{Type: "cachehit", Cell: cell.Label(), Key: KeyString(key)})
+			c.mu.Unlock()
+			continue
+		}
+		if err := json.NewEncoder(c.journal).Encode(journalLine{Key: KeyString(key), Cell: cell}); err != nil {
+			c.mu.Unlock()
+			httpError(w, http.StatusInternalServerError, "journal append: %v", err)
+			return
+		}
+		c.cells[key] = st
+		c.order = append(c.order, key)
+		resp.Accepted++
+		c.publishLocked(ProgressEvent{Type: "queued", Cell: cell.Label(), Key: KeyString(key)})
+		c.mu.Unlock()
+	}
+	// One fsync per submission, not per cell: the queue is durable at
+	// request granularity.
+	if err := c.journal.Sync(); err != nil {
+		httpError(w, http.StatusInternalServerError, "journal sync: %v", err)
+		return
+	}
+	writeJSON(w, &resp)
+}
+
+// handleLease grants the oldest ready pending cell, or tells the worker
+// when to come back.
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	now := time.Now()
+	c.harvestExpired(now)
+	c.mu.Lock()
+	var pick *cellState
+	var soonest time.Time
+	pending, leased := 0, 0
+	for _, key := range c.order {
+		st := c.cells[key]
+		switch st.status {
+		case cellLeased:
+			leased++
+		case cellPending:
+			pending++
+			if now.Before(st.notBefore) {
+				if soonest.IsZero() || st.notBefore.Before(soonest) {
+					soonest = st.notBefore
+				}
+				continue
+			}
+			if pick == nil {
+				pick = st
+			}
+		}
+	}
+	if pick == nil {
+		// A coordinator that has never been given work is idle, not
+		// drained: a worker fleet started ahead of the first submission
+		// must keep polling, not exit.
+		resp := LeaseResponse{Drained: pending == 0 && leased == 0 && len(c.cells) > 0}
+		switch {
+		case !soonest.IsZero():
+			resp.RetryMs = max64(10, soonest.Sub(now).Milliseconds())
+		case leased > 0:
+			resp.RetryMs = max64(10, (c.cfg.ttl() / 4).Milliseconds())
+		}
+		c.mu.Unlock()
+		writeJSON(w, &resp)
+		return
+	}
+	pick.status = cellLeased
+	attempt := pick.failures + 1
+	l := c.leases.grant(pick.cell, pick.key, req.Worker, attempt, c.cfg.ttl(), now)
+	c.publishLocked(ProgressEvent{Type: "lease", Cell: pick.cell.Label(), Key: KeyString(pick.key), Worker: req.Worker, Attempt: attempt})
+	cell := pick.cell
+	key := pick.key
+	c.mu.Unlock()
+	writeJSON(w, &LeaseResponse{
+		Lease:      l.Token,
+		Cell:       &cell,
+		Key:        KeyString(key),
+		Attempt:    attempt,
+		TTLMs:      c.cfg.ttl().Milliseconds(),
+		Checkpoint: c.store.HasBlob(key),
+	})
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// handleHeartbeat extends a live lease; a stale token gets 409 so the
+// worker abandons the zombie cell.
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	l, ok := c.leases.extend(req.Lease, c.cfg.ttl(), time.Now())
+	if !ok {
+		httpError(w, http.StatusConflict, "lease %s is not live (expired and re-queued?)", req.Lease)
+		return
+	}
+	c.publish(ProgressEvent{Type: "heartbeat", Cell: l.Cell.Label(), Key: KeyString(l.Key), Worker: l.Worker, Cycle: req.Cycle})
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handlePutCheckpoint stores a mid-run checkpoint blob for a leased cell.
+// Uploading also extends the lease (a checkpoint is the strongest
+// possible heartbeat).
+func (c *Coordinator) handlePutCheckpoint(w http.ResponseWriter, r *http.Request) {
+	token := r.URL.Query().Get("lease")
+	l, ok := c.leases.extend(token, c.cfg.ttl(), time.Now())
+	if !ok {
+		httpError(w, http.StatusConflict, "lease %s is not live", token)
+		return
+	}
+	blob, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBlobBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading blob: %v", err)
+		return
+	}
+	if err := c.store.PutBlob(l.Key, blob); err != nil {
+		// A corrupt upload (torn transfer, bit rot in flight) is
+		// rejected outright; the previous good blob, if any, survives.
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cycle, _ := caba.CheckpointCycle(blob)
+	c.publish(ProgressEvent{Type: "checkpoint", Cell: l.Cell.Label(), Key: KeyString(l.Key), Worker: l.Worker, Cycle: cycle})
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleGetCheckpoint serves the leased cell's stored resume blob.
+func (c *Coordinator) handleGetCheckpoint(w http.ResponseWriter, r *http.Request) {
+	token := r.URL.Query().Get("lease")
+	l, ok := c.leases.lookup(token)
+	if !ok {
+		httpError(w, http.StatusConflict, "lease %s is not live", token)
+		return
+	}
+	blob, err := c.store.GetBlob(l.Key)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if blob == nil {
+		httpError(w, http.StatusNotFound, "no checkpoint blob for cell %s", l.Cell.Label())
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(blob)
+}
+
+// handleReport settles a lease with its cell's outcome, applying the
+// failure taxonomy: verified results are stored, wedges fail fast,
+// transient errors re-queue with backoff under the attempt cap, and a
+// drain release re-queues immediately without charge.
+func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
+	var req ReportRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	l, ok := c.leases.settle(req.Lease)
+	if !ok {
+		// The lease expired and the cell moved on; the late report must
+		// not mutate state (the worker that holds no lease holds no
+		// authority). 409 tells it to drop the result.
+		httpError(w, http.StatusConflict, "lease %s is not live (report discarded)", req.Lease)
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.cells[l.Key]
+	if st == nil || st.status != cellLeased {
+		httpError(w, http.StatusConflict, "cell %s is not leased", l.Cell.Label())
+		return
+	}
+	switch {
+	case req.Released:
+		st.status = cellPending
+		st.notBefore = now // no backoff: the worker drained, the cell is healthy
+		st.history = append(st.history, Attempt{Worker: l.Worker, Outcome: "released"})
+		c.publishLocked(ProgressEvent{Type: "requeue", Cell: st.cell.Label(), Key: KeyString(st.key), Worker: l.Worker, Attempt: l.Attempt})
+	case req.Result != nil:
+		if err := c.store.PutResult(st.key, req.Result); err != nil {
+			// Failing to persist is the coordinator's problem, not the
+			// cell's: put it back and let a retry land it.
+			st.status = cellPending
+			st.notBefore = now
+			httpError(w, http.StatusInternalServerError, "storing result: %v", err)
+			return
+		}
+		st.status = cellDone
+		st.result = req.Result
+		st.history = append(st.history, Attempt{Worker: l.Worker, Outcome: "ok", ResumeCycle: req.ResumeCycle})
+		c.store.DeleteBlob(st.key)
+		c.publishLocked(ProgressEvent{Type: "done", Cell: st.cell.Label(), Key: KeyString(st.key), Worker: l.Worker, Cycle: req.Result.Cycles, Attempt: l.Attempt})
+		c.streamSeriesLocked(st, req.Result)
+	case req.Wedge:
+		// A wedge is a deterministic outcome of the cell's fault
+		// stream: every retry replays the identical wedge, so the cell
+		// fails permanently with its retry budget unspent.
+		st.status = cellFailed
+		st.errMsg = req.Error
+		st.wedge = true
+		st.failures++
+		st.history = append(st.history, Attempt{Worker: l.Worker, Outcome: "wedged", Error: req.Error})
+		if err := c.store.PutFailure(st.key, req.Error, true, st.failures); err != nil {
+			c.logf("farm: recording wedge for %s: %v", st.cell.Label(), err)
+		}
+		c.store.DeleteBlob(st.key)
+		c.publishLocked(ProgressEvent{Type: "failed", Cell: st.cell.Label(), Key: KeyString(st.key), Worker: l.Worker, Error: req.Error, Attempt: l.Attempt})
+	default:
+		st.history = append(st.history, Attempt{Worker: l.Worker, Outcome: "failed", Error: req.Error})
+		c.chargeTransient(st, now, req.Error)
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// streamSeriesLocked publishes a completed cell's metrics time-series as
+// "sample" progress events (only when the cell's config enabled
+// sampling); caller holds c.mu.
+func (c *Coordinator) streamSeriesLocked(st *cellState, res *caba.Result) {
+	if res.Series == nil || len(c.subs) == 0 {
+		return
+	}
+	for i := 0; i < res.Series.Len(); i++ {
+		s := res.Series.At(i)
+		c.publishLocked(ProgressEvent{Type: "sample", Cell: st.cell.Label(), Key: KeyString(st.key), Sample: &s})
+	}
+}
+
+// handleStatus reports the sweep's state; ?wait_ms=N long-polls until
+// drained or the wait elapses. ?results=0 omits the (possibly large)
+// result payloads.
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	var waitMs int64
+	fmt.Sscanf(r.URL.Query().Get("wait_ms"), "%d", &waitMs)
+	includeResults := r.URL.Query().Get("results") != "0"
+	deadline := time.Now().Add(time.Duration(waitMs) * time.Millisecond)
+	for {
+		resp, drained := c.statusSnapshot(includeResults)
+		if drained || waitMs <= 0 || time.Now().After(deadline) || r.Context().Err() != nil {
+			writeJSON(w, resp)
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(25 * time.Millisecond):
+		}
+		c.harvestExpired(time.Now())
+	}
+}
+
+// statusSnapshot assembles a StatusResponse under the lock.
+func (c *Coordinator) statusSnapshot(includeResults bool) (*StatusResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp := &StatusResponse{
+		Quarantined: int(c.store.Quarantined()),
+		Attempts:    make(map[string][]Attempt),
+	}
+	if includeResults {
+		resp.Results = make(map[string]*caba.Result)
+	}
+	for _, key := range c.order {
+		st := c.cells[key]
+		ks := KeyString(key)
+		switch st.status {
+		case cellPending:
+			resp.Pending++
+		case cellLeased:
+			resp.Leased++
+		case cellDone:
+			resp.Done++
+			if st.cacheHit {
+				resp.CacheHits++
+			}
+			if includeResults {
+				resp.Results[ks] = st.result
+			}
+		case cellFailed:
+			resp.Failed++
+			if st.cacheHit {
+				resp.CacheHits++
+			}
+			resp.Failures = append(resp.Failures, Failure{
+				Cell: st.cell, Key: ks, Error: st.errMsg, Wedge: st.wedge,
+				Attempts: st.failures,
+			})
+		}
+		if len(st.history) > 0 {
+			resp.Attempts[ks] = append([]Attempt(nil), st.history...)
+		}
+	}
+	resp.Drained = resp.Pending == 0 && resp.Leased == 0
+	return resp, resp.Drained
+}
+
+// handleProgress streams live progress events as JSON Lines until the
+// client disconnects. Slow clients lose events rather than stalling the
+// sweep.
+func (c *Coordinator) handleProgress(w http.ResponseWriter, r *http.Request) {
+	ch, cancel := c.subscribe()
+	defer cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev := <-ch:
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+}

@@ -893,6 +893,26 @@ func (t *decTables) decAction(sim *Simulator) func(*snapshot.Reader) (timing.Act
 	}
 }
 
+// SnapshotCycle reads the simulated cycle a checkpoint blob was taken at
+// without restoring it (the cycle counter is the payload's first field).
+// It validates the container's integrity — magic, version, length, CRC —
+// but not the configuration hash, so blob custodians (the farm
+// coordinator's checkpoint store, progress reporting) can use it on blobs
+// for simulators they never build. Corrupt blobs return a structured
+// error, never a bogus cycle.
+func SnapshotCycle(blob []byte) (uint64, error) {
+	_, payload, err := snapshot.Inspect(blob)
+	if err != nil {
+		return 0, err
+	}
+	r := snapshot.NewReader(payload)
+	cycle := r.U64()
+	if err := r.Err(); err != nil {
+		return 0, err
+	}
+	return cycle, nil
+}
+
 // LoadState restores a snapshot produced by SaveState into this freshly
 // built simulator. The blob's embedded configuration hash must match this
 // simulator's configuration, design and kernel identity. On any error the

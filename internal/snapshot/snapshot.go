@@ -246,28 +246,44 @@ func Seal(configHash uint64, payload []byte) []byte {
 // length, checksum) and returns its payload. All failures are
 // *FormatError.
 func Open(blob []byte, configHash uint64) ([]byte, error) {
-	if len(blob) < headerSize+4 {
-		return nil, errf("blob too short: %d bytes", len(blob))
+	h, payload, err := Inspect(blob)
+	if err != nil {
+		return nil, err
 	}
-	if m := binary.LittleEndian.Uint64(blob); m != magic {
-		return nil, errf("bad magic %#x", m)
-	}
-	if v := binary.LittleEndian.Uint32(blob[8:]); v != Version {
-		return nil, errf("version %d not supported (want %d)", v, Version)
-	}
-	if h := binary.LittleEndian.Uint64(blob[12:]); h != configHash {
+	if h != configHash {
 		return nil, errf("configuration hash mismatch: blob %#x, simulator %#x", h, configHash)
 	}
+	return payload, nil
+}
+
+// Inspect validates a blob's container integrity (magic, version, length,
+// checksum) without binding it to a particular configuration, and returns
+// the embedded configuration hash alongside the payload. It exists for
+// blob custodians — stores that hold checkpoint blobs on behalf of
+// simulators they never instantiate — which must reject torn or
+// bit-flipped uploads yet cannot know the hash the eventual restorer will
+// check. All failures are *FormatError.
+func Inspect(blob []byte) (configHash uint64, payload []byte, err error) {
+	if len(blob) < headerSize+4 {
+		return 0, nil, errf("blob too short: %d bytes", len(blob))
+	}
+	if m := binary.LittleEndian.Uint64(blob); m != magic {
+		return 0, nil, errf("bad magic %#x", m)
+	}
+	if v := binary.LittleEndian.Uint32(blob[8:]); v != Version {
+		return 0, nil, errf("version %d not supported (want %d)", v, Version)
+	}
+	configHash = binary.LittleEndian.Uint64(blob[12:])
 	n := binary.LittleEndian.Uint64(blob[20:])
 	if n != uint64(len(blob)-headerSize-4) {
-		return nil, errf("payload length %d does not match blob size %d", n, len(blob))
+		return 0, nil, errf("payload length %d does not match blob size %d", n, len(blob))
 	}
-	payload := blob[headerSize : headerSize+int(n)]
+	payload = blob[headerSize : headerSize+int(n)]
 	want := binary.LittleEndian.Uint32(blob[headerSize+int(n):])
 	if got := crc32.ChecksumIEEE(payload); got != want {
-		return nil, errf("payload checksum mismatch: %#x != %#x", got, want)
+		return 0, nil, errf("payload checksum mismatch: %#x != %#x", got, want)
 	}
-	return payload, nil
+	return configHash, payload, nil
 }
 
 // --- Plain-struct codec ---

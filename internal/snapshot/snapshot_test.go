@@ -151,6 +151,49 @@ func TestOpenRejectsTampering(t *testing.T) {
 	}
 }
 
+func TestInspect(t *testing.T) {
+	payload := []byte("state bytes here")
+	const hash = 0x1122334455667788
+	blob := Seal(hash, payload)
+
+	h, got, err := Inspect(blob)
+	if err != nil {
+		t.Fatalf("Inspect: %v", err)
+	}
+	if h != hash {
+		t.Errorf("hash = %#x, want %#x", h, hash)
+	}
+	if string(got) != string(payload) {
+		t.Errorf("payload mismatch: %q", got)
+	}
+
+	// Inspect does not bind to a configuration, but every integrity
+	// defect Open rejects must still fail.
+	for _, tc := range []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"truncated header", func(b []byte) []byte { return b[:10] }},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-5] }},
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b }},
+		{"version skew", func(b []byte) []byte { b[8]++; return b }},
+		{"payload bit flip", func(b []byte) []byte { b[headerSize+3] ^= 0x10; return b }},
+		{"crc bit flip", func(b []byte) []byte { b[len(b)-1] ^= 1; return b }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.mutate(append([]byte(nil), blob...))
+			if _, _, err := Inspect(b); err == nil {
+				t.Fatal("tampered blob accepted")
+			} else {
+				var fe *FormatError
+				if !errors.As(err, &fe) {
+					t.Fatalf("error %T is not *FormatError", err)
+				}
+			}
+		})
+	}
+}
+
 type plainInner struct {
 	Name  string
 	Vals  []uint64
