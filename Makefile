@@ -22,7 +22,12 @@ FUZZ_TARGETS = \
 	FuzzStepRun:./internal/core
 FUZZTIME ?= 10s
 
-.PHONY: build vet lint test race fuzz snapshot-check trace-check farm-check check bench bench-compare
+.PHONY: build vet lint test race fuzz snapshot-check trace-check farm-check soak soak-short check bench bench-compare
+
+# Seed for the chaos/soak harness: one seed determines the entire chaos
+# schedule (which cells get killed/hung/OOMed, restart and clock-skew
+# times, disk slowness), so a failing run reproduces exactly.
+SOAK_SEED ?= 1
 
 build:
 	$(GO) build ./...
@@ -70,11 +75,25 @@ trace-check:
 # transient flake and deterministic wedge must converge to results
 # bit-identical to the in-process run, resume the killed cell from its
 # checkpoint blob, never retry the wedge, and serve restarts from the
-# result cache. The hard -timeout keeps a protocol deadlock from eating
-# the CI budget.
-farm-check:
+# result cache. soak-short rides along as the overload/robustness gate.
+# The hard -timeout keeps a protocol deadlock from eating the CI budget.
+farm-check: soak-short
 	$(GO) test -race -timeout 10m ./internal/farm
-	$(GO) test -race -timeout 10m -run 'TestFarmSweepEndToEnd|TestSweepContextCancel|TestCheckpointTornLine' ./experiments
+	$(GO) test -race -timeout 10m -run 'TestFarmSweepEndToEnd|TestSweepContextCancel|TestCheckpointTornLine|TestFarmClient' ./experiments
+
+# soak runs the seeded chaos/soak harness for the farm (FARM.md,
+# "Operating under overload"): coordinator kill/restart with torn-write
+# injection, worker kills/hangs/OOMs, a poison cell, admission-control
+# pressure, lease-clock skew and slow disk, all under the race detector.
+# SOAK_SEED picks the schedule; a failure reproduces with the same seed.
+soak:
+	SOAK_SEED=$(SOAK_SEED) $(GO) test -race -timeout 15m -count=1 -v -run 'TestSoakSeededChaos' ./internal/farm
+
+# soak-short is the fixed-seed CI variant: deterministic schedule, race
+# detector on, hard timeout so a deadlock fails fast instead of hanging
+# the build.
+soak-short:
+	SOAK_SEED=1 $(GO) test -race -timeout 5m -count=1 -run 'TestSoakSeededChaos' ./internal/farm
 
 # check is the tier-1 gate: everything must pass before a commit.
 check: build vet lint snapshot-check trace-check farm-check test race fuzz

@@ -38,14 +38,31 @@ func realMain() int {
 	retryBackoff := flag.Duration("retry-backoff", 250*time.Millisecond,
 		"re-queue delay after the first transient failure, doubling per failure with jitter")
 	maxBackoff := flag.Duration("max-backoff", 30*time.Second, "exponential backoff cap")
+	maxQueue := flag.Int("max-queue", 4096,
+		"live-queue bound (pending+leased cells); submissions beyond it get HTTP 429 + Retry-After")
+	clientQuota := flag.Int("client-quota", 0,
+		"per-client live-cell quota (0 = no separate bound beyond -max-queue)")
+	poisonThreshold := flag.Int("poison-threshold", 3,
+		"distinct workers a cell may be presumed to have killed before it is quarantined as poison")
+	compactMinLines := flag.Int("compact-min-lines", 256,
+		"dead journal lines accumulated before the journal is compacted")
+	minDiskFree := flag.Int64("min-disk-free", 0,
+		"store disk-headroom floor in bytes; checkpoint uploads below it get HTTP 507 (0 = no preflight)")
+	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second,
+		"on SIGTERM/SIGINT: how long to drain in-flight HTTP after leasing stops and the journal is flushed")
 	flag.Parse()
 
 	c, err := farm.NewCoordinator(farm.CoordinatorConfig{
-		Dir:          *dir,
-		LeaseTTL:     *leaseTTL,
-		MaxAttempts:  *maxAttempts,
-		RetryBackoff: *retryBackoff,
-		MaxBackoff:   *maxBackoff,
+		Dir:             *dir,
+		LeaseTTL:        *leaseTTL,
+		MaxAttempts:     *maxAttempts,
+		RetryBackoff:    *retryBackoff,
+		MaxBackoff:      *maxBackoff,
+		MaxQueue:        *maxQueue,
+		ClientQuota:     *clientQuota,
+		PoisonThreshold: *poisonThreshold,
+		CompactMinLines: *compactMinLines,
+		MinDiskFree:     *minDiskFree,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -70,9 +87,13 @@ func realMain() int {
 			return 1
 		}
 	case <-sig:
-		// Graceful stop: finish in-flight requests; leases and queue
-		// state are durable, so workers reconnect after a restart.
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		// Graceful stop, in order: quiesce (no new leases or admissions,
+		// journal fsynced), drain in-flight HTTP within the grace window
+		// so a result already computed still lands, then close (final
+		// fsync). The queue is durable, so workers reconnect after a
+		// restart and the sweep picks up where it stopped.
+		c.Quiesce()
+		ctx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
 		defer cancel()
 		srv.Shutdown(ctx)
 		fmt.Fprintln(os.Stderr, "farmd: drained, state saved")

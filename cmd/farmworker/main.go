@@ -37,6 +37,12 @@ func realMain() int {
 		"checkpoint-upload cadence in simulated cycles for cells that do not set their own (0 = default)")
 	exitWhenDrained := flag.Bool("exit-when-drained", false,
 		"exit once every submitted cell is terminal instead of polling for future sweeps")
+	memLimitMB := flag.Int64("mem-limit-mb", 0,
+		"per-cell live-heap budget in MiB; a cell that blows it is aborted as resource-exhausted, not the process (0 = none)")
+	cpuTimeLimit := flag.Duration("cpu-time", 0,
+		"per-cell CPU-time budget (user+system, all cores), distinct from -cell-timeout wall clock (0 = none)")
+	minDiskFreeMB := flag.Int64("min-disk-free-mb", 0,
+		"skip checkpoint uploads while local disk free space is below this many MiB (0 = no preflight)")
 	flag.Parse()
 
 	if *name == "" {
@@ -53,6 +59,9 @@ func realMain() int {
 	w := farm.NewWorker(*coordinator, farm.WorkerConfig{
 		Name:            *name,
 		CellTimeout:     *cellTimeout,
+		MemLimit:        *memLimitMB << 20,
+		CPUTime:         *cpuTimeLimit,
+		MinDiskFree:     *minDiskFreeMB << 20,
 		SMWorkers:       *smWorkers,
 		CheckpointEvery: *checkpointEvery,
 		PollInterval:    200 * time.Millisecond,

@@ -89,6 +89,16 @@ type Options struct {
 
 	// runHook replaces the simulation entry point in tests.
 	runHook func(ctx context.Context, cfg caba.Config, design caba.Design, app string, seed int64) (*caba.Result, error)
+
+	// farmDegradedWarned dedupes the once-per-sweep warning printed when
+	// the coordinator's X-Farm-Health header reports a non-ok state.
+	farmDegradedWarned bool
+
+	// farmShed records whether the last coordinator response carried
+	// X-Farm-Shed — a long-poll answered immediately to shed load. The
+	// status loop paces itself on it instead of re-polling instantly,
+	// which would turn the coordinator's protection into a hammer.
+	farmShed bool
 }
 
 // Defaults returns the standard quick-run options.

@@ -6,8 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"os"
+	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	caba "github.com/caba-sim/caba"
@@ -55,7 +59,7 @@ func (o *Options) farmSweep(apps []string, designs []caba.Design, bws []float64,
 	}
 
 	var sw farm.SweepResponse
-	if err := o.farmCall(ctx, http.MethodPost, base+"/sweep", &farm.SweepRequest{Cells: cells}, &sw); err != nil {
+	if err := o.farmCall(ctx, http.MethodPost, base+"/sweep", &farm.SweepRequest{Cells: cells, Client: o.farmClientName()}, &sw); err != nil {
 		return fmt.Errorf("experiments: farm submit: %w", err)
 	}
 	fmt.Fprintf(o.out(), "farm sweep: %d submitted (%d new, %d cached, %d already known) to %s\n",
@@ -81,6 +85,12 @@ func (o *Options) farmSweep(apps []string, designs []caba.Design, bws []float64,
 		if ctx.Err() != nil {
 			errs = append(errs, fmt.Errorf("experiments: farm sweep cancelled: %w", context.Cause(ctx)))
 			break
+		}
+		if o.farmShed {
+			// The coordinator shed our long-poll to protect itself under
+			// load: the poll came back immediately, so pace the next one
+			// instead of turning the shedding into a tight request loop.
+			sleepJitter(ctx, time.Second)
 		}
 	}
 
@@ -111,7 +121,10 @@ func (o *Options) farmSweep(apps []string, designs []caba.Design, bws []float64,
 			continue
 		}
 		kind := "transient"
-		if f.Wedge {
+		switch {
+		case f.Poison:
+			kind = "poison-quarantined"
+		case f.Wedge:
 			kind = "deterministic wedge"
 		}
 		errs = append(errs, fmt.Errorf("%s: farm cell failed (%s after %d attempt(s)): %s", key, kind, f.Attempts, f.Error))
@@ -119,35 +132,139 @@ func (o *Options) farmSweep(apps []string, designs []caba.Design, bws []float64,
 	return errors.Join(errs...)
 }
 
-// farmCall performs one JSON request against the coordinator.
+// farmClientName identifies this client to the coordinator's admission
+// control (per-client quotas, queue attribution).
+func (o *Options) farmClientName() string {
+	host, _ := os.Hostname()
+	if host == "" {
+		host = "experiments"
+	}
+	return "experiments@" + host
+}
+
+// farmCall performs one JSON request against the coordinator, speaking
+// its overload protocol. Failures are not all equal:
+//
+//   - A transport error (connection refused or reset) means the
+//     coordinator is down or restarting: retried on a long doubling
+//     schedule, capped, while the context lives — a restarted farmd
+//     replays its journal and carries on, so patience wins.
+//   - 429 (admission control) and 503 (draining/saturated) mean the
+//     coordinator is alive but protecting itself: retried after its
+//     Retry-After hint plus jitter, indefinitely under the context —
+//     submission is idempotent by content address, so replaying the
+//     identical request is always safe.
+//   - Any other 5xx is an internal fault: retried a few times on a short
+//     backoff, then surfaced.
+//   - 4xx is the caller's bug: surfaced immediately.
+//
+// A degraded/saturated X-Farm-Health response header is surfaced to the
+// user once per sweep as a warning.
 func (o *Options) farmCall(ctx context.Context, method, url string, in, out any) error {
-	var body io.Reader
+	var raw []byte
 	if in != nil {
-		raw, err := json.Marshal(in)
+		var err error
+		if raw, err = json.Marshal(in); err != nil {
+			return err
+		}
+	}
+	connWait := 500 * time.Millisecond
+	connTries, serverTries := 0, 0
+	for {
+		var body io.Reader
+		if raw != nil {
+			body = strings.NewReader(string(raw))
+		}
+		req, err := http.NewRequestWithContext(ctx, method, url, body)
 		if err != nil {
 			return err
 		}
-		body = strings.NewReader(string(raw))
-	}
-	req, err := http.NewRequestWithContext(ctx, method, url, body)
-	if err != nil {
+		if raw != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return err
+			}
+			if connTries++; connTries > 20 {
+				return fmt.Errorf("experiments: coordinator unreachable after %d attempts: %w", connTries, err)
+			}
+			if errors.Is(err, syscall.ECONNREFUSED) {
+				fmt.Fprintf(o.out(), "farm: coordinator refused connection (restarting?); retrying in %s\n", connWait)
+			}
+			if !sleepJitter(ctx, connWait) {
+				return err
+			}
+			if connWait *= 2; connWait > 10*time.Second {
+				connWait = 10 * time.Second
+			}
+			continue
+		}
+		connTries, connWait = 0, 500*time.Millisecond
+		if h := resp.Header.Get("X-Farm-Health"); h != "" && h != "ok" && !o.farmDegradedWarned {
+			o.farmDegradedWarned = true
+			fmt.Fprintf(o.out(), "farm: warning: coordinator reports %q — expect slower admission and shed long-polls\n", h)
+		}
+		o.farmShed = resp.Header.Get("X-Farm-Shed") != ""
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			wait := retryAfterHint(resp, 2*time.Second)
+			fmt.Fprintf(o.out(), "farm: coordinator is busy (%s: %s); retrying in ~%s\n",
+				resp.Status, strings.TrimSpace(string(msg)), wait)
+			if !sleepJitter(ctx, wait) {
+				return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(msg)))
+			}
+			continue
+		case resp.StatusCode >= 500:
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			if serverTries++; serverTries > 4 {
+				return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(msg)))
+			}
+			if !sleepJitter(ctx, 250*time.Millisecond<<serverTries) {
+				return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(msg)))
+			}
+			continue
+		case resp.StatusCode >= 300:
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(msg)))
+		}
+		if out == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return nil
+		}
+		err = json.NewDecoder(resp.Body).Decode(out)
+		resp.Body.Close()
 		return err
 	}
-	if in != nil {
-		req.Header.Set("Content-Type", "application/json")
+}
+
+// retryAfterHint reads a Retry-After header in seconds, falling back to
+// def when absent or malformed.
+func retryAfterHint(resp *http.Response, def time.Duration) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
 	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return err
+	return def
+}
+
+// sleepJitter sleeps d scaled by a random factor in [0.5, 1.5) — so a
+// fleet of clients told "Retry-After: 2" does not re-land in lockstep —
+// unless ctx ends first; it reports whether the sleep completed. The
+// randomness affects request timing only, never simulated results.
+func sleepJitter(ctx context.Context, d time.Duration) bool {
+	d = d/2 + time.Duration(rand.Int63n(int64(d)))
+	select {
+	case <-ctx.Done():
+		return false
+	case <-time.After(d):
+		return true
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 300 {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(msg)))
-	}
-	if out == nil {
-		io.Copy(io.Discard, resp.Body)
-		return nil
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
 }

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"strings"
@@ -220,5 +222,136 @@ func TestFarmSweepEndToEnd(t *testing.T) {
 	}
 	if len(res2) != len(refRes) {
 		t.Fatalf("checkpoint resume = %d cells, want %d", len(res2), len(refRes))
+	}
+}
+
+// TestFarmClient429Retry: a submission that trips the coordinator's
+// admission control (queue cap 1, two cells) is not an error — the
+// client tells the user the farm is busy, waits out the Retry-After
+// hint, and resubmits the identical request until everything is
+// admitted; content-address idempotence makes the replay safe. The
+// sweep still ends complete and correct.
+func TestFarmClient429Retry(t *testing.T) {
+	c, err := farm.NewCoordinator(farm.CoordinatorConfig{
+		Dir: t.TempDir(), MaxQueue: 1, LeaseTTL: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	// No ExitWhenDrained here: the queue drains between the 429 and the
+	// client's resubmission (that is the point of the test), and the
+	// worker must still be around for the second cell.
+	workerDone := make(chan struct{})
+	go func() {
+		defer close(workerDone)
+		farm.NewWorker(srv.URL, farm.WorkerConfig{
+			Name: "c429", PollInterval: 5 * time.Millisecond,
+		}).Run(ctx)
+	}()
+
+	var buf strings.Builder
+	o := Options{Scale: 0.02, Seed: 11, Out: &buf, FarmURL: srv.URL}
+	res, err := o.sweep([]string{"PVC", "SCP"}, []caba.Design{caba.Base}, nil)
+	cancel()
+	if err != nil {
+		t.Fatalf("farm sweep through admission control: %v\noutput:\n%s", err, buf.String())
+	}
+	<-workerDone
+	if len(res) != 2 {
+		t.Fatalf("results = %d cells, want 2", len(res))
+	}
+	if !strings.Contains(buf.String(), "coordinator is busy") {
+		t.Errorf("client never reported the 429 backoff; output:\n%s", buf.String())
+	}
+}
+
+// TestFarmClientConnRefusedRecovery: a connection-refused transport
+// error means the coordinator is down or restarting — the client says
+// so explicitly (it is a different situation from a 5xx) and keeps
+// retrying on its doubling schedule until the listener comes back.
+func TestFarmClientConnRefusedRecovery(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // nothing listens here now: connection refused
+
+	// Bring a server up on the same address shortly after the client's
+	// first refused attempts.
+	serverUp := make(chan error, 1)
+	hsrv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("{}"))
+	})}
+	defer hsrv.Close()
+	go func() {
+		time.Sleep(400 * time.Millisecond)
+		ln2, err := net.Listen("tcp", addr)
+		if err != nil {
+			serverUp <- err
+			return
+		}
+		serverUp <- nil
+		hsrv.Serve(ln2)
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	var buf strings.Builder
+	o := Options{Out: &buf}
+	if err := o.farmCall(ctx, http.MethodGet, "http://"+addr+"/status", nil, nil); err != nil {
+		if lerr := <-serverUp; lerr != nil {
+			t.Skipf("could not re-bind reserved port %s: %v", addr, lerr)
+		}
+		t.Fatalf("farmCall never recovered: %v\noutput:\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "refused connection") {
+		t.Errorf("client did not name the refused connection; output:\n%s", buf.String())
+	}
+}
+
+// TestFarmClientDegradedWarning: when responses carry a non-ok
+// X-Farm-Health header the client warns the user exactly once per
+// sweep, not once per poll.
+func TestFarmClientDegradedWarning(t *testing.T) {
+	c, err := farm.NewCoordinator(farm.CoordinatorConfig{Dir: t.TempDir(), MaxQueue: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	workerDone := make(chan struct{})
+	go func() {
+		defer close(workerDone)
+		farm.NewWorker(srv.URL, farm.WorkerConfig{
+			Name: "cdeg", PollInterval: 5 * time.Millisecond, ExitWhenDrained: true,
+		}).Run(ctx)
+	}()
+
+	// One cell against a cap-1 queue: the moment it is admitted the
+	// queue is saturated, so the client's status polls see a non-ok
+	// health header until the worker reports the result.
+	var buf strings.Builder
+	o := Options{Scale: 0.02, Seed: 11, Out: &buf, FarmURL: srv.URL}
+	res, err := o.sweep([]string{"PVC"}, []caba.Design{caba.CABABDI}, nil)
+	if err != nil {
+		t.Fatalf("farm sweep: %v\noutput:\n%s", err, buf.String())
+	}
+	<-workerDone
+	if len(res) != 1 {
+		t.Fatalf("results = %d cells, want 1", len(res))
+	}
+	if n := strings.Count(buf.String(), "warning: coordinator reports"); n != 1 {
+		t.Errorf("degraded warning printed %d times, want exactly once; output:\n%s", n, buf.String())
 	}
 }

@@ -16,8 +16,8 @@ import (
 )
 
 // Store is the coordinator's durable, content-addressed state: completed
-// results keyed by cell content hash, plus the latest mid-run checkpoint
-// blob per cell. Every result entry is sealed in the snapshot container —
+// results keyed by cell content hash, terminal failure and poison
+// records, plus the latest mid-run checkpoint blob per cell. Every result entry is sealed in the snapshot container —
 // magic, version, the cell key as the binding hash, and a CRC over the
 // JSON payload — so a read always verifies integrity and address binding
 // before trusting the bytes. An entry that fails verification (torn
@@ -32,6 +32,12 @@ import (
 type Store struct {
 	dir string
 	mu  sync.Mutex
+	// minFree is the disk-headroom floor for checkpoint blob uploads
+	// (0 = no preflight); set by the coordinator from its MinDiskFree.
+	minFree int64
+	// slowWrite, when non-nil, runs before every durable write (the
+	// soak harness injects disk latency here). Nil in production.
+	slowWrite func()
 	// quarantined counts entries set aside since open (observability).
 	quarantined atomic.Uint64
 }
@@ -134,6 +140,9 @@ func (s *Store) PutResult(key uint64, res *caba.Result) error {
 	if err != nil {
 		return fmt.Errorf("farm: store result: %w", err)
 	}
+	if s.slowWrite != nil {
+		s.slowWrite()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return writeFileAtomic(s.resultPath(key), snapshot.Seal(key, payload))
@@ -216,6 +225,9 @@ func (s *Store) PutFailure(key uint64, errMsg string, wedge bool, attempts int) 
 	if err != nil {
 		return fmt.Errorf("farm: store failure: %w", err)
 	}
+	if s.slowWrite != nil {
+		s.slowWrite()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return writeFileAtomic(s.failPath(key), snapshot.Seal(key, payload))
@@ -245,13 +257,84 @@ func (s *Store) GetFailure(key uint64) (errMsg string, wedge bool, attempts int,
 	return rec.Error, rec.Wedge, rec.Attempts, true
 }
 
+// poisonRecord is the durable, sealed form of a poison-cell quarantine:
+// the circuit breaker's diagnosis plus the distinct workers the cell is
+// presumed to have killed.
+type poisonRecord struct {
+	Error   string   `json:"error"`
+	Victims []string `json:"victims"`
+	// Attempts is how many executions were charged before quarantine.
+	Attempts int `json:"attempts"`
+}
+
+func (s *Store) poisonPath(key uint64) string {
+	return filepath.Join(s.dir, resultsDir, KeyString(key)+".poison")
+}
+
+// PutPoison durably seals a poison-cell quarantine at the cell's
+// address. Like a wedge record it is terminal — a coordinator restart or
+// a later sweep over the same store serves the quarantine instead of
+// leasing the cell out to kill more workers.
+func (s *Store) PutPoison(key uint64, errMsg string, victims []string, attempts int) error {
+	payload, err := json.Marshal(poisonRecord{Error: errMsg, Victims: victims, Attempts: attempts})
+	if err != nil {
+		return fmt.Errorf("farm: store poison record: %w", err)
+	}
+	if s.slowWrite != nil {
+		s.slowWrite()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return writeFileAtomic(s.poisonPath(key), snapshot.Seal(key, payload))
+}
+
+// GetPoison returns the recorded quarantine for key, or ok=false when
+// absent. Corrupt records are quarantined-aside and read as absent (the
+// breaker then has to trip again, which is safe — just slower).
+func (s *Store) GetPoison(key uint64) (errMsg string, victims []string, attempts int, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	path := s.poisonPath(key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return "", nil, 0, false
+	}
+	payload, err := snapshot.Open(raw, key)
+	if err != nil {
+		s.quarantine(path)
+		return "", nil, 0, false
+	}
+	var rec poisonRecord
+	if err := json.Unmarshal(payload, &rec); err != nil || rec.Error == "" {
+		s.quarantine(path)
+		return "", nil, 0, false
+	}
+	return rec.Error, rec.Victims, rec.Attempts, true
+}
+
+// errInsufficientStorage marks a write refused by the disk-space
+// preflight; the HTTP layer maps it to 507 Insufficient Storage.
+var errInsufficientStorage = errors.New("farm: store disk headroom below floor")
+
 // PutBlob stores a cell's latest mid-run checkpoint blob, replacing any
 // previous one. The blob must be a valid sealed snapshot container
 // (magic, version, CRC) — corrupt uploads are rejected here so a torn
-// network transfer can never poison the resume path.
+// network transfer can never poison the resume path. When the store has
+// a disk-headroom floor, a preflight rejects the upload (keeping the
+// previous good blob) rather than filling the disk: losing checkpoint
+// granularity is recoverable, a full store volume is not.
 func (s *Store) PutBlob(key uint64, blob []byte) error {
 	if _, _, err := snapshot.Inspect(blob); err != nil {
 		return fmt.Errorf("farm: checkpoint blob rejected: %w", err)
+	}
+	if s.minFree > 0 {
+		if free := diskFree(s.dir); free >= 0 && free < s.minFree+2*int64(len(blob)) {
+			return fmt.Errorf("%w: %d bytes free, need %d headroom",
+				errInsufficientStorage, free, s.minFree+2*int64(len(blob)))
+		}
+	}
+	if s.slowWrite != nil {
+		s.slowWrite()
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -1,7 +1,6 @@
 package farm
 
 import (
-	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,8 +8,10 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
-	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	caba "github.com/caba-sim/caba"
@@ -39,6 +40,36 @@ type CoordinatorConfig struct {
 	RetryBackoff time.Duration
 	// MaxBackoff caps the exponential backoff (default 30s).
 	MaxBackoff time.Duration
+	// MaxQueue bounds the live queue (pending + leased cells). A
+	// submission that would exceed it is rejected with HTTP 429 and a
+	// Retry-After hint; retrying the identical request is safe because
+	// admission is idempotent by content address (default 4096).
+	MaxQueue int
+	// ClientQuota bounds one client's share of the live queue, so a
+	// single runaway submitter cannot starve everyone else (default:
+	// MaxQueue, i.e. no separate per-client bound).
+	ClientQuota int
+	// PoisonThreshold is the poison-cell circuit breaker: a cell
+	// presumed to have killed this many distinct workers (lease expiry
+	// or resource-budget abort) is quarantined with a durable sealed
+	// record and never leased again (default 3).
+	PoisonThreshold int
+	// CompactMinLines triggers journal compaction once this many dead
+	// lines (events beyond one per known cell) have accumulated, keeping
+	// restart replay O(cells) instead of O(history) (default 256).
+	CompactMinLines int
+	// MaxLongPolls bounds concurrent /status long-polls; excess polls
+	// are shed — served as immediate snapshots — so status watchers can
+	// never pin the coordinator under overload (default 64).
+	MaxLongPolls int
+	// MinDiskFree, when positive, is the store's disk-headroom floor in
+	// bytes: checkpoint uploads below it are refused with HTTP 507 and
+	// /healthz degrades. Losing checkpoint granularity is recoverable; a
+	// full store volume is not.
+	MinDiskFree int64
+	// Now overrides the clock for lease and backoff decisions (tests
+	// exercising TTL boundaries and clock skew). Nil means time.Now.
+	Now func() time.Time
 	// Logf receives coordinator log lines (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -71,6 +102,41 @@ func (c *CoordinatorConfig) maxBackoff() time.Duration {
 	return c.MaxBackoff
 }
 
+func (c *CoordinatorConfig) maxQueue() int {
+	if c.MaxQueue <= 0 {
+		return 4096
+	}
+	return c.MaxQueue
+}
+
+func (c *CoordinatorConfig) clientQuota() int {
+	if c.ClientQuota <= 0 {
+		return c.maxQueue()
+	}
+	return c.ClientQuota
+}
+
+func (c *CoordinatorConfig) poisonThreshold() int {
+	if c.PoisonThreshold <= 0 {
+		return 3
+	}
+	return c.PoisonThreshold
+}
+
+func (c *CoordinatorConfig) compactMinLines() int {
+	if c.CompactMinLines <= 0 {
+		return 256
+	}
+	return c.CompactMinLines
+}
+
+func (c *CoordinatorConfig) maxLongPolls() int {
+	if c.MaxLongPolls <= 0 {
+		return 64
+	}
+	return c.MaxLongPolls
+}
+
 // cellStatus is a queued cell's lifecycle state.
 type cellStatus uint8
 
@@ -78,54 +144,91 @@ const (
 	cellPending cellStatus = iota // waiting for a lease (possibly backed off)
 	cellLeased                    // held by a worker
 	cellDone                      // verified result stored
-	cellFailed                    // terminal failure (wedge or attempt cap)
+	cellFailed                    // terminal failure (wedge, poison or attempt cap)
 )
 
 // cellState is the coordinator's view of one queued cell.
 type cellState struct {
-	cell     Cell
-	key      uint64
-	status   cellStatus
-	failures int       // transient failures charged (incl. lease expiries)
+	cell      Cell
+	key       uint64
+	status    cellStatus
+	failures  int       // transient failures charged (incl. lease expiries)
 	notBefore time.Time // backoff gate while pending
-	errMsg   string
-	wedge    bool
-	cacheHit bool
-	result   *caba.Result
-	history  []Attempt
-	order    int // submission order, for stable dispatch
+	errMsg    string
+	wedge     bool
+	poison    bool // quarantined by the poison-cell circuit breaker
+	cacheHit  bool
+	client    string   // submitting client (admission attribution)
+	victims   []string // distinct workers presumed killed by this cell
+	result    *caba.Result
+	history   []Attempt
+	order     int // submission order, for stable dispatch
+}
+
+// addVictim records worker in the cell's distinct-victim set, reporting
+// whether it was new.
+func (st *cellState) addVictim(worker string) bool {
+	for _, v := range st.victims {
+		if v == worker {
+			return false
+		}
+	}
+	st.victims = append(st.victims, worker)
+	return true
+}
+
+// hasVictim reports whether worker is already in the victim set (the
+// lease dispatcher prefers not to feed a cell back to a worker it is
+// presumed to have killed).
+func (st *cellState) hasVictim(worker string) bool {
+	for _, v := range st.victims {
+		if v == worker {
+			return true
+		}
+	}
+	return false
 }
 
 // Coordinator is the sweep service: durable queue, lease manager, failure
-// classifier, result cache and progress broadcaster, exposed over HTTP
-// via Handler.
+// classifier, result cache, admission controller and progress
+// broadcaster, exposed over HTTP via Handler.
 type Coordinator struct {
-	cfg    CoordinatorConfig
-	store  *Store
-	leases *leaseTable
-	mux    *http.ServeMux
+	cfg     CoordinatorConfig
+	store   *Store
+	leases  *leaseTable
+	mux     *http.ServeMux
+	handler http.Handler
 
-	mu      sync.Mutex
-	cells   map[uint64]*cellState
-	order   []uint64
-	journal *os.File
-	subs    map[chan ProgressEvent]struct{}
+	mu           sync.Mutex
+	cells        map[uint64]*cellState
+	order        []uint64
+	journal      *os.File
+	journalLines int // lines in the journal file (compaction trigger)
+	subs         map[chan ProgressEvent]struct{}
+	clientLive   map[string]int // live (pending+leased) cells per client
+	draining     bool           // Quiesce called: no new leases or admissions
+	pendingN     int
+	leasedN      int
+	doneN        int
+	failedN      int
+	poisonedN    int
+
+	compactions atomic.Uint64
+	rejected429 atomic.Uint64
+	shedPolls   atomic.Uint64
+	longPolls   atomic.Int64 // currently parked /status long-polls
 
 	janitorStop chan struct{}
 	janitorDone chan struct{}
 	closeOnce   sync.Once
 }
 
-// journalLine is one accepted cell in the durable submission journal.
-type journalLine struct {
-	Key  string `json:"key"`
-	Cell Cell   `json:"cell"`
-}
-
 // NewCoordinator opens (or resumes) a coordinator over cfg.Dir: the
-// submission journal is replayed, journaled cells whose verified result
-// is already in the store are marked complete, and the rest are
-// re-queued. Call Close when done.
+// submission journal is replayed (torn tail truncated, interrupted
+// compaction rolled back), journaled cells whose sealed outcome is
+// already in the store are terminal, replayed victim counts at the
+// poison threshold quarantine immediately, and the rest are re-queued.
+// Call Close when done.
 func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if cfg.Dir == "" {
 		return nil, fmt.Errorf("farm: coordinator needs a state directory")
@@ -134,23 +237,30 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if err != nil {
 		return nil, err
 	}
+	store.minFree = cfg.MinDiskFree
 	c := &Coordinator{
 		cfg:         cfg,
 		store:       store,
 		leases:      newLeaseTable(),
 		cells:       make(map[uint64]*cellState),
 		subs:        make(map[chan ProgressEvent]struct{}),
+		clientLive:  make(map[string]int),
 		janitorStop: make(chan struct{}),
 		janitorDone: make(chan struct{}),
 	}
-	if err := c.replayJournal(); err != nil {
+	if err := c.openJournal(); err != nil {
 		return nil, err
 	}
-	jpath := filepath.Join(cfg.Dir, "journal.jsonl")
-	c.journal, err = os.OpenFile(jpath, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("farm: journal: %w", err)
+	// A coordinator that died between journaling a cell's Nth victim and
+	// sealing the poison record re-trips the breaker here.
+	c.mu.Lock()
+	for _, key := range c.order {
+		st := c.cells[key]
+		if st.status == cellPending && len(st.victims) >= c.cfg.poisonThreshold() {
+			c.poisonLocked(st, "victim count at threshold on replay")
+		}
 	}
+	c.mu.Unlock()
 	c.mux = http.NewServeMux()
 	c.mux.HandleFunc("POST /sweep", c.handleSweep)
 	c.mux.HandleFunc("POST /lease", c.handleLease)
@@ -159,72 +269,55 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	c.mux.HandleFunc("GET /checkpoint", c.handleGetCheckpoint)
 	c.mux.HandleFunc("POST /report", c.handleReport)
 	c.mux.HandleFunc("GET /status", c.handleStatus)
+	c.mux.HandleFunc("GET /healthz", c.handleHealth)
 	c.mux.HandleFunc("GET /progress", c.handleProgress)
+	// Every response advertises the current health state so clients can
+	// surface degradation without polling /healthz.
+	c.handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Farm-Health", c.healthState())
+		c.mux.ServeHTTP(w, r)
+	})
+	c.maybeCompact()
 	go c.janitor()
 	return c, nil
 }
 
-// replayJournal rebuilds the queue from the durable journal: every
-// journaled cell either has a verified result in the store (complete) or
-// goes back to pending. A torn trailing line — the coordinator died
-// mid-append — is tolerated and everything before it is replayed.
-func (c *Coordinator) replayJournal() error {
-	raw, err := os.ReadFile(filepath.Join(c.cfg.Dir, "journal.jsonl"))
-	if errors.Is(err, os.ErrNotExist) {
-		return nil
+// now returns the configured clock's time (real time by default).
+func (c *Coordinator) now() time.Time {
+	if c.cfg.Now != nil {
+		return c.cfg.Now()
 	}
-	if err != nil {
-		return fmt.Errorf("farm: journal: %w", err)
-	}
-	dec := json.NewDecoder(bytes.NewReader(raw))
-	for {
-		var line journalLine
-		if err := dec.Decode(&line); err != nil {
-			// io.EOF is the clean end; anything else is a torn trailing
-			// append, replayed up to the last intact line.
-			break
-		}
-		key, err := ParseKey(line.Key)
-		if err != nil {
-			continue
-		}
-		if _, ok := c.cells[key]; ok {
-			continue
-		}
-		st := &cellState{cell: line.Cell, key: key, order: len(c.order)}
-		if res, _ := c.store.GetResult(key); res != nil {
-			// Completed before the restart: served from the store, never
-			// re-simulated by this coordinator session.
-			st.status = cellDone
-			st.result = res
-			st.cacheHit = true
-		} else if msg, wedge, attempts, ok := c.store.GetFailure(key); ok {
-			st.status = cellFailed
-			st.errMsg = msg
-			st.wedge = wedge
-			st.failures = attempts
-			st.cacheHit = true
-		}
-		c.cells[key] = st
-		c.order = append(c.order, key)
-	}
-	return nil
+	return time.Now()
 }
 
-// Close stops the lease janitor and closes the journal. In-memory state
-// is discarded; the durable state in Dir survives for the next open.
+// Close stops the lease janitor and fsyncs and closes the journal.
+// In-memory state is discarded; the durable state in Dir survives for
+// the next open.
 func (c *Coordinator) Close() {
 	c.closeOnce.Do(func() {
 		close(c.janitorStop)
 		<-c.janitorDone
 		c.mu.Lock()
 		defer c.mu.Unlock()
+		c.journal.Sync()
 		c.journal.Close()
 	})
 }
 
+// Quiesce puts the coordinator into draining mode ahead of shutdown: no
+// new leases are granted, submissions are refused with 503 +
+// Retry-After, /healthz reports "draining", and the journal is flushed.
+// In-flight leases may still heartbeat and report — a computed result in
+// hand is always worth storing.
+func (c *Coordinator) Quiesce() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.draining = true
+	c.journal.Sync()
+}
+
 // Handler returns the coordinator's HTTP surface.
-func (c *Coordinator) Handler() http.Handler { return c.mux }
+func (c *Coordinator) Handler() http.Handler { return c.handler }
 
 // Store exposes the underlying content-addressed store (observability
 // and tests).
@@ -236,8 +329,80 @@ func (c *Coordinator) logf(format string, args ...any) {
 	}
 }
 
-// janitor periodically harvests expired leases so dead workers surface
-// as re-queued cells even when no request traffic arrives.
+// addCellLocked registers a new cell and updates the aggregate counters;
+// caller holds c.mu (or is the single-threaded open path).
+func (c *Coordinator) addCellLocked(st *cellState) {
+	st.order = len(c.order)
+	c.cells[st.key] = st
+	c.order = append(c.order, st.key)
+	switch st.status {
+	case cellPending, cellLeased:
+		if st.status == cellPending {
+			c.pendingN++
+		} else {
+			c.leasedN++
+		}
+		c.clientLive[st.client]++
+	case cellDone:
+		c.doneN++
+	case cellFailed:
+		c.failedN++
+		if st.poison {
+			c.poisonedN++
+		}
+	}
+}
+
+// transitionLocked moves a cell between lifecycle states, keeping the
+// aggregate and per-client counters exact; caller holds c.mu. A cell
+// transitioning to cellFailed with st.poison already set counts as
+// poisoned.
+func (c *Coordinator) transitionLocked(st *cellState, to cellStatus) {
+	if st.status == to {
+		return
+	}
+	switch st.status {
+	case cellPending:
+		c.pendingN--
+	case cellLeased:
+		c.leasedN--
+	case cellDone:
+		c.doneN--
+	case cellFailed:
+		c.failedN--
+		if st.poison {
+			c.poisonedN--
+		}
+	}
+	wasLive := st.status == cellPending || st.status == cellLeased
+	st.status = to
+	switch to {
+	case cellPending:
+		c.pendingN++
+	case cellLeased:
+		c.leasedN++
+	case cellDone:
+		c.doneN++
+	case cellFailed:
+		c.failedN++
+		if st.poison {
+			c.poisonedN++
+		}
+	}
+	isLive := to == cellPending || to == cellLeased
+	if wasLive && !isLive {
+		if c.clientLive[st.client]--; c.clientLive[st.client] <= 0 {
+			delete(c.clientLive, st.client)
+		}
+	}
+	if !wasLive && isLive {
+		c.clientLive[st.client]++
+	}
+}
+
+// janitor periodically harvests expired leases (so dead workers surface
+// as re-queued cells even when no request traffic arrives) and compacts
+// the journal when enough dead lines accumulate.
 func (c *Coordinator) janitor() {
 	defer close(c.janitorDone)
 	tick := c.cfg.ttl() / 4
@@ -250,27 +415,75 @@ func (c *Coordinator) janitor() {
 		select {
 		case <-c.janitorStop:
 			return
-		case now := <-t.C:
-			c.harvestExpired(now)
+		case <-t.C:
+			c.harvestExpired(c.now())
+			c.maybeCompact()
 		}
 	}
 }
 
 // harvestExpired re-queues every cell whose lease deadline has passed,
-// charging the expiry as a transient failure: a worker that died or hung
-// mid-cell looks exactly like a failed attempt, subject to the same
-// backoff and attempt cap.
+// charging the expiry as a transient failure and recording the worker as
+// a presumed victim of the cell: a worker that died or hung mid-cell is
+// indistinguishable from one the cell killed, and enough distinct
+// victims trip the poison breaker.
 func (c *Coordinator) harvestExpired(now time.Time) {
 	for _, l := range c.leases.harvest(now) {
 		c.mu.Lock()
 		st := c.cells[l.Key]
 		if st != nil && st.status == cellLeased {
 			st.history = append(st.history, Attempt{Worker: l.Worker, Outcome: "expired"})
-			c.chargeTransient(st, now, fmt.Sprintf("lease expired (worker %s died or hung)", l.Worker))
+			msg := fmt.Sprintf("lease expired (worker %s died or hung)", l.Worker)
+			if !c.recordVictimLocked(st, l.Worker, msg) {
+				c.chargeTransient(st, now, msg)
+			}
 		}
 		c.mu.Unlock()
 		c.logf("farm: lease %s expired (worker %s, cell %s)", l.Token, l.Worker, l.Cell.Label())
 	}
+}
+
+// recordVictimLocked journals worker as a presumed victim of st's cell
+// and trips the poison-cell breaker once PoisonThreshold distinct
+// workers have fallen to it. It reports whether the cell was quarantined
+// (in which case the caller must not also charge a transient failure);
+// callers hold c.mu.
+func (c *Coordinator) recordVictimLocked(st *cellState, worker, reason string) bool {
+	if !st.addVictim(worker) {
+		return false
+	}
+	// Durable before decisive: the victim line makes the breaker's
+	// memory survive coordinator restarts.
+	if err := c.appendJournalLocked(journalLine{Key: KeyString(st.key), Victim: worker}); err != nil {
+		c.logf("farm: journaling victim for %s: %v", st.cell.Label(), err)
+	} else {
+		c.journal.Sync()
+	}
+	if len(st.victims) < c.cfg.poisonThreshold() {
+		return false
+	}
+	c.poisonLocked(st, reason)
+	return true
+}
+
+// poisonLocked quarantines a cell under the poison-cell circuit
+// breaker: terminal, sealed into the store as a .poison record, never
+// leased again. Distinct from a wedge — a wedge is the cell's own
+// deterministic failure; poison is the cell's presumed effect on the
+// workers that ran it. Caller holds c.mu.
+func (c *Coordinator) poisonLocked(st *cellState, reason string) {
+	st.failures++
+	st.poison = true
+	st.wedge = false
+	st.errMsg = fmt.Sprintf("poisoned: presumed to have killed %d distinct workers (%s): %s",
+		len(st.victims), strings.Join(st.victims, ", "), reason)
+	c.transitionLocked(st, cellFailed)
+	if err := c.store.PutPoison(st.key, st.errMsg, st.victims, st.failures); err != nil {
+		c.logf("farm: recording poison for %s: %v", st.cell.Label(), err)
+	}
+	c.store.DeleteBlob(st.key)
+	c.publishLocked(ProgressEvent{Type: "poisoned", Cell: st.cell.Label(), Key: KeyString(st.key), Error: st.errMsg, Attempt: st.failures})
+	c.logf("farm: cell %s poisoned: %s", st.cell.Label(), st.errMsg)
 }
 
 // chargeTransient applies the transient-failure policy to a cell (caller
@@ -279,15 +492,15 @@ func (c *Coordinator) harvestExpired(now time.Time) {
 func (c *Coordinator) chargeTransient(st *cellState, now time.Time, msg string) {
 	st.failures++
 	if st.failures >= c.cfg.maxAttempts() {
-		st.status = cellFailed
 		st.errMsg = fmt.Sprintf("%s (attempt cap %d reached)", msg, c.cfg.maxAttempts())
+		c.transitionLocked(st, cellFailed)
 		if err := c.store.PutFailure(st.key, st.errMsg, false, st.failures); err != nil {
 			c.logf("farm: recording failure for %s: %v", st.cell.Label(), err)
 		}
 		c.publishLocked(ProgressEvent{Type: "failed", Cell: st.cell.Label(), Key: KeyString(st.key), Error: st.errMsg, Attempt: st.failures})
 		return
 	}
-	st.status = cellPending
+	c.transitionLocked(st, cellPending)
 	st.notBefore = now.Add(c.backoffFor(st.failures))
 	c.publishLocked(ProgressEvent{Type: "requeue", Cell: st.cell.Label(), Key: KeyString(st.key), Error: msg, Attempt: st.failures})
 }
@@ -306,6 +519,74 @@ func (c *Coordinator) backoffFor(n int) time.Duration {
 	// Jitter in [d/2, 3d/2): rand here affects scheduling only, never
 	// simulated results.
 	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// --- Health and admission ---
+
+// healthState classifies the coordinator's condition for /healthz and
+// the X-Farm-Health response header: "draining" during Quiesce,
+// "saturated" at a full live queue, "degraded" at ≥80% occupancy or low
+// store disk, else "ok".
+func (c *Coordinator) healthState() string {
+	c.mu.Lock()
+	draining := c.draining
+	live := c.pendingN + c.leasedN
+	c.mu.Unlock()
+	mq := c.cfg.maxQueue()
+	switch {
+	case draining:
+		return "draining"
+	case live >= mq:
+		return "saturated"
+	case live*5 >= mq*4:
+		return "degraded"
+	case c.cfg.MinDiskFree > 0:
+		if free := diskFree(c.cfg.Dir); free >= 0 && free < c.cfg.MinDiskFree {
+			return "degraded"
+		}
+	}
+	return "ok"
+}
+
+// retryAfterSecs is the Retry-After hint on 429/503 responses: a quarter
+// TTL is long enough for the janitor to have harvested something.
+func (c *Coordinator) retryAfterSecs() int {
+	s := int((c.cfg.ttl() / 4).Seconds())
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// handleHealth serves the coordinator's self-assessment. Saturated and
+// draining states are carried on HTTP 503 so dumb load-balancer probes
+// read them without parsing the body.
+func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {
+	state := c.healthState()
+	c.mu.Lock()
+	resp := HealthResponse{
+		State:         state,
+		QueueLive:     c.pendingN + c.leasedN,
+		QueueCap:      c.cfg.maxQueue(),
+		Pending:       c.pendingN,
+		Leased:        c.leasedN,
+		Done:          c.doneN,
+		Failed:        c.failedN,
+		Poisoned:      c.poisonedN,
+		Compactions:   c.compactions.Load(),
+		Rejected429:   c.rejected429.Load(),
+		ShedLongPolls: c.shedPolls.Load(),
+		Quarantined:   c.store.Quarantined(),
+		DiskFreeBytes: diskFree(c.cfg.Dir),
+	}
+	c.mu.Unlock()
+	code := http.StatusOK
+	if state == "saturated" || state == "draining" {
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(&resp)
 }
 
 // --- Progress broadcasting ---
@@ -367,13 +648,21 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
-// handleSweep accepts cells: new ones are journaled and queued, ones with
-// a stored verified result complete instantly as cache hits, known ones
-// are acknowledged without duplication.
+// handleSweep accepts cells under admission control: new ones are
+// journaled and queued while the live queue and the client's quota have
+// room, ones with a stored sealed outcome complete instantly as cache
+// hits, known ones are acknowledged without duplication. A submission
+// that hits either bound stops there with 429 + Retry-After; everything
+// accepted before the bound stays accepted (durably), and retrying the
+// identical request is safe — accepted cells come back as Known.
 func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
 	if !decodeJSON(w, r, &req) {
 		return
+	}
+	client := req.Client
+	if client == "" {
+		client = "anonymous"
 	}
 	var resp SweepResponse
 	for _, cell := range req.Cells {
@@ -387,6 +676,13 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		c.mu.Lock()
+		if c.draining {
+			c.mu.Unlock()
+			c.journal.Sync()
+			w.Header().Set("Retry-After", strconv.Itoa(c.retryAfterSecs()))
+			httpError(w, http.StatusServiceUnavailable, "coordinator is draining for shutdown; resubmit after restart (accepted cells are journaled)")
+			return
+		}
 		if st, ok := c.cells[key]; ok {
 			// A cell replayed from the durable store (result or terminal
 			// failure) was served without re-simulation: a cache hit. A
@@ -399,13 +695,21 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 			c.mu.Unlock()
 			continue
 		}
-		st := &cellState{cell: cell, key: key, order: len(c.order)}
+		st := &cellState{cell: cell, key: key, client: client}
 		// Content-addressed dedupe: a cell already simulated — by any
 		// earlier sweep over this store — is a cache hit, not a re-run.
-		// Durable terminal failures count too: a deterministic wedge
-		// replays identically, so its recorded outcome is the answer.
+		// Durable terminal outcomes count too: a deterministic wedge
+		// replays identically and a poisoned cell must never lease, so
+		// the recorded outcome is the answer.
 		hit := false
-		if res, _ := c.store.GetResult(key); res != nil {
+		if msg, victims, attempts, ok := c.store.GetPoison(key); ok {
+			st.poison = true
+			st.errMsg = msg
+			st.victims = victims
+			st.failures = attempts
+			st.status = cellFailed
+			hit = true
+		} else if res, _ := c.store.GetResult(key); res != nil {
 			st.status = cellDone
 			st.result = res
 			hit = true
@@ -419,19 +723,38 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 		if hit {
 			st.cacheHit = true
 			resp.CacheHits++
-			c.cells[key] = st
-			c.order = append(c.order, key)
+			c.addCellLocked(st)
 			c.publishLocked(ProgressEvent{Type: "cachehit", Cell: cell.Label(), Key: KeyString(key)})
 			c.mu.Unlock()
 			continue
 		}
-		if err := json.NewEncoder(c.journal).Encode(journalLine{Key: KeyString(key), Cell: cell}); err != nil {
+		// Admission control: the live queue and the client's share of it
+		// are both bounded. Rejection is safe to retry verbatim — the
+		// cells accepted above are already journaled and will dedupe.
+		if live := c.pendingN + c.leasedN; live >= c.cfg.maxQueue() {
+			c.rejected429.Add(1)
+			c.mu.Unlock()
+			c.journal.Sync()
+			w.Header().Set("Retry-After", strconv.Itoa(c.retryAfterSecs()))
+			httpError(w, http.StatusTooManyRequests,
+				"live queue full (%d cells, cap %d); retry the submission later — already-accepted cells deduplicate", live, c.cfg.maxQueue())
+			return
+		}
+		if used := c.clientLive[client]; used >= c.cfg.clientQuota() {
+			c.rejected429.Add(1)
+			c.mu.Unlock()
+			c.journal.Sync()
+			w.Header().Set("Retry-After", strconv.Itoa(c.retryAfterSecs()))
+			httpError(w, http.StatusTooManyRequests,
+				"client %q is at its live-cell quota (%d of %d); retry as cells complete", client, used, c.cfg.clientQuota())
+			return
+		}
+		if err := c.appendJournalLocked(journalLine{Key: KeyString(key), Cell: &cell, Client: client}); err != nil {
 			c.mu.Unlock()
 			httpError(w, http.StatusInternalServerError, "journal append: %v", err)
 			return
 		}
-		c.cells[key] = st
-		c.order = append(c.order, key)
+		c.addCellLocked(st)
 		resp.Accepted++
 		c.publishLocked(ProgressEvent{Type: "queued", Cell: cell.Label(), Key: KeyString(key)})
 		c.mu.Unlock()
@@ -446,52 +769,65 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleLease grants the oldest ready pending cell, or tells the worker
-// when to come back.
+// when to come back. Cells that already count the requesting worker
+// among their presumed victims are passed over in favor of any other
+// ready cell — but still granted when they are the only work available,
+// so a small fleet cannot livelock against its own victim lists. A
+// draining coordinator grants nothing.
 func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	var req LeaseRequest
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	now := time.Now()
+	now := c.now()
 	c.harvestExpired(now)
 	c.mu.Lock()
-	var pick *cellState
+	if c.draining {
+		c.mu.Unlock()
+		writeJSON(w, &LeaseResponse{RetryMs: max64(10, (c.cfg.ttl() / 2).Milliseconds())})
+		return
+	}
+	var pick, victimFallback *cellState
 	var soonest time.Time
-	pending, leased := 0, 0
 	for _, key := range c.order {
 		st := c.cells[key]
-		switch st.status {
-		case cellLeased:
-			leased++
-		case cellPending:
-			pending++
-			if now.Before(st.notBefore) {
-				if soonest.IsZero() || st.notBefore.Before(soonest) {
-					soonest = st.notBefore
-				}
-				continue
-			}
-			if pick == nil {
-				pick = st
-			}
+		if st.status != cellPending {
+			continue
 		}
+		if now.Before(st.notBefore) {
+			if soonest.IsZero() || st.notBefore.Before(soonest) {
+				soonest = st.notBefore
+			}
+			continue
+		}
+		if st.hasVictim(req.Worker) {
+			if victimFallback == nil {
+				victimFallback = st
+			}
+			continue
+		}
+		pick = st
+		break
+	}
+	if pick == nil {
+		pick = victimFallback
 	}
 	if pick == nil {
 		// A coordinator that has never been given work is idle, not
 		// drained: a worker fleet started ahead of the first submission
 		// must keep polling, not exit.
-		resp := LeaseResponse{Drained: pending == 0 && leased == 0 && len(c.cells) > 0}
+		resp := LeaseResponse{Drained: c.pendingN == 0 && c.leasedN == 0 && len(c.cells) > 0}
 		switch {
 		case !soonest.IsZero():
 			resp.RetryMs = max64(10, soonest.Sub(now).Milliseconds())
-		case leased > 0:
+		case c.leasedN > 0:
 			resp.RetryMs = max64(10, (c.cfg.ttl() / 4).Milliseconds())
 		}
 		c.mu.Unlock()
 		writeJSON(w, &resp)
 		return
 	}
-	pick.status = cellLeased
+	c.transitionLocked(pick, cellLeased)
 	attempt := pick.failures + 1
 	l := c.leases.grant(pick.cell, pick.key, req.Worker, attempt, c.cfg.ttl(), now)
 	c.publishLocked(ProgressEvent{Type: "lease", Cell: pick.cell.Label(), Key: KeyString(pick.key), Worker: req.Worker, Attempt: attempt})
@@ -516,13 +852,18 @@ func max64(a, b int64) int64 {
 }
 
 // handleHeartbeat extends a live lease; a stale token gets 409 so the
-// worker abandons the zombie cell.
+// worker abandons the zombie cell. Expired leases are harvested first,
+// making the TTL boundary exact: a heartbeat arriving at precisely the
+// deadline still extends (harvest evicts strictly after it), one
+// arriving any later finds the lease gone.
 func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	var req HeartbeatRequest
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	l, ok := c.leases.extend(req.Lease, c.cfg.ttl(), time.Now())
+	now := c.now()
+	c.harvestExpired(now)
+	l, ok := c.leases.extend(req.Lease, c.cfg.ttl(), now)
 	if !ok {
 		httpError(w, http.StatusConflict, "lease %s is not live (expired and re-queued?)", req.Lease)
 		return
@@ -533,10 +874,12 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 
 // handlePutCheckpoint stores a mid-run checkpoint blob for a leased cell.
 // Uploading also extends the lease (a checkpoint is the strongest
-// possible heartbeat).
+// possible heartbeat). An upload refused by the store's disk-headroom
+// preflight gets 507: the worker keeps running and simply loses this
+// checkpoint's granularity.
 func (c *Coordinator) handlePutCheckpoint(w http.ResponseWriter, r *http.Request) {
 	token := r.URL.Query().Get("lease")
-	l, ok := c.leases.extend(token, c.cfg.ttl(), time.Now())
+	l, ok := c.leases.extend(token, c.cfg.ttl(), c.now())
 	if !ok {
 		httpError(w, http.StatusConflict, "lease %s is not live", token)
 		return
@@ -547,6 +890,10 @@ func (c *Coordinator) handlePutCheckpoint(w http.ResponseWriter, r *http.Request
 		return
 	}
 	if err := c.store.PutBlob(l.Key, blob); err != nil {
+		if errors.Is(err, errInsufficientStorage) {
+			httpError(w, http.StatusInsufficientStorage, "%v", err)
+			return
+		}
 		// A corrupt upload (torn transfer, bit rot in flight) is
 		// rejected outright; the previous good blob, if any, survives.
 		httpError(w, http.StatusBadRequest, "%v", err)
@@ -580,8 +927,9 @@ func (c *Coordinator) handleGetCheckpoint(w http.ResponseWriter, r *http.Request
 
 // handleReport settles a lease with its cell's outcome, applying the
 // failure taxonomy: verified results are stored, wedges fail fast,
-// transient errors re-queue with backoff under the attempt cap, and a
-// drain release re-queues immediately without charge.
+// resource-exhausted failures charge a transient attempt and feed the
+// poison breaker, other transient errors re-queue with backoff under the
+// attempt cap, and a drain release re-queues immediately without charge.
 func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
 	var req ReportRequest
 	if !decodeJSON(w, r, &req) {
@@ -591,11 +939,12 @@ func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		// The lease expired and the cell moved on; the late report must
 		// not mutate state (the worker that holds no lease holds no
-		// authority). 409 tells it to drop the result.
+		// authority). 409 tells it to drop the result. A double release
+		// of the same token lands here too: the first settle consumed it.
 		httpError(w, http.StatusConflict, "lease %s is not live (report discarded)", req.Lease)
 		return
 	}
-	now := time.Now()
+	now := c.now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := c.cells[l.Key]
@@ -605,7 +954,7 @@ func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	switch {
 	case req.Released:
-		st.status = cellPending
+		c.transitionLocked(st, cellPending)
 		st.notBefore = now // no backoff: the worker drained, the cell is healthy
 		st.history = append(st.history, Attempt{Worker: l.Worker, Outcome: "released"})
 		c.publishLocked(ProgressEvent{Type: "requeue", Cell: st.cell.Label(), Key: KeyString(st.key), Worker: l.Worker, Attempt: l.Attempt})
@@ -613,12 +962,12 @@ func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
 		if err := c.store.PutResult(st.key, req.Result); err != nil {
 			// Failing to persist is the coordinator's problem, not the
 			// cell's: put it back and let a retry land it.
-			st.status = cellPending
+			c.transitionLocked(st, cellPending)
 			st.notBefore = now
 			httpError(w, http.StatusInternalServerError, "storing result: %v", err)
 			return
 		}
-		st.status = cellDone
+		c.transitionLocked(st, cellDone)
 		st.result = req.Result
 		st.history = append(st.history, Attempt{Worker: l.Worker, Outcome: "ok", ResumeCycle: req.ResumeCycle})
 		c.store.DeleteBlob(st.key)
@@ -628,16 +977,27 @@ func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
 		// A wedge is a deterministic outcome of the cell's fault
 		// stream: every retry replays the identical wedge, so the cell
 		// fails permanently with its retry budget unspent.
-		st.status = cellFailed
 		st.errMsg = req.Error
 		st.wedge = true
 		st.failures++
+		c.transitionLocked(st, cellFailed)
 		st.history = append(st.history, Attempt{Worker: l.Worker, Outcome: "wedged", Error: req.Error})
 		if err := c.store.PutFailure(st.key, req.Error, true, st.failures); err != nil {
 			c.logf("farm: recording wedge for %s: %v", st.cell.Label(), err)
 		}
 		c.store.DeleteBlob(st.key)
 		c.publishLocked(ProgressEvent{Type: "failed", Cell: st.cell.Label(), Key: KeyString(st.key), Worker: l.Worker, Error: req.Error, Attempt: l.Attempt})
+	case req.Resource != "":
+		// The worker's own budget watchdog killed the cell. The worker
+		// survived to tell us, but the cell is still a presumed killer:
+		// it exhausted one worker's budget and will likely exhaust the
+		// next identical one's too, unless placement differs — hence
+		// victim tracking plus transient retry preferring other workers.
+		msg := fmt.Sprintf("resource exhausted (%s): %s", req.Resource, req.Error)
+		st.history = append(st.history, Attempt{Worker: l.Worker, Outcome: "resource", Error: msg})
+		if !c.recordVictimLocked(st, l.Worker, msg) {
+			c.chargeTransient(st, now, msg)
+		}
 	default:
 		st.history = append(st.history, Attempt{Worker: l.Worker, Outcome: "failed", Error: req.Error})
 		c.chargeTransient(st, now, req.Error)
@@ -660,11 +1020,24 @@ func (c *Coordinator) streamSeriesLocked(st *cellState, res *caba.Result) {
 
 // handleStatus reports the sweep's state; ?wait_ms=N long-polls until
 // drained or the wait elapses. ?results=0 omits the (possibly large)
-// result payloads.
+// result payloads. Long-polls are shed — served as one immediate
+// snapshot with X-Farm-Shed set — when too many are already parked or
+// the coordinator is not healthy, so status watchers can never pin a
+// coordinator that is struggling.
 func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 	var waitMs int64
 	fmt.Sscanf(r.URL.Query().Get("wait_ms"), "%d", &waitMs)
 	includeResults := r.URL.Query().Get("results") != "0"
+	if waitMs > 0 {
+		if n := c.longPolls.Add(1); int(n) > c.cfg.maxLongPolls() || c.healthState() != "ok" {
+			c.longPolls.Add(-1)
+			c.shedPolls.Add(1)
+			w.Header().Set("X-Farm-Shed", "1")
+			waitMs = 0
+		} else {
+			defer c.longPolls.Add(-1)
+		}
+	}
 	deadline := time.Now().Add(time.Duration(waitMs) * time.Millisecond)
 	for {
 		resp, drained := c.statusSnapshot(includeResults)
@@ -677,7 +1050,7 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 			return
 		case <-time.After(25 * time.Millisecond):
 		}
-		c.harvestExpired(time.Now())
+		c.harvestExpired(c.now())
 	}
 }
 
@@ -686,6 +1059,11 @@ func (c *Coordinator) statusSnapshot(includeResults bool) (*StatusResponse, bool
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	resp := &StatusResponse{
+		Pending:     c.pendingN,
+		Leased:      c.leasedN,
+		Done:        c.doneN,
+		Failed:      c.failedN,
+		Poisoned:    c.poisonedN,
 		Quarantined: int(c.store.Quarantined()),
 		Attempts:    make(map[string][]Attempt),
 	}
@@ -696,12 +1074,7 @@ func (c *Coordinator) statusSnapshot(includeResults bool) (*StatusResponse, bool
 		st := c.cells[key]
 		ks := KeyString(key)
 		switch st.status {
-		case cellPending:
-			resp.Pending++
-		case cellLeased:
-			resp.Leased++
 		case cellDone:
-			resp.Done++
 			if st.cacheHit {
 				resp.CacheHits++
 			}
@@ -709,13 +1082,12 @@ func (c *Coordinator) statusSnapshot(includeResults bool) (*StatusResponse, bool
 				resp.Results[ks] = st.result
 			}
 		case cellFailed:
-			resp.Failed++
 			if st.cacheHit {
 				resp.CacheHits++
 			}
 			resp.Failures = append(resp.Failures, Failure{
 				Cell: st.cell, Key: ks, Error: st.errMsg, Wedge: st.wedge,
-				Attempts: st.failures,
+				Poison: st.poison, Attempts: st.failures,
 			})
 		}
 		if len(st.history) > 0 {

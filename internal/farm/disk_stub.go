@@ -1,0 +1,11 @@
+//go:build !unix
+
+package farm
+
+// diskFree reports -1 on platforms without Statfs: the disk-space
+// preflight is disabled rather than guessed at.
+func diskFree(path string) int64 { return -1 }
+
+// cpuTime reports -1 on platforms without Getrusage: the CPU-time
+// deadline degrades to wall-clock-only enforcement.
+func cpuTime() int64 { return -1 }

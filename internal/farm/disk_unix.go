@@ -1,0 +1,35 @@
+//go:build unix
+
+package farm
+
+import "syscall"
+
+// diskFree returns the free bytes available to unprivileged writers on
+// the filesystem holding path, or -1 when the platform cannot report it.
+// Used by the store's checkpoint-upload preflight and the worker's
+// pre-upload check: refusing a write while headroom remains beats
+// filling the volume and corrupting everything on it.
+func diskFree(path string) int64 {
+	var st syscall.Statfs_t
+	if err := syscall.Statfs(path, &st); err != nil {
+		return -1
+	}
+	return int64(st.Bavail) * int64(st.Bsize)
+}
+
+// cpuTime returns the process's consumed CPU time (user + system) in
+// nanoseconds, or -1 when the platform cannot report it. The worker's
+// CPU-time deadline is measured against this, not the wall clock: a cell
+// stalled on I/O burns wall time but no budget, while a compute-bound
+// runaway burns budget across every core it occupies.
+func cpuTime() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return -1
+	}
+	return tvNanos(ru.Utime) + tvNanos(ru.Stime)
+}
+
+func tvNanos(tv syscall.Timeval) int64 {
+	return int64(tv.Sec)*1e9 + int64(tv.Usec)*1e3
+}

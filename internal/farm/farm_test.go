@@ -543,7 +543,7 @@ func TestTornJournalReplay(t *testing.T) {
 	dir := t.TempDir()
 	cell := testCell("PVC", "Base", 0.02, 11)
 	key, _ := cell.Key()
-	line, _ := json.Marshal(journalLine{Key: KeyString(key), Cell: cell})
+	line, _ := json.Marshal(journalLine{Key: KeyString(key), Cell: &cell})
 	raw := append(append([]byte{}, line...), '\n')
 	raw = append(raw, []byte(`{"key":"deadbeef","cell":{"app":"SC`)...) // torn tail
 	if err := os.WriteFile(filepath.Join(dir, "journal.jsonl"), raw, 0o644); err != nil {

@@ -66,9 +66,17 @@ func (c Cell) Label() string { return c.App + "/" + c.Design.Name }
 
 // SweepRequest submits cells to the coordinator (POST /sweep). Cells
 // already in the result store complete instantly as cache hits; cells
-// already queued or leased are not duplicated.
+// already queued or leased are not duplicated. Admission is bounded: a
+// submission that would push the live queue past the coordinator's
+// MaxQueue — or this client past its per-client quota — is rejected
+// with HTTP 429 and a Retry-After hint. Submission is idempotent by
+// content address, so retrying the identical request after a 429 is
+// always safe: already-accepted cells count as Known, not duplicates.
 type SweepRequest struct {
 	Cells []Cell `json:"cells"`
+	// Client names the submitting client for per-client admission
+	// quotas and queue attribution (empty = "anonymous").
+	Client string `json:"client,omitempty"`
 }
 
 // SweepResponse acknowledges a sweep submission.
@@ -129,7 +137,10 @@ type HeartbeatRequest struct {
 //     (gpu.WedgeError — the cell's fault stream replays the identical
 //     wedge on every attempt), which fails the cell immediately; any
 //     other error is transient and re-queued with backoff until the
-//     attempt cap.
+//     attempt cap. Resource marks the failure resource-exhausted (the
+//     worker's memory or CPU budget watchdog aborted the cell): still
+//     transient-retryable, but preferentially on a different worker,
+//     and it feeds the poison-cell circuit breaker.
 //   - Released: the worker is draining; the cell is re-queued at once
 //     without consuming an attempt.
 type ReportRequest struct {
@@ -138,6 +149,10 @@ type ReportRequest struct {
 	Error    string       `json:"error,omitempty"`
 	Wedge    bool         `json:"wedge,omitempty"`
 	Released bool         `json:"released,omitempty"`
+	// Resource, when non-empty, classifies the failure as
+	// resource-exhausted and names the blown budget ("memory" or
+	// "cpu"). See the taxonomy above.
+	Resource string `json:"resource,omitempty"`
 	// ResumeCycle is the simulated cycle this attempt resumed from (0 =
 	// started from scratch); recorded in the cell's attempt history.
 	ResumeCycle uint64 `json:"resume_cycle,omitempty"`
@@ -151,12 +166,17 @@ type Failure struct {
 	Error    string `json:"error"`
 	Wedge    bool   `json:"wedge"`
 	Attempts int    `json:"attempts"`
+	// Poison marks a cell quarantined by the poison-cell circuit
+	// breaker: it was presumed to have killed PoisonThreshold distinct
+	// workers and is never leased again.
+	Poison bool `json:"poison,omitempty"`
 }
 
 // Attempt is one entry of a cell's execution history.
 type Attempt struct {
 	Worker string `json:"worker"`
-	// Outcome is "ok", "failed", "wedged", "released" or "expired".
+	// Outcome is "ok", "failed", "wedged", "released", "expired" or
+	// "resource" (the worker's memory/CPU budget watchdog aborted it).
 	Outcome string `json:"outcome"`
 	// ResumeCycle is where the attempt resumed from (successful attempts
 	// only; 0 = cycle zero).
@@ -166,7 +186,9 @@ type Attempt struct {
 
 // StatusResponse is the sweep's current state (GET /status). With
 // ?wait_ms=N the coordinator long-polls until the sweep is drained or the
-// wait elapses, whichever comes first.
+// wait elapses, whichever comes first — unless the coordinator is under
+// pressure, in which case the long-poll is shed (served as an immediate
+// snapshot with the X-Farm-Shed response header set).
 type StatusResponse struct {
 	Pending   int `json:"pending"`
 	Leased    int `json:"leased"`
@@ -176,6 +198,9 @@ type StatusResponse struct {
 	// Quarantined counts corrupt result-store entries and checkpoint
 	// blobs set aside since the coordinator started.
 	Quarantined int `json:"quarantined"`
+	// Poisoned counts cells quarantined by the poison-cell circuit
+	// breaker (they also appear in Failures with Poison set).
+	Poisoned int `json:"poisoned,omitempty"`
 	// Drained is true when every submitted cell is terminal.
 	Drained bool `json:"drained"`
 	// Results maps cell keys (%016x) to completed results.
@@ -186,17 +211,56 @@ type StatusResponse struct {
 	Attempts map[string][]Attempt `json:"attempts,omitempty"`
 }
 
+// HealthResponse is the coordinator's self-assessment (GET /healthz).
+// State is one of:
+//
+//   - "ok": normal operation.
+//   - "degraded": still serving, but under pressure — the live queue is
+//     at ≥80% of MaxQueue or the store's disk headroom is below
+//     MinDiskFree. Long-polls are shed in this state.
+//   - "saturated": the live queue is full; submissions are being
+//     rejected with 429. Served with HTTP 503.
+//   - "draining": the coordinator is quiescing for shutdown — no new
+//     leases are granted and submissions get 503 + Retry-After.
+type HealthResponse struct {
+	State string `json:"state"`
+	// QueueLive / QueueCap report admission-control occupancy: live
+	// (pending + leased) cells against the MaxQueue bound.
+	QueueLive int `json:"queue_live"`
+	QueueCap  int `json:"queue_cap"`
+	Pending   int `json:"pending"`
+	Leased    int `json:"leased"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	// Poisoned counts cells quarantined by the poison-cell breaker.
+	Poisoned int `json:"poisoned"`
+	// Compactions counts journal compactions since the coordinator
+	// opened.
+	Compactions uint64 `json:"compactions"`
+	// Rejected429 counts submissions rejected by admission control.
+	Rejected429 uint64 `json:"rejected_429"`
+	// ShedLongPolls counts /status long-polls downgraded to immediate
+	// snapshots under pressure.
+	ShedLongPolls uint64 `json:"shed_long_polls"`
+	// Quarantined counts corrupt store entries set aside since open.
+	Quarantined uint64 `json:"quarantined"`
+	// DiskFreeBytes is the store filesystem's free space (-1 when the
+	// platform cannot report it).
+	DiskFreeBytes int64 `json:"disk_free_bytes"`
+}
+
 // ProgressEvent is one line of the live progress stream (GET /progress,
 // JSONL). Event types: "queued", "cachehit", "lease", "heartbeat",
-// "checkpoint", "done", "requeue", "failed", "sample".
+// "checkpoint", "done", "requeue", "failed", "poisoned", "compact",
+// "sample".
 type ProgressEvent struct {
-	Type   string `json:"type"`
-	Cell   string `json:"cell,omitempty"`
-	Key    string `json:"key,omitempty"`
-	Worker string `json:"worker,omitempty"`
-	Cycle  uint64 `json:"cycle,omitempty"`
-	Attempt int   `json:"attempt,omitempty"`
-	Error  string `json:"error,omitempty"`
+	Type    string `json:"type"`
+	Cell    string `json:"cell,omitempty"`
+	Key     string `json:"key,omitempty"`
+	Worker  string `json:"worker,omitempty"`
+	Cycle   uint64 `json:"cycle,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+	Error   string `json:"error,omitempty"`
 	// Sample carries one metrics time-series row for "sample" events
 	// (emitted from completed cells whose config enabled sampling).
 	Sample *caba.MetricsSample `json:"sample,omitempty"`

@@ -1,0 +1,101 @@
+package farm
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// ResourceError marks a cell aborted by the worker's resource watchdog:
+// the cell blew its memory or CPU-time budget before finishing. It is
+// reported to the coordinator as a resource-exhausted failure —
+// transient-retryable, preferentially on a different worker, and feeding
+// the poison-cell circuit breaker.
+type ResourceError struct {
+	// Kind is the exhausted budget: "memory" or "cpu".
+	Kind string
+	// Used and Limit are the measured consumption and the budget, in
+	// bytes (memory) or nanoseconds (cpu).
+	Used, Limit int64
+}
+
+// Error renders the budget violation.
+func (e *ResourceError) Error() string {
+	switch e.Kind {
+	case "memory":
+		return fmt.Sprintf("farm: cell exceeded memory budget (%d of %d bytes live)", e.Used, e.Limit)
+	case "cpu":
+		return fmt.Sprintf("farm: cell exceeded CPU-time budget (%s of %s)",
+			time.Duration(e.Used), time.Duration(e.Limit))
+	}
+	return fmt.Sprintf("farm: cell exceeded %s budget (%d of %d)", e.Kind, e.Used, e.Limit)
+}
+
+// gcLimitFloor is the lowest value handed to debug.SetMemoryLimit: a GC
+// target far below a working heap turns the runtime into a continuous
+// collector long before the watchdog fires. The soft watchdog still
+// compares against the exact configured budget.
+const gcLimitFloor = 32 << 20
+
+// startResourceWatch polices a cell's memory and CPU-time budgets while
+// it runs. Memory is enforced two ways: debug.SetMemoryLimit steers the
+// GC toward the budget (clamped to gcLimitFloor so a tiny budget cannot
+// thrash collection), and a soft watchdog polls live heap so a cell the
+// GC cannot save is aborted with a typed *ResourceError through cancel
+// instead of taking the whole worker process down. CPU time is measured
+// as process rusage (user+system, all cores) against budget — distinct
+// from the wall-clock cell timeout: an I/O-stalled cell burns wall time
+// but no CPU budget, a compute-bound runaway burns budget on every core
+// it occupies. The returned stop must be called when the cell ends; it
+// restores the previous GC limit.
+func startResourceWatch(cancel context.CancelCauseFunc, memLimit int64, cpuBudget time.Duration) (stop func()) {
+	if memLimit <= 0 && cpuBudget <= 0 {
+		return func() {}
+	}
+	var prevGCLimit int64
+	if memLimit > 0 {
+		gcLimit := memLimit
+		if gcLimit < gcLimitFloor {
+			gcLimit = gcLimitFloor
+		}
+		prevGCLimit = debug.SetMemoryLimit(gcLimit)
+	}
+	cpuStart := cpuTime()
+	stopCh := make(chan struct{})
+	doneCh := make(chan struct{})
+	go func() {
+		defer close(doneCh)
+		t := time.NewTicker(20 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopCh:
+				return
+			case <-t.C:
+				if memLimit > 0 {
+					var ms runtime.MemStats
+					runtime.ReadMemStats(&ms)
+					if int64(ms.HeapAlloc) > memLimit {
+						cancel(&ResourceError{Kind: "memory", Used: int64(ms.HeapAlloc), Limit: memLimit})
+						return
+					}
+				}
+				if cpuBudget > 0 && cpuStart >= 0 {
+					if used := cpuTime() - cpuStart; used > int64(cpuBudget) {
+						cancel(&ResourceError{Kind: "cpu", Used: used, Limit: int64(cpuBudget)})
+						return
+					}
+				}
+			}
+		}
+	}()
+	return func() {
+		close(stopCh)
+		<-doneCh
+		if memLimit > 0 {
+			debug.SetMemoryLimit(prevGCLimit)
+		}
+	}
+}

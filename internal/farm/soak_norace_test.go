@@ -1,0 +1,8 @@
+//go:build !race
+
+package farm
+
+// soakTimeScale stretches the chaos soak's real-time schedule (lease
+// TTL, restart/skew times). Without the race detector, real time runs
+// at full speed and no stretch is needed.
+const soakTimeScale = 1

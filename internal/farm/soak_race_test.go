@@ -1,0 +1,9 @@
+//go:build race
+
+package farm
+
+// soakTimeScale stretches the chaos soak's real-time schedule under
+// the race detector, which slows simulation 5-10x: with the production
+// TTL, heartbeats go tardy and healthy cells accumulate spurious
+// lease-expiry victims past the poison threshold.
+const soakTimeScale = 4

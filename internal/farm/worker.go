@@ -30,6 +30,23 @@ type WorkerConfig struct {
 	// simulated cycles when the cell's own config leaves it unset
 	// (default 100,000 — the sweep layer's quick-scale default).
 	CheckpointEvery uint64
+	// MemLimit caps each cell's live heap in bytes (0 = unlimited).
+	// debug.SetMemoryLimit steers the GC toward the budget and a soft
+	// watchdog aborts the cell with a typed resource-exhausted failure
+	// when live heap still crosses it — the coordinator retries the cell
+	// (preferring a different worker) and the abort feeds the
+	// poison-cell circuit breaker.
+	MemLimit int64
+	// CPUTime bounds each cell's consumed CPU time — user+system across
+	// every core, distinct from the CellTimeout wall clock (0 =
+	// unlimited). Exceeding it aborts the cell the same way MemLimit
+	// does.
+	CPUTime time.Duration
+	// MinDiskFree skips checkpoint uploads while the worker's local
+	// filesystem (scratch, crash reports) has less than this many bytes
+	// free (0 = no preflight). Skipping costs resume granularity, never
+	// the run.
+	MinDiskFree int64
 	// PollInterval is the idle re-poll delay when the coordinator has no
 	// work and suggests none (default 200ms).
 	PollInterval time.Duration
@@ -58,6 +75,13 @@ type workerHooks struct {
 	// underneath); returning an error reports it as the cell's failure
 	// without running the simulation.
 	beforeRun func(cell Cell, attempt int) error
+	// beforeRunAction runs right after the lease is granted and may
+	// order the worker to vanish (hookDie) before touching the cell —
+	// the image of a process killed between lease and first instruction.
+	beforeRunAction func(cell Cell, attempt int) hookAction
+	// memLimitFor overrides cfg.MemLimit per cell (the soak harness
+	// injects OOM pressure on chosen cells here).
+	memLimitFor func(cell Cell, attempt int) int64
 	// afterUpload runs after each successful checkpoint upload.
 	afterUpload func(cell Cell, cycle uint64, uploads int) hookAction
 }
@@ -159,6 +183,10 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 // runCell executes one leased cell end to end.
 func (w *Worker) runCell(ctx context.Context, lr *LeaseResponse) {
 	cell := *lr.Cell
+	if h := w.hooks.beforeRunAction; h != nil && h(cell, lr.Attempt) == hookDie {
+		w.killed = true
+		return
+	}
 	if h := w.hooks.beforeRun; h != nil {
 		if err := h(cell, lr.Attempt); err != nil {
 			w.report(&ReportRequest{Lease: lr.Lease, Error: err.Error()})
@@ -181,6 +209,16 @@ func (w *Worker) runCell(ctx context.Context, lr *LeaseResponse) {
 
 	runCtx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
+	// The resource watchdog cancels through the cause-carrying cancel so
+	// the classification switch below can read the typed *ResourceError
+	// back out of context.Cause; the wall-clock timeout wraps afterwards
+	// and stays a plain DeadlineExceeded.
+	memLimit := w.cfg.MemLimit
+	if h := w.hooks.memLimitFor; h != nil {
+		memLimit = h(cell, lr.Attempt)
+	}
+	stopWatch := startResourceWatch(cancel, memLimit, w.cfg.CPUTime)
+	defer stopWatch()
 	if w.cfg.CellTimeout > 0 {
 		var tcancel context.CancelFunc
 		runCtx, tcancel = context.WithTimeout(runCtx, w.cfg.CellTimeout)
@@ -233,6 +271,16 @@ func (w *Worker) runCell(ctx context.Context, lr *LeaseResponse) {
 	uploads := 0
 	save := func(cycle uint64, blob []byte) error {
 		lastCycle.Store(cycle)
+		if w.cfg.MinDiskFree > 0 {
+			// Disk preflight: a nearly-full local filesystem means crash
+			// reports and scratch may be about to fail; stop adding
+			// upload traffic and let the run continue checkpoint-free.
+			if free := diskFree("."); free >= 0 && free < w.cfg.MinDiskFree {
+				w.logf("farm worker %s: skipping checkpoint upload for %s (local disk %d bytes free, floor %d)",
+					w.cfg.Name, cell.Label(), free, w.cfg.MinDiskFree)
+				return nil
+			}
+		}
 		if err := w.uploadCheckpoint(lr.Lease, blob); err != nil {
 			if errors.Is(err, errStaleLease) {
 				cancel(errStaleLease)
@@ -255,11 +303,19 @@ func (w *Worker) runCell(ctx context.Context, lr *LeaseResponse) {
 	close(hbStop)
 	<-hbDone
 
+	var re *ResourceError
 	switch {
 	case err == nil:
 		w.report(&ReportRequest{Lease: lr.Lease, Result: res, ResumeCycle: resumedAt})
 	case errors.Is(err, errKilled):
 		// Chaos kill: vanish. No report, no release — the lease expires.
+	case errors.As(context.Cause(runCtx), &re):
+		// The resource watchdog aborted the cell: the worker survived
+		// its budget, the cell did not. Reported as a typed
+		// resource-exhausted failure so the coordinator can retry it
+		// elsewhere and feed the poison breaker.
+		w.logf("farm worker %s: %s aborted: %v", w.cfg.Name, cell.Label(), re)
+		w.report(&ReportRequest{Lease: lr.Lease, Error: re.Error(), Resource: re.Kind})
 	case errors.Is(context.Cause(runCtx), errStaleLease):
 		// The cell was re-queued while we ran; nothing we say counts.
 	case ctx.Err() != nil:
