@@ -22,7 +22,7 @@ FUZZ_TARGETS = \
 	FuzzStepRun:./internal/core
 FUZZTIME ?= 10s
 
-.PHONY: build vet lint test race fuzz snapshot-check trace-check farm-check soak soak-short check bench bench-compare
+.PHONY: build vet lint test race fuzz snapshot-check trace-check farm-check usecase-check soak soak-short check bench bench-compare
 
 # Seed for the chaos/soak harness: one seed determines the entire chaos
 # schedule (which cells get killed/hung/OOMed, restart and clock-skew
@@ -37,10 +37,11 @@ vet:
 
 # lint enforces godoc coverage on the observability and reliability
 # packages — plus the ISA predecode and timing packages the execution
-# engines lean on — with the repo's own stdlib-only checker (no external
-# linters).
+# engines lean on, and the simulator/config/workloads/experiments
+# surface the assist-warp use cases extended — with the repo's own
+# stdlib-only checker (no external linters).
 lint:
-	$(GO) run ./scripts/lintdoc ./internal/obs ./internal/audit ./internal/faults ./internal/snapshot ./internal/isa ./internal/timing ./internal/farm
+	$(GO) run ./scripts/lintdoc ./internal/obs ./internal/audit ./internal/faults ./internal/snapshot ./internal/isa ./internal/timing ./internal/farm ./internal/core ./internal/config ./internal/workloads ./internal/gpu ./internal/stats ./experiments
 
 test:
 	$(GO) test ./...
@@ -95,8 +96,19 @@ soak:
 soak-short:
 	SOAK_SEED=1 $(GO) test -race -timeout 5m -count=1 -run 'TestSoakSeededChaos' ./internal/farm
 
+# usecase-check proves the assist-warp use-case contract (USECASES.md,
+# DESIGN.md §14) end to end: use-cases-off runs stay byte-identical to
+# the goldens, prefetch/memoization runs are bit-identical across the
+# engine-strategy grid and across snapshot/resume, each showcase
+# workload actually wins cycles, and the Figure 14 sweep keeps its
+# shape.
+usecase-check:
+	$(GO) test -run 'TestUseCase|TestPrefetchWinsOnSTRD|TestMemoizationWinsOnTBL' .
+	$(GO) test -run 'TestStrideTable|TestPrefetchUsefulnessRing|TestMemoCache|TestMemoKey' ./internal/gpu
+	$(GO) test -run 'TestFig14Hooked' ./experiments
+
 # check is the tier-1 gate: everything must pass before a commit.
-check: build vet lint snapshot-check trace-check farm-check test race fuzz
+check: build vet lint snapshot-check trace-check farm-check usecase-check test race fuzz
 
 # bench refreshes BENCH_sim.json with the simulator hot-loop and event
 # queue numbers (ns/op, B/op, allocs/op).

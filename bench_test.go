@@ -294,6 +294,14 @@ func BenchmarkSimHotLoop(b *testing.B) {
 }
 func BenchmarkSimCABASSSP(b *testing.B) { benchOneApp(b, "sssp", caba.CABABDI) }
 
+// BenchmarkSimPrefetchPVC runs PVC under the CABA-Prefetch design: the
+// stride tables train on every L1 miss and the throttle gates nearly
+// every trigger (PVC's access pattern gives the detector little to work
+// with), so this times the use-case machinery's overhead on the miss
+// path rather than its payoff. bench-compare gates it alongside the
+// hot-loop sentinels: the per-miss training cost must stay flat.
+func BenchmarkSimPrefetchPVC(b *testing.B) { benchOneApp(b, "PVC", caba.CABAPrefetch) }
+
 // BenchmarkSimParallelPVC measures the two-phase parallel tick engine:
 // the same CABA-BDI PVC run at increasing SM worker counts. Results are
 // bit-identical at every worker count (TestParallelGoldenEquivalence);

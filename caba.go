@@ -48,6 +48,19 @@ type Design = config.Design
 // Metrics is the full set of raw counters and derived metrics of a run.
 type Metrics = stats.Sim
 
+// UseCase selects which assist-warp application(s) a Design deploys
+// (Section 7): the zero value is compression-only (still gated by the
+// design's Decomp setting), so every pre-existing design is unchanged.
+type UseCase = config.UseCase
+
+// The assist-warp use cases a Design can select (Design.UseCase).
+const (
+	UseCompression = config.UseCompression
+	UsePrefetch    = config.UsePrefetch
+	UseMemoization = config.UseMemoization
+	UseCombined    = config.UseCombined
+)
+
 // App describes one benchmark application.
 type App = workloads.App
 
@@ -79,16 +92,20 @@ type StallAttribution = obs.Attribution
 // Config.TraceFile is set.
 type Trace = obs.Trace
 
-// The evaluated designs (Section 6).
+// The evaluated designs (Section 6), plus the Section 7 assist-warp use
+// cases (prefetching, memoization, and compression+prefetch combined).
 var (
-	Base      = config.DesignBase
-	HWBDIMem  = config.DesignHWBDIMem
-	HWBDI     = config.DesignHWBDI
-	CABABDI   = config.DesignCABABDI
-	IdealBDI  = config.DesignIdealBDI
-	CABAFPC   = config.DesignCABAFPC
-	CABACPack = config.DesignCABACPack
-	CABABest  = config.DesignCABABest
+	Base         = config.DesignBase
+	HWBDIMem     = config.DesignHWBDIMem
+	HWBDI        = config.DesignHWBDI
+	CABABDI      = config.DesignCABABDI
+	IdealBDI     = config.DesignIdealBDI
+	CABAFPC      = config.DesignCABAFPC
+	CABACPack    = config.DesignCABACPack
+	CABABest     = config.DesignCABABest
+	CABAPrefetch = config.DesignCABAPrefetch
+	CABAMemo     = config.DesignCABAMemo
+	CABACombined = config.DesignCABACombined
 )
 
 // CacheCompressed returns a Figure 13 design: CABA-BDI plus capacity
@@ -227,9 +244,11 @@ func prepareApp(cfg *Config, design Design, appName string, seed int64) (*gpu.Si
 		return nil, design, 0, 0, err
 	}
 	if design.Decomp == config.DecompCABA && !app.MemoryBound {
-		name := design.Name
+		// The gate disables only the compression machinery: the prefetch
+		// and memoization use cases carry their own throttles and stay on.
+		name, uc := design.Name, design.UseCase
 		design = config.DesignBase
-		design.Name = name
+		design.Name, design.UseCase = name, uc
 	}
 	inst, err := app.Instantiate(cfg)
 	if err != nil {

@@ -82,10 +82,17 @@ func TestPublicRunKernel(t *testing.T) {
 
 func TestApplicationsPool(t *testing.T) {
 	apps := caba.Applications()
-	if len(apps) != 30 {
-		t.Errorf("pool = %d apps, want 30", len(apps))
+	// 30 paper apps plus the two Section 7 use-case studies (STRD, TBL).
+	if len(apps) != 32 {
+		t.Errorf("pool = %d apps, want 32", len(apps))
 	}
 	if _, err := caba.AppByName("sssp"); err != nil {
+		t.Error(err)
+	}
+	if _, err := caba.AppByName("STRD"); err != nil {
+		t.Error(err)
+	}
+	if _, err := caba.AppByName("TBL"); err != nil {
 		t.Error(err)
 	}
 }

@@ -29,11 +29,15 @@ var designs = map[string]caba.Design{
 	"caba-l1-4x": caba.CacheCompressed("L1", 4),
 	"caba-l2-2x": caba.CacheCompressed("L2", 2),
 	"caba-l2-4x": caba.CacheCompressed("L2", 4),
+	// Assist-warp use cases beyond compression (USECASES.md).
+	"caba-prefetch": caba.CABAPrefetch,
+	"caba-memo":     caba.CABAMemo,
+	"caba-combined": caba.CABACombined,
 }
 
 func main() {
 	app := flag.String("app", "PVC", "application name (-list to enumerate)")
-	designName := flag.String("design", "caba-bdi", "design: base, hw-bdi-mem, hw-bdi, caba-bdi, ideal-bdi, caba-fpc, caba-cpack, caba-best, caba-l{1,2}-{2,4}x")
+	designName := flag.String("design", "caba-bdi", "design: base, hw-bdi-mem, hw-bdi, caba-bdi, ideal-bdi, caba-fpc, caba-cpack, caba-best, caba-l{1,2}-{2,4}x, caba-{prefetch,memo,combined}")
 	scale := flag.Float64("scale", 0.2, "working-set scale (1.0 = paper scale)")
 	bw := flag.Float64("bw", 1.0, "peak-bandwidth scale (0.5, 1.0, 2.0)")
 	seed := flag.Int64("seed", 1, "synthetic data seed")
@@ -83,6 +87,14 @@ func main() {
 	s := res.Stats
 	fmt.Printf("  assist warps      %d activations, %d instructions, %d decompressions, %d compressions\n",
 		s.AssistWarps, s.AssistInstrs, s.LinesDecompressed, s.LinesCompressed)
+	if s.PrefetchTriggers+s.PrefetchThrottled > 0 {
+		fmt.Printf("  prefetch          %d triggers, %d useful fills, %d throttled\n",
+			s.PrefetchTriggers, s.PrefetchUseful, s.PrefetchThrottled)
+	}
+	if s.MemoHits+s.MemoMisses > 0 {
+		fmt.Printf("  memoization       %d probe hits, %d misses, %d installs, %d no-slot\n",
+			s.MemoHits, s.MemoMisses, s.MemoUpdates, s.MemoNoSlot)
+	}
 	if *verbose {
 		fmt.Printf("  raw: %s\n", s)
 		fmt.Printf("  L1 %.1f%% / L2 %.1f%% hit, %d DRAM bursts, %d activates, load latency %.0f cyc\n",

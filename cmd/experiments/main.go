@@ -127,6 +127,8 @@ func realMain() int {
 			_, err = experiments.Fig12(o)
 		case 13:
 			_, err = experiments.Fig13(o)
+		case 14:
+			_, err = experiments.Fig14(o)
 		default:
 			return fmt.Errorf("unknown figure %d", n)
 		}
@@ -161,7 +163,7 @@ func realMain() int {
 			}
 		}
 	case *all:
-		for _, n := range []int{1, 2, 7, 8, 9, 10, 12, 13} {
+		for _, n := range []int{1, 2, 7, 8, 9, 10, 12, 13, 14} {
 			if err := run(n); err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
 				return 1

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"math"
 	"strings"
@@ -89,5 +90,57 @@ func TestOptionsDefaults(t *testing.T) {
 	cfg := o.cfg()
 	if cfg.Scale != o.Scale {
 		t.Error("cfg must carry the scale")
+	}
+}
+
+// TestFig14Hooked drives the use-case figure through a runHook that
+// fabricates results, pinning the figure's shape: a speedup cell per
+// (non-Base design x app), activity counters from the per-design stats,
+// and a stall-shift entry per showcase app.
+func TestFig14Hooked(t *testing.T) {
+	var buf bytes.Buffer
+	o := Options{Scale: 0.01, Seed: 1, Out: &buf}
+	o.runHook = func(_ context.Context, _ caba.Config, design caba.Design, app string, _ int64) (*caba.Result, error) {
+		ipc := 100.0
+		st := &caba.Metrics{}
+		switch design.Name {
+		case caba.CABAPrefetch.Name:
+			ipc = 110
+			st.PrefetchTriggers, st.PrefetchUseful, st.PrefetchThrottled = 7, 5, 2
+		case caba.CABAMemo.Name:
+			ipc = 95
+			st.MemoHits, st.MemoMisses, st.MemoUpdates = 11, 13, 3
+		}
+		return &caba.Result{App: app, Design: design.Name, Cycles: 1000, IPC: ipc, Stats: st}, nil
+	}
+	res, err := Fig14(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps := UseCaseSuite()
+	for _, d := range []string{caba.CABAPrefetch.Name, caba.CABAMemo.Name, caba.CABACombined.Name} {
+		if got := len(res.Speedup[d]); got != len(apps) {
+			t.Errorf("%s: %d speedup cells, want %d", d, got, len(apps))
+		}
+	}
+	if sp := res.Speedup[caba.CABAPrefetch.Name]["STRD"]; math.Abs(sp-1.1) > 1e-9 {
+		t.Errorf("prefetch speedup = %v, want 1.1", sp)
+	}
+	if sp := res.Speedup[caba.CABAMemo.Name]["TBL"]; math.Abs(sp-0.95) > 1e-9 {
+		t.Errorf("memo speedup = %v, want 0.95 (losses must be reported, not clipped)", sp)
+	}
+	if res.Prefetch["STRD"] != [3]uint64{7, 5, 2} {
+		t.Errorf("prefetch activity = %v", res.Prefetch["STRD"])
+	}
+	if res.Memo["TBL"] != [3]uint64{11, 13, 3} {
+		t.Errorf("memo activity = %v", res.Memo["TBL"])
+	}
+	for _, app := range []string{"STRD", "TBL"} {
+		if _, ok := res.StallShift[app]; !ok {
+			t.Errorf("no stall-shift entry for showcase %s", app)
+		}
+	}
+	if out := buf.String(); !strings.Contains(out, "Figure 14") || !strings.Contains(out, "stall shift") {
+		t.Errorf("rendered output incomplete:\n%s", out)
 	}
 }

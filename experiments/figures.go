@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	caba "github.com/caba-sim/caba"
 	"github.com/caba-sim/caba/internal/gpu"
+	"github.com/caba-sim/caba/internal/obs"
 	"github.com/caba-sim/caba/internal/stats"
 	"github.com/caba-sim/caba/internal/workloads"
 )
@@ -479,6 +481,164 @@ func Fig13(o Options) (*Fig13Result, error) {
 	}
 	fmt.Fprintln(out)
 	return res, sweepErr
+}
+
+// --- Figure 14: assist-warp use cases beyond compression (Section 7) ---
+
+// Fig14Result carries the use-case study: per-app speedups of the
+// prefetch, memoization and combined designs over Base, the use-case
+// activity counters, and the stall-attribution shift that explains each
+// showcase result.
+type Fig14Result struct {
+	// Speedup: design name -> app -> IPC relative to Base. Includes the
+	// honest losses — apps where a use case fires without paying off.
+	Speedup map[string]map[string]float64
+	// Prefetch activity per app under CABA-Prefetch:
+	// [triggers, useful fills, throttled].
+	Prefetch map[string][3]uint64
+	// Memo activity per app under CABA-Memo: [hits, misses, updates].
+	Memo map[string][3]uint64
+	// StallShift: app -> stall cause name -> (favorable design − Base)
+	// unissued-slot delta. Negative means the use case removed that
+	// stall; the new causes (pf-mshr, memo-wait) show where its own
+	// machinery charges time.
+	StallShift map[string]map[string]int64
+}
+
+// UseCaseSuite is the Figure 14 application set: one app built to favor
+// each use case (STRD for prefetching, TBL for memoization) plus two
+// paper apps (PVC, RAY) as controls where the mechanisms fire — or
+// throttle — without a favorable pattern.
+func UseCaseSuite() []string { return []string{"STRD", "TBL", "PVC", "RAY"} }
+
+// fig14Showcases pairs each showcase app with its favorable design for
+// the stall-shift panel.
+var fig14Showcases = []struct {
+	app    string
+	design caba.Design
+}{
+	{"STRD", caba.CABAPrefetch},
+	{"TBL", caba.CABAMemo},
+}
+
+// Fig14 runs the use-case comparison. The speedup grid goes through the
+// normal sweep (checkpointable, farmable — the design names key the
+// cells); the stall-shift panel re-runs the two showcases with stall
+// attribution armed, which observes without perturbing simulated state.
+func Fig14(o Options) (*Fig14Result, error) {
+	apps := UseCaseSuite()
+	designs := []caba.Design{caba.Base, caba.CABAPrefetch, caba.CABAMemo, caba.CABACombined}
+	results, sweepErr := o.sweep(apps, designs, nil)
+	res := &Fig14Result{
+		Speedup:    map[string]map[string]float64{},
+		Prefetch:   map[string][3]uint64{},
+		Memo:       map[string][3]uint64{},
+		StallShift: map[string]map[string]int64{},
+	}
+	out := o.out()
+	fmt.Fprintf(out, "Figure 14: assist-warp use cases (speedup vs Base; losses included)\n")
+	fmt.Fprintf(out, "%-6s", "app")
+	for _, d := range designs[1:] {
+		fmt.Fprintf(out, " %14s", d.Name)
+	}
+	fmt.Fprintln(out)
+	for _, d := range designs[1:] {
+		res.Speedup[d.Name] = map[string]float64{}
+	}
+	for _, app := range apps {
+		ref := results[runKey{app, caba.Base.Name, 1.0}]
+		fmt.Fprintf(out, "%-6s", app)
+		for _, d := range designs[1:] {
+			r := results[runKey{app, d.Name, 1.0}]
+			if ref == nil || r == nil {
+				fmt.Fprintf(out, " %14s", "-")
+				continue
+			}
+			sp := r.IPC / ref.IPC
+			res.Speedup[d.Name][app] = sp
+			fmt.Fprintf(out, " %14.3f", sp)
+		}
+		fmt.Fprintln(out)
+		if r := results[runKey{app, caba.CABAPrefetch.Name, 1.0}]; r != nil && r.Stats != nil {
+			res.Prefetch[app] = [3]uint64{r.Stats.PrefetchTriggers, r.Stats.PrefetchUseful, r.Stats.PrefetchThrottled}
+		}
+		if r := results[runKey{app, caba.CABAMemo.Name, 1.0}]; r != nil && r.Stats != nil {
+			res.Memo[app] = [3]uint64{r.Stats.MemoHits, r.Stats.MemoMisses, r.Stats.MemoUpdates}
+		}
+	}
+	fmt.Fprintf(out, "activity: ")
+	for _, app := range apps {
+		p, m := res.Prefetch[app], res.Memo[app]
+		fmt.Fprintf(out, "%s pf(trig=%d useful=%d thr=%d) memo(hit=%d miss=%d upd=%d)  ",
+			app, p[0], p[1], p[2], m[0], m[1], m[2])
+	}
+	fmt.Fprintln(out)
+
+	// Stall-attribution shift for the showcases: where did the removed
+	// (or added) stall slots go?
+	for _, sc := range fig14Showcases {
+		shift, err := o.stallShift(sc.app, sc.design)
+		if err != nil {
+			sweepErr = errors.Join(sweepErr, err)
+			continue
+		}
+		res.StallShift[sc.app] = shift
+		fmt.Fprintf(out, "stall shift %s (%s - Base):", sc.app, sc.design.Name)
+		for _, c := range causeOrder() {
+			if d := shift[c]; d != 0 {
+				fmt.Fprintf(out, " %s%+d", c+":", d)
+			}
+		}
+		fmt.Fprintln(out)
+	}
+	return res, sweepErr
+}
+
+// causeOrder returns every stall-cause label in enum order.
+func causeOrder() []string {
+	names := make([]string, obs.NumCauses)
+	for c := obs.Cause(0); c < obs.NumCauses; c++ {
+		names[c] = c.String()
+	}
+	return names
+}
+
+// stallShift runs app under Base and design with stall attribution armed
+// and returns the per-cause unissued-slot delta (design − Base).
+func (o *Options) stallShift(app string, design caba.Design) (map[string]int64, error) {
+	run := o.runHook
+	if run == nil {
+		run = caba.RunContext
+	}
+	attr := func(d caba.Design) (*caba.StallAttribution, error) {
+		cfg := o.cfg()
+		cfg.AttributeStalls = true
+		r, err := run(o.ctx(), cfg, d, app, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return r.Stalls, nil
+	}
+	base, err := attr(caba.Base)
+	if err != nil {
+		return nil, err
+	}
+	with, err := attr(design)
+	if err != nil {
+		return nil, err
+	}
+	if base == nil || with == nil {
+		// A runHook stub without attribution: no shift to report.
+		return map[string]int64{}, nil
+	}
+	bt, wt := base.Totals(), with.Totals()
+	shift := map[string]int64{}
+	for c := obs.Cause(0); c < obs.NumCauses; c++ {
+		if d := int64(wt[c]) - int64(bt[c]); d != 0 {
+			shift[c.String()] = d
+		}
+	}
+	return shift, nil
 }
 
 // Table1 prints the live simulated-system configuration.

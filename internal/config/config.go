@@ -368,8 +368,33 @@ func (s CompressScope) String() string {
 	return fmt.Sprintf("scope(%d)", uint8(s))
 }
 
+// UseCase selects which assist-warp application(s) a design deploys on
+// the cores. Compression is the paper's primary use case (Section 4);
+// prefetching and memoization are the framework generalizations from
+// Sections 7.1/7.2, promoted here to first-class simulated use cases.
+type UseCase uint8
+
+// Assist-warp use cases.
+const (
+	UseCompression UseCase = iota // data compression only (the default; Decomp still gates it)
+	UsePrefetch                   // stride-detected assist-warp prefetching (Section 7.2)
+	UseMemoization                // result-cache SFU memoization (Section 7.1)
+	UseCombined                   // prefetch + memoization together (alongside any compression)
+)
+
+var useCaseNames = [...]string{"compression", "prefetch", "memoization", "combined"}
+
+// String returns the use-case name.
+func (u UseCase) String() string {
+	if int(u) < len(useCaseNames) {
+		return useCaseNames[u]
+	}
+	return fmt.Sprintf("usecase(%d)", uint8(u))
+}
+
 // Design is one of the evaluated system designs (Section 6): a compression
-// algorithm, where compressed data lives, and who decompresses it.
+// algorithm, where compressed data lives, who decompresses it, and which
+// assist-warp use cases run on the cores.
 type Design struct {
 	Name      string
 	Scope     CompressScope
@@ -377,6 +402,7 @@ type Design struct {
 	Decomp    DecompressorKind
 	L1TagMult int // >1 enables L1 capacity compression with N x tags (Fig 13)
 	L2TagMult int // >1 enables L2 capacity compression with N x tags (Fig 13)
+	UseCase   UseCase
 }
 
 // The designs evaluated in the paper.
@@ -397,6 +423,13 @@ var (
 	DesignCABAFPC   = Design{Name: "CABA-FPC", Scope: ScopeL2, Alg: compress.AlgFPC, Decomp: DecompCABA, L1TagMult: 1, L2TagMult: 1}
 	DesignCABACPack = Design{Name: "CABA-CPack", Scope: ScopeL2, Alg: compress.AlgCPack, Decomp: DecompCABA, L1TagMult: 1, L2TagMult: 1}
 	DesignCABABest  = Design{Name: "CABA-BestOfAll", Scope: ScopeL2, Alg: compress.AlgBest, Decomp: DecompCABA, L1TagMult: 1, L2TagMult: 1}
+	// The framework use cases (Sections 7.1/7.2): assist warps with no
+	// compression anywhere...
+	DesignCABAPrefetch = Design{Name: "CABA-Prefetch", Scope: ScopeNone, Alg: compress.AlgNone, Decomp: DecompNone, L1TagMult: 1, L2TagMult: 1, UseCase: UsePrefetch}
+	DesignCABAMemo     = Design{Name: "CABA-Memo", Scope: ScopeNone, Alg: compress.AlgNone, Decomp: DecompNone, L1TagMult: 1, L2TagMult: 1, UseCase: UseMemoization}
+	// ...and everything at once: BDI compression + prefetch + memoization
+	// sharing the same assist-warp slots and deploy bandwidth.
+	DesignCABACombined = Design{Name: "CABA-Combined", Scope: ScopeL2, Alg: compress.AlgBDI, Decomp: DecompCABA, L1TagMult: 1, L2TagMult: 1, UseCase: UseCombined}
 )
 
 // CacheCompressed returns a Figure 13 design: CABA-BDI plus capacity
@@ -418,3 +451,20 @@ func CacheCompressed(level string, tagMult int) Design {
 
 // Compressing reports whether the design compresses anything.
 func (d Design) Compressing() bool { return d.Scope != ScopeNone }
+
+// Prefetching reports whether the design runs the stride-prefetch
+// assist-warp use case.
+func (d Design) Prefetching() bool {
+	return d.UseCase == UsePrefetch || d.UseCase == UseCombined
+}
+
+// Memoizing reports whether the design runs the SFU-memoization
+// assist-warp use case.
+func (d Design) Memoizing() bool {
+	return d.UseCase == UseMemoization || d.UseCase == UseCombined
+}
+
+// AssistUseCases reports whether any non-compression assist-warp use
+// case is enabled — i.e. whether the simulator must instantiate the
+// stride table, result cache and their trigger paths.
+func (d Design) AssistUseCases() bool { return d.Prefetching() || d.Memoizing() }

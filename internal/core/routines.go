@@ -67,6 +67,11 @@ const (
 	// RtECCCheck folds a decompressed line into a warp-wide XOR checksum
 	// (fault-injection recovery support).
 	RtECCCheck RoutineID = 0x43
+	// Hardware-trigger variants of the Section 7 memoization routines:
+	// the AWC trigger path supplies the content-hash slot as a live-in,
+	// so no SFU op runs inside the routine (see routines_other.go).
+	RtMemoProbe RoutineID = 0x44
+	RtMemoSave  RoutineID = 0x45
 )
 
 // BDICompTestOrder is the sequence of encodings a CABA compression pass
@@ -122,6 +127,8 @@ func BuildLibrary() *Store {
 	// Section 7.
 	mustPreload(memoLookupRoutine())
 	mustPreload(memoUpdateRoutine())
+	mustPreload(memoProbeRoutine())
+	mustPreload(memoSaveRoutine())
 	mustPreload(prefetchRoutine())
 	// Fault-recovery support.
 	mustPreload(eccCheckRoutine())

@@ -53,6 +53,44 @@ func memoUpdateRoutine() *Routine {
 		Prog: b.MustBuild(), Priority: PriLow, ActiveMask: FullMask}
 }
 
+// memoProbeRoutine is the hardware-trigger variant of memo.lookup: the
+// AWC's trigger path has already hashed the parent instruction's source
+// operands (the content hash the result cache is indexed by), so the
+// routine receives the slot byte offset as a live-in instead of spending
+// an SFU op computing it — an SFU op here would re-occupy the very port
+// memoization exists to relieve. Live-in: r2 = content-hash tag (all
+// lanes), r4 = slot byte offset. Live-out: r0 = ballot of hitting lanes,
+// per-lane r3 = cached result where hit.
+func memoProbeRoutine() *Routine {
+	b := isa.NewBuilder("memo.probe")
+	r := isa.R
+	p := isa.P
+	b.LdShared(r(5), r(4), 0, 8). // tag
+					SetP(isa.CmpEQ, p(0), r(5), r(2)).
+					LdShared(r(6), r(4), 8, 8). // value
+					MovI(r(3), 0).
+					Mov(r(3), r(6)).WithGuard(p(0), false).
+					Ballot(r(0), p(0)).
+					Exit()
+	return &Routine{ID: RtMemoProbe, Name: "memo.probe",
+		Prog: b.MustBuild(), Priority: PriHigh, ActiveMask: FullMask}
+}
+
+// memoSaveRoutine is the hardware-trigger variant of memo.update: installs
+// a freshly computed result under its pre-hashed slot. Live-in: r2 = tag,
+// r3 = value, r4 = slot byte offset. Lane 0 only — one slot is written.
+// Low priority: installs ride idle issue slots; dropping one costs only a
+// future cache miss.
+func memoSaveRoutine() *Routine {
+	b := isa.NewBuilder("memo.save")
+	r := isa.R
+	b.StShared(r(4), 0, r(2), 8). // tag
+					StShared(r(4), 8, r(3), 8). // value
+					Exit()
+	return &Routine{ID: RtMemoSave, Name: "memo.save",
+		Prog: b.MustBuild(), Priority: PriLow, ActiveMask: maskFor(1)}
+}
+
 // PrefetchDegree is how many lines ahead the stride prefetcher fetches.
 const PrefetchDegree = 4
 

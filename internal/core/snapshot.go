@@ -134,6 +134,7 @@ func (e *Exec) Load(r *snapshot.Reader, prog *isa.Program, includeBufs bool) err
 // simulator's error reporting consumes.
 type execErr struct{ msg string }
 
+// Error returns the restored message.
 func (e *execErr) Error() string { return e.msg }
 
 // Save serializes the controller and its AWT entries. encEntry encodes

@@ -131,6 +131,7 @@ func TestCellKeyStrategyInvariance(t *testing.T) {
 		func(c *Cell) { c.Seed = 12 },
 		func(c *Cell) { c.App = "SCP" },
 		func(c *Cell) { c.Design = caba.CABABDI },
+		func(c *Cell) { c.Design.UseCase = caba.UsePrefetch },
 		func(c *Cell) { c.Config.Scale = 0.03 },
 		func(c *Cell) { c.Config.SampleEvery = 500 },
 		func(c *Cell) { c.Config.Faults.Seed = 1; c.Config.Faults.BitFlipRate = 0.1 },

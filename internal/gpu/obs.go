@@ -197,6 +197,12 @@ func assistTraceCat(rt *core.Routine) string {
 	switch {
 	case rt.ID == core.RtECCCheck:
 		return "ecc-check"
+	case rt.ID == core.RtPrefetch:
+		return "prefetch"
+	case rt.ID == core.RtMemoProbe:
+		return "memo-probe"
+	case rt.ID == core.RtMemoSave:
+		return "memo-update"
 	case rt.Priority == core.PriHigh:
 		return "fill-decompress"
 	default:
@@ -211,11 +217,11 @@ func assistTraceCat(rt *core.Routine) string {
 // fast-forward bulk credits) with every per-SM shard, so they are exact
 // in all engine modes.
 type obsTotals struct {
-	instrs     uint64
-	issue      [stats.NumStallKinds]uint64
-	l1h, l1m   uint64
-	l2h, l2m   uint64
-	dramBusy   uint64
+	instrs   uint64
+	issue    [stats.NumStallKinds]uint64
+	l1h, l1m uint64
+	l2h, l2m uint64
+	dramBusy uint64
 }
 
 // sampler drives the metrics time-series: it closes a window every

@@ -135,7 +135,7 @@ func New(cfg *config.Config, design config.Design, k *Kernel) (*Simulator, error
 	// shrinks rather than the parent occupancy (Section 3.2.2 gives the
 	// designer both options; this is the one that avoids occupancy loss).
 	assistRegs := 0
-	if design.Decomp == config.DecompCABA {
+	if design.Decomp == config.DecompCABA || design.AssistUseCases() {
 		assistRegs = sim.assistRegDemand()
 	}
 	sim.occ = ComputeOccupancy(cfg, k, 0)
@@ -196,6 +196,12 @@ func (sim *Simulator) assistRegDemand() int {
 		}
 	}
 	add(sim.Design.Alg)
+	if sim.Design.Prefetching() {
+		ids = append(ids, core.RtPrefetch)
+	}
+	if sim.Design.Memoizing() {
+		ids = append(ids, core.RtMemoProbe, core.RtMemoSave)
+	}
 	max := 0
 	for _, id := range ids {
 		if rt, ok := sim.AWS.Get(id); ok && rt.Prog.NumReg > max {

@@ -104,6 +104,12 @@ type SM struct {
 
 	awc *core.Controller
 
+	// Use-case hardware (usecase.go): the stride-detection prefetch unit
+	// and the memoization result cache. Both are nil unless Design.UseCase
+	// enables them, so compression-only designs pay nothing.
+	pf   *prefetcher
+	memo *memoCache
+
 	// Two-phase tick state. inTick is true while tick() runs (phase A,
 	// possibly on a worker goroutine): shared-state operations are then
 	// staged into outbox/wbuf instead of applied, and the simulator
@@ -491,6 +497,12 @@ func newSM(id int, sim *Simulator) *SM {
 	sm.awc = core.NewController(sim.AWS, entries)
 	if cfg.AWDeployBW > 0 {
 		sm.awc.DeployBW = cfg.AWDeployBW
+	}
+	if sim.Design.Prefetching() {
+		sm.pf = newPrefetcher()
+	}
+	if sim.Design.Memoizing() {
+		sm.memo = &memoCache{}
 	}
 	return sm
 }
@@ -912,7 +924,7 @@ func (sm *SM) quiescent(cycle uint64) (kind stats.StallKind, horizon uint64, ok 
 		if w.sb.ConflictsSop(in) {
 			f.dep = true
 			if f.blame && f.depW < 0 {
-				f.depW, f.depC = w.id, obs.CauseScoreboard
+				f.depW, f.depC = w.id, sm.depCause(w)
 			}
 			continue
 		}
@@ -942,13 +954,19 @@ func (sm *SM) quiescent(cycle uint64) (kind stats.StallKind, horizon uint64, ok 
 				// via fill events or the LSU horizon handled above.
 				f.memS = true
 				if f.blame && f.memW < 0 {
-					f.memW, f.memC = w.id, obs.CauseMSHRFull
+					f.memW, f.memC = w.id, sm.mshrCause()
 				}
 				continue
 			}
 			return 0, 0, false // the LSU is free: this warp would issue
 		case isa.ClassSFU:
 			if cycle < sm.sfuFree {
+				if sm.memo != nil {
+					// With memoization on, a busy SFU port is not a
+					// stall: the live tick may issue this warp through
+					// the probe path. Never claim quiescence over it.
+					return 0, 0, false
+				}
 				f.compS = true
 				if f.blame && f.compW < 0 {
 					f.compW, f.compC = w.id, obs.CauseSFUBusy
@@ -1094,6 +1112,13 @@ const bPendCap = 64
 func (sm *SM) tryEstablishBatch(cycle uint64) bool {
 	cfg := sm.sim.Cfg
 	if cfg.Scheduler != config.SchedGTO || cfg.Interpreter || cycle < sm.bSkip {
+		return false
+	}
+	// The establishment scan models SFU closers as blocked while the
+	// port's initiation interval runs, but memoization can issue such a
+	// warp through the probe path — the precomputed schedule would
+	// diverge from live ticking. No batch windows with memoization on.
+	if sm.memo != nil {
 		return false
 	}
 	// The greedy warp must issue in the window's very first slot. This
@@ -1437,7 +1462,9 @@ simloop:
 							case p.cl == clMemSB:
 								cbc = obs.CauseStoreBufFull
 							default:
-								cbc = obs.CauseMSHRFull
+								// pf.lines is frozen inside a window (fills
+								// abort it), so this matches the live tick.
+								cbc = sm.mshrCause()
 							}
 						}
 					case clSFU:
@@ -1698,7 +1725,7 @@ func (sm *SM) tryWarp(w *warpCtx, f *slotFlags) bool {
 	if w.depStalled {
 		f.dep = true
 		if f.blame && f.depW < 0 {
-			f.depW, f.depC = w.id, obs.CauseScoreboard
+			f.depW, f.depC = w.id, sm.depCause(w)
 		}
 		return false
 	}
@@ -1721,12 +1748,18 @@ func (sm *SM) tryWarp(w *warpCtx, f *slotFlags) bool {
 		w.depStalled = true
 		f.dep = true
 		if f.blame && f.depW < 0 {
-			f.depW, f.depC = w.id, obs.CauseScoreboard
+			f.depW, f.depC = w.id, sm.depCause(w)
 		}
 		return false
 	}
 	ok, memS, compS := sm.portsAvailable(in)
 	if !ok {
+		// A saturated SFU port is exactly where the memoization use case
+		// adds throughput: a result-cache hit issues through a probe
+		// assist instead of waiting for the port.
+		if compS && sm.memo != nil && in.Class == isa.ClassSFU && sm.tryMemoIssue(w, in) {
+			return true
+		}
 		f.memS = f.memS || memS
 		f.compS = f.compS || compS
 		if f.blame {
@@ -1743,7 +1776,7 @@ func (sm *SM) tryWarp(w *warpCtx, f *slotFlags) bool {
 	if in.GlobalMem && w.replay != nil {
 		f.memS = true
 		if f.blame && f.memW < 0 {
-			f.memW, f.memC = w.id, obs.CauseMSHRFull
+			f.memW, f.memC = w.id, sm.mshrCause()
 		}
 		return false
 	}
@@ -1904,6 +1937,17 @@ func (sm *SM) removeStore(se *storeEntry) {
 // --- Regular instruction issue ---
 
 func (sm *SM) issueRegular(w *warpCtx, in *isa.Superop) {
+	// Memoization consults the result cache with the instruction's content
+	// hash, read before StepRef moves the register file (a source may
+	// alias the destination). A free SFU port always executes directly —
+	// probing only pays when the port is the bottleneck (tryMemoIssue) —
+	// but misses install their freshly computed result for later reuse.
+	var memoKey uint64
+	memoMiss := false
+	if sm.memo != nil && in.Class == isa.ClassSFU {
+		memoKey = memoKeyFor(w.exec, in)
+		memoMiss = !sm.memo.lookup(memoKey)
+	}
 	info, ok := w.exec.StepRef()
 	if !ok {
 		return
@@ -1927,6 +1971,13 @@ func (sm *SM) issueRegular(w *warpCtx, in *isa.Superop) {
 	case isa.ClassSFU:
 		sm.sfuFree = sm.cycle + 4 // initiation interval
 		sm.finishAfter(w, in, uint64(sm.sim.Cfg.SFULatency))
+		if memoMiss {
+			sm.stat.MemoMisses++
+			if sm.tryMemoSave(w, memoKey) {
+				sm.memo.insert(memoKey)
+				sm.stat.MemoUpdates++
+			}
+		}
 	case isa.ClassMem:
 		sm.lsuPorts--
 		sm.issueMemory(w, in, info)
@@ -2002,6 +2053,7 @@ func (sm *SM) issueMemory(w *warpCtx, in *isa.Superop, info *core.StepInfo) {
 		w.sb.MarkSop(in)
 		w.inFlight++
 		w.pendingLoads++
+		trained := false
 		for _, ln := range lines {
 			if in.Op == isa.OpLdGlobal && sm.l1Lookup(ln, req) {
 				continue // L1 hit path scheduled
@@ -2009,6 +2061,13 @@ func (sm *SM) issueMemory(w *warpCtx, in *isa.Superop, info *core.StepInfo) {
 			// Miss (or atomic, which bypasses L1).
 			req.linesPending++
 			sm.stat.L1Misses++
+			// The stride unit trains on the access's first missing line
+			// (divergent accesses would otherwise feed it intra-access
+			// deltas instead of the stream's stride).
+			if sm.pf != nil && !trained && in.Op == isa.OpLdGlobal {
+				trained = true
+				sm.pfTrain(w, in.PC, ln)
+			}
 			sm.fetchOrReplay(req, ln)
 		}
 		if len(req.todo) > 0 {
@@ -2035,6 +2094,9 @@ func (sm *SM) l1Lookup(ln uint64, req *loadReq) bool {
 		return false
 	}
 	sm.stat.L1Hits++
+	if sm.pf != nil && sm.pf.noteHit(ln) {
+		sm.stat.PrefetchUseful++
+	}
 	lat := uint64(sm.sim.Cfg.L1Latency)
 	// Figure 13: L1-resident compressed lines pay decompression on every
 	// hit.
@@ -2378,6 +2440,15 @@ func (sm *SM) assistOnComplete(user any, rtID core.RoutineID) func(*core.Entry) 
 			sm.stat.LinesDecompressed++
 			sm.runCont(u.done)
 		}
+	case *memoCtx:
+		return func(*core.Entry) { sm.finishMemoProbe(u) }
+	}
+	// Use-case triggers with no owner payload (prefetches, result-cache
+	// installs) still need a restorable completion: snapshot restore
+	// rejects AWT entries whose OnComplete cannot be rebuilt.
+	switch rtID {
+	case core.RtPrefetch, core.RtMemoSave:
+		return func(*core.Entry) {}
 	}
 	return nil
 }
@@ -2702,6 +2773,9 @@ func (sm *SM) tryIssueAssist(e *core.Entry) (ok, dep, memS, compS bool) {
 					if sm.tr != nil {
 						sm.traceMSHRBegin(ln)
 					}
+					if sm.pf != nil {
+						sm.pf.lines++ // prefetch-held MSHR entry until its fill
+					}
 					sm.sysReadLine(ln, &fillCtx{kind: fillAssist})
 				}
 			}
@@ -2834,6 +2908,17 @@ func (sm *SM) completeFill(ln uint64, ctx *fillCtx) {
 		if sm.tr != nil {
 			sm.traceMSHREnd(ln)
 		}
-		sm.mshr.Complete(ln)
+		// A demand load may have merged onto an assist-initiated line
+		// (prefetch won the race to the MSHR); its waiters complete like
+		// any other fill rather than being dropped.
+		for _, w := range sm.mshr.Complete(ln) {
+			if req, okReq := w.(*loadReq); okReq && req != nil {
+				sm.loadLineDone(req)
+			}
+		}
+		if sm.pf != nil {
+			sm.pf.lines--
+			sm.pf.noteFill(ln)
+		}
 	}
 }

@@ -56,6 +56,7 @@ const (
 	refStore
 	refDecompCtx
 	refDecompPlain
+	refMemo
 )
 
 // objTables are the identity tables for pointer-shared pending-work
@@ -71,6 +72,8 @@ type objTables struct {
 	dcs      []*decompCtx
 	dpIdx    map[*decompPlain]int
 	dps      []*decompPlain
+	memoIdx  map[*memoCtx]int
+	memos    []*memoCtx
 
 	// warpSM maps each warp slot to its SM index so loadReq.warp can be
 	// encoded as (sm, slot).
@@ -150,6 +153,17 @@ func (t *objTables) regDP(dp *decompPlain) {
 	t.regCont(dp.done)
 }
 
+func (t *objTables) regMemo(mc *memoCtx) {
+	if mc == nil {
+		return
+	}
+	if _, ok := t.memoIdx[mc]; ok {
+		return
+	}
+	t.memoIdx[mc] = len(t.memos)
+	t.memos = append(t.memos, mc)
+}
+
 func (t *objTables) regUser(u any) {
 	switch v := u.(type) {
 	case nil:
@@ -163,6 +177,8 @@ func (t *objTables) regUser(u any) {
 		t.regDC(v)
 	case *decompPlain:
 		t.regDP(v)
+	case *memoCtx:
+		t.regMemo(v)
 	default:
 		t.fail(snapErrf("unserializable pending-work object %T", u))
 	}
@@ -178,6 +194,7 @@ func (sim *Simulator) collect(evs []timing.Event) (*objTables, error) {
 		fillIdx:  make(map[*fillCtx]int),
 		dcIdx:    make(map[*decompCtx]int),
 		dpIdx:    make(map[*decompPlain]int),
+		memoIdx:  make(map[*memoCtx]int),
 		warpSM:   make(map[*warpCtx]int),
 	}
 	for _, sm := range sim.sms {
@@ -256,9 +273,25 @@ func (t *objTables) encUser(w *snapshot.Writer, u any) error {
 	case *decompPlain:
 		w.U8(refDecompPlain)
 		return t.encDP(w, v)
+	case *memoCtx:
+		w.U8(refMemo)
+		return t.encMemo(w, v)
 	default:
 		return snapErrf("unserializable pending-work object %T", u)
 	}
+	return nil
+}
+
+func (t *objTables) encMemo(w *snapshot.Writer, mc *memoCtx) error {
+	if mc == nil {
+		w.Int(-1)
+		return nil
+	}
+	i, ok := t.memoIdx[mc]
+	if !ok {
+		return snapErrf("unregistered memoCtx in snapshot walk")
+	}
+	w.Int(i)
 	return nil
 }
 
@@ -451,6 +484,7 @@ func (sim *Simulator) SaveState() ([]byte, error) {
 	w.Len(len(t.fills))
 	w.Len(len(t.dcs))
 	w.Len(len(t.dps))
+	w.Len(len(t.memos))
 	for _, q := range t.loads {
 		if q.warp == nil {
 			w.Int(-1)
@@ -514,6 +548,13 @@ func (sim *Simulator) SaveState() ([]byte, error) {
 		if err := t.encCont(w, dp.done); err != nil {
 			return nil, err
 		}
+	}
+	for _, mc := range t.memos {
+		// The parent warp encodes as (sm, slot) and the superop as its PC,
+		// like loadReq; a memoCtx always carries both.
+		w.Int(t.warpSM[mc.w])
+		w.Int(mc.w.id)
+		w.Int(int(mc.sop.PC))
 	}
 
 	// Memory system (caches, MSHRs, DRAM timing, injector streams).
@@ -711,6 +752,10 @@ func (sm *SM) save(w *snapshot.Writer, t *objTables) error {
 			return err
 		}
 	}
+
+	// Use-case hardware (layout gated by the hashed Design, so saver and
+	// loader always agree on which sub-sections are present).
+	sm.saveUseCases(w)
 	return nil
 }
 
@@ -722,6 +767,7 @@ type decTables struct {
 	fills  []*fillCtx
 	dcs    []*decompCtx
 	dps    []*decompPlain
+	memos  []*memoCtx
 }
 
 func (t *decTables) decLoad(r *snapshot.Reader) (*loadReq, error) {
@@ -779,6 +825,17 @@ func (t *decTables) decDP(r *snapshot.Reader) (*decompPlain, error) {
 	return t.dps[i], nil
 }
 
+func (t *decTables) decMemo(r *snapshot.Reader) (*memoCtx, error) {
+	i := r.Int()
+	if i == -1 || r.Err() != nil {
+		return nil, r.Err()
+	}
+	if i < 0 || i >= len(t.memos) {
+		return nil, snapErrf("memoCtx reference %d out of range", i)
+	}
+	return t.memos[i], nil
+}
+
 func (t *decTables) decCont(r *snapshot.Reader) (cont, error) {
 	var c cont
 	k := r.U8()
@@ -832,6 +889,12 @@ func (t *decTables) decUser(r *snapshot.Reader) (any, error) {
 			return nil, err
 		}
 		return dp, nil
+	case refMemo:
+		mc, err := t.decMemo(r)
+		if err != nil {
+			return nil, err
+		}
+		return mc, nil
 	default:
 		return nil, snapErrf("pending-work reference tag %d out of range", tag)
 	}
@@ -965,6 +1028,7 @@ func (sim *Simulator) LoadState(blob []byte) (err error) {
 	nFills := r.Len(maxGPUSnapLen)
 	nDCs := r.Len(maxGPUSnapLen)
 	nDPs := r.Len(maxGPUSnapLen)
+	nMemos := r.Len(maxGPUSnapLen)
 	if r.Err() != nil {
 		return r.Err()
 	}
@@ -987,6 +1051,10 @@ func (sim *Simulator) LoadState(blob []byte) (err error) {
 	t.dps = make([]*decompPlain, nDPs)
 	for i := range t.dps {
 		t.dps[i] = &decompPlain{}
+	}
+	t.memos = make([]*memoCtx, nMemos)
+	for i := range t.memos {
+		t.memos[i] = &memoCtx{}
 	}
 	for _, q := range t.loads {
 		smIdx, wid := r.Int(), r.Int()
@@ -1075,6 +1143,22 @@ func (sim *Simulator) LoadState(blob []byte) (err error) {
 		if dp.done, err = t.decCont(r); err != nil {
 			return err
 		}
+	}
+	for _, mc := range t.memos {
+		smIdx, wid := r.Int(), r.Int()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if smIdx < 0 || smIdx >= len(sim.sms) || wid < 0 || wid >= len(sim.sms[smIdx].warps) {
+			return snapErrf("memoCtx warp reference out of range")
+		}
+		mc.w = sim.sms[smIdx].warps[wid]
+		pc := r.Int()
+		ops := sim.Kernel.Prog.Decoded().Ops
+		if pc < 0 || pc >= len(ops) {
+			return snapErrf("memoCtx pc %d out of range", pc)
+		}
+		mc.sop = &ops[pc]
 	}
 
 	// Memory system.
@@ -1382,6 +1466,11 @@ func (sm *SM) load(r *snapshot.Reader, t *decTables) error {
 			return snapErrf("nil storeEntry in store buffer")
 		}
 		sm.storeBuf = append(sm.storeBuf, se)
+	}
+
+	// Use-case hardware.
+	if err := sm.loadUseCases(r); err != nil {
+		return err
 	}
 
 	// Scratch and caches rebuilt from scratch on the next tick.

@@ -53,6 +53,12 @@ type warpCtx struct {
 	// zero-lane load cancel in issueMemory). Structural (port) failures
 	// are never cached: port state mutates between slots.
 	depStalled bool
+	// memoPending marks a warp whose scoreboard holds the destinations of
+	// an in-flight memoization probe: its dependence stalls are the assist
+	// replay's latency, which the attribution charges as CauseMemoWait
+	// instead of CauseScoreboard. Set with the probe trigger, cleared by
+	// finishMemoProbe, serialized with the SM's use-case section.
+	memoPending bool
 }
 
 // loadReq tracks one warp's in-flight global load (possibly several cache

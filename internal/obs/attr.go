@@ -50,6 +50,16 @@ const (
 	// CauseEmpty: the SM had no issue candidate at all — no valid warp
 	// and no assist entry. Charged to the SM row, not a warp.
 	CauseEmpty
+	// CauseMemoWait: the blamed warp's next instruction depended on a
+	// register owned by an in-flight memoization probe — a scoreboard
+	// stall whose latency is the assist-warp replay, not the SFU. Only
+	// charged when the memoization use case is on.
+	CauseMemoWait
+	// CausePrefetchMSHR: the blamed warp was replaying a load whose MSHR
+	// overflow happened while prefetch-initiated fills held MSHR entries —
+	// CauseMSHRFull re-attributed to prefetch aggressiveness. Only charged
+	// when the prefetch use case is on.
+	CausePrefetchMSHR
 	// NumCauses counts the Cause values; it is not itself a cause.
 	NumCauses
 )
@@ -59,6 +69,7 @@ const (
 var causeNames = [NumCauses]string{
 	"scoreboard", "barrier", "drain", "lsu-busy", "storebuf-full",
 	"mshr-full", "sfu-busy", "alu-busy", "assist", "empty",
+	"memo-wait", "pf-mshr",
 }
 
 // String returns the short lower-case label for the cause, or "cause(N)"

@@ -25,7 +25,7 @@ const magic uint64 = 0x43414241534e4150
 // FormatError describes why a blob could not be decoded. It is the only
 // error type the loader returns for malformed input.
 type FormatError struct {
-	Off int    // byte offset where decoding failed (-1 for container-level problems)
+	Off int // byte offset where decoding failed (-1 for container-level problems)
 	Msg string
 }
 

@@ -90,6 +90,16 @@ type Sim struct {
 	// MD cache (Section 4.3.2).
 	MDHits, MDMisses uint64
 
+	// Assist-warp use cases (Sections 7.1/7.2). All zero unless the
+	// design's UseCase enables prefetch and/or memoization.
+	PrefetchTriggers  uint64 // RtPrefetch assist warps launched by the stride table
+	PrefetchThrottled uint64 // confident triggers dropped on MSHR/slot/utilization pressure
+	PrefetchUseful    uint64 // demand L1 hits on lines a prefetch assist filled
+	MemoHits          uint64 // SFU ops skipped via the result cache (probe assist replayed the value)
+	MemoMisses        uint64 // memoizable SFU ops that missed the result cache
+	MemoNoSlot        uint64 // result-cache hits abandoned because no AWT slot was free
+	MemoUpdates       uint64 // RtMemoSave assist warps launched to install a result
+
 	// Fault injection (internal/faults). Zero when injection is disabled.
 	FaultsInjected   uint64 // faults the campaign actually placed
 	FaultsDetected   uint64 // faults caught by a check (ECC assist warp, MD ECC, routine error)
@@ -222,6 +232,15 @@ type Shard struct {
 	LoadCount    uint64
 	LoadLatTotal uint64
 
+	// Assist-warp use-case counters (all SM-resident state).
+	PrefetchTriggers  uint64
+	PrefetchThrottled uint64
+	PrefetchUseful    uint64
+	MemoHits          uint64
+	MemoMisses        uint64
+	MemoNoSlot        uint64
+	MemoUpdates       uint64
+
 	// Fault counters for injection/detection/recovery events that happen
 	// on the SM fill path (phase-B commit or event delivery, so in
 	// practice main-goroutine only, but shard-resident to keep every SM
@@ -256,6 +275,13 @@ func (s *Sim) AddShard(sh *Shard) {
 	s.LinesDecompressed += sh.LinesDecompressed
 	s.LoadCount += sh.LoadCount
 	s.LoadLatTotal += sh.LoadLatTotal
+	s.PrefetchTriggers += sh.PrefetchTriggers
+	s.PrefetchThrottled += sh.PrefetchThrottled
+	s.PrefetchUseful += sh.PrefetchUseful
+	s.MemoHits += sh.MemoHits
+	s.MemoMisses += sh.MemoMisses
+	s.MemoNoSlot += sh.MemoNoSlot
+	s.MemoUpdates += sh.MemoUpdates
 	s.FaultsInjected += sh.FaultsInjected
 	s.FaultsDetected += sh.FaultsDetected
 	s.FaultsRecovered += sh.FaultsRecovered

@@ -26,6 +26,12 @@ type App struct {
 	WorkingSetKB int
 	// ItersPerThread controls run length.
 	ItersPerThread int
+	// ThreadsCap bounds the instantiated thread count (0 = no bound).
+	// Capping threads below the machine's fill point forces each thread
+	// through more loop iterations over the same working set — the
+	// low-occupancy, latency-bound regime where there are too few warps
+	// to hide memory latency and stride prefetching has room to win.
+	ThreadsCap int
 }
 
 // Apps is the full application pool: the 27 programs of Figure 1 plus
@@ -126,6 +132,25 @@ var Apps = []App{
 	{Name: "mc", Suite: "CUDA", MemoryBound: false, InFig1: true, InCompress: false,
 		Kind: KindCompute, Pattern: PatRandom, SFUHeavy: true,
 		Intensity: 32, CTAThreads: 256, ExtraRegs: 8, WorkingSetKB: 256, ItersPerThread: 64},
+
+	// --- Section 7 use-case studies (outside the paper's figure pools) ---
+	// STRD: a low-occupancy strided stream over incompressible data — the
+	// per-PC line stride is constant, so the stride prefetcher's detector
+	// locks on, and the thread cap leaves too few warps to hide the miss
+	// latency the prefetches remove (a fully occupied machine hides it
+	// with parallelism instead). The favorable case for Design.UseCase =
+	// UsePrefetch.
+	{Name: "STRD", Suite: "CUDA", MemoryBound: true, InFig1: false, InCompress: false,
+		Kind: KindStreaming, Pattern: PatRandom, ThreadsCap: 1024,
+		Intensity: 2, CTAThreads: 32, ExtraRegs: 2, WorkingSetKB: 8192, ItersPerThread: 32},
+	// TBL: an SFU-bound transcendental evaluation whose operands repeat
+	// across warps (every warp walks the identical accumulator sequence
+	// over zero-filled data), so the result cache converts almost every
+	// SFU chain after the first warp's into probe hits. The favorable case
+	// for Design.UseCase = UseMemoization.
+	{Name: "TBL", Suite: "Rodinia", MemoryBound: false, InFig1: false, InCompress: false,
+		Kind: KindCompute, Pattern: PatZero, SFUHeavy: true,
+		Intensity: 4, CTAThreads: 256, ExtraRegs: 4, WorkingSetKB: 512, ItersPerThread: 64},
 }
 
 // ByName returns the app descriptor, or nil.

@@ -52,6 +52,9 @@ func (a *App) Instantiate(cfg *config.Config) (*Instance, error) {
 		if threads > 1<<16 {
 			threads = 1 << 16
 		}
+		if a.ThreadsCap > 0 && threads > a.ThreadsCap {
+			threads = a.ThreadsCap
+		}
 		if threads < a.CTAThreads {
 			threads = a.CTAThreads
 		}
